@@ -1,0 +1,31 @@
+"""Benchmark-suite helpers.
+
+Every bench regenerates one table/figure of the paper (see DESIGN.md's
+experiment index).  Output goes two places: the captured stdout (run
+pytest with ``-s`` to watch) and ``benchmarks/out/<experiment>.txt`` so
+EXPERIMENTS.md can cite the artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def report(experiment: str, text: str) -> None:
+    """Print and persist one experiment's output table."""
+    OUT_DIR.mkdir(exist_ok=True)
+    banner = f"\n{'=' * 72}\n{experiment}\n{'=' * 72}\n"
+    body = banner + text + "\n"
+    print(body)
+    (OUT_DIR / f"{experiment}.txt").write_text(body)
+
+
+@pytest.fixture
+def device20():
+    from repro.qpu import QPUDevice
+
+    return QPUDevice(seed=314)

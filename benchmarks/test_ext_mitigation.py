@@ -1,0 +1,74 @@
+"""Extension experiment — error mitigation (Section 4's training topic).
+
+Not a numbered paper artifact, but Section 4 reports teaching early
+users "error mitigation methods tailored to the machine".  On this
+device readout is the dominant error channel (as on the real system),
+so the highest-value technique is measurement-error mitigation.  The
+bench quantifies what the training buys: GHZ population fidelity and
+⟨Z…Z⟩ witness values, raw vs mitigated, on the full stack.
+
+Expected shape: mitigation recovers most of the readout-induced loss;
+the residual gap to 1.0 is gate (CZ) error, which mitigation of this
+kind cannot touch.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.circuits import ghz_circuit
+from repro.hybrid.mitigation import (
+    calibrate_readout,
+    mitigate_counts,
+    mitigated_expectation_z,
+)
+from repro.middleware import MQSSClient
+from repro.qpu import QPUDevice
+from repro.scheduler import QuantumResourceManager
+
+SIZES = (2, 3, 4)
+SHOTS = 6000
+
+
+def run_mitigation_study():
+    device = QPUDevice(seed=888)
+    client = MQSSClient(QuantumResourceManager(device), context="hpc")
+    runner = lambda qc, shots: client.run(qc, shots=shots)
+    rows = []
+    for size in SIZES:
+        cal = calibrate_readout(runner, size, shots=SHOTS)
+        counts = runner(ghz_circuit(size), SHOTS).marginal(list(range(size)))
+        raw_fid = counts.ghz_fidelity_estimate()
+        table = mitigate_counts(counts, cal)
+        mit_fid = table.get("0" * size, 0.0) + table.get("1" * size, 0.0)
+        raw_zz = counts.expectation_z()
+        mit_zz = mitigated_expectation_z(counts, cal)
+        rows.append((size, cal.mean_assignment_fidelity(), raw_fid, mit_fid, raw_zz, mit_zz))
+    return rows
+
+
+def test_ext_readout_mitigation(benchmark):
+    rows = benchmark.pedantic(run_mitigation_study, rounds=1, iterations=1)
+    lines = [
+        f"{'GHZ':>4} {'assign fid':>11} {'raw pop':>8} {'mitigated':>10} "
+        f"{'raw ⟨Z…Z⟩':>10} {'mit ⟨Z…Z⟩':>10}"
+    ]
+    for size, afid, raw, mit, rzz, mzz in rows:
+        lines.append(
+            f"{size:>4} {afid:>11.4f} {raw:>8.3f} {mit:>10.3f} {rzz:>10.3f} {mzz:>10.3f}"
+        )
+    lines.append("")
+    lines.append(
+        "mitigation recovers the readout loss; the residual gap to 1.0 is "
+        "gate error (grows with GHZ size — more CZs on the chain)."
+    )
+    report("ext_readout_mitigation", "\n".join(lines))
+
+    for size, _afid, raw, mit, rzz, mzz in rows:
+        assert mit > raw + 0.02, f"GHZ-{size}: mitigation should help"
+        if size % 2 == 0:
+            # even GHZ: ideal ⟨Z…Z⟩ = 1, mitigation must move toward it
+            # (odd GHZ has ideal 0, where the comparison is noise-limited)
+            assert mzz >= rzz - 1e-9
+    # residual (gate) error grows with size: mitigated fidelity decreasing
+    mitigated = [row[3] for row in rows]
+    assert mitigated[0] > mitigated[-1]

@@ -1,0 +1,63 @@
+"""Figure 1 — the system and its components, as a model inventory.
+
+Figure 1 of the paper is a hardware photograph (cryostat "chandelier",
+measurement rack, gas handling system…); the reproducible counterpart is
+the *model inventory*: the 20-qubit square-grid QPU with its couplers,
+nominal calibration figures, power phases, and cryogenic envelope — the
+quantities every later experiment consumes.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.facility.cryostat import BASE_TEMPERATURE, ROOM_TEMPERATURE
+from repro.facility.power import QPUPowerModel, QPUPowerPhase
+from repro.qpu import NOMINAL, QPUDevice
+from repro.utils.units import KILOWATT, MICROSECOND, NANOSECOND
+
+
+def build_inventory(device: QPUDevice) -> str:
+    snap = device.calibration()
+    power = QPUPowerModel()
+    lines = [
+        "20-qubit superconducting QPU — model inventory",
+        "",
+        "topology (square grid, tunable couplers on every edge):",
+        device.topology.ascii_art(),
+        "",
+        f"qubits: {device.topology.num_qubits}   couplers: {device.topology.num_couplers}",
+        "",
+        "nominal calibration medians:",
+        f"  T1                 {snap.median_t1() / MICROSECOND:8.1f} µs",
+        f"  T2                 {snap.median_t2() / MICROSECOND:8.1f} µs",
+        f"  PRX fidelity       {snap.median_prx_fidelity():8.5f}",
+        f"  CZ fidelity        {snap.median_cz_fidelity():8.5f}",
+        f"  readout fidelity   {snap.median_readout_fidelity():8.5f}",
+        "",
+        "native operation durations:",
+        f"  PRX pulse          {NOMINAL['prx_duration'] / NANOSECOND:8.0f} ns",
+        f"  CZ gate            {NOMINAL['cz_duration'] / NANOSECOND:8.0f} ns",
+        f"  readout            {NOMINAL['readout_duration'] / MICROSECOND:8.1f} µs",
+        f"  passive reset      {NOMINAL['reset_duration'] / MICROSECOND:8.0f} µs",
+        "",
+        "cryogenics:",
+        f"  operating point    {BASE_TEMPERATURE * 1000:.0f} mK",
+        f"  ambient            {ROOM_TEMPERATURE:.0f} K",
+        "",
+        "power envelope:",
+        f"  cooldown peak      {power.draw(QPUPowerPhase.COOLDOWN) / KILOWATT:5.0f} kW",
+        f"  steady operation   {power.draw(QPUPowerPhase.STEADY) / KILOWATT:5.0f} kW",
+        f"  cold idle          {power.draw(QPUPowerPhase.IDLE_COLD) / KILOWATT:5.0f} kW",
+    ]
+    return "\n".join(lines)
+
+
+def test_fig1_system_inventory(benchmark, device20):
+    text = benchmark.pedantic(build_inventory, args=(device20,), rounds=1, iterations=1)
+    report("fig1_system_inventory", text)
+    assert "20" in text
+    # the paper's device: 20 qubits, square grid, 10 mK, 30 kW peak
+    assert device20.topology.num_qubits == 20
+    assert device20.topology.num_couplers == 31
+    assert "10 mK" in text
+    assert "30 kW" in text

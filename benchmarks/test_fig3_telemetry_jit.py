@@ -1,0 +1,90 @@
+"""Figure 3 — DCDB/QDMI telemetry-aware execution.
+
+Paper artifact: Figure 3 shows QDMI bridging DCDB telemetry into JIT
+compilation, "allow[ing] to consume these live data during tasks such as
+JIT compilation and environment-aware optimizations", citing that
+"just-in-time quantum circuit transpilation can reduce noise".
+
+The bench lets the device drift for two weeks (so qubit quality spreads
+out and some couplers degrade), then compiles and runs the same GHZ
+program three ways:
+
+* **live JIT** — noise-adaptive placement against the *current* QDMI
+  snapshot (the Figure 3 loop);
+* **stale**   — noise-adaptive placement against the day-0 snapshot
+  (ahead-of-time compilation);
+* **static**  — trivial layout, no telemetry at all.
+
+Expected shape: live ≥ stale ≥ static in achieved GHZ fidelity; the live
+path must beat static by a clear margin.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.circuits import ghz_circuit
+from repro.compiler import JITCompiler
+from repro.qdmi import QPUQDMIDevice, SnapshotQDMIDevice
+from repro.qpu import DriftConfig, QPUDevice
+from repro.telemetry import DCDBCollector, MetricStore, QPUMetricsPlugin
+from repro.utils.units import DAY
+
+SHOTS = 4000
+SIZE = 6
+DRIFT_DAYS = 14
+SEEDS = (41, 42, 43, 44, 45)
+
+
+def run_three_ways(seed: int):
+    # widen qubit-to-qubit spread so placement has something to exploit
+    device = QPUDevice(
+        seed=seed,
+        drift_config=DriftConfig(sens_2q=2.5e-2, sens_1q=3e-3, miscal_tau=6 * DAY),
+    )
+    stale_snapshot = device.calibration()
+    device.advance_time(DRIFT_DAYS * DAY)
+    # telemetry plane (Figure 3's DCDB box)
+    store = MetricStore()
+    DCDBCollector(store, [QPUMetricsPlugin(device)]).run_cycle(device.time)
+
+    program = ghz_circuit(SIZE)
+    outcomes = {}
+    compilers = {
+        "live_jit": JITCompiler(QPUQDMIDevice(device)),
+        "stale": JITCompiler(SnapshotQDMIDevice(stale_snapshot)),
+        "static": JITCompiler(QPUQDMIDevice(device), layout_method="trivial"),
+    }
+    for name, jit in compilers.items():
+        artifact = jit.compile(program)
+        result = device.execute(artifact.circuit, shots=SHOTS)
+        fid = result.counts.marginal(list(range(SIZE))).ghz_fidelity_estimate()
+        outcomes[name] = (fid, artifact.result.initial_layout)
+    return outcomes
+
+
+def test_fig3_telemetry_jit(benchmark):
+    all_runs = benchmark.pedantic(
+        lambda: [run_three_ways(s) for s in SEEDS], rounds=1, iterations=1
+    )
+    means = {k: 0.0 for k in ("live_jit", "stale", "static")}
+    lines = [f"{'seed':>6} {'live JIT':>9} {'stale':>9} {'static':>9}"]
+    for seed, outcomes in zip(SEEDS, all_runs):
+        lines.append(
+            f"{seed:>6} {outcomes['live_jit'][0]:>9.3f} "
+            f"{outcomes['stale'][0]:>9.3f} {outcomes['static'][0]:>9.3f}"
+        )
+        for k in means:
+            means[k] += outcomes[k][0] / len(SEEDS)
+    lines.append(
+        f"{'mean':>6} {means['live_jit']:>9.3f} {means['stale']:>9.3f} "
+        f"{means['static']:>9.3f}"
+    )
+    lines.append("")
+    lines.append(
+        "claim (Wilson et al., cited in Section 2.6): JIT transpilation "
+        "against live calibration data reduces noise — live ≥ stale ≥ static."
+    )
+    report("fig3_telemetry_jit", "\n".join(lines))
+    # the who-wins shape
+    assert means["live_jit"] > means["static"] + 0.01
+    assert means["live_jit"] >= means["stale"] - 0.005

@@ -1,0 +1,67 @@
+"""Section 2.2 — power consumption: QPU vs Cray EX4000 cabinet.
+
+Paper numbers: the 20-qubit system peaks at 30 kW during cooldown; a
+Cray EX4000 cabinet draws up to 141 kVA (~140 kW); the Cray EX cooling
+infrastructure supports 1.2 MW per four cabinets (~300 kW/cabinet).
+Conclusion: "existing HPC centers will have sufficient electrical power
+capacity for deploying superconducting quantum computers."
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.facility.power import (
+    HPCCabinetModel,
+    QPUPowerModel,
+    QPUPowerPhase,
+    fits_in_hpc_budget,
+    power_comparison,
+)
+from repro.utils.units import DAY, HOUR, KILOWATT
+
+
+def test_sec22_power_comparison(benchmark):
+    rows = benchmark.pedantic(power_comparison, rounds=1, iterations=1)
+    lines = [f"{'system':42s} {'power':>9s} {'× QPU peak':>11s}"]
+    for row in rows:
+        lines.append(
+            f"{row['system']:42s} {row['power_kw']:7.0f} kW {row['vs_qpu_peak']:>10.1f}×"
+        )
+    qpu, cabinet = QPUPowerModel(), HPCCabinetModel()
+    cooldown_energy = qpu.energy([(QPUPowerPhase.COOLDOWN, 3 * DAY)])
+    lines.append("")
+    lines.append(
+        f"3-day cooldown energy: {cooldown_energy / 3.6e6:.0f} kWh "
+        f"(≈ {cooldown_energy / (cabinet.real_power * 3 * DAY) * 100:.0f}% of what "
+        "one cabinet would draw over the same period)"
+    )
+    lines.append(f"fits inside one cabinet's power budget: {fits_in_hpc_budget()}")
+    report("sec22_power", "\n".join(lines))
+
+    by_system = {r["system"]: r for r in rows}
+    # paper's headline numbers
+    assert by_system["20-qubit QPU (cooldown peak)"]["power_kw"] == pytest.approx(30.0)
+    assert by_system["Cray EX4000 cabinet (max draw)"]["power_kw"] == pytest.approx(140.0)
+    assert by_system["Cray EX4000 cabinet (cooling envelope)"]["power_kw"] == pytest.approx(300.0)
+    # who wins: the QPU is a ~4.7× lighter load than one cabinet
+    assert by_system["Cray EX4000 cabinet (max draw)"]["vs_qpu_peak"] == pytest.approx(
+        4.67, abs=0.05
+    )
+    assert fits_in_hpc_budget()
+
+
+def test_sec22_heat_sinks(benchmark):
+    """The three sinks of Section 2.2: electrical, room air, cooling water."""
+    qpu = QPUPowerModel()
+
+    def split():
+        return {
+            phase: (qpu.heat_to_air(phase), qpu.heat_to_water(phase))
+            for phase in QPUPowerPhase
+        }
+
+    sinks = benchmark.pedantic(split, rounds=1, iterations=1)
+    air, water = sinks[QPUPowerPhase.STEADY]
+    # the cryogenic plant dominates the heat budget
+    assert water > air
+    assert air + water <= qpu.draw(QPUPowerPhase.STEADY)

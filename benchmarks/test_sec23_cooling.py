@@ -1,0 +1,61 @@
+"""Section 2.3 — cooling water and ambient-temperature stability.
+
+Paper numbers: HPC racks accept cooling water up to 45 °C; the cryostat
+needs 15–25 °C; ambient stability ΔT < 1 °C per 24 h keeps readout-chain
+phase delays (and hence calibration) stable — "a value that was
+achievable in practice".
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.facility.cooling import (
+    ReadoutPhaseModel,
+    ambient_stability_ok,
+    cooling_envelope_table,
+    readout_error_vs_ambient,
+)
+from repro.facility.sensors import SiteProfile, temperature
+from repro.utils.units import HOUR
+
+
+def test_sec23_cooling_envelopes(benchmark):
+    table = benchmark.pedantic(cooling_envelope_table, rounds=1, iterations=1)
+    lines = [f"{'loop':20s} {'supply':>8s} {'QPU ok':>7s} {'rack ok':>8s}"]
+    for row in table:
+        lines.append(
+            f"{row['loop']:20s} {row['supply_temp_c']:6.0f} °C "
+            f"{str(row['qpu_ok']):>7s} {str(row['hpc_rack_ok']):>8s}"
+        )
+    lines.append("")
+    rows2 = readout_error_vs_ambient()
+    lines.append(f"{'ΔT ambient':>11s} {'phase offset':>13s} {'added RO error':>15s}")
+    for r in rows2:
+        lines.append(
+            f"{r['delta_t_c']:>9.1f} °C {r['phase_offset_mrad']:>9.1f} mrad "
+            f"{r['added_readout_error']:>15.5f}"
+        )
+    report("sec23_cooling", "\n".join(lines))
+
+    by_loop = {r["loop"]: r for r in table}
+    # the Section 2.3 contrast: warm-water racks vs 15-25 °C cryostat loop
+    assert by_loop["warm-water loop"]["hpc_rack_ok"]
+    assert not by_loop["warm-water loop"]["qpu_ok"]
+    assert by_loop["chilled loop"]["qpu_ok"]
+    # inside the ΔT<1 °C limit the readout penalty is negligible,
+    # beyond it it grows quadratically
+    errors = {r["delta_t_c"]: r["added_readout_error"] for r in rows2}
+    assert errors[1.0] < 2e-3
+    assert errors[4.0] > 10 * errors[1.0]
+
+
+def test_sec23_site_hvac_meets_limit(benchmark):
+    """A survey-passing room's temperature trace satisfies ΔT < 1 °C/24 h."""
+    profile = SiteProfile("stable-room", temperature_stability=0.25)
+
+    def check():
+        trace = temperature(profile, 72 * HOUR, rng=3)
+        return ambient_stability_ok(trace.data, sample_period=60.0)
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,82 @@
+"""Section 2.4 — network bandwidth of quantum job output.
+
+Paper numbers: continuous measurement with a 300 µs passive reset, 20
+qubits, and an 8-bits-per-bit format gives
+
+    1/300 µs × 20 × 8 bit = 533 kbit/s,
+
+"well below the transmission rate offered by the 1 Gbit Ethernet
+connection"; scaling to 54 and 150 qubits "shows that the data rate
+grows linearly"; and "in practice, the control software has additional
+inefficiency … further reducing the network bandwidth needs."
+
+The bench reproduces the analytic table, the format comparison
+(bitstrings vs histogram vs raw IQ), and the *measured* rate from
+actually-executed jobs — which must land below the analytic bound.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.circuits import ghz_circuit
+from repro.facility.network import (
+    ETHERNET_LINK,
+    compare_formats,
+    continuous_data_rate,
+    measured_data_rate,
+    scaling_table,
+)
+from repro.transpiler import transpile
+
+
+def test_sec24_analytic_rates(benchmark):
+    rows = benchmark.pedantic(scaling_table, rounds=1, iterations=1)
+    lines = [f"{'qubits':>7s} {'data rate':>12s} {'of 1 GbE':>9s}"]
+    for r in rows:
+        lines.append(
+            f"{r['num_qubits']:>7.0f} {r['data_rate_kbit_s']:>8.0f} kb/s "
+            f"{r['link_utilization_pct']:>8.4f}%"
+        )
+    report("sec24_bandwidth_analytic", "\n".join(lines))
+
+    # the paper's headline: 533 kbit/s at 20 qubits
+    assert rows[0]["data_rate_kbit_s"] == pytest.approx(533.3, rel=1e-3)
+    # linear scaling
+    assert rows[1]["data_rate_kbit_s"] == pytest.approx(533.3 * 54 / 20, rel=1e-3)
+    assert rows[2]["data_rate_kbit_s"] == pytest.approx(533.3 * 150 / 20, rel=1e-3)
+    # everything far below the link
+    assert all(r["link_utilization_pct"] < 0.5 for r in rows)
+
+
+def test_sec24_measured_vs_analytic(benchmark, device20):
+    """Executed jobs: measured output bandwidth < continuous bound."""
+    qc = transpile(
+        ghz_circuit(20), device20.topology, snapshot=device20.calibration(),
+        layout_method="line",
+    ).circuit
+
+    def run_jobs():
+        return [device20.execute(qc, shots=512) for _ in range(3)]
+
+    results = benchmark.pedantic(run_jobs, rounds=1, iterations=1)
+    measured = measured_data_rate(results)
+    analytic = continuous_data_rate(20)
+    fmt = compare_formats(results[0])
+    lines = [
+        f"analytic continuous bound : {analytic / 1e3:8.1f} kbit/s",
+        f"measured from executed jobs: {measured / 1e3:8.1f} kbit/s "
+        f"({measured / analytic * 100:.0f}% of bound — control-software overhead)",
+        "",
+        "output formats for one 512-shot, 20-qubit job:",
+        f"  bitstrings (8 bit/bit): {fmt.bitstrings_bytes:8d} B",
+        f"  histogram             : {fmt.histogram_bytes:8d} B "
+        f"({fmt.histogram_saving:.1f}× smaller)",
+        f"  raw IQ (pulse-level)  : {fmt.raw_iq_bytes:8d} B",
+    ]
+    report("sec24_bandwidth_measured", "\n".join(lines))
+
+    assert 0 < measured < analytic
+    # GHZ output concentrates on few bitstrings → histograms compress
+    assert fmt.histogram_bytes < fmt.bitstrings_bytes
+    # raw IQ is the heavyweight format
+    assert fmt.raw_iq_bytes > fmt.bitstrings_bytes

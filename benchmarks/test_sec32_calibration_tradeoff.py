@@ -1,0 +1,87 @@
+"""Section 3.2 — quick (40 min) vs full (100 min) recalibration.
+
+Paper claim: "while quick recalibration offers faster turnaround times
+(40 minutes), it generally results in lower system performance, whereas
+the full recalibration procedure (100 minutes), though slower, yields
+optimal system performance."
+
+The bench drifts identically-seeded devices for several days, applies
+each procedure, and compares (a) the time spent and (b) the restored
+fidelity medians plus an executed GHZ health-check score.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.calibration import ghz_benchmark
+from repro.qpu import (
+    FULL_CALIBRATION_DURATION,
+    QUICK_CALIBRATION_DURATION,
+    QPUDevice,
+)
+from repro.utils.units import DAY, MINUTE
+
+DRIFT_DAYS = 6
+SEEDS = (11, 22, 33)
+
+
+def run_tradeoff(seed: int):
+    out = {}
+    for kind in ("none", "quick", "full"):
+        device = QPUDevice(seed=seed)
+        device.advance_time(DRIFT_DAYS * DAY)
+        duration = 0.0
+        if kind != "none":
+            duration = device.calibrate(kind)
+        snap = device.calibration()
+        health = ghz_benchmark(device, 5, shots=1500)
+        out[kind] = {
+            "duration_min": duration / MINUTE,
+            "prx": snap.median_prx_fidelity(),
+            "ro": snap.median_readout_fidelity(),
+            "cz": snap.median_cz_fidelity(),
+            "ghz5": health.score,
+        }
+    return out
+
+
+def test_sec32_calibration_tradeoff(benchmark):
+    runs = benchmark.pedantic(
+        lambda: [run_tradeoff(s) for s in SEEDS], rounds=1, iterations=1
+    )
+    mean = {
+        kind: {
+            key: sum(r[kind][key] for r in runs) / len(runs)
+            for key in runs[0][kind]
+        }
+        for kind in ("none", "quick", "full")
+    }
+    lines = [
+        f"{'procedure':>10s} {'duration':>9s} {'1q fid':>8s} {'readout':>8s} "
+        f"{'CZ fid':>8s} {'GHZ-5':>7s}"
+    ]
+    for kind in ("none", "quick", "full"):
+        m = mean[kind]
+        lines.append(
+            f"{kind:>10s} {m['duration_min']:>6.0f}min {m['prx']:>8.5f} "
+            f"{m['ro']:>8.4f} {m['cz']:>8.4f} {m['ghz5']:>7.3f}"
+        )
+    lines.append("")
+    lines.append(
+        "paper: quick = 40 min, lower performance; full = 100 min, optimal."
+    )
+    report("sec32_calibration_tradeoff", "\n".join(lines))
+
+    # the paper's exact durations
+    assert mean["quick"]["duration_min"] == pytest.approx(40.0)
+    assert mean["full"]["duration_min"] == pytest.approx(100.0)
+    assert FULL_CALIBRATION_DURATION / QUICK_CALIBRATION_DURATION == pytest.approx(2.5)
+    # both procedures beat doing nothing
+    assert mean["quick"]["cz"] > mean["none"]["cz"]
+    assert mean["full"]["cz"] > mean["none"]["cz"]
+    # quick restores 1q/readout to near-full levels…
+    assert mean["quick"]["prx"] == pytest.approx(mean["full"]["prx"], abs=3e-3)
+    assert mean["quick"]["ro"] == pytest.approx(mean["full"]["ro"], abs=1.5e-2)
+    # …but full yields the better two-qubit (and hence GHZ) performance
+    assert mean["full"]["cz"] > mean["quick"]["cz"]
+    assert mean["full"]["ghz5"] >= mean["quick"]["ghz5"] - 0.02

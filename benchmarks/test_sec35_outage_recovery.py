@@ -1,0 +1,83 @@
+"""Section 3.5 — recovering from outages.
+
+Paper numbers reproduced:
+
+* "it takes two minutes to exceed [1 K] after a fault in the cooling
+  system";
+* excursions below 1 K: "calibration can often be restored by the
+  automated calibration system" — hours, not days;
+* above 1 K: full recalibration plus "a process that can take from two
+  to five days" of cryostat cooldown;
+* "the vacuum integrity of the system is typically maintained during
+  outages for several weeks";
+* lesson 3: redundant power (UPS) and cooling water eliminate the
+  downtime entirely for utility-scale faults.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.facility import (
+    FacilityConfig,
+    OutageScenario,
+    OutageType,
+    simulate_outage,
+    warmup_temperature,
+)
+from repro.facility.cryostat import TIME_TO_EXCEED_1K, cooldown_duration
+from repro.utils.units import DAY, HOUR, MINUTE
+
+FAULTS = [60.0, 5 * MINUTE, 45 * MINUTE, 6 * HOUR, 2 * DAY]
+
+
+def sweep():
+    rows = []
+    for fault in FAULTS:
+        for label, config in (
+            ("redundant", FacilityConfig(ups_present=True, redundant_cooling=True)),
+            ("bare", FacilityConfig(ups_present=False, redundant_cooling=False)),
+        ):
+            rep = simulate_outage(
+                OutageScenario(OutageType.COOLING_WATER_OVERTEMP, fault), config
+            )
+            rows.append((fault, label, rep))
+    return rows
+
+
+def test_sec35_outage_recovery(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"{'fault':>10s} {'facility':>10s} {'peak T':>10s} {'cal ok':>7s} "
+        f"{'vacuum':>7s} {'downtime':>12s}"
+    ]
+    for fault, label, rep in rows:
+        lines.append(
+            f"{fault / MINUTE:>7.1f}min {label:>10s} {rep.peak_temperature:>8.3g} K "
+            f"{str(rep.calibration_survived):>7s} {str(rep.vacuum_intact):>7s} "
+            f"{rep.total_downtime / HOUR:>10.1f} h"
+        )
+    lines.append("")
+    lines.append(
+        f"warm-up physics: T(2 min) = {warmup_temperature(TIME_TO_EXCEED_1K):.2f} K; "
+        f"cooldown from 300 K = {cooldown_duration(300.0) / DAY:.1f} d, "
+        f"from 4 K = {cooldown_duration(4.0) / DAY:.1f} d"
+    )
+    report("sec35_outage_recovery", "\n".join(lines))
+
+    by_key = {(f, l): r for f, l, r in rows}
+    # redundancy absorbs every water fault
+    for fault in FAULTS:
+        assert by_key[(fault, "redundant")].total_downtime == 0.0
+    # 60 s bare fault: stays below 1 K (2-minute horizon) → hours of downtime
+    short = by_key[(60.0, "bare")]
+    assert short.calibration_survived
+    assert short.total_downtime < 6 * HOUR
+    # 45 min bare fault: above 1 K → full recal + multi-day cooldown
+    long = by_key[(45 * MINUTE, "bare")]
+    assert not long.calibration_survived
+    assert 2 * DAY < long.total_downtime < 6 * DAY
+    # even a 2-day outage leaves the vacuum intact (weeks of hold time)
+    assert by_key[(2 * DAY, "bare")].vacuum_intact
+    # downtime is monotone in fault duration for the bare facility
+    bare_downtimes = [by_key[(f, "bare")].total_downtime for f in FAULTS]
+    assert bare_downtimes == sorted(bare_downtimes)

@@ -1,0 +1,67 @@
+"""Table 1 — site-survey acceptance criteria, executed.
+
+Paper artifact: Table 1 lists the measurement equipment and acceptance
+limits for the six environmental quantities.  This bench runs the full
+survey on three candidate rooms (one viable, one tram-adjacent, one next
+to the chiller plant) and reproduces the table's limit column alongside
+measured values, then exercises the site-selection decision.
+
+Expected shape: the quiet basement passes all criteria; the other two
+fail on vibration/field criteria; exactly one site is selected.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.facility import SiteProfile, run_survey, select_site
+from repro.facility.site_survey import DeliveryPath
+from repro.utils.units import HOUR
+
+CANDIDATES = [
+    SiteProfile("basement-annex", tram_distance=800, hvac_intensity=0.4, basement=True),
+    SiteProfile("street-level-hall", tram_distance=20, road_traffic=2.0),
+    SiteProfile("machine-room-west", hvac_intensity=2.6, fluorescent_distance=1.2),
+]
+
+PATH = DeliveryPath({"dock": 2.4, "elevator": 1.1, "corridor": 1.0, "door": 0.95})
+
+
+def run_all_surveys():
+    return [
+        run_survey(p, rng=99, delivery_path=PATH, floor_load_capacity=1500.0)
+        for p in CANDIDATES
+    ]
+
+
+def test_table1_site_survey(benchmark):
+    reports = benchmark.pedantic(run_all_surveys, rounds=1, iterations=1)
+    lines = []
+    for rep in reports:
+        lines.append(rep.as_table())
+        lines.append("")
+    winner, notes = select_site(reports)
+    lines.extend(["Selection:"] + [f"  {n}" for n in notes])
+    report("table1_site_survey", "\n".join(lines))
+
+    # shape assertions: who passes, who fails, and why
+    by_site = {r.site: r for r in reports}
+    assert by_site["basement-annex"].passed
+    assert not by_site["street-level-hall"].passed
+    assert not by_site["machine-room-west"].passed
+    assert winner is not None and winner.site == "basement-annex"
+    failed_street = {r.measurement for r in by_site["street-level-hall"].failures()}
+    assert failed_street & {"Floor vibrations", "DC magnetic field"}
+
+
+def test_table1_minimum_duration_enforced(benchmark):
+    """The ≥ 25 h recording rule is part of Table 1's method column."""
+    from repro.errors import SiteSurveyError
+
+    def too_short():
+        try:
+            run_survey(CANDIDATES[0], duration=10 * HOUR, rng=1)
+            return False
+        except SiteSurveyError:
+            return True
+
+    assert benchmark.pedantic(too_short, rounds=1, iterations=1)

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Quickstart: submit a GHZ circuit through the full MQSS-style stack.
+
+Covers the minimal happy path of the integration:
+
+1. bring up the 20-qubit device model,
+2. wrap it in the QRM (second-level scheduler with JIT compilation),
+3. talk to it through the MQSS client — once via the low-latency HPC
+   path, once via the asynchronous REST path — and confirm both return
+   the same histogram shape (Figure 2's core promise).
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import MQSSClient, QPUDevice, QuantumResourceManager
+from repro.circuits import ghz_circuit
+
+
+def main() -> None:
+    device = QPUDevice(seed=7)
+    qrm = QuantumResourceManager(device)
+
+    print(f"device: {device}")
+    print(f"topology:\n{device.topology.ascii_art()}\n")
+
+    circuit = ghz_circuit(5)
+    print(f"submitting {circuit!r}")
+
+    hpc_client = MQSSClient(qrm, context="hpc")
+    record = hpc_client.run_detailed(circuit, shots=2048)
+    print(f"\n[HPC path] job {record.job_id} ran in {record.duration:.3f} s of QPU time")
+    top = sorted(record.counts.items(), key=lambda kv: -kv[1])[:4]
+    for bits, count in top:
+        print(f"  {bits}: {count}")
+    print(f"  GHZ fidelity estimate: {record.counts.ghz_fidelity_estimate():.3f}")
+
+    rest_client = MQSSClient(qrm, context="remote")
+    record2 = rest_client.run_detailed(circuit, shots=2048)
+    print(f"\n[REST path] job {record2.job_id} via JSON queue")
+    print(f"  GHZ fidelity estimate: {record2.counts.ghz_fidelity_estimate():.3f}")
+
+    tvd = record.counts.total_variation_distance(record2.counts)
+    print(f"\nboth paths agree: total variation distance = {tvd:.3f}")
+
+
+if __name__ == "__main__":
+    main()

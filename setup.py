@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs (``pip install -e . --no-use-pep517``)
+on environments whose setuptools lacks the PEP 660 wheel hooks."""
+
+from setuptools import setup
+
+setup()

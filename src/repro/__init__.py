@@ -1,0 +1,52 @@
+"""repro — an HPC+QC integration stack.
+
+A full-stack reproduction of *"First Practical Experiences Integrating
+Quantum Computers with HPC Resources: A Case Study With a 20-qubit
+Superconducting Quantum Computer"* (SFWM @ SC 2025).
+
+Layer map (bottom-up):
+
+========================  ====================================================
+:mod:`repro.circuits`     circuit IR, gate library, symbolic parameters
+:mod:`repro.simulator`    state-vector engine, noise channels, shot sampler
+:mod:`repro.qpu`          20-qubit device model: topology, drift, executor
+:mod:`repro.transpiler`   placement, routing, native PRX/CZ synthesis
+:mod:`repro.compiler`     MLIR-like multi-dialect compiler + QDMI-driven JIT
+:mod:`repro.qdmi`         device-management query interface
+:mod:`repro.telemetry`    DCDB-style metric store, plugins, health analytics
+:mod:`repro.calibration`  GHZ health checks, automated recalibration controller
+:mod:`repro.scheduler`    discrete events, Slurm-like cluster, QRM
+:mod:`repro.middleware`   MQSS client (REST + HPC paths), front-end adapters
+:mod:`repro.facility`     site survey, power, cooling, network, cryostat, outage
+:mod:`repro.ops`          146-day operations simulation, user onboarding
+:mod:`repro.hybrid`       VQE, QAOA, observables, optimizers
+========================  ====================================================
+
+Quickstart::
+
+    from repro import QPUDevice, QuantumResourceManager, MQSSClient
+    from repro.circuits import ghz_circuit
+
+    device = QPUDevice(seed=7)
+    client = MQSSClient(QuantumResourceManager(device), context="hpc")
+    counts = client.run(ghz_circuit(5), shots=1024)
+"""
+
+from repro.circuits import QuantumCircuit, ghz_circuit
+from repro.middleware import MQSSClient
+from repro.qpu import QPUDevice, Topology
+from repro.scheduler import QuantumResourceManager
+from repro.simulator import Counts
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QuantumCircuit",
+    "ghz_circuit",
+    "MQSSClient",
+    "QPUDevice",
+    "Topology",
+    "QuantumResourceManager",
+    "Counts",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Calibration: live benchmarks and the automated recalibration controller."""
+
+from repro.calibration.benchmarks import (
+    BenchmarkResult,
+    ghz_benchmark,
+    health_check_suite,
+    readout_benchmark,
+)
+from repro.calibration.controller import (
+    CalibrationController,
+    CalibrationEvent,
+    ControllerStats,
+)
+
+__all__ = [
+    "BenchmarkResult",
+    "ghz_benchmark",
+    "health_check_suite",
+    "readout_benchmark",
+    "CalibrationController",
+    "CalibrationEvent",
+    "ControllerStats",
+]

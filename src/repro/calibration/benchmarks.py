@@ -1,0 +1,140 @@
+"""Live algorithmic benchmarks: the system health checks.
+
+Section 3.2: "the setup regularly runs a suite of algorithmic benchmarks
+to check the system state.  Standardized algorithms such as GHZ state
+creations are regularly run on all qubits of the QPU or subsets of them.
+This provides a practical measure of the system's 'live' performance …
+Deviating results can be a sign that a recalibration is needed."
+
+Benchmarks here compile through the real transpiler (noise-aware chain
+selection) and execute on the device, so their scores respond to drift
+exactly the way the paper's health checks do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import QuantumCircuit, ghz_circuit
+from repro.errors import DeviceError
+from repro.qpu.device import QPUDevice
+from repro.transpiler.layout import best_ghz_chain
+from repro.transpiler.transpile import transpile
+
+
+@dataclass(frozen=True)
+class BenchmarkResult:
+    """One health-check outcome."""
+
+    name: str
+    score: float            # fidelity-like, 1.0 = perfect
+    shots: int
+    qubits: Tuple[int, ...]  # physical qubits exercised
+    duration: float          # seconds of QPU time consumed
+    details: Dict[str, float]
+
+
+def ghz_benchmark(
+    device: QPUDevice,
+    size: int,
+    *,
+    shots: int = 1024,
+    chain: Optional[Sequence[int]] = None,
+) -> BenchmarkResult:
+    """Prepare a *size*-qubit GHZ state on the current best chain and
+    score it by the population fidelity proxy ``p(0…0) + p(1…1)``.
+
+    With ``chain`` given, that exact physical path is used (the "all
+    qubits or subsets of them" sweep).
+    """
+    if size < 2:
+        raise DeviceError("GHZ benchmark needs at least 2 qubits")
+    snapshot = device.calibration()
+    if chain is None:
+        chain = best_ghz_chain(snapshot, size)
+    if len(chain) != size:
+        raise DeviceError(f"chain length {len(chain)} != size {size}")
+    logical = ghz_circuit(size, name=f"ghz{size}-health")
+    layout = {i: int(q) for i, q in enumerate(chain)}
+    result = transpile(
+        logical, device.topology, snapshot=snapshot, initial_layout=layout
+    )
+    job = device.execute(result.circuit, shots=shots)
+    marg = job.counts.marginal(list(range(size)))
+    score = marg.ghz_fidelity_estimate()
+    return BenchmarkResult(
+        name=f"ghz{size}",
+        score=score,
+        shots=shots,
+        qubits=tuple(int(q) for q in chain),
+        duration=job.duration,
+        details={
+            "p_all_zero": marg.probabilities().get("0" * size, 0.0),
+            "p_all_one": marg.probabilities().get("1" * size, 0.0),
+            "swap_count": float(result.swap_count),
+        },
+    )
+
+
+def readout_benchmark(
+    device: QPUDevice, *, shots: int = 512
+) -> BenchmarkResult:
+    """Prepare |0…0⟩ and |1…1⟩ and score mean assignment fidelity.
+
+    Runs two trivial circuits over all qubits; the score is the average
+    probability of reading every qubit correctly, an end-to-end readout
+    figure that includes state-preparation error.
+    """
+    n = device.topology.num_qubits
+    zeros = QuantumCircuit(n, name="readout-0")
+    zeros.measure_all()
+    ones = QuantumCircuit(n, name="readout-1")
+    for q in range(n):
+        ones.x(q)
+    ones.measure_all()
+    snapshot = device.calibration()
+    job0 = device.execute(
+        transpile(zeros, device.topology, snapshot=snapshot, layout_method="trivial").circuit,
+        shots=shots,
+    )
+    job1 = device.execute(
+        transpile(ones, device.topology, snapshot=snapshot, layout_method="trivial").circuit,
+        shots=shots,
+    )
+    # per-qubit correct-assignment rates
+    correct = 0.0
+    for q in range(n):
+        m0 = job0.counts.marginal([q])
+        m1 = job1.counts.marginal([q])
+        correct += 0.5 * (m0.probabilities().get("0", 0.0) + m1.probabilities().get("1", 0.0))
+    score = correct / n
+    return BenchmarkResult(
+        name="readout",
+        score=score,
+        shots=2 * shots,
+        qubits=tuple(range(n)),
+        duration=job0.duration + job1.duration,
+        details={"shots_per_state": float(shots)},
+    )
+
+
+def health_check_suite(
+    device: QPUDevice,
+    *,
+    ghz_sizes: Sequence[int] = (2, 5, 10),
+    shots: int = 768,
+) -> Dict[str, BenchmarkResult]:
+    """The periodic suite the monitoring loop runs: GHZ at several sizes
+    plus the readout check.  Returns results keyed by benchmark name."""
+    out: Dict[str, BenchmarkResult] = {}
+    for size in ghz_sizes:
+        if size <= device.topology.num_qubits:
+            res = ghz_benchmark(device, size, shots=shots)
+            out[res.name] = res
+    ro = readout_benchmark(device, shots=max(128, shots // 4))
+    out[ro.name] = ro
+    return out
+
+
+__all__ = ["BenchmarkResult", "ghz_benchmark", "readout_benchmark", "health_check_suite"]

@@ -1,0 +1,52 @@
+"""Circuit intermediate representation: gates, parameters, circuits, DAG."""
+
+from repro.circuits.circuit import (
+    Instruction,
+    QuantumCircuit,
+    bell_circuit,
+    ghz_circuit,
+    random_circuit,
+)
+from repro.circuits.dag import CircuitDag, layers
+from repro.circuits.gates import (
+    GATES,
+    NATIVE_GATES,
+    GateSpec,
+    is_native,
+    prx_matrix,
+    prx_pair_for_unitary,
+    prx_rz_for_unitary,
+    spec,
+)
+from repro.circuits.parameters import Parameter, ParameterExpression, make_binding
+from repro.circuits.serialize import (
+    circuit_from_dict,
+    circuit_from_json,
+    circuit_to_dict,
+    circuit_to_json,
+)
+
+__all__ = [
+    "Instruction",
+    "QuantumCircuit",
+    "bell_circuit",
+    "ghz_circuit",
+    "random_circuit",
+    "CircuitDag",
+    "layers",
+    "GATES",
+    "NATIVE_GATES",
+    "GateSpec",
+    "is_native",
+    "prx_matrix",
+    "prx_pair_for_unitary",
+    "prx_rz_for_unitary",
+    "spec",
+    "Parameter",
+    "ParameterExpression",
+    "make_binding",
+    "circuit_from_dict",
+    "circuit_from_json",
+    "circuit_to_dict",
+    "circuit_to_json",
+]

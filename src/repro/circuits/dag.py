@@ -1,0 +1,108 @@
+"""Dependency-DAG view of a circuit.
+
+The transpiler's routing pass and the executor's duration model both need
+the *partial order* of instructions rather than the flat list: two gates
+on disjoint qubits can run simultaneously.  :class:`CircuitDag` computes
+that order once; :func:`layers` converts it into ASAP execution layers,
+which is also how physical execution time is estimated (each layer's
+duration is the max of its member gate durations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+
+
+@dataclass
+class DagNode:
+    """One instruction plus its dependency edges (indices into the node list)."""
+
+    index: int
+    instruction: Instruction
+    predecessors: List[int] = field(default_factory=list)
+    successors: List[int] = field(default_factory=list)
+
+
+class CircuitDag:
+    """Qubit-wise dependency DAG of a :class:`QuantumCircuit`.
+
+    An edge ``a → b`` exists when instruction *b* uses a qubit whose most
+    recent prior user is *a*.  Barriers create edges from every prior
+    instruction on their operand qubits and to every later one.
+    """
+
+    def __init__(self, circuit: QuantumCircuit) -> None:
+        self.circuit = circuit
+        self.nodes: List[DagNode] = []
+        last_on_qubit: Dict[int, int] = {}
+        for idx, inst in enumerate(circuit):
+            node = DagNode(idx, inst)
+            preds: set[int] = set()
+            for q in inst.qubits:
+                if q in last_on_qubit:
+                    preds.add(last_on_qubit[q])
+            node.predecessors = sorted(preds)
+            for p in node.predecessors:
+                self.nodes[p].successors.append(idx)
+            self.nodes.append(node)
+            for q in inst.qubits:
+                last_on_qubit[q] = idx
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[DagNode]:
+        return iter(self.nodes)
+
+    def front_layer(self) -> List[DagNode]:
+        """Nodes with no predecessors (the routing pass's starting frontier)."""
+        return [n for n in self.nodes if not n.predecessors]
+
+    def topological_order(self) -> List[DagNode]:
+        """Nodes in a topological order (here: original program order,
+        which is always a valid linear extension)."""
+        return list(self.nodes)
+
+    def layers(self) -> List[List[DagNode]]:
+        """ASAP layering: each node goes to layer ``1 + max(pred layers)``."""
+        level: Dict[int, int] = {}
+        out: List[List[DagNode]] = []
+        for node in self.nodes:
+            lvl = 0
+            for p in node.predecessors:
+                lvl = max(lvl, level[p] + 1)
+            level[node.index] = lvl
+            while len(out) <= lvl:
+                out.append([])
+            out[lvl].append(node)
+        return out
+
+    def critical_path_length(self, duration_fn) -> float:
+        """Longest path weighted by ``duration_fn(instruction) -> seconds``.
+
+        This is the executor's estimate of wall-clock circuit duration
+        (barriers and virtual gates get zero weight from the callback).
+        """
+        finish: Dict[int, float] = {}
+        longest = 0.0
+        for node in self.nodes:
+            start = 0.0
+            for p in node.predecessors:
+                start = max(start, finish[p])
+            end = start + float(duration_fn(node.instruction))
+            finish[node.index] = end
+            longest = max(longest, end)
+        return longest
+
+
+def layers(circuit: QuantumCircuit) -> List[List[Instruction]]:
+    """Convenience: ASAP instruction layers of *circuit*."""
+    return [
+        [node.instruction for node in layer] for layer in CircuitDag(circuit).layers()
+    ]
+
+
+__all__ = ["CircuitDag", "DagNode", "layers"]

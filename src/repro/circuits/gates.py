@@ -1,0 +1,358 @@
+"""Gate library: names, arities, and unitary matrices.
+
+The library contains the common textbook gates plus the *native gate set*
+of the paper's 20-qubit transmon QPU:
+
+* ``prx(theta, phi)`` — the phased-RX rotation the control electronics
+  implement as a single microwave pulse,
+  ``PRX(θ, φ) = RZ(φ) · RX(θ) · RZ(−φ)``;
+* ``cz`` — the two-qubit controlled-Z mediated by a tunable coupler.
+
+Every other gate is expressible over {PRX, CZ}; the transpiler's
+decomposition pass (:mod:`repro.transpiler.decompose`) performs that
+rewrite, mirroring what the MQSS compiler does before hitting hardware.
+Z rotations are *virtual* on phased-RX hardware (a classical phase-frame
+update), which the synthesis helpers at the bottom of this module expose:
+:func:`prx_rz_for_unitary` factors any 1-qubit unitary into one physical
+PRX pulse plus a virtual RZ, and :func:`prx_pair_for_unitary` gives the
+all-physical two-pulse form.
+
+Matrices are returned in *little-endian* qubit order (qubit 0 is the
+least-significant bit of the basis-state index), the convention used by
+the state-vector engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GateError
+
+# ---------------------------------------------------------------------------
+# Gate matrix constructors
+# ---------------------------------------------------------------------------
+
+_SQ2 = 1.0 / math.sqrt(2.0)
+
+_ID = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+_H = np.array([[_SQ2, _SQ2], [_SQ2, -_SQ2]], dtype=complex)
+_S = np.array([[1, 0], [0, 1j]], dtype=complex)
+_SDG = np.array([[1, 0], [0, -1j]], dtype=complex)
+_T = np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=complex)
+_TDG = np.array([[1, 0], [0, np.exp(-1j * math.pi / 4)]], dtype=complex)
+_SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+
+
+def rx_matrix(theta: float) -> np.ndarray:
+    """Rotation about X: ``exp(-i θ X / 2)``."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def ry_matrix(theta: float) -> np.ndarray:
+    """Rotation about Y: ``exp(-i θ Y / 2)``."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz_matrix(phi: float) -> np.ndarray:
+    """Rotation about Z: ``exp(-i φ Z / 2)``."""
+    e = np.exp(-0.5j * phi)
+    return np.array([[e, 0], [0, np.conj(e)]], dtype=complex)
+
+
+def prx_matrix(theta: float, phi: float) -> np.ndarray:
+    """Phased-RX: rotation by *theta* about the axis ``cos φ X + sin φ Y``.
+
+    This is the native single-qubit gate of the paper's QPU; *phi* is
+    implemented in hardware as the microwave drive phase, which is why
+    RZ is "virtual" (free and error-less) on such devices.
+    """
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    em, ep = np.exp(-1j * phi), np.exp(1j * phi)
+    return np.array([[c, -1j * s * em], [-1j * s * ep, c]], dtype=complex)
+
+
+def u_matrix(theta: float, phi: float, lam: float) -> np.ndarray:
+    """Generic single-qubit unitary (OpenQASM ``U`` convention)."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def phase_matrix(lam: float) -> np.ndarray:
+    """Diagonal phase gate ``diag(1, e^{iλ})``."""
+    return np.array([[1, 0], [0, np.exp(1j * lam)]], dtype=complex)
+
+
+# two-qubit matrices, little-endian: basis index = q1 * 2 + q0 where
+# (q0, q1) are the (first, second) operands of the gate.
+_CZ = np.diag([1, 1, 1, -1]).astype(complex)
+_SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+_ISWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+
+
+def cx_matrix() -> np.ndarray:
+    """CNOT with operand 0 as control, operand 1 as target (little-endian)."""
+    m = np.zeros((4, 4), dtype=complex)
+    for control in (0, 1):
+        for target in (0, 1):
+            src = target * 2 + control
+            dst = (target ^ control) * 2 + control
+            m[dst, src] = 1.0
+    return m
+
+
+def cphase_matrix(lam: float) -> np.ndarray:
+    """Controlled-phase ``diag(1, 1, 1, e^{iλ})``; symmetric in operands."""
+    return np.diag([1, 1, 1, np.exp(1j * lam)]).astype(complex)
+
+
+def rzz_matrix(theta: float) -> np.ndarray:
+    """Two-qubit ZZ interaction ``exp(-i θ Z⊗Z / 2)``."""
+    e = np.exp(-0.5j * theta)
+    return np.diag([e, np.conj(e), np.conj(e), e]).astype(complex)
+
+
+# ---------------------------------------------------------------------------
+# Gate specification registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of a gate type.
+
+    Attributes
+    ----------
+    name:
+        Canonical lower-case mnemonic.
+    num_qubits:
+        Operand arity (1 or 2 for unitary gates in this library).
+    num_params:
+        Number of angle parameters.
+    matrix_fn:
+        Callable producing the unitary from numeric parameters; ``None``
+        for non-unitary directives (measure / reset / barrier / delay).
+    hermitian:
+        Whether the gate is its own inverse (parameter-free gates only).
+    symmetric:
+        For two-qubit gates: invariant under operand exchange (CZ, SWAP).
+    directive:
+        Non-unitary instruction (measurement, reset, barrier, delay).
+    """
+
+    name: str
+    num_qubits: int
+    num_params: int
+    matrix_fn: Optional[Callable[..., np.ndarray]] = None
+    hermitian: bool = False
+    symmetric: bool = False
+    directive: bool = False
+
+    def matrix(self, params: Sequence[float] = ()) -> np.ndarray:
+        """Unitary matrix for the given numeric *params*."""
+        if self.matrix_fn is None:
+            raise GateError(f"gate {self.name!r} has no unitary matrix")
+        if len(params) != self.num_params:
+            raise GateError(
+                f"gate {self.name!r} takes {self.num_params} parameters, "
+                f"got {len(params)}"
+            )
+        return self.matrix_fn(*[float(p) for p in params])
+
+
+GATES: Dict[str, GateSpec] = {}
+
+
+def _register(spec_: GateSpec) -> GateSpec:
+    GATES[spec_.name] = spec_
+    return spec_
+
+
+# unitary gates -------------------------------------------------------------
+I = _register(GateSpec("id", 1, 0, lambda: _ID, hermitian=True))
+X = _register(GateSpec("x", 1, 0, lambda: _X, hermitian=True))
+Y = _register(GateSpec("y", 1, 0, lambda: _Y, hermitian=True))
+Z = _register(GateSpec("z", 1, 0, lambda: _Z, hermitian=True))
+H = _register(GateSpec("h", 1, 0, lambda: _H, hermitian=True))
+S = _register(GateSpec("s", 1, 0, lambda: _S))
+SDG = _register(GateSpec("sdg", 1, 0, lambda: _SDG))
+T = _register(GateSpec("t", 1, 0, lambda: _T))
+TDG = _register(GateSpec("tdg", 1, 0, lambda: _TDG))
+SX = _register(GateSpec("sx", 1, 0, lambda: _SX))
+RX = _register(GateSpec("rx", 1, 1, rx_matrix))
+RY = _register(GateSpec("ry", 1, 1, ry_matrix))
+RZ = _register(GateSpec("rz", 1, 1, rz_matrix))
+PRX = _register(GateSpec("prx", 1, 2, prx_matrix))
+U = _register(GateSpec("u", 1, 3, u_matrix))
+P = _register(GateSpec("p", 1, 1, phase_matrix))
+CZ = _register(GateSpec("cz", 2, 0, lambda: _CZ, hermitian=True, symmetric=True))
+CX = _register(GateSpec("cx", 2, 0, cx_matrix, hermitian=True))
+SWAP = _register(GateSpec("swap", 2, 0, lambda: _SWAP, hermitian=True, symmetric=True))
+ISWAP = _register(GateSpec("iswap", 2, 0, lambda: _ISWAP, symmetric=True))
+CPHASE = _register(GateSpec("cp", 2, 1, cphase_matrix, symmetric=True))
+RZZ = _register(GateSpec("rzz", 2, 1, rzz_matrix, symmetric=True))
+
+# directives ----------------------------------------------------------------
+MEASURE = _register(GateSpec("measure", 1, 0, directive=True))
+RESET = _register(GateSpec("reset", 1, 0, directive=True))
+BARRIER = _register(GateSpec("barrier", 0, 0, directive=True))
+DELAY = _register(GateSpec("delay", 1, 1, directive=True))
+
+#: The native gate set of the paper's 20-qubit QPU.  ``rz`` is included as
+#: a *virtual* gate: zero duration and zero error, applied as a frame
+#: update by the control electronics.
+NATIVE_GATES: frozenset = frozenset(
+    {"prx", "cz", "rz", "measure", "barrier", "reset", "delay"}
+)
+
+#: Gates with nonzero physical duration / error on the modeled QPU.
+PHYSICAL_NATIVE_GATES: frozenset = frozenset({"prx", "cz", "measure", "reset"})
+
+
+def spec(name: str) -> GateSpec:
+    """Look up a gate spec by mnemonic, raising :class:`GateError` if absent."""
+    try:
+        return GATES[name]
+    except KeyError:
+        raise GateError(f"unknown gate {name!r}") from None
+
+
+def is_native(name: str) -> bool:
+    """Whether *name* is accepted directly by the modeled QPU."""
+    return name in NATIVE_GATES
+
+
+# ---------------------------------------------------------------------------
+# Single-qubit synthesis over the native gate set
+# ---------------------------------------------------------------------------
+
+
+def _to_su2(matrix: np.ndarray) -> np.ndarray:
+    """Strip global phase so that ``det == 1``."""
+    if matrix.shape != (2, 2):
+        raise GateError("expected a 2x2 matrix")
+    det = complex(np.linalg.det(matrix))
+    if abs(det) < 1e-12:
+        raise GateError("matrix is singular, not a unitary")
+    return matrix / np.sqrt(det)
+
+
+def zxz_angles(su: np.ndarray) -> Tuple[float, float, float]:
+    """ZXZ Euler angles ``(b, g, d)`` with ``su = RZ(b) · RX(g) · RZ(d)``.
+
+    Valid for any ``su`` in SU(2); at the ``g ∈ {0, π}`` poles the split
+    between ``b`` and ``d`` is gauge-fixed by setting ``d = 0``.
+    """
+    a00, a10 = complex(su[0, 0]), complex(su[1, 0])
+    g = 2.0 * math.atan2(abs(a10), abs(a00))
+    if abs(a10) < 1e-12:  # diagonal: pure RZ
+        return -2.0 * float(np.angle(a00)), 0.0, 0.0
+    if abs(a00) < 1e-12:  # anti-diagonal: RX(π)-like
+        return 2.0 * float(np.angle(a10)) + math.pi, math.pi, 0.0
+    # su00 = cos(g/2) e^{-i(b+d)/2};  su10 = -i sin(g/2) e^{i(b-d)/2}
+    b = float(np.angle(a10)) - float(np.angle(a00)) + math.pi / 2.0
+    d = -(float(np.angle(a10)) + float(np.angle(a00)) + math.pi / 2.0)
+    return b, g, d
+
+
+def prx_rz_for_unitary(matrix: np.ndarray) -> Tuple[List[Tuple[float, float]], float]:
+    """Factor a 1-qubit unitary as ``RZ(tau) · PRX(theta, phi)``.
+
+    Returns ``(pulses, tau)`` where *pulses* is a list of zero or one
+    ``(theta, phi)`` pairs: the physical pulse train (earliest first), and
+    *tau* the residual virtual-Z angle applied **after** the pulses.  The
+    identity holds up to global phase::
+
+        U ≐ RZ(tau) · PRX(theta, phi)
+
+    This is the hardware-faithful form: on phased-RX devices the compiler
+    tracks ``tau`` classically and folds it into the phases of subsequent
+    pulses (see :mod:`repro.transpiler.decompose`).
+    """
+    su = _to_su2(matrix)
+    b, g, d = zxz_angles(su)
+    # RZ(b) RX(g) RZ(d) = RZ(b+d) · [RZ(-d) RX(g) RZ(d)] = RZ(b+d) · PRX(g, -d)
+    tau = math.remainder(b + d, 2.0 * math.pi)
+    if abs(g) < 1e-12:
+        return [], tau
+    return [(g, -d)], tau
+
+
+def prx_pair_for_unitary(matrix: np.ndarray) -> List[Tuple[float, float]]:
+    """Synthesize a 1-qubit unitary as at most two physical PRX pulses.
+
+    Returns ``(theta, phi)`` pairs, earliest pulse first, whose ordered
+    product ``PRX(t2, p2) · PRX(t1, p1)`` equals *matrix* up to global
+    phase.  Derivation: with the second pulse pinned at ``theta2 = π``,
+
+    ``PRX(π, p2) · PRX(t1, p1) =
+        [[-sin(t1/2)·e^{i(p1-p2)},  -i cos(t1/2)·e^{-i p2}],
+         [-i cos(t1/2)·e^{i p2},    -sin(t1/2)·e^{-i(p1-p2)}]]``
+
+    which matching against ``su = [[a, b], [-conj(b), conj(a)]]`` solves in
+    closed form.  Used when a backend demands all-physical pulses (e.g.
+    pulse-level access, Section 4 of the paper); the default compile path
+    prefers :func:`prx_rz_for_unitary` which emits half as many pulses.
+    """
+    su = _to_su2(matrix)
+    a, b = complex(su[0, 0]), complex(su[0, 1])
+    if abs(b) < 1e-12:
+        # Diagonal: pure virtual-Z content. su = RZ(sigma).
+        sigma = 2.0 * float(np.angle(su[1, 1]))
+        sigma = math.remainder(sigma, 2.0 * math.pi)
+        if abs(sigma) < 1e-12:
+            return []
+        # RZ(σ) ≐ PRX(π, σ/2 + π/2) · PRX(π, π/2)
+        return [(math.pi, math.pi / 2.0), (math.pi, sigma / 2.0 + math.pi / 2.0)]
+    if abs(a) < 1e-12:
+        # Anti-diagonal: a single π pulse suffices.
+        # PRX(π, φ) = -i [[0, e^{-iφ}], [e^{iφ}, 0]];  su = [[0, b], [-conj(b), 0]]
+        # match -i e^{iφ} = -conj(b) → φ = angle(-conj(b)) + π/2
+        phi = float(np.angle(-np.conj(b))) + math.pi / 2.0
+        return [(math.pi, phi)]
+    # General case: t1 from |a| = sin(t1/2); phases from the two angle
+    # equations  angle(a) = (p1 - p2) + π  and  angle(b) = -p2 - π/2.
+    t1 = 2.0 * math.asin(min(1.0, abs(a)))
+    p2 = -float(np.angle(b)) - math.pi / 2.0
+    p1 = float(np.angle(a)) + math.pi + p2
+    return [(t1, math.remainder(p1, 2 * math.pi)), (math.pi, math.remainder(p2, 2 * math.pi))]
+
+
+__all__ = [
+    "GateSpec",
+    "GATES",
+    "NATIVE_GATES",
+    "PHYSICAL_NATIVE_GATES",
+    "spec",
+    "is_native",
+    "rx_matrix",
+    "ry_matrix",
+    "rz_matrix",
+    "prx_matrix",
+    "u_matrix",
+    "phase_matrix",
+    "cx_matrix",
+    "cphase_matrix",
+    "rzz_matrix",
+    "zxz_angles",
+    "prx_rz_for_unitary",
+    "prx_pair_for_unitary",
+]

@@ -1,0 +1,236 @@
+"""Symbolic circuit parameters for variational workloads.
+
+Hybrid algorithms (VQE, QAOA — the tightly-coupled workloads Section 2.6
+of the paper motivates) re-execute the *same* circuit with different
+numeric angles every optimizer iteration.  Re-building and re-transpiling
+the circuit each time would dominate the loop, so circuits may carry
+:class:`Parameter` placeholders and affine expressions over them
+(:class:`ParameterExpression`); binding produces a numeric circuit while
+the transpiled structure is reused.
+
+Only affine expressions (``a * p + b`` and sums thereof) are supported:
+that is all VQE/QAOA ansätze need, and it keeps binding a vectorizable
+dot product instead of a symbolic-algebra dependency.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Mapping, Union
+
+from repro.errors import ParameterError
+
+_counter = itertools.count()
+
+
+class ParameterExpression:
+    """An affine combination ``sum_i coeff_i * param_i + offset``.
+
+    Immutable.  Supports ``+``, ``-``, ``*`` (by scalars), and unary
+    negation.  Use :meth:`bind` to substitute numeric values.
+    """
+
+    __slots__ = ("_terms", "_offset")
+
+    def __init__(self, terms: Mapping["Parameter", float], offset: float = 0.0):
+        self._terms: Dict[Parameter, float] = {
+            p: float(c) for p, c in terms.items() if c != 0.0
+        }
+        self._offset = float(offset)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def parameters(self) -> frozenset["Parameter"]:
+        """The free parameters appearing with non-zero coefficient."""
+        return frozenset(self._terms)
+
+    @property
+    def offset(self) -> float:
+        return self._offset
+
+    def coefficient(self, param: "Parameter") -> float:
+        """Coefficient of *param* (0 if absent)."""
+        return self._terms.get(param, 0.0)
+
+    def is_numeric(self) -> bool:
+        return not self._terms
+
+    # -- evaluation ---------------------------------------------------------
+
+    def bind(self, values: Mapping["Parameter", float]) -> Union["ParameterExpression", float]:
+        """Substitute the given numeric *values*.
+
+        Returns a ``float`` when all parameters are bound, otherwise a new
+        partially-bound expression.
+        """
+        remaining: Dict[Parameter, float] = {}
+        offset = self._offset
+        for param, coeff in self._terms.items():
+            if param in values:
+                offset += coeff * float(values[param])
+            else:
+                remaining[param] = coeff
+        if remaining:
+            return ParameterExpression(remaining, offset)
+        return offset
+
+    def numeric(self) -> float:
+        """The value of a fully-bound expression.
+
+        Raises :class:`ParameterError` if free parameters remain.
+        """
+        if self._terms:
+            names = sorted(p.name for p in self._terms)
+            raise ParameterError(f"expression still has free parameters: {names}")
+        return self._offset
+
+    # -- arithmetic ---------------------------------------------------------
+
+    @staticmethod
+    def _coerce(other: object) -> "ParameterExpression":
+        if isinstance(other, ParameterExpression):
+            return other
+        if isinstance(other, Parameter):
+            return ParameterExpression({other: 1.0})
+        if isinstance(other, (int, float)):
+            return ParameterExpression({}, float(other))
+        raise TypeError(f"cannot combine ParameterExpression with {type(other).__name__}")
+
+    def __add__(self, other: object) -> "ParameterExpression":
+        rhs = self._coerce(other)
+        terms = dict(self._terms)
+        for p, c in rhs._terms.items():
+            terms[p] = terms.get(p, 0.0) + c
+        return ParameterExpression(terms, self._offset + rhs._offset)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "ParameterExpression":
+        return ParameterExpression(
+            {p: -c for p, c in self._terms.items()}, -self._offset
+        )
+
+    def __sub__(self, other: object) -> "ParameterExpression":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other: object) -> "ParameterExpression":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, scalar: object) -> "ParameterExpression":
+        if not isinstance(scalar, (int, float)):
+            raise TypeError("ParameterExpression only supports scalar multiplication")
+        s = float(scalar)
+        return ParameterExpression(
+            {p: c * s for p, c in self._terms.items()}, self._offset * s
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: object) -> "ParameterExpression":
+        if not isinstance(scalar, (int, float)):
+            raise TypeError("ParameterExpression only supports scalar division")
+        return self * (1.0 / float(scalar))
+
+    # -- identity -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, float)):
+            return self.is_numeric() and self._offset == float(other)
+        if isinstance(other, Parameter):
+            other = ParameterExpression({other: 1.0})
+        if not isinstance(other, ParameterExpression):
+            return NotImplemented
+        return self._terms == other._terms and self._offset == other._offset
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._terms.items()), self._offset))
+
+    def __repr__(self) -> str:
+        parts = [
+            (f"{c:g}*{p.name}" if c != 1.0 else p.name)
+            for p, c in sorted(self._terms.items(), key=lambda t: t[0].name)
+        ]
+        if self._offset or not parts:
+            parts.append(f"{self._offset:g}")
+        return " + ".join(parts).replace("+ -", "- ")
+
+
+class Parameter(ParameterExpression):
+    """A named free parameter.
+
+    Two parameters with the same name are *distinct* (identity is a
+    fresh UUID-like counter), mirroring qiskit semantics and preventing
+    accidental capture across independently-built circuits.
+    """
+
+    __slots__ = ("_name", "_uid")
+
+    def __init__(self, name: str):
+        self._name = str(name)
+        self._uid = next(_counter)
+        super().__init__({self: 1.0})
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Parameter):
+            return self._uid == other._uid
+        return super().__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(("Parameter", self._uid))
+
+    def __repr__(self) -> str:
+        return f"Parameter({self._name!r})"
+
+
+ParameterValue = Union[float, int, Parameter, ParameterExpression]
+"""Anything accepted as a gate angle."""
+
+
+def parameters_of(value: ParameterValue) -> frozenset[Parameter]:
+    """Free parameters of *value* (empty for numerics)."""
+    if isinstance(value, ParameterExpression):
+        return value.parameters
+    return frozenset()
+
+
+def bind_value(value: ParameterValue, binding: Mapping[Parameter, float]) -> ParameterValue:
+    """Bind *binding* into *value*, returning a float when fully bound."""
+    if isinstance(value, ParameterExpression):
+        return value.bind(binding)
+    return float(value)
+
+
+def numeric_value(value: ParameterValue) -> float:
+    """Extract the numeric value, raising if parameters remain free."""
+    if isinstance(value, ParameterExpression):
+        return value.numeric()
+    return float(value)
+
+
+def make_binding(
+    params: Iterable[Parameter], values: Iterable[float]
+) -> Dict[Parameter, float]:
+    """Zip parameters and values into a binding dict, checking lengths."""
+    params = list(params)
+    values = list(values)
+    if len(params) != len(values):
+        raise ParameterError(
+            f"got {len(values)} values for {len(params)} parameters"
+        )
+    return {p: float(v) for p, v in zip(params, values)}
+
+
+__all__ = [
+    "Parameter",
+    "ParameterExpression",
+    "ParameterValue",
+    "parameters_of",
+    "bind_value",
+    "numeric_value",
+    "make_binding",
+]

@@ -1,0 +1,110 @@
+"""JSON-dict circuit serialization.
+
+The REST access path (Section 2.6's asynchronous mode) ships circuits
+over the wire; this module defines the canonical payload format.  Only
+fully-bound circuits serialize — the remote queue executes concrete jobs,
+parameter sweeps are a client-side concern.
+
+The format is versioned so stored job histories (Section 4's dashboards
+with "large job histories") survive library upgrades.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.parameters import parameters_of
+from repro.errors import CircuitError, SerializationError
+
+FORMAT_VERSION = 1
+
+
+def circuit_to_dict(circuit: QuantumCircuit) -> Dict[str, Any]:
+    """Serialize *circuit* to a JSON-compatible dict.
+
+    Raises :class:`SerializationError` when symbolic parameters remain
+    unbound.
+    """
+    ops = []
+    for inst in circuit:
+        if inst.free_parameters:
+            names = sorted(p.name for p in inst.free_parameters)
+            raise SerializationError(
+                f"cannot serialize unbound parameters {names} in {inst!r}; "
+                "bind the circuit first"
+            )
+        ops.append(
+            {
+                "name": inst.name,
+                "qubits": list(inst.qubits),
+                "params": [float(p) for p in inst.params],  # type: ignore[arg-type]
+                "clbits": list(inst.clbits),
+            }
+        )
+    return {
+        "version": FORMAT_VERSION,
+        "name": circuit.name,
+        "num_qubits": circuit.num_qubits,
+        "num_clbits": circuit.num_clbits,
+        "instructions": ops,
+        "metadata": dict(circuit.metadata),
+    }
+
+
+def circuit_from_dict(payload: Dict[str, Any]) -> QuantumCircuit:
+    """Inverse of :func:`circuit_to_dict`; validates structure and version."""
+    try:
+        version = payload["version"]
+        if version != FORMAT_VERSION:
+            raise SerializationError(
+                f"unsupported circuit format version {version!r} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        qc = QuantumCircuit(
+            int(payload["num_qubits"]),
+            int(payload["num_clbits"]),
+            str(payload.get("name", "circuit")),
+        )
+        qc.metadata = dict(payload.get("metadata", {}))
+        for op in payload["instructions"]:
+            if op["name"] == "barrier":
+                qc.barrier(*op["qubits"])
+            else:
+                qc.append(
+                    str(op["name"]),
+                    [int(q) for q in op["qubits"]],
+                    [float(p) for p in op.get("params", [])],
+                    [int(c) for c in op.get("clbits", [])],
+                )
+        return qc
+    except SerializationError:
+        raise
+    except (KeyError, TypeError, ValueError, IndexError, CircuitError) as exc:
+        raise SerializationError(f"malformed circuit payload: {exc}") from exc
+
+
+def circuit_to_json(circuit: QuantumCircuit, **json_kwargs: Any) -> str:
+    """Serialize to a JSON string (the REST wire format)."""
+    return json.dumps(circuit_to_dict(circuit), **json_kwargs)
+
+
+def circuit_from_json(text: str) -> QuantumCircuit:
+    """Parse a circuit from its JSON wire format."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise SerializationError("circuit payload must be a JSON object")
+    return circuit_from_dict(payload)
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "circuit_to_dict",
+    "circuit_from_dict",
+    "circuit_to_json",
+    "circuit_from_json",
+]

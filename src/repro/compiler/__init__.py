@@ -1,0 +1,41 @@
+"""MQSS-style multi-dialect compiler: IR, dialects, lowering, JIT."""
+
+from repro.compiler.dialects import (
+    CATALYST,
+    CATALYST_GATES,
+    QIR,
+    QUAKE,
+    QUAKE_GATES,
+    CatalystKernel,
+    QuakeKernel,
+)
+from repro.compiler.ir import Builder, Module, Operation, Value, verify_module
+from repro.compiler.jit import CompiledProgram, JITCompiler, Program
+from repro.compiler.lowering import (
+    circuit_to_qir,
+    lower_to_qir,
+    qir_to_circuit,
+    register_dialect_conversion,
+)
+
+__all__ = [
+    "CATALYST",
+    "CATALYST_GATES",
+    "QIR",
+    "QUAKE",
+    "QUAKE_GATES",
+    "CatalystKernel",
+    "QuakeKernel",
+    "Builder",
+    "Module",
+    "Operation",
+    "Value",
+    "verify_module",
+    "CompiledProgram",
+    "JITCompiler",
+    "Program",
+    "circuit_to_qir",
+    "lower_to_qir",
+    "qir_to_circuit",
+    "register_dialect_conversion",
+]

@@ -1,0 +1,198 @@
+"""Front-end dialects: quake-like and catalyst-like kernel builders.
+
+The paper's compiler supports "multiple dialects, including NVIDIA's
+Quake and Xanadu's Catalyst".  We model two dialects with genuinely
+different surface conventions:
+
+* **quake** (CUDA-Q-like): one op per named gate (``quake.h``,
+  ``quake.rx``), controlled gates via a ``controls`` operand prefix,
+  measurement ``quake.mz``;
+* **catalyst** (Pennylane-like): a single ``catalyst.custom`` op whose
+  gate is an attribute (``gate = "Hadamard"``), matching how Catalyst
+  encodes ``quantum.custom "PauliX"``.
+
+Both dialects allocate qubits from a register (``alloca`` / ``alloc``)
+and get lowered by :mod:`repro.compiler.lowering` into the shared
+QIR-like dialect.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.ir import Builder, Module, Value
+from repro.errors import DialectError
+
+QUAKE = "quake"
+CATALYST = "catalyst"
+QIR = "qir"
+
+#: quake gate ops and their arities: name → (num_qubits, num_params)
+QUAKE_GATES: Dict[str, Tuple[int, int]] = {
+    "h": (1, 0),
+    "x": (1, 0),
+    "y": (1, 0),
+    "z": (1, 0),
+    "s": (1, 0),
+    "t": (1, 0),
+    "rx": (1, 1),
+    "ry": (1, 1),
+    "rz": (1, 1),
+    "r1": (1, 1),  # phase gate in quake parlance
+    "swap": (2, 0),
+}
+
+#: catalyst "custom" gate names → (our gate mnemonic, num_qubits, num_params)
+CATALYST_GATES: Dict[str, Tuple[str, int, int]] = {
+    "Hadamard": ("h", 1, 0),
+    "PauliX": ("x", 1, 0),
+    "PauliY": ("y", 1, 0),
+    "PauliZ": ("z", 1, 0),
+    "S": ("s", 1, 0),
+    "T": ("t", 1, 0),
+    "RX": ("rx", 1, 1),
+    "RY": ("ry", 1, 1),
+    "RZ": ("rz", 1, 1),
+    "PhaseShift": ("p", 1, 1),
+    "CNOT": ("cx", 2, 0),
+    "CZ": ("cz", 2, 0),
+    "SWAP": ("swap", 2, 0),
+    "IsingZZ": ("rzz", 2, 1),
+    "ControlledPhaseShift": ("cp", 2, 1),
+}
+
+
+class QuakeKernel:
+    """Builder for quake-dialect kernels.
+
+    >>> k = QuakeKernel(3)
+    >>> k.h(0); k.cx(0, 1); k.cx(1, 2); k.mz()
+    >>> module = k.module
+    """
+
+    def __init__(self, num_qubits: int, name: str = "kernel") -> None:
+        if num_qubits < 1:
+            raise DialectError("kernel needs at least one qubit")
+        self.module = Module(name)
+        self._b = Builder(self.module, QUAKE)
+        (self.register,) = self._b.emit(
+            "alloca", result_types=["qubit"], size=int(num_qubits)
+        )
+        self.num_qubits = int(num_qubits)
+        self._qubits: List[Value] = []
+        for q in range(num_qubits):
+            (v,) = self._b.emit(
+                "extract_ref", [self.register], result_types=["qubit"], index=q
+            )
+            self._qubits.append(v)
+
+    def _q(self, index: int) -> Value:
+        try:
+            return self._qubits[index]
+        except IndexError:
+            raise DialectError(f"qubit {index} out of range") from None
+
+    def gate(self, name: str, qubits: Sequence[int], params: Sequence[float] = ()) -> "QuakeKernel":
+        if name not in QUAKE_GATES:
+            raise DialectError(f"quake has no gate {name!r}")
+        nq, np_ = QUAKE_GATES[name]
+        if len(qubits) != nq or len(params) != np_:
+            raise DialectError(
+                f"quake.{name} takes {nq} qubits / {np_} params, "
+                f"got {len(qubits)} / {len(params)}"
+            )
+        self._b.emit(
+            name, [self._q(q) for q in qubits], params=tuple(float(p) for p in params)
+        )
+        return self
+
+    # sugar ------------------------------------------------------------------
+    def h(self, q: int) -> "QuakeKernel":
+        return self.gate("h", [q])
+
+    def x(self, q: int) -> "QuakeKernel":
+        return self.gate("x", [q])
+
+    def rx(self, theta: float, q: int) -> "QuakeKernel":
+        return self.gate("rx", [q], [theta])
+
+    def ry(self, theta: float, q: int) -> "QuakeKernel":
+        return self.gate("ry", [q], [theta])
+
+    def rz(self, theta: float, q: int) -> "QuakeKernel":
+        return self.gate("rz", [q], [theta])
+
+    def cx(self, control: int, target: int) -> "QuakeKernel":
+        """Controlled-X: quake spells this ``quake.x [ctrl] tgt``."""
+        self._b.emit("x", [self._q(control), self._q(target)], num_controls=1)
+        return self
+
+    def cz(self, control: int, target: int) -> "QuakeKernel":
+        self._b.emit("z", [self._q(control), self._q(target)], num_controls=1)
+        return self
+
+    def swap(self, a: int, b: int) -> "QuakeKernel":
+        return self.gate("swap", [a, b])
+
+    def mz(self, qubits: Optional[Sequence[int]] = None) -> "QuakeKernel":
+        """Measure listed qubits (default: all) in the Z basis."""
+        qs = list(range(self.num_qubits)) if qubits is None else list(qubits)
+        for q in qs:
+            self._b.emit("mz", [self._q(q)], result_types=["bit"], clbit=q)
+        return self
+
+
+class CatalystKernel:
+    """Builder for catalyst-dialect kernels (Pennylane-style names)."""
+
+    def __init__(self, num_qubits: int, name: str = "circuit") -> None:
+        if num_qubits < 1:
+            raise DialectError("kernel needs at least one qubit")
+        self.module = Module(name)
+        self._b = Builder(self.module, CATALYST)
+        (self.register,) = self._b.emit(
+            "alloc", result_types=["qubit"], num_qubits=int(num_qubits)
+        )
+        self.num_qubits = int(num_qubits)
+        self._qubits: List[Value] = []
+        for q in range(num_qubits):
+            (v,) = self._b.emit(
+                "extract", [self.register], result_types=["qubit"], idx=q
+            )
+            self._qubits.append(v)
+
+    def custom(
+        self, gate: str, qubits: Sequence[int], params: Sequence[float] = ()
+    ) -> "CatalystKernel":
+        if gate not in CATALYST_GATES:
+            raise DialectError(f"catalyst has no gate {gate!r}")
+        _, nq, np_ = CATALYST_GATES[gate]
+        if len(qubits) != nq or len(params) != np_:
+            raise DialectError(
+                f"catalyst {gate} takes {nq} qubits / {np_} params, "
+                f"got {len(qubits)} / {len(params)}"
+            )
+        self._b.emit(
+            "custom",
+            [self._qubits[q] for q in qubits],
+            gate=gate,
+            params=tuple(float(p) for p in params),
+        )
+        return self
+
+    def measure(self, qubits: Optional[Sequence[int]] = None) -> "CatalystKernel":
+        qs = list(range(self.num_qubits)) if qubits is None else list(qubits)
+        for q in qs:
+            self._b.emit("measure", [self._qubits[q]], result_types=["bit"], clbit=q)
+        return self
+
+
+__all__ = [
+    "QUAKE",
+    "CATALYST",
+    "QIR",
+    "QUAKE_GATES",
+    "CATALYST_GATES",
+    "QuakeKernel",
+    "CatalystKernel",
+]

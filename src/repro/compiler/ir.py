@@ -1,0 +1,161 @@
+"""A miniature MLIR-like intermediate representation.
+
+The paper's compilation backend is "built on a flexible, Multi-Level
+Intermediate Representation (MLIR)-based framework capable of supporting
+multiple dialects … This dialect-agnostic compiler progressively lowers
+high-level programs into a shared IR, such as the Quantum Intermediate
+Representation (QIR), and finally into hardware-specific instructions."
+
+This module provides the structural skeleton of that design: SSA
+:class:`Value`\\ s, :class:`Operation`\\ s namespaced by dialect,
+:class:`Module`\\ s holding an operation list, and a :class:`Builder`
+for front ends.  Dialect *semantics* (which ops exist, how they lower)
+live in :mod:`repro.compiler.dialects` and
+:mod:`repro.compiler.lowering`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import CompilerError
+
+
+@dataclass(frozen=True)
+class Value:
+    """An SSA value: produced once, used many times."""
+
+    id: int
+    type: str  # "qubit" | "bit" | "f64"
+
+    def __repr__(self) -> str:
+        return f"%{self.id}:{self.type}"
+
+
+@dataclass
+class Operation:
+    """One IR operation, namespaced by dialect: ``<dialect>.<name>``."""
+
+    dialect: str
+    name: str
+    operands: Tuple[Value, ...] = ()
+    results: Tuple[Value, ...] = ()
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.dialect}.{self.name}"
+
+    def __repr__(self) -> str:
+        res = ", ".join(map(repr, self.results))
+        args = ", ".join(map(repr, self.operands))
+        attrs = (
+            " {" + ", ".join(f"{k} = {v!r}" for k, v in sorted(self.attributes.items())) + "}"
+            if self.attributes
+            else ""
+        )
+        head = f"{res} = " if self.results else ""
+        return f"{head}{self.qualified}({args}){attrs}"
+
+
+class Module:
+    """A flat, single-function program: an ordered list of operations.
+
+    Real MLIR has regions/blocks; a quantum kernel body is straight-line
+    (control flow is the host language's job in this stack), so a flat
+    list captures the structure the lowering pipeline actually needs.
+    """
+
+    def __init__(self, name: str = "kernel") -> None:
+        self.name = str(name)
+        self.ops: List[Operation] = []
+        self._value_counter = itertools.count()
+
+    def new_value(self, type_: str) -> Value:
+        return Value(next(self._value_counter), type_)
+
+    def add(self, op: Operation) -> Operation:
+        self.ops.append(op)
+        return op
+
+    def dialects_used(self) -> frozenset:
+        return frozenset(op.dialect for op in self.ops)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def dump(self) -> str:
+        """Textual IR, one op per line (diagnostics / golden tests)."""
+        lines = [f"module @{self.name} {{"]
+        lines += [f"  {op!r}" for op in self.ops]
+        lines.append("}")
+        return "\n".join(lines)
+
+    def fingerprint(self) -> str:
+        """Content hash for compilation caching (JIT key component)."""
+        h = hashlib.sha256()
+        h.update(self.name.encode())
+        for op in self.ops:
+            h.update(op.qualified.encode())
+            h.update(b"|")
+            h.update(",".join(str(v.id) for v in op.operands).encode())
+            h.update(b"|")
+            h.update(",".join(str(v.id) for v in op.results).encode())
+            h.update(b"|")
+            for k in sorted(op.attributes):
+                h.update(f"{k}={op.attributes[k]!r};".encode())
+            h.update(b"\n")
+        return h.hexdigest()
+
+
+class Builder:
+    """Convenience op-builder bound to one module and one dialect."""
+
+    def __init__(self, module: Module, dialect: str) -> None:
+        self.module = module
+        self.dialect = dialect
+
+    def emit(
+        self,
+        name: str,
+        operands: Sequence[Value] = (),
+        result_types: Sequence[str] = (),
+        **attributes: Any,
+    ) -> Tuple[Value, ...]:
+        """Append ``<dialect>.<name>`` and return its result values."""
+        results = tuple(self.module.new_value(t) for t in result_types)
+        self.module.add(
+            Operation(
+                dialect=self.dialect,
+                name=name,
+                operands=tuple(operands),
+                results=results,
+                attributes=dict(attributes),
+            )
+        )
+        return results
+
+
+def verify_module(module: Module) -> None:
+    """Structural SSA check: every operand was produced by an earlier op
+    (or is a block argument, which this flat IR does not have)."""
+    defined: set[int] = set()
+    for op in module.ops:
+        for v in op.operands:
+            if v.id not in defined:
+                raise CompilerError(
+                    f"use of undefined value {v!r} in {op.qualified}"
+                )
+        for v in op.results:
+            if v.id in defined:
+                raise CompilerError(f"value {v!r} defined twice")
+            defined.add(v.id)
+
+
+__all__ = ["Value", "Operation", "Module", "Builder", "verify_module"]

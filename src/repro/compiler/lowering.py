@@ -1,0 +1,184 @@
+"""Progressive lowering: dialect → QIR → hardware circuit.
+
+Stage 1 (:func:`lower_to_qir`) rewrites every front-end dialect op into
+the shared ``qir`` dialect, whose gate names coincide with the library
+mnemonics of :mod:`repro.circuits.gates`.  Stage 2
+(:func:`qir_to_circuit`) is code generation into a
+:class:`~repro.circuits.circuit.QuantumCircuit`, after which the
+hardware-specific stage (placement/routing/native synthesis) is the
+transpiler's job — driven by the JIT in :mod:`repro.compiler.jit`.
+
+New dialects plug in by registering a conversion function, matching the
+paper's "evolving compiler infrastructure enables integration of
+additional dialects".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.dialects import CATALYST, CATALYST_GATES, QIR, QUAKE
+from repro.compiler.ir import Module, Operation, Value
+from repro.errors import DialectError, LoweringError
+
+#: dialect name → conversion function (op, qubit-resolver) → list of QIR ops
+ConversionFn = Callable[[Operation, Dict[int, int]], List[Operation]]
+_CONVERSIONS: Dict[str, ConversionFn] = {}
+
+
+def register_dialect_conversion(dialect: str, fn: ConversionFn) -> None:
+    """Plug a new front-end dialect into the lowering pipeline."""
+    _CONVERSIONS[dialect] = fn
+
+
+def lower_to_qir(module: Module) -> Module:
+    """Rewrite all front-end dialect ops into the shared ``qir`` dialect.
+
+    Qubit SSA values are resolved to physical register indices by
+    following ``alloca``/``extract`` chains; the QIR dialect then refers
+    to qubits by plain integer attributes (QIR's ``%Qubit* inttoptr``
+    convention).
+    """
+    out = Module(module.name)
+    qubit_index: Dict[int, int] = {}  # value id → register index
+    num_qubits = 0
+    for op in module.ops:
+        if op.qualified in ("quake.alloca", "catalyst.alloc"):
+            size = int(op.attributes.get("size", op.attributes.get("num_qubits", 0)))
+            if size < 1:
+                raise LoweringError(f"{op.qualified} with invalid size {size}")
+            num_qubits = max(num_qubits, size)
+            continue
+        if op.qualified in ("quake.extract_ref", "catalyst.extract"):
+            idx = int(op.attributes.get("index", op.attributes.get("idx", -1)))
+            if not 0 <= idx < num_qubits:
+                raise LoweringError(f"{op.qualified} index {idx} out of range")
+            qubit_index[op.results[0].id] = idx
+            continue
+        if op.dialect == QIR:
+            out.add(op)
+            continue
+        conv = _CONVERSIONS.get(op.dialect)
+        if conv is None:
+            raise DialectError(
+                f"no conversion registered for dialect {op.dialect!r}"
+            )
+        for lowered in conv(op, qubit_index):
+            out.add(lowered)
+    out.ops.insert(
+        0,
+        Operation(QIR, "init", attributes={"num_qubits": num_qubits}),
+    )
+    return out
+
+
+def _qir_gate(name: str, qubits: List[int], params: Tuple[float, ...] = ()) -> Operation:
+    attrs: Dict[str, object] = {"qubits": tuple(qubits)}
+    if params:
+        attrs["params"] = tuple(params)
+    return Operation(QIR, name, attributes=attrs)
+
+
+def _convert_quake(op: Operation, qubit_index: Dict[int, int]) -> List[Operation]:
+    qs = [qubit_index[v.id] for v in op.operands if v.type == "qubit"]
+    params = tuple(op.attributes.get("params", ()))
+    n_ctl = int(op.attributes.get("num_controls", 0))
+    if op.name == "mz":
+        return [
+            Operation(
+                QIR,
+                "mz",
+                attributes={"qubits": (qs[0],), "clbit": int(op.attributes["clbit"])},
+            )
+        ]
+    if n_ctl:
+        if n_ctl != 1 or len(qs) != 2:
+            raise LoweringError(
+                f"quake.{op.name}: only single-control gates supported, got {n_ctl}"
+            )
+        base = {"x": "cx", "z": "cz"}.get(op.name)
+        if base is None:
+            raise LoweringError(f"no controlled form for quake.{op.name}")
+        return [_qir_gate(base, qs)]
+    name_map = {"r1": "p"}
+    return [_qir_gate(name_map.get(op.name, op.name), qs, params)]
+
+
+def _convert_catalyst(op: Operation, qubit_index: Dict[int, int]) -> List[Operation]:
+    qs = [qubit_index[v.id] for v in op.operands if v.type == "qubit"]
+    if op.name == "measure":
+        return [
+            Operation(
+                QIR,
+                "mz",
+                attributes={"qubits": (qs[0],), "clbit": int(op.attributes["clbit"])},
+            )
+        ]
+    if op.name != "custom":
+        raise LoweringError(f"unknown catalyst op {op.name!r}")
+    gate = str(op.attributes.get("gate"))
+    try:
+        mnemonic, _, _ = CATALYST_GATES[gate]
+    except KeyError:
+        raise LoweringError(f"unknown catalyst gate {gate!r}") from None
+    params = tuple(op.attributes.get("params", ()))
+    return [_qir_gate(mnemonic, qs, params)]
+
+
+register_dialect_conversion(QUAKE, _convert_quake)
+register_dialect_conversion(CATALYST, _convert_catalyst)
+
+
+def qir_to_circuit(module: Module) -> QuantumCircuit:
+    """Code generation: QIR-dialect module → logical circuit."""
+    if not module.ops or module.ops[0].qualified != "qir.init":
+        raise LoweringError("QIR module must start with qir.init")
+    num_qubits = int(module.ops[0].attributes["num_qubits"])
+    circuit = QuantumCircuit(num_qubits, name=module.name)
+    for op in module.ops[1:]:
+        if op.dialect != QIR:
+            raise LoweringError(
+                f"unlowered op {op.qualified}; run lower_to_qir first"
+            )
+        qubits = [int(q) for q in op.attributes.get("qubits", ())]
+        if op.name == "mz":
+            circuit.measure(qubits[0], int(op.attributes["clbit"]))
+        elif op.name == "barrier":
+            circuit.barrier(*qubits)
+        else:
+            params = [float(p) for p in op.attributes.get("params", ())]
+            circuit.append(op.name, qubits, params)
+    return circuit
+
+
+def circuit_to_qir(circuit: QuantumCircuit) -> Module:
+    """Inverse direction: lift a logical circuit into the QIR dialect
+    (used when a front end hands the client a circuit directly)."""
+    module = Module(circuit.name)
+    module.add(Operation(QIR, "init", attributes={"num_qubits": circuit.num_qubits}))
+    for inst in circuit:
+        if inst.name == "measure":
+            module.add(
+                Operation(
+                    QIR,
+                    "mz",
+                    attributes={"qubits": tuple(inst.qubits), "clbit": inst.clbits[0]},
+                )
+            )
+        elif inst.name == "barrier":
+            module.add(Operation(QIR, "barrier", attributes={"qubits": tuple(inst.qubits)}))
+        else:
+            attrs: Dict[str, object] = {"qubits": tuple(inst.qubits)}
+            if inst.params:
+                attrs["params"] = tuple(float(p) for p in inst.params)  # type: ignore[arg-type]
+            module.add(Operation(QIR, inst.name, attributes=attrs))
+    return module
+
+
+__all__ = [
+    "register_dialect_conversion",
+    "lower_to_qir",
+    "qir_to_circuit",
+    "circuit_to_qir",
+]

@@ -1,0 +1,188 @@
+"""Exception hierarchy for the HPC+QC integration stack.
+
+Every layer of the stack raises a subclass of :class:`ReproError` so that
+callers can catch errors at the granularity they care about: a scheduler
+can catch :class:`DeviceError` from the QPU layer without accidentally
+swallowing programming errors, and the REST middleware can map each
+family onto an HTTP-style status code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Circuit / IR layer
+# ---------------------------------------------------------------------------
+
+
+class CircuitError(ReproError):
+    """Invalid circuit construction or manipulation."""
+
+
+class GateError(CircuitError):
+    """Unknown gate, wrong arity, or malformed gate parameters."""
+
+
+class ParameterError(CircuitError):
+    """Unbound or wrongly-bound symbolic circuit parameters."""
+
+
+class SerializationError(CircuitError):
+    """Circuit (de)serialization failure."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation layer
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """State-vector engine failure (dimension mismatch, bad channel, ...)."""
+
+
+class NoiseModelError(SimulationError):
+    """Malformed noise channel (non-CPTP Kraus set, bad probability)."""
+
+
+# ---------------------------------------------------------------------------
+# Device / QPU layer
+# ---------------------------------------------------------------------------
+
+
+class DeviceError(ReproError):
+    """QPU device-model failure."""
+
+
+class TopologyError(DeviceError):
+    """Operation applied to a qubit pair without a coupler, or bad index."""
+
+
+class CalibrationError(DeviceError):
+    """Calibration routine failure or use of a stale/absent calibration."""
+
+
+class DeviceUnavailableError(DeviceError):
+    """Device is offline (warming up, in maintenance, or calibrating)."""
+
+
+# ---------------------------------------------------------------------------
+# Compiler layer
+# ---------------------------------------------------------------------------
+
+
+class CompilerError(ReproError):
+    """Generic compiler failure."""
+
+
+class DialectError(CompilerError):
+    """Unknown dialect or operation not legal in the given dialect."""
+
+
+class LoweringError(CompilerError):
+    """A lowering pass could not make progress."""
+
+
+class TranspilationError(CompilerError):
+    """Routing / placement / decomposition failure."""
+
+
+# ---------------------------------------------------------------------------
+# QDMI layer
+# ---------------------------------------------------------------------------
+
+
+class QDMIError(ReproError):
+    """Device-management-interface failure."""
+
+
+class PropertyNotSupportedError(QDMIError):
+    """The queried QDMI property is not supported by the device."""
+
+
+class SessionError(QDMIError):
+    """QDMI session misuse (closed session, double-open, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Telemetry layer
+# ---------------------------------------------------------------------------
+
+
+class TelemetryError(ReproError):
+    """Telemetry store or collector failure."""
+
+
+class SensorError(TelemetryError):
+    """A sensor plugin produced invalid data."""
+
+
+# ---------------------------------------------------------------------------
+# Scheduler layer
+# ---------------------------------------------------------------------------
+
+
+class SchedulerError(ReproError):
+    """Resource-manager failure."""
+
+
+class JobError(SchedulerError):
+    """Invalid job specification or illegal job-state transition."""
+
+
+class ReservationError(SchedulerError):
+    """Conflicting or malformed advance reservation."""
+
+
+class QueueError(SchedulerError):
+    """Queue policy failure."""
+
+
+# ---------------------------------------------------------------------------
+# Middleware layer
+# ---------------------------------------------------------------------------
+
+
+class MiddlewareError(ReproError):
+    """MQSS-style client/server failure."""
+
+
+class RoutingError(MiddlewareError):
+    """The client could not determine an access path for a job."""
+
+
+class RestApiError(MiddlewareError):
+    """REST emulation failure; carries an HTTP-like status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+
+
+class AdapterError(MiddlewareError):
+    """A front-end adapter produced an untranslatable program."""
+
+
+# ---------------------------------------------------------------------------
+# Facility layer
+# ---------------------------------------------------------------------------
+
+
+class FacilityError(ReproError):
+    """Facility-model failure."""
+
+
+class SiteSurveyError(FacilityError):
+    """Survey data missing or insufficient (e.g. < 25 h temperature log)."""
+
+
+class CryostatError(FacilityError):
+    """Illegal cryostat state transition."""
+
+
+class OutageError(FacilityError):
+    """Outage-injection or recovery-procedure failure."""

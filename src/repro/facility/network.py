@@ -1,0 +1,119 @@
+"""Network bandwidth model: Section 2.4, executable.
+
+The paper's back-of-envelope: with a 300 µs passive reset dominating
+each shot, 20 measured qubits, and an 8-bits-per-bit wire inefficiency,
+continuous measurement produces
+
+    1/300 µs × 20 × 8 bit = 533 kbit/s,
+
+"well below the transmission rate offered by the 1 Gbit Ethernet
+connection", and "extending the above calculation from 20 to 54 or 150
+qubits shows that the data rate grows linearly".
+
+This module provides both the analytic formula and a *measured*
+counterpart computed from executed jobs, plus the three output formats
+Section 2.4 discusses (bitstrings / histogram / raw IQ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.errors import FacilityError
+from repro.qpu.device import QPUJobResult
+from repro.utils.units import GBIT, MICROSECOND
+
+#: The paper's assumptions.
+PASSIVE_RESET = 300.0 * MICROSECOND
+BITS_PER_MEASURED_BIT = 8.0
+ETHERNET_LINK = 1.0 * GBIT  # bits/second
+
+
+def continuous_data_rate(
+    num_qubits: int,
+    *,
+    shot_period: float = PASSIVE_RESET,
+    bits_per_bit: float = BITS_PER_MEASURED_BIT,
+) -> float:
+    """The Section 2.4 formula, in bits/second.
+
+    ``continuous_data_rate(20)`` ≈ 533 kbit/s.
+    """
+    if num_qubits < 1:
+        raise FacilityError("num_qubits must be >= 1")
+    if shot_period <= 0:
+        raise FacilityError("shot_period must be positive")
+    return (1.0 / shot_period) * num_qubits * bits_per_bit
+
+
+def link_utilization(num_qubits: int, *, link: float = ETHERNET_LINK) -> float:
+    """Fraction of the link the continuous stream occupies."""
+    return continuous_data_rate(num_qubits) / link
+
+
+def scaling_table(qubit_counts: Sequence[int] = (20, 54, 150)) -> List[Dict[str, float]]:
+    """The paper's 20 → 54 → 150 qubit scaling rows."""
+    rows = []
+    for n in qubit_counts:
+        rate = continuous_data_rate(n)
+        rows.append(
+            {
+                "num_qubits": float(n),
+                "data_rate_kbit_s": rate / 1e3,
+                "link_utilization_pct": 100.0 * rate / ETHERNET_LINK,
+            }
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class FormatComparison:
+    """Output payload of one job in each Section 2.4 wire format."""
+
+    bitstrings_bytes: int
+    histogram_bytes: int
+    raw_iq_bytes: int
+
+    @property
+    def histogram_saving(self) -> float:
+        """Compression factor of histograms vs raw bitstrings (≥ 1 when
+        the measured state concentrates on few outcomes)."""
+        return self.bitstrings_bytes / max(1, self.histogram_bytes)
+
+
+def compare_formats(result: QPUJobResult) -> FormatComparison:
+    """Payload sizes of an executed job in all three formats."""
+    return FormatComparison(
+        bitstrings_bytes=result.output_bytes("bitstrings"),
+        histogram_bytes=result.output_bytes("histogram"),
+        raw_iq_bytes=result.output_bytes("raw_iq"),
+    )
+
+
+def measured_data_rate(results: Iterable[QPUJobResult], fmt: str = "bitstrings") -> float:
+    """Aggregate output bandwidth (bits/s) of a stream of executed jobs:
+    total payload over total QPU wall-clock — the empirical counterpart
+    of :func:`continuous_data_rate`, lower because of the control
+    software's 'additional inefficiency' (job overheads)."""
+    total_bits = 0.0
+    total_time = 0.0
+    for r in results:
+        total_bits += 8.0 * r.output_bytes(fmt)
+        total_time += r.duration
+    if total_time <= 0:
+        raise FacilityError("no executed jobs to measure")
+    return total_bits / total_time
+
+
+__all__ = [
+    "PASSIVE_RESET",
+    "BITS_PER_MEASURED_BIT",
+    "ETHERNET_LINK",
+    "continuous_data_rate",
+    "link_utilization",
+    "scaling_table",
+    "FormatComparison",
+    "compare_formats",
+    "measured_data_rate",
+]

@@ -1,0 +1,357 @@
+"""Site survey analysis: Table 1 of the paper, executable.
+
+Implements the measurement analyses and acceptance limits of the paper's
+Table 1:
+
+====================  =======================================================
+DC magnetic field     < 100 µT per axis
+AC magnetic field     < 1 µT peak-to-peak spectrum amplitude per axis,
+                      5 Hz – 1000 Hz
+Floor vibrations      < 400 µm/s RMS spectrum amplitude, 1 Hz – 200 Hz
+Sound pressure        < 80 dBA integrated over 20 Hz – 20 kHz
+Temperature           ΔT < ±1 °C within 12 h around a 20–25 °C set point
+Humidity              25 – 60 %, non-condensing
+====================  =======================================================
+
+plus the two logistics checks of Section 2.1/2.5: a ≥ 90 cm delivery
+path and ≥ 1000 kg/m² floor loading.  Temperature/humidity recordings
+shorter than 25 hours are rejected outright ("the duration … needed to
+be at least 25 hours to capture a full cycle of typical building
+conditions").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SiteSurveyError
+from repro.facility.sensors import SensorTrace, SiteProfile, record_all
+from repro.utils.rng import RandomState
+from repro.utils.units import HOUR, MICROTESLA
+
+#: Table 1 acceptance limits (SI units).
+LIMITS = {
+    "dc_magnetic_field": 100.0 * MICROTESLA,      # per axis, absolute
+    "ac_magnetic_field": 1.0 * MICROTESLA,        # per axis, peak-to-peak in band
+    "floor_vibration": 400e-6,                    # m/s RMS in band
+    "sound_pressure": 80.0,                       # dBA integrated
+    "temperature_delta": 1.0,                     # ±°C within 12 h
+    "temperature_setpoint": (20.0, 25.0),         # °C
+    "humidity": (25.0, 60.0),                     # %RH
+    "delivery_path_width": 0.90,                  # m
+    "floor_load": 1000.0,                         # kg/m²
+}
+
+#: Minimum temperature/humidity recording length.
+MIN_SLOW_DURATION = 25.0 * HOUR
+
+
+@dataclass(frozen=True)
+class SurveyRow:
+    """One measurement row of the survey report (one line of Table 1)."""
+
+    measurement: str
+    measured: float
+    limit: str
+    unit: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class SurveyReport:
+    """Full survey outcome for one candidate site."""
+
+    site: str
+    rows: Tuple[SurveyRow, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.rows)
+
+    def failures(self) -> List[SurveyRow]:
+        return [r for r in self.rows if not r.passed]
+
+    def as_table(self) -> str:
+        """Render in the shape of the paper's Table 1."""
+        header = f"Site survey: {self.site}"
+        lines = [header, "=" * len(header)]
+        lines.append(
+            f"{'Measurement':24s} {'Measured':>14s} {'Limit':>22s} {'Result':>8s}"
+        )
+        for r in self.rows:
+            lines.append(
+                f"{r.measurement:24s} {r.measured:>10.4g} {r.unit:3s} "
+                f"{r.limit:>22s} {'PASS' if r.passed else 'FAIL':>8s}"
+            )
+        lines.append(f"{'OVERALL':24s} {'':>14s} {'':>22s} "
+                     f"{'PASS' if self.passed else 'FAIL':>8s}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# per-measurement analyses
+# ---------------------------------------------------------------------------
+
+
+def analyze_dc_magnetic(trace: SensorTrace) -> SurveyRow:
+    """Max per-axis |B| against the 100 µT limit."""
+    worst = float(np.abs(trace.data).max())
+    return SurveyRow(
+        measurement="DC magnetic field",
+        measured=worst / MICROTESLA,
+        limit="< 100 per axis",
+        unit="µT",
+        passed=worst < LIMITS["dc_magnetic_field"],
+        detail="3-axis fluxgate at cryostat position, QPU height",
+    )
+
+
+def band_amplitude_spectrum(
+    signal: np.ndarray, sample_rate: float, f_lo: float, f_hi: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One-sided amplitude spectrum restricted to ``[f_lo, f_hi]``.
+
+    Amplitude normalization: a pure sine of amplitude A shows a spectral
+    line of height ≈ A (2/N scaling), so "peak-to-peak spectrum
+    amplitude" = 2 × line height.
+    """
+    n = signal.shape[0]
+    freqs = np.fft.rfftfreq(n, d=1.0 / sample_rate)
+    amp = np.abs(np.fft.rfft(signal)) * 2.0 / n
+    mask = (freqs >= f_lo) & (freqs <= f_hi)
+    return freqs[mask], amp[mask]
+
+
+def analyze_ac_magnetic(trace: SensorTrace) -> SurveyRow:
+    """Peak-to-peak spectral amplitude per axis in 5–1000 Hz."""
+    worst_pp = 0.0
+    for axis in range(trace.data.shape[1]):
+        _, amp = band_amplitude_spectrum(
+            trace.data[:, axis], trace.sample_rate, 5.0, 1000.0
+        )
+        if amp.size:
+            worst_pp = max(worst_pp, 2.0 * float(amp.max()))
+    return SurveyRow(
+        measurement="AC magnetic field",
+        measured=worst_pp / MICROTESLA,
+        limit="< 1 pp, 5-1000 Hz",
+        unit="µT",
+        passed=worst_pp < LIMITS["ac_magnetic_field"],
+        detail="3-axis fluxgate, peak-to-peak spectrum amplitude",
+    )
+
+
+def analyze_vibration(trace: SensorTrace) -> SurveyRow:
+    """RMS spectral amplitude in 1–200 Hz against 400 µm/s."""
+    freqs, amp = band_amplitude_spectrum(trace.data, trace.sample_rate, 1.0, 200.0)
+    # RMS of the band-limited signal = sqrt(sum of (line RMS)^2); line RMS = amp/√2
+    rms = float(np.sqrt(np.sum((amp / math.sqrt(2.0)) ** 2))) if amp.size else 0.0
+    return SurveyRow(
+        measurement="Floor vibrations",
+        measured=rms * 1e6,
+        limit="< 400 RMS, 1-200 Hz",
+        unit="µm/s",
+        passed=rms < LIMITS["floor_vibration"],
+        detail="single-axis velocity sensor on floor at cryostat position",
+    )
+
+
+def analyze_sound(trace: SensorTrace) -> SurveyRow:
+    """Integrated sound pressure level against 80 dBA.
+
+    The A-weighting network is approximated as flat over the synthetic
+    signal's band — conservative for the tones our generators emit.
+    """
+    p_rms = float(np.sqrt(np.mean(trace.data**2)))
+    spl = 20.0 * math.log10(max(p_rms, 1e-12) / 20e-6)
+    return SurveyRow(
+        measurement="Sound pressure",
+        measured=spl,
+        limit="< 80, 20 Hz-20 kHz",
+        unit="dBA",
+        passed=spl < LIMITS["sound_pressure"],
+        detail="omnidirectional microphone at cryostat position",
+    )
+
+
+def analyze_temperature(trace: SensorTrace) -> SurveyRow:
+    """ΔT within any 12 h window < ±1 °C around a 20–25 °C set point.
+
+    Rejects recordings shorter than 25 h (Table 1 note).
+    """
+    if trace.duration < MIN_SLOW_DURATION:
+        raise SiteSurveyError(
+            f"temperature recording is {trace.duration / HOUR:.1f} h; "
+            f"Table 1 requires at least {MIN_SLOW_DURATION / HOUR:.0f} h"
+        )
+    data = trace.data
+    window = max(2, int(12 * HOUR * trace.sample_rate))
+    worst_delta = 0.0
+    # sliding 12 h max-min, evaluated at window/8 stride for tractability
+    stride = max(1, window // 8)
+    for start in range(0, max(1, data.size - window + 1), stride):
+        seg = data[start : start + window]
+        worst_delta = max(worst_delta, float(seg.max() - seg.min()))
+    mean_t = float(data.mean())
+    lo, hi = LIMITS["temperature_setpoint"]
+    in_setpoint = lo <= mean_t <= hi
+    passed = worst_delta / 2.0 < LIMITS["temperature_delta"] and in_setpoint
+    return SurveyRow(
+        measurement="Temperature",
+        measured=worst_delta / 2.0,
+        limit="±1 °C/12 h @ 20-25 °C",
+        unit="°C",
+        passed=passed,
+        detail=f"mean {mean_t:.1f} °C over {trace.duration / HOUR:.0f} h",
+    )
+
+
+def analyze_humidity(trace: SensorTrace) -> SurveyRow:
+    """25–60 % RH, non-condensing, over the full recording."""
+    if trace.duration < MIN_SLOW_DURATION:
+        raise SiteSurveyError(
+            f"humidity recording is {trace.duration / HOUR:.1f} h; "
+            f"Table 1 requires at least {MIN_SLOW_DURATION / HOUR:.0f} h"
+        )
+    lo, hi = LIMITS["humidity"]
+    mn, mx = float(trace.data.min()), float(trace.data.max())
+    passed = mn >= lo and mx <= hi
+    return SurveyRow(
+        measurement="Humidity",
+        measured=mx,
+        limit="25-60 %, non-cond.",
+        unit="%RH",
+        passed=passed,
+        detail=f"range {mn:.0f}-{mx:.0f} %RH",
+    )
+
+
+# ---------------------------------------------------------------------------
+# logistics checks (Sections 2.1 / 2.5)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DeliveryPath:
+    """Width bottleneck survey of the loading-dock → room route."""
+
+    segments: Mapping[str, float]  # segment name → clear width in metres
+
+    def bottleneck(self) -> Tuple[str, float]:
+        name = min(self.segments, key=lambda k: self.segments[k])
+        return name, self.segments[name]
+
+
+def analyze_delivery_path(path: DeliveryPath) -> SurveyRow:
+    name, width = path.bottleneck()
+    return SurveyRow(
+        measurement="Delivery path",
+        measured=width * 100.0,
+        limit=">= 90 cm throughout",
+        unit="cm",
+        passed=width >= LIMITS["delivery_path_width"],
+        detail=f"bottleneck: {name}",
+    )
+
+
+def analyze_floor_load(capacity_kg_m2: float) -> SurveyRow:
+    return SurveyRow(
+        measurement="Floor load capacity",
+        measured=capacity_kg_m2,
+        limit=">= 1000 kg/m²",
+        unit="kg",
+        passed=capacity_kg_m2 >= LIMITS["floor_load"],
+        detail="cryostat ~750 kg; 20-qubit system needs 1000 kg/m²",
+    )
+
+
+# ---------------------------------------------------------------------------
+# the full survey
+# ---------------------------------------------------------------------------
+
+
+def run_survey(
+    profile: SiteProfile,
+    *,
+    duration: float = 26.0 * HOUR,
+    delivery_path: Optional[DeliveryPath] = None,
+    floor_load_capacity: float = 1500.0,
+    rng: RandomState = None,
+) -> SurveyReport:
+    """Record all sensors at the candidate site and evaluate Table 1."""
+    traces = record_all(profile, duration, rng=rng)
+    rows: List[SurveyRow] = [
+        analyze_dc_magnetic(traces["dc_magnetic_field"]),
+        analyze_ac_magnetic(traces["ac_magnetic_field"]),
+        analyze_vibration(traces["floor_vibration"]),
+        analyze_sound(traces["sound_pressure"]),
+        analyze_temperature(traces["temperature"]),
+        analyze_humidity(traces["humidity"]),
+    ]
+    if delivery_path is not None:
+        rows.append(analyze_delivery_path(delivery_path))
+    rows.append(analyze_floor_load(floor_load_capacity))
+    return SurveyReport(site=profile.name, rows=tuple(rows))
+
+
+def select_site(
+    reports: Sequence[SurveyReport],
+) -> Tuple[Optional[SurveyReport], List[str]]:
+    """Pick the passing site with the largest margins.
+
+    Returns ``(winner_or_None, rejection_notes)``.  Margin score: mean
+    over rows of (how far below the limit the measurement sits), which
+    breaks ties between multiple passing candidates.
+    """
+    notes: List[str] = []
+    passing: List[Tuple[float, SurveyReport]] = []
+    for report in reports:
+        if not report.passed:
+            failed = ", ".join(r.measurement for r in report.failures())
+            notes.append(f"{report.site}: rejected ({failed})")
+            continue
+        margins: List[float] = []
+        for row in report.rows:
+            # normalized slack ∈ [0, 1]; rows with range limits score 0.5 flat
+            if row.measurement == "DC magnetic field":
+                margins.append(1.0 - row.measured / 100.0)
+            elif row.measurement == "AC magnetic field":
+                margins.append(1.0 - row.measured / 1.0)
+            elif row.measurement == "Floor vibrations":
+                margins.append(1.0 - row.measured / 400.0)
+            elif row.measurement == "Sound pressure":
+                margins.append(1.0 - row.measured / 80.0)
+            else:
+                margins.append(0.5)
+        passing.append((float(np.mean(margins)), report))
+    if not passing:
+        return None, notes
+    passing.sort(key=lambda t: -t[0])
+    winner = passing[0][1]
+    notes.append(f"{winner.site}: selected (margin score {passing[0][0]:.3f})")
+    return winner, notes
+
+
+__all__ = [
+    "LIMITS",
+    "MIN_SLOW_DURATION",
+    "SurveyRow",
+    "SurveyReport",
+    "DeliveryPath",
+    "run_survey",
+    "select_site",
+    "analyze_dc_magnetic",
+    "analyze_ac_magnetic",
+    "analyze_vibration",
+    "analyze_sound",
+    "analyze_temperature",
+    "analyze_humidity",
+    "analyze_delivery_path",
+    "analyze_floor_load",
+    "band_amplitude_spectrum",
+]

@@ -1,0 +1,51 @@
+"""Hybrid quantum-classical algorithms: observables, VQE, QAOA, optimizers."""
+
+from repro.hybrid.observables import (
+    PauliSum,
+    PauliTerm,
+    estimate_expectation,
+    h2_hamiltonian,
+    transverse_field_ising,
+)
+from repro.hybrid.optimizers import (
+    OptimizationResult,
+    SPSAConfig,
+    nelder_mead_minimize,
+    spsa_minimize,
+)
+from repro.hybrid.mitigation import (
+    ReadoutCalibration,
+    calibrate_readout,
+    fold_circuit,
+    mitigate_counts,
+    mitigated_expectation_z,
+    zne_expectation,
+)
+from repro.hybrid.qaoa import QAOA, QAOAResult, cut_value, max_cut_brute_force, qaoa_circuit
+from repro.hybrid.vqe import VQE, VQEResult, hardware_efficient_ansatz
+
+__all__ = [
+    "ReadoutCalibration",
+    "calibrate_readout",
+    "fold_circuit",
+    "mitigate_counts",
+    "mitigated_expectation_z",
+    "zne_expectation",
+    "PauliSum",
+    "PauliTerm",
+    "estimate_expectation",
+    "h2_hamiltonian",
+    "transverse_field_ising",
+    "OptimizationResult",
+    "SPSAConfig",
+    "nelder_mead_minimize",
+    "spsa_minimize",
+    "QAOA",
+    "QAOAResult",
+    "cut_value",
+    "max_cut_brute_force",
+    "qaoa_circuit",
+    "VQE",
+    "VQEResult",
+    "hardware_efficient_ansatz",
+]

@@ -1,0 +1,138 @@
+"""Classical optimizers for the hybrid loop.
+
+Shot-sampled energies are noisy, so the workhorse is SPSA (simultaneous
+perturbation stochastic approximation) — two evaluations per iteration
+regardless of dimension and robust to sampling noise.  A Nelder–Mead
+wrapper around SciPy serves as the deterministic baseline for noiseless
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize as sciopt
+
+from repro.errors import ReproError
+from repro.utils.rng import RandomState, as_rng
+
+Objective = Callable[[np.ndarray], float]
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of a classical optimization run."""
+
+    x: np.ndarray
+    fun: float
+    iterations: int
+    evaluations: int
+    history: Tuple[float, ...]  # best-so-far objective per iteration
+
+    def __repr__(self) -> str:
+        return (
+            f"<OptimizationResult f={self.fun:.6f} after {self.iterations} iters, "
+            f"{self.evaluations} evals>"
+        )
+
+
+@dataclass(frozen=True)
+class SPSAConfig:
+    """Standard SPSA gain schedule (Spall's guidelines)."""
+
+    a: float = 1.0
+    c: float = 0.15
+    alpha: float = 0.602
+    gamma: float = 0.101
+    stability: float = 10.0   # the "A" offset in the a_k schedule
+
+
+def spsa_minimize(
+    objective: Objective,
+    x0: Sequence[float],
+    *,
+    iterations: int = 100,
+    config: SPSAConfig = SPSAConfig(),
+    rng: RandomState = None,
+    callback: Optional[Callable[[int, np.ndarray, float], None]] = None,
+) -> OptimizationResult:
+    """Minimize a noisy objective with SPSA.
+
+    Tracks the best parameters *seen* (re-evaluated objective values are
+    noisy, so the running best uses the perturbation-pair average as its
+    estimate).
+    """
+    if iterations < 1:
+        raise ReproError("iterations must be >= 1")
+    r = as_rng(rng)
+    x = np.asarray(x0, dtype=float).copy()
+    best_x = x.copy()
+    best_f = float("inf")
+    history: List[float] = []
+    evals = 0
+    for k in range(iterations):
+        a_k = config.a / (k + 1 + config.stability) ** config.alpha
+        c_k = config.c / (k + 1) ** config.gamma
+        delta = r.choice([-1.0, 1.0], size=x.shape)
+        f_plus = float(objective(x + c_k * delta))
+        f_minus = float(objective(x - c_k * delta))
+        evals += 2
+        gradient = (f_plus - f_minus) / (2.0 * c_k) * delta
+        x = x - a_k * gradient
+        estimate = 0.5 * (f_plus + f_minus)
+        if estimate < best_f:
+            best_f = estimate
+            best_x = x.copy()
+        history.append(best_f)
+        if callback is not None:
+            callback(k, x, estimate)
+    return OptimizationResult(
+        x=best_x,
+        fun=best_f,
+        iterations=iterations,
+        evaluations=evals,
+        history=tuple(history),
+    )
+
+
+def nelder_mead_minimize(
+    objective: Objective,
+    x0: Sequence[float],
+    *,
+    max_evaluations: int = 400,
+    xatol: float = 1e-4,
+    fatol: float = 1e-6,
+) -> OptimizationResult:
+    """Deterministic simplex baseline (SciPy's Nelder–Mead)."""
+    history: List[float] = []
+    best = [float("inf")]
+
+    def wrapped(x: np.ndarray) -> float:
+        f = float(objective(np.asarray(x, dtype=float)))
+        best[0] = min(best[0], f)
+        history.append(best[0])
+        return f
+
+    res = sciopt.minimize(
+        wrapped,
+        np.asarray(x0, dtype=float),
+        method="Nelder-Mead",
+        options={"maxfev": max_evaluations, "xatol": xatol, "fatol": fatol},
+    )
+    return OptimizationResult(
+        x=np.asarray(res.x, dtype=float),
+        fun=float(res.fun),
+        iterations=int(res.nit),
+        evaluations=int(res.nfev),
+        history=tuple(history),
+    )
+
+
+__all__ = [
+    "OptimizationResult",
+    "SPSAConfig",
+    "spsa_minimize",
+    "nelder_mead_minimize",
+]

@@ -1,0 +1,173 @@
+"""Variational Quantum Eigensolver — the tight-loop workload.
+
+Section 2.6: the accelerator mode "allow[s] quantum operations to be
+executed within a tightly-coupled, low-latency loop.  Such a model is
+essential for hybrid quantum-classical algorithms such as the
+Variational Quantum Eigensolver (VQE)."
+
+:class:`VQE` drives that loop: a parameterized ansatz (built once, bound
+per iteration — the symbolic-parameter machinery exists for exactly
+this), Hamiltonian expectation estimation from counts, and SPSA/Nelder–
+Mead optimization.  The executor is pluggable: the MQSS client for the
+full-stack path, the noiseless sampler for algorithm tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameters import Parameter
+from repro.errors import ReproError
+from repro.hybrid.observables import PauliSum, estimate_expectation
+from repro.hybrid.optimizers import (
+    OptimizationResult,
+    nelder_mead_minimize,
+    spsa_minimize,
+)
+from repro.simulator.counts import Counts
+from repro.utils.rng import RandomState
+
+RunCircuit = Callable[[QuantumCircuit, int], Counts]
+"""Executor signature: (bound circuit with measurements, shots) → counts."""
+
+
+def hardware_efficient_ansatz(
+    num_qubits: int, depth: int = 2, *, entangler: str = "cz"
+) -> Tuple[QuantumCircuit, List[Parameter]]:
+    """The transmon-friendly layered ansatz: RY–RZ rotations on every
+    qubit, nearest-neighbour CZ entanglers between layers.
+
+    Returns ``(template, parameters)`` with parameters ordered layer by
+    layer, qubit by qubit (ry then rz).
+    """
+    if num_qubits < 1 or depth < 1:
+        raise ReproError("ansatz needs num_qubits >= 1 and depth >= 1")
+    qc = QuantumCircuit(num_qubits, name=f"hea{num_qubits}x{depth}")
+    params: List[Parameter] = []
+    for layer in range(depth):
+        for q in range(num_qubits):
+            ry = Parameter(f"θ[{layer},{q},ry]")
+            rz = Parameter(f"θ[{layer},{q},rz]")
+            params.extend([ry, rz])
+            qc.ry(ry, q)
+            qc.rz(rz, q)
+        if num_qubits >= 2 and layer < depth - 1:
+            for q in range(num_qubits - 1):
+                qc.append(entangler, [q, q + 1])
+    return qc, params
+
+
+@dataclass(frozen=True)
+class VQEResult:
+    """Converged VQE outcome."""
+
+    energy: float
+    parameters: np.ndarray
+    optimizer: OptimizationResult
+    exact_energy: Optional[float]
+    iterations_history: Tuple[float, ...]
+
+    @property
+    def error_to_exact(self) -> Optional[float]:
+        if self.exact_energy is None:
+            return None
+        return self.energy - self.exact_energy
+
+
+class VQE:
+    """The hybrid eigensolver.
+
+    Parameters
+    ----------
+    hamiltonian:
+        Target observable.
+    run_circuit:
+        Executor callable.  For the full stack pass
+        ``lambda qc, shots: client.run(qc, shots=shots)``.
+    ansatz:
+        Optional ``(template, parameters)``; defaults to the
+        hardware-efficient ansatz of matching width.
+    shots:
+        Shots per expectation-estimation circuit.
+    """
+
+    def __init__(
+        self,
+        hamiltonian: PauliSum,
+        run_circuit: RunCircuit,
+        *,
+        ansatz: Optional[Tuple[QuantumCircuit, List[Parameter]]] = None,
+        depth: int = 2,
+        shots: int = 1024,
+    ) -> None:
+        self.hamiltonian = hamiltonian
+        self.run_circuit = run_circuit
+        n = max(1, hamiltonian.num_qubits)
+        self.template, self.parameters = ansatz or hardware_efficient_ansatz(n, depth)
+        if self.template.num_qubits < n:
+            raise ReproError(
+                f"ansatz has {self.template.num_qubits} qubits; "
+                f"Hamiltonian needs {n}"
+            )
+        self.shots = int(shots)
+        self.energy_evaluations = 0
+
+    # -- the objective -------------------------------------------------------
+
+    def energy(self, values: Sequence[float]) -> float:
+        """⟨H⟩ at one parameter vector (one tight-loop iteration)."""
+        binding = dict(zip(self.parameters, map(float, values)))
+        bound = self.template.bind(binding)
+        self.energy_evaluations += 1
+        return estimate_expectation(
+            self.hamiltonian, self.run_circuit, bound, shots=self.shots
+        )
+
+    # -- optimization ----------------------------------------------------------
+
+    def minimize(
+        self,
+        *,
+        optimizer: str = "spsa",
+        iterations: int = 80,
+        initial: Optional[Sequence[float]] = None,
+        rng: RandomState = None,
+        compare_exact: bool = True,
+    ) -> VQEResult:
+        """Run the full hybrid loop; returns the converged result."""
+        from repro.utils.rng import as_rng
+
+        r = as_rng(rng)
+        x0 = (
+            np.asarray(initial, dtype=float)
+            if initial is not None
+            else r.uniform(-0.4, 0.4, size=len(self.parameters))
+        )
+        if optimizer == "spsa":
+            opt = spsa_minimize(
+                self.energy, x0, iterations=iterations, rng=r
+            )
+        elif optimizer == "nelder-mead":
+            opt = nelder_mead_minimize(
+                self.energy, x0, max_evaluations=iterations * 4
+            )
+        else:
+            raise ReproError(f"unknown optimizer {optimizer!r}")
+        final_energy = self.energy(opt.x)
+        exact = None
+        if compare_exact and self.hamiltonian.num_qubits <= 10:
+            exact = self.hamiltonian.exact_ground_energy()
+        return VQEResult(
+            energy=final_energy,
+            parameters=np.asarray(opt.x),
+            optimizer=opt,
+            exact_energy=exact,
+            iterations_history=opt.history,
+        )
+
+
+__all__ = ["VQE", "VQEResult", "hardware_efficient_ansatz", "RunCircuit"]

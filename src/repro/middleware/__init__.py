@@ -1,0 +1,13 @@
+"""MQSS middleware: auto-routing client, REST facade, front-end adapters."""
+
+from repro.middleware.client import ExecutionRecord, MQSSClient, detect_execution_context
+from repro.middleware.rest import RestClient, RestResponse, RestServer
+
+__all__ = [
+    "ExecutionRecord",
+    "MQSSClient",
+    "detect_execution_context",
+    "RestClient",
+    "RestResponse",
+    "RestServer",
+]

@@ -1,0 +1,42 @@
+"""Front-end adapters: Qiskit-, Pennylane-, CUDA-Q-like, and native QPI."""
+
+from repro.middleware.adapters.cudaq_like import CudaqLikeAdapter, Kernel, QVector, make_kernel
+from repro.middleware.adapters.pennylane_like import PennylaneLikeAdapter, QNode, qnode
+from repro.middleware.adapters.qiskit_like import (
+    ClassicalRegister,
+    QiskitLikeAdapter,
+    QiskitLikeCircuit,
+    QuantumRegister,
+)
+from repro.middleware.adapters.qpi import (
+    QPI_SUCCESS,
+    QpiAdapter,
+    qpi_apply,
+    qpi_create,
+    qpi_destroy,
+    qpi_finalize,
+    qpi_measure,
+    qpi_measure_all,
+)
+
+__all__ = [
+    "CudaqLikeAdapter",
+    "Kernel",
+    "QVector",
+    "make_kernel",
+    "PennylaneLikeAdapter",
+    "QNode",
+    "qnode",
+    "ClassicalRegister",
+    "QiskitLikeAdapter",
+    "QiskitLikeCircuit",
+    "QuantumRegister",
+    "QPI_SUCCESS",
+    "QpiAdapter",
+    "qpi_apply",
+    "qpi_create",
+    "qpi_destroy",
+    "qpi_finalize",
+    "qpi_measure",
+    "qpi_measure_all",
+]

@@ -1,0 +1,113 @@
+"""CUDA-Q-flavoured adapter: kernel-builder API over the quake dialect.
+
+Mirrors ``cudaq.make_kernel()``: the user gets a kernel handle plus a
+qubit vector and calls gate methods on the kernel.  CUDA-Q genuinely
+lowers to the Quake MLIR dialect, so this adapter builds a
+:class:`~repro.compiler.dialects.QuakeKernel` directly — the exact
+front-door the paper's Figure 2 draws for CUDAQ.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.compiler.dialects import QuakeKernel
+from repro.compiler.ir import Module
+from repro.errors import AdapterError
+
+
+class QVector:
+    """Handle to the kernel's qubit register (supports indexing/len)."""
+
+    def __init__(self, size: int) -> None:
+        self._size = int(size)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __getitem__(self, index: int) -> int:
+        if not 0 <= index < self._size:
+            raise AdapterError(f"qubit index {index} out of range")
+        return index
+
+    def __iter__(self):
+        return iter(range(self._size))
+
+
+class Kernel:
+    """The CUDA-Q-style kernel handle."""
+
+    def __init__(self, num_qubits: int, name: str = "kernel") -> None:
+        self._quake = QuakeKernel(num_qubits, name=name)
+        self.name = name
+
+    # single-qubit -------------------------------------------------------------
+    def h(self, q: int) -> "Kernel":
+        self._quake.h(q)
+        return self
+
+    def x(self, q: int) -> "Kernel":
+        self._quake.x(q)
+        return self
+
+    def y(self, q: int) -> "Kernel":
+        self._quake.gate("y", [q])
+        return self
+
+    def z(self, q: int) -> "Kernel":
+        self._quake.gate("z", [q])
+        return self
+
+    def rx(self, theta: float, q: int) -> "Kernel":
+        self._quake.rx(theta, q)
+        return self
+
+    def ry(self, theta: float, q: int) -> "Kernel":
+        self._quake.ry(theta, q)
+        return self
+
+    def rz(self, theta: float, q: int) -> "Kernel":
+        self._quake.rz(theta, q)
+        return self
+
+    # controlled ----------------------------------------------------------------
+    def cx(self, control: int, target: int) -> "Kernel":
+        self._quake.cx(control, target)
+        return self
+
+    def cz(self, control: int, target: int) -> "Kernel":
+        self._quake.cz(control, target)
+        return self
+
+    def swap(self, a: int, b: int) -> "Kernel":
+        self._quake.swap(a, b)
+        return self
+
+    # measurement ---------------------------------------------------------------
+    def mz(self, qubits: Optional[Sequence[int]] = None) -> "Kernel":
+        self._quake.mz(qubits)
+        return self
+
+    @property
+    def module(self) -> Module:
+        return self._quake.module
+
+
+def make_kernel(num_qubits: int, name: str = "kernel") -> Tuple[Kernel, QVector]:
+    """``kernel, qubits = make_kernel(4)`` — the CUDA-Q construction idiom."""
+    if num_qubits < 1:
+        raise AdapterError("kernel needs at least one qubit")
+    return Kernel(num_qubits, name), QVector(num_qubits)
+
+
+class CudaqLikeAdapter:
+    """Adapter facade: kernel → quake module."""
+
+    name = "cudaq"
+
+    @staticmethod
+    def translate(kernel: Kernel) -> Module:
+        return kernel.module
+
+
+__all__ = ["make_kernel", "Kernel", "QVector", "CudaqLikeAdapter"]

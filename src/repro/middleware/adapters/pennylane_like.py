@@ -1,0 +1,176 @@
+"""Pennylane-flavoured adapter: tape-recording of operation calls.
+
+Users write a plain Python function that *calls* operations
+(``Hadamard(wires=0)``, ``CNOT(wires=[0, 1])``); executing the function
+inside a recording context captures the tape, which the adapter lowers
+through the **catalyst** dialect — matching how real Pennylane programs
+reach MQSS via Catalyst.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.compiler.dialects import CATALYST_GATES, CatalystKernel
+from repro.compiler.ir import Module
+from repro.errors import AdapterError
+
+Wires = Union[int, Sequence[int]]
+
+_state = threading.local()
+
+
+def _tape() -> List[Tuple[str, Tuple[int, ...], Tuple[float, ...]]]:
+    tape = getattr(_state, "tape", None)
+    if tape is None:
+        raise AdapterError(
+            "operations may only be called inside a quantum function "
+            "(wrap it with qnode(...))"
+        )
+    return tape
+
+
+def _record(gate: str, wires: Wires, params: Sequence[float] = ()) -> None:
+    ws = (wires,) if isinstance(wires, int) else tuple(int(w) for w in wires)
+    _, nq, np_ = CATALYST_GATES[gate]
+    if len(ws) != nq or len(params) != np_:
+        raise AdapterError(
+            f"{gate} takes {nq} wires / {np_} params, got {len(ws)} / {len(params)}"
+        )
+    _tape().append((gate, ws, tuple(float(p) for p in params)))
+
+
+# -- the operation vocabulary -------------------------------------------------
+
+
+def Hadamard(*, wires: Wires) -> None:
+    _record("Hadamard", wires)
+
+
+def PauliX(*, wires: Wires) -> None:
+    _record("PauliX", wires)
+
+
+def PauliY(*, wires: Wires) -> None:
+    _record("PauliY", wires)
+
+
+def PauliZ(*, wires: Wires) -> None:
+    _record("PauliZ", wires)
+
+
+def RX(theta: float, *, wires: Wires) -> None:
+    _record("RX", wires, [theta])
+
+
+def RY(theta: float, *, wires: Wires) -> None:
+    _record("RY", wires, [theta])
+
+
+def RZ(theta: float, *, wires: Wires) -> None:
+    _record("RZ", wires, [theta])
+
+
+def PhaseShift(lam: float, *, wires: Wires) -> None:
+    _record("PhaseShift", wires, [lam])
+
+
+def CNOT(*, wires: Sequence[int]) -> None:
+    _record("CNOT", wires)
+
+
+def CZ(*, wires: Sequence[int]) -> None:
+    _record("CZ", wires)
+
+
+def SWAP(*, wires: Sequence[int]) -> None:
+    _record("SWAP", wires)
+
+
+def IsingZZ(theta: float, *, wires: Sequence[int]) -> None:
+    _record("IsingZZ", wires, [theta])
+
+
+@contextmanager
+def _recording() -> Iterator[List[Tuple[str, Tuple[int, ...], Tuple[float, ...]]]]:
+    if getattr(_state, "tape", None) is not None:
+        raise AdapterError("nested quantum functions are not supported")
+    _state.tape = []
+    try:
+        yield _state.tape
+    finally:
+        _state.tape = None
+
+
+class QNode:
+    """A recorded quantum function bound to a wire count.
+
+    Calling the node (with the user's parameters) re-records the tape
+    and returns the lowered catalyst-dialect :class:`Module` — i.e. a
+    fresh artifact per parameter set, the Pennylane execution model.
+    """
+
+    def __init__(self, func: Callable[..., None], num_wires: int, name: Optional[str] = None):
+        self._func = func
+        self.num_wires = int(num_wires)
+        self.name = name or func.__name__
+
+    def build(self, *args: float, **kwargs: float) -> Module:
+        with _recording() as tape:
+            self._func(*args, **kwargs)
+        kernel = CatalystKernel(self.num_wires, name=self.name)
+        measured = False
+        for gate, wires, params in tape:
+            kernel.custom(gate, list(wires), list(params))
+        if not measured:
+            kernel.measure()
+        return kernel.module
+
+    __call__ = build
+
+
+def qnode(num_wires: int, name: Optional[str] = None) -> Callable[[Callable[..., None]], QNode]:
+    """Decorator turning a function of operations into a :class:`QNode`.
+
+    >>> @qnode(num_wires=2)
+    ... def bell():
+    ...     Hadamard(wires=0)
+    ...     CNOT(wires=[0, 1])
+    >>> module = bell()
+    """
+
+    def wrap(func: Callable[..., None]) -> QNode:
+        return QNode(func, num_wires, name)
+
+    return wrap
+
+
+class PennylaneLikeAdapter:
+    """Adapter facade: QNode → catalyst module (already the dialect form)."""
+
+    name = "pennylane"
+
+    @staticmethod
+    def translate(node: QNode, *args: float, **kwargs: float) -> Module:
+        return node.build(*args, **kwargs)
+
+
+__all__ = [
+    "qnode",
+    "QNode",
+    "PennylaneLikeAdapter",
+    "Hadamard",
+    "PauliX",
+    "PauliY",
+    "PauliZ",
+    "RX",
+    "RY",
+    "RZ",
+    "PhaseShift",
+    "CNOT",
+    "CZ",
+    "SWAP",
+    "IsingZZ",
+]

@@ -1,0 +1,205 @@
+"""Qiskit-flavoured adapter.
+
+Presents the register-based construction style Qiskit users arrive with
+(Section 4: the frontend most early users knew) and translates into the
+stack's own circuit IR.  Only the surface syntax is Qiskit's; everything
+below the :meth:`QiskitLikeAdapter.translate` boundary is MQSS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import AdapterError
+
+
+class QuantumRegister:
+    """A named group of qubits (Qiskit-style)."""
+
+    def __init__(self, size: int, name: str = "q") -> None:
+        if size < 1:
+            raise AdapterError("register size must be >= 1")
+        self.size = int(size)
+        self.name = str(name)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, index: int) -> Tuple["QuantumRegister", int]:
+        if not 0 <= index < self.size:
+            raise AdapterError(f"register index {index} out of range")
+        return (self, index)
+
+
+class ClassicalRegister:
+    """A named group of classical bits."""
+
+    def __init__(self, size: int, name: str = "c") -> None:
+        if size < 1:
+            raise AdapterError("register size must be >= 1")
+        self.size = int(size)
+        self.name = str(name)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, index: int) -> Tuple["ClassicalRegister", int]:
+        if not 0 <= index < self.size:
+            raise AdapterError(f"register index {index} out of range")
+        return (self, index)
+
+
+Qubit = Union[int, Tuple[QuantumRegister, int]]
+Clbit = Union[int, Tuple[ClassicalRegister, int]]
+
+
+class QiskitLikeCircuit:
+    """Register-based circuit builder with Qiskit's method names."""
+
+    def __init__(self, *regs: Union[QuantumRegister, ClassicalRegister, int], name: str = "circuit") -> None:
+        self.name = name
+        self.qregs: List[QuantumRegister] = []
+        self.cregs: List[ClassicalRegister] = []
+        for reg in regs:
+            if isinstance(reg, QuantumRegister):
+                self.qregs.append(reg)
+            elif isinstance(reg, ClassicalRegister):
+                self.cregs.append(reg)
+            elif isinstance(reg, int):
+                self.qregs.append(QuantumRegister(reg, f"q{len(self.qregs)}"))
+            else:
+                raise AdapterError(f"unsupported register {reg!r}")
+        if not self.qregs:
+            raise AdapterError("circuit needs at least one quantum register")
+        if not self.cregs:
+            self.cregs.append(ClassicalRegister(self.num_qubits, "c"))
+        self._ops: List[Tuple[str, Tuple[int, ...], Tuple[float, ...], Tuple[int, ...]]] = []
+
+    # -- register arithmetic -------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        return sum(r.size for r in self.qregs)
+
+    @property
+    def num_clbits(self) -> int:
+        return sum(r.size for r in self.cregs)
+
+    def _flatten_q(self, qubit: Qubit) -> int:
+        if isinstance(qubit, int):
+            if not 0 <= qubit < self.num_qubits:
+                raise AdapterError(f"qubit {qubit} out of range")
+            return qubit
+        reg, idx = qubit
+        offset = 0
+        for r in self.qregs:
+            if r is reg:
+                return offset + idx
+            offset += r.size
+        raise AdapterError(f"register {reg.name!r} not part of this circuit")
+
+    def _flatten_c(self, clbit: Clbit) -> int:
+        if isinstance(clbit, int):
+            if not 0 <= clbit < self.num_clbits:
+                raise AdapterError(f"clbit {clbit} out of range")
+            return clbit
+        reg, idx = clbit
+        offset = 0
+        for r in self.cregs:
+            if r is reg:
+                return offset + idx
+            offset += r.size
+        raise AdapterError(f"register {reg.name!r} not part of this circuit")
+
+    # -- gate methods (Qiskit names) ----------------------------------------------
+
+    def _gate(self, name: str, qubits: Sequence[Qubit], params: Sequence[float] = ()) -> "QiskitLikeCircuit":
+        self._ops.append(
+            (name, tuple(self._flatten_q(q) for q in qubits), tuple(map(float, params)), ())
+        )
+        return self
+
+    def h(self, q: Qubit):
+        return self._gate("h", [q])
+
+    def x(self, q: Qubit):
+        return self._gate("x", [q])
+
+    def y(self, q: Qubit):
+        return self._gate("y", [q])
+
+    def z(self, q: Qubit):
+        return self._gate("z", [q])
+
+    def s(self, q: Qubit):
+        return self._gate("s", [q])
+
+    def t(self, q: Qubit):
+        return self._gate("t", [q])
+
+    def rx(self, theta: float, q: Qubit):
+        return self._gate("rx", [q], [theta])
+
+    def ry(self, theta: float, q: Qubit):
+        return self._gate("ry", [q], [theta])
+
+    def rz(self, phi: float, q: Qubit):
+        return self._gate("rz", [q], [phi])
+
+    def p(self, lam: float, q: Qubit):
+        return self._gate("p", [q], [lam])
+
+    def cx(self, control: Qubit, target: Qubit):
+        return self._gate("cx", [control, target])
+
+    def cz(self, a: Qubit, b: Qubit):
+        return self._gate("cz", [a, b])
+
+    def swap(self, a: Qubit, b: Qubit):
+        return self._gate("swap", [a, b])
+
+    def cp(self, lam: float, a: Qubit, b: Qubit):
+        return self._gate("cp", [a, b], [lam])
+
+    def barrier(self):
+        self._ops.append(("barrier", tuple(range(self.num_qubits)), (), ()))
+        return self
+
+    def measure(self, qubit: Qubit, clbit: Clbit):
+        self._ops.append(
+            ("measure", (self._flatten_q(qubit),), (), (self._flatten_c(clbit),))
+        )
+        return self
+
+    def measure_all(self):
+        n = min(self.num_qubits, self.num_clbits)
+        for q in range(n):
+            self._ops.append(("measure", (q,), (), (q,)))
+        return self
+
+
+class QiskitLikeAdapter:
+    """Translates :class:`QiskitLikeCircuit` into the stack's IR."""
+
+    name = "qiskit"
+
+    @staticmethod
+    def translate(circuit: QiskitLikeCircuit) -> QuantumCircuit:
+        out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+        for name, qubits, params, clbits in circuit._ops:
+            if name == "barrier":
+                out.barrier(*qubits)
+            elif name == "measure":
+                out.measure(qubits[0], clbits[0])
+            else:
+                out.append(name, qubits, params)
+        return out
+
+
+__all__ = [
+    "QuantumRegister",
+    "ClassicalRegister",
+    "QiskitLikeCircuit",
+    "QiskitLikeAdapter",
+]

@@ -1,0 +1,167 @@
+"""QPI — the stack's native C-style programming interface.
+
+The paper's own frontend (Kaya et al., "QPI: A Programming Interface for
+Quantum Computers", QCE'24) is a procedural C API.  This adapter mirrors
+that shape: explicit handle allocation, free functions, integer status
+codes — deliberately un-Pythonic, because its purpose in the Figure 2
+experiment is to be a *fourth, maximally different* surface syntax that
+still lands in the same IR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import AdapterError
+
+QPI_SUCCESS = 0
+QPI_ERROR_INVALID_HANDLE = 1
+QPI_ERROR_INVALID_ARGUMENT = 2
+
+_handles: Dict[int, "_QpiProgram"] = {}
+_next_handle = [1]
+
+
+@dataclass
+class _QpiProgram:
+    num_qubits: int
+    name: str
+    ops: List[Tuple[str, Tuple[int, ...], Tuple[float, ...]]] = field(default_factory=list)
+    measured: List[int] = field(default_factory=list)
+    finalized: bool = False
+
+
+def qpi_create(num_qubits: int, name: str = "qpi_program") -> int:
+    """Allocate a program handle; returns the handle id (> 0)."""
+    if num_qubits < 1:
+        raise AdapterError("qpi_create: num_qubits must be >= 1")
+    handle = _next_handle[0]
+    _next_handle[0] += 1
+    _handles[handle] = _QpiProgram(int(num_qubits), str(name))
+    return handle
+
+
+def qpi_destroy(handle: int) -> int:
+    """Release a handle; returns a QPI status code."""
+    if _handles.pop(handle, None) is None:
+        return QPI_ERROR_INVALID_HANDLE
+    return QPI_SUCCESS
+
+
+def _get(handle: int) -> _QpiProgram:
+    prog = _handles.get(handle)
+    if prog is None:
+        raise AdapterError(f"invalid QPI handle {handle}")
+    if prog.finalized:
+        raise AdapterError(f"QPI handle {handle} already finalized")
+    return prog
+
+
+_GATE_ARITY = {
+    "H": (1, 0),
+    "X": (1, 0),
+    "Y": (1, 0),
+    "Z": (1, 0),
+    "S": (1, 0),
+    "T": (1, 0),
+    "RX": (1, 1),
+    "RY": (1, 1),
+    "RZ": (1, 1),
+    "PRX": (1, 2),
+    "CNOT": (2, 0),
+    "CZ": (2, 0),
+    "SWAP": (2, 0),
+}
+
+_TO_MNEMONIC = {
+    "H": "h",
+    "X": "x",
+    "Y": "y",
+    "Z": "z",
+    "S": "s",
+    "T": "t",
+    "RX": "rx",
+    "RY": "ry",
+    "RZ": "rz",
+    "PRX": "prx",
+    "CNOT": "cx",
+    "CZ": "cz",
+    "SWAP": "swap",
+}
+
+
+def qpi_apply(
+    handle: int,
+    gate: str,
+    qubits: Sequence[int],
+    params: Sequence[float] = (),
+) -> int:
+    """Append a gate; returns a QPI status code."""
+    prog = _get(handle)
+    gate = gate.upper()
+    arity = _GATE_ARITY.get(gate)
+    if arity is None:
+        return QPI_ERROR_INVALID_ARGUMENT
+    nq, np_ = arity
+    if len(qubits) != nq or len(params) != np_:
+        return QPI_ERROR_INVALID_ARGUMENT
+    if any(not 0 <= q < prog.num_qubits for q in qubits):
+        return QPI_ERROR_INVALID_ARGUMENT
+    prog.ops.append(
+        (_TO_MNEMONIC[gate], tuple(int(q) for q in qubits), tuple(float(p) for p in params))
+    )
+    return QPI_SUCCESS
+
+
+def qpi_measure(handle: int, qubit: int) -> int:
+    """Mark *qubit* for Z-basis measurement; returns a status code."""
+    prog = _get(handle)
+    if not 0 <= qubit < prog.num_qubits:
+        return QPI_ERROR_INVALID_ARGUMENT
+    if qubit not in prog.measured:
+        prog.measured.append(int(qubit))
+    return QPI_SUCCESS
+
+
+def qpi_measure_all(handle: int) -> int:
+    prog = _get(handle)
+    prog.measured = list(range(prog.num_qubits))
+    return QPI_SUCCESS
+
+
+def qpi_finalize(handle: int) -> QuantumCircuit:
+    """Close the program and translate it into the stack's circuit IR."""
+    prog = _get(handle)
+    prog.finalized = True
+    circuit = QuantumCircuit(prog.num_qubits, name=prog.name)
+    for name, qubits, params in prog.ops:
+        circuit.append(name, qubits, params)
+    for q in sorted(prog.measured):
+        circuit.measure(q)
+    return circuit
+
+
+class QpiAdapter:
+    """Adapter facade for symmetry with the other front ends."""
+
+    name = "qpi"
+
+    @staticmethod
+    def translate(handle: int) -> QuantumCircuit:
+        return qpi_finalize(handle)
+
+
+__all__ = [
+    "QPI_SUCCESS",
+    "QPI_ERROR_INVALID_HANDLE",
+    "QPI_ERROR_INVALID_ARGUMENT",
+    "qpi_create",
+    "qpi_destroy",
+    "qpi_apply",
+    "qpi_measure",
+    "qpi_measure_all",
+    "qpi_finalize",
+    "QpiAdapter",
+]

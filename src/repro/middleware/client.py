@@ -1,0 +1,177 @@
+"""The MQSS client: one entry point, two access paths.
+
+Figure 2 / Section 2.6: "Without requiring any code modifications from
+the user, the client automatically detects whether a job originates
+inside or outside an HPC environment and routes it accordingly to the
+appropriate interface, whether the REST-client for asynchronous access
+or the HPC-client for local, accelerator-style submission."
+
+:class:`MQSSClient` reproduces that contract: users call
+``client.run(program, shots=…)`` and get a :class:`Counts` histogram
+back; whether the job travelled through the REST queue (with JSON
+serialization both ways) or straight into the QRM loop is decided by
+environment detection — overridable, so the Figure 2 bench can compare
+the two paths explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Union
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.ir import Module
+from repro.compiler.jit import JITCompiler, Program
+from repro.errors import RoutingError
+from repro.middleware.rest import RestClient, RestServer
+from repro.scheduler.jobs import JobState
+from repro.scheduler.qrm import QuantumResourceManager
+from repro.simulator.counts import Counts
+
+#: Environment variables whose presence marks "inside the HPC system".
+_HPC_ENV_MARKERS = ("SLURM_JOB_ID", "PBS_JOBID", "LSB_JOBID")
+
+
+def detect_execution_context(env: Optional[Dict[str, str]] = None) -> str:
+    """``"hpc"`` when running inside a batch allocation, else ``"remote"``.
+
+    Real deployments sniff scheduler environment variables; tests pass a
+    fake ``env``.
+    """
+    env = os.environ if env is None else env
+    return "hpc" if any(m in env for m in _HPC_ENV_MARKERS) else "remote"
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """What the client did for one run: path taken plus the result."""
+
+    counts: Counts
+    path: str           # "hpc" | "rest"
+    job_id: int
+    shots: int
+    duration: float     # QPU wall-clock of the job
+
+
+class MQSSClient:
+    """Single user-facing entry point over both access paths.
+
+    Parameters
+    ----------
+    qrm:
+        The quantum resource manager (the HPC path talks to it
+        directly).
+    rest_server:
+        The REST facade (the remote path goes through full JSON
+        serialization and the asynchronous queue).  Defaults to a new
+        facade over the same QRM.
+    context:
+        ``"auto"`` (environment detection), ``"hpc"``, or ``"remote"``.
+    """
+
+    def __init__(
+        self,
+        qrm: QuantumResourceManager,
+        *,
+        rest_server: Optional[RestServer] = None,
+        context: str = "auto",
+        env: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if context not in ("auto", "hpc", "remote"):
+            raise RoutingError(f"unknown execution context {context!r}")
+        self.qrm = qrm
+        self.rest = RestClient(rest_server or RestServer(qrm))
+        self._context = context
+        self._env = env
+        self.records: list[ExecutionRecord] = []
+
+    @property
+    def context(self) -> str:
+        """The access path the next job will take."""
+        if self._context != "auto":
+            return self._context
+        return detect_execution_context(self._env)
+
+    # -- the single user API ----------------------------------------------------
+
+    def run(
+        self,
+        program: Program,
+        *,
+        shots: int = 1024,
+        user: str = "user",
+    ) -> Counts:
+        """Execute *program* and return its counts histogram.
+
+        Accepts any front-end artifact (a dialect :class:`Module` or a
+        :class:`QuantumCircuit`); routing, lowering, JIT compilation,
+        placement and execution are all transparent.
+        """
+        record = self.run_detailed(program, shots=shots, user=user)
+        return record.counts
+
+    def run_detailed(
+        self,
+        program: Program,
+        *,
+        shots: int = 1024,
+        user: str = "user",
+    ) -> ExecutionRecord:
+        """Like :meth:`run` but returns routing/timing provenance."""
+        path = self.context
+        if path == "hpc":
+            record = self._run_hpc(program, shots, user)
+        else:
+            record = self._run_rest(program, shots, user)
+        self.records.append(record)
+        return record
+
+    # -- the two paths ------------------------------------------------------------
+
+    def _run_hpc(self, program: Program, shots: int, user: str) -> ExecutionRecord:
+        """Accelerator-style: synchronous submit-and-run in the QRM loop."""
+        job = self.qrm.submit(program, shots=shots, user=user)
+        finished = self.qrm.run_next()
+        while finished is not job and job.state not in (
+            JobState.COMPLETED,
+            JobState.FAILED,
+        ):
+            # Other queued work may run first; keep draining.
+            if finished is None:
+                raise RoutingError("QRM queue drained without running our job")
+            finished = self.qrm.run_next()
+        if job.state is JobState.FAILED:
+            raise RoutingError(f"job failed: {job.failure_reason}")
+        result = job.result
+        return ExecutionRecord(
+            counts=result.counts,
+            path="hpc",
+            job_id=job.job_id,
+            shots=result.shots,
+            duration=result.duration,
+        )
+
+    def _run_rest(self, program: Program, shots: int, user: str) -> ExecutionRecord:
+        """Asynchronous: serialize, queue, poll.  The program must be
+        lowered to a circuit for the wire format."""
+        circuit, _ = JITCompiler.to_logical_circuit(program)
+        job_id = self.rest.submit(circuit, shots=shots, user=user)
+        body = self.rest.wait(job_id)
+        counts = Counts(
+            {k: int(v) for k, v in body["counts"].items()},
+            num_bits=circuit.num_clbits,
+        )
+        return ExecutionRecord(
+            counts=counts,
+            path="rest",
+            job_id=job_id,
+            shots=int(body["shots"]),
+            duration=float(body["duration"]),
+        )
+
+    def __repr__(self) -> str:
+        return f"<MQSSClient context={self.context!r}, {len(self.records)} runs>"
+
+
+__all__ = ["MQSSClient", "ExecutionRecord", "detect_execution_context"]

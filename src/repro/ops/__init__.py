@@ -1,0 +1,25 @@
+"""Daily operations: the 146-day autonomous-calibration run and onboarding."""
+
+from repro.ops.onboarding import (
+    FAQ_CATEGORIES,
+    OnboardingProgram,
+    OnboardingReport,
+    UserProfile,
+)
+from repro.ops.operations import (
+    DailyRecord,
+    OperationsConfig,
+    OperationsResult,
+    OperationsSimulator,
+)
+
+__all__ = [
+    "FAQ_CATEGORIES",
+    "OnboardingProgram",
+    "OnboardingReport",
+    "UserProfile",
+    "DailyRecord",
+    "OperationsConfig",
+    "OperationsResult",
+    "OperationsSimulator",
+]

@@ -1,0 +1,194 @@
+"""User onboarding model (Section 4, lesson 4).
+
+The paper's Section 4 is qualitative — two user groups (quantum experts
+vs HPC practitioners), the Use–Modify–Create training progression,
+mentorship, open-mic feedback, and a categorized FAQ.  We model it as a
+stochastic user-ramp process whose one quantitative handle matches the
+paper's observable: structured onboarding converts hardware access into
+scientific output faster (time-to-first-successful-job, support-ticket
+volume, publication conversion).
+
+The model is intentionally simple and fully documented: each user has a
+competence level that grows with training stages and successful jobs;
+job success probability and ticket rate derive from competence; the
+program compares a *structured* cohort (training + mentorship) against
+an *unstructured* one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.utils.rng import RandomState, child_rng
+
+#: Section 4's FAQ organization.
+FAQ_CATEGORIES = (
+    "Getting Started",
+    "Job Submission & Execution",
+    "Job Tracking & Results",
+    "System & Hardware Information",
+    "Resource Usage",
+    "Budgeting",
+)
+
+#: Use–Modify–Create stages (Lee et al., cited by the paper).
+UMC_STAGES = ("use", "modify", "create")
+
+
+@dataclass
+class UserProfile:
+    """One early-phase user."""
+
+    name: str
+    background: str                 # "quantum_expert" | "hpc_practitioner"
+    competence: float = 0.0         # 0..1, drives success probability
+    stage: str = "use"
+    jobs_attempted: int = 0
+    jobs_succeeded: int = 0
+    tickets_filed: int = 0
+    first_success_day: Optional[int] = None
+    published: bool = False
+
+    def __post_init__(self) -> None:
+        if self.background not in ("quantum_expert", "hpc_practitioner"):
+            raise ReproError(f"unknown background {self.background!r}")
+
+
+@dataclass(frozen=True)
+class OnboardingReport:
+    """Aggregate outcome of one cohort over the program horizon."""
+
+    structured: bool
+    num_users: int
+    mean_time_to_first_success: float   # days (only over users who succeeded)
+    success_rate_final_week: float
+    total_tickets: int
+    tickets_by_category: Dict[str, int]
+    users_reached_create: int
+    publications: int
+
+
+class OnboardingProgram:
+    """Simulates an early-user cohort over *days* days.
+
+    Structured programs add: an initial device-specific training bump,
+    mentor check-ins that accelerate competence growth, and open-mic
+    sessions that convert tickets into competence instead of repeats.
+    """
+
+    def __init__(
+        self,
+        users: Sequence[UserProfile],
+        *,
+        structured: bool = True,
+        days: int = 90,
+        rng: RandomState = None,
+    ) -> None:
+        if not users:
+            raise ReproError("cohort must contain at least one user")
+        self.users = list(users)
+        self.structured = bool(structured)
+        self.days = int(days)
+        self._rng = child_rng(rng, "onboarding", structured)
+
+    # model constants -----------------------------------------------------------
+    _TRAINING_BUMP = {"quantum_expert": 0.25, "hpc_practitioner": 0.15}
+    _BASE_GROWTH = 0.010
+    _MENTOR_GROWTH = 0.012
+    _JOBS_PER_DAY = 0.6
+    _STAGE_THRESHOLDS = {"modify": 0.35, "create": 0.65}
+    _PUBLICATION_THRESHOLD = 30  # successful jobs needed for a publication
+
+    def run(self) -> OnboardingReport:
+        r = self._rng
+        if self.structured:
+            # hands-on Jupyter training session (device-specific tips):
+            for u in self.users:
+                u.competence = min(1.0, u.competence + self._TRAINING_BUMP[u.background])
+        tickets_by_cat: Dict[str, int] = {c: 0 for c in FAQ_CATEGORIES}
+        final_week_attempts = 0
+        final_week_successes = 0
+        for day in range(self.days):
+            for u in self.users:
+                growth = self._BASE_GROWTH
+                if self.structured:
+                    growth += self._MENTOR_GROWTH
+                u.competence = min(1.0, u.competence + growth * r.uniform(0.5, 1.5))
+                for threshold_stage, threshold in self._STAGE_THRESHOLDS.items():
+                    if u.competence >= threshold and UMC_STAGES.index(
+                        threshold_stage
+                    ) > UMC_STAGES.index(u.stage):
+                        u.stage = threshold_stage
+                if r.random() > self._JOBS_PER_DAY:
+                    continue
+                u.jobs_attempted += 1
+                p_success = 0.15 + 0.8 * u.competence
+                success = r.random() < p_success
+                if day >= self.days - 7:
+                    final_week_attempts += 1
+                    final_week_successes += int(success)
+                if success:
+                    u.jobs_succeeded += 1
+                    if u.first_success_day is None:
+                        u.first_success_day = day
+                    if (
+                        u.jobs_succeeded >= self._PUBLICATION_THRESHOLD
+                        and u.stage == "create"
+                    ):
+                        u.published = True
+                else:
+                    u.tickets_filed += 1
+                    # struggling beginners ask getting-started questions;
+                    # advanced users file budgeting/hardware queries
+                    if u.competence < 0.3:
+                        cat = FAQ_CATEGORIES[int(r.integers(0, 3))]
+                    else:
+                        cat = FAQ_CATEGORIES[int(r.integers(2, len(FAQ_CATEGORIES)))]
+                    tickets_by_cat[cat] += 1
+                    if self.structured:
+                        # open-mic feedback converts the failure into learning
+                        u.competence = min(1.0, u.competence + 0.01)
+        succeeded = [u for u in self.users if u.first_success_day is not None]
+        mean_ttfs = (
+            float(np.mean([u.first_success_day for u in succeeded]))
+            if succeeded
+            else float(self.days)
+        )
+        return OnboardingReport(
+            structured=self.structured,
+            num_users=len(self.users),
+            mean_time_to_first_success=mean_ttfs,
+            success_rate_final_week=(
+                final_week_successes / final_week_attempts
+                if final_week_attempts
+                else 0.0
+            ),
+            total_tickets=sum(tickets_by_cat.values()),
+            tickets_by_category=tickets_by_cat,
+            users_reached_create=sum(1 for u in self.users if u.stage == "create"),
+            publications=sum(1 for u in self.users if u.published),
+        )
+
+
+def default_cohort(n: int = 10, *, rng: RandomState = None) -> List[UserProfile]:
+    """A mixed cohort: half quantum experts, half HPC practitioners —
+    the two user groups Section 4 identifies."""
+    users = []
+    for i in range(n):
+        background = "quantum_expert" if i % 2 == 0 else "hpc_practitioner"
+        users.append(UserProfile(name=f"user{i:02d}", background=background))
+    return users
+
+
+__all__ = [
+    "FAQ_CATEGORIES",
+    "UMC_STAGES",
+    "UserProfile",
+    "OnboardingReport",
+    "OnboardingProgram",
+    "default_cohort",
+]

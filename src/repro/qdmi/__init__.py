@@ -1,0 +1,12 @@
+"""Quantum Device Management Interface (QDMI) — runtime device queries."""
+
+from repro.qdmi.devices import QPUQDMIDevice, SnapshotQDMIDevice
+from repro.qdmi.interface import QDMIDevice, QDMIProperty, QDMISession
+
+__all__ = [
+    "QPUQDMIDevice",
+    "SnapshotQDMIDevice",
+    "QDMIDevice",
+    "QDMIProperty",
+    "QDMISession",
+]

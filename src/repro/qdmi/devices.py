@@ -1,0 +1,116 @@
+"""QDMI device implementations.
+
+Three bindings of the property protocol:
+
+* :class:`QPUQDMIDevice` — live queries against a :class:`~repro.qpu.device.QPUDevice`
+  (each query re-reads the *current effective* calibration, i.e. fresh
+  telemetry; this is the Figure 3 "telemetry-aware execution" path);
+* :class:`SnapshotQDMIDevice` — frozen calibration data (the stale /
+  static-compilation baseline the Figure 3 bench compares against);
+* :class:`TelemetryQDMIDevice` (in :mod:`repro.telemetry.qdmi_bridge`)
+  — answers from the DCDB store, completing the Figure 3 loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet
+
+from repro.circuits.gates import NATIVE_GATES
+from repro.errors import QDMIError
+from repro.qdmi.interface import QDMIDevice, QDMIProperty
+from repro.qpu.device import QPUDevice
+from repro.qpu.params import CalibrationSnapshot
+
+_ALL = frozenset(QDMIProperty)
+
+
+def _answer_from_snapshot(
+    snapshot: CalibrationSnapshot, name: str, status: str, prop: QDMIProperty, scope: Dict[str, Any]
+) -> Any:
+    if prop is QDMIProperty.NAME:
+        return name
+    if prop is QDMIProperty.NUM_QUBITS:
+        return snapshot.topology.num_qubits
+    if prop is QDMIProperty.COUPLING_MAP:
+        return tuple(snapshot.topology.couplers)
+    if prop is QDMIProperty.NATIVE_GATES:
+        return tuple(sorted(NATIVE_GATES))
+    if prop is QDMIProperty.STATUS:
+        return status
+    if prop is QDMIProperty.CALIBRATION_TIMESTAMP:
+        return snapshot.timestamp
+    if prop is QDMIProperty.CALIBRATION_KIND:
+        return snapshot.calibration_kind
+    if prop is QDMIProperty.CALIBRATION_SNAPSHOT:
+        return snapshot
+    if prop is QDMIProperty.MEDIAN_PRX_FIDELITY:
+        return snapshot.median_prx_fidelity()
+    if prop is QDMIProperty.MEDIAN_CZ_FIDELITY:
+        return snapshot.median_cz_fidelity()
+    if prop is QDMIProperty.MEDIAN_READOUT_FIDELITY:
+        return snapshot.median_readout_fidelity()
+    if prop in (
+        QDMIProperty.T1,
+        QDMIProperty.T2,
+        QDMIProperty.PRX_FIDELITY,
+        QDMIProperty.READOUT_FIDELITY,
+        QDMIProperty.QUBIT_FREQUENCY,
+    ):
+        qubit = scope.get("qubit")
+        if qubit is None:
+            raise QDMIError(f"{prop.name} requires qubit= scope")
+        qp = snapshot.qubits[int(qubit)]
+        return {
+            QDMIProperty.T1: qp.t1,
+            QDMIProperty.T2: qp.t2,
+            QDMIProperty.PRX_FIDELITY: qp.prx_fidelity,
+            QDMIProperty.READOUT_FIDELITY: qp.readout_fidelity,
+            QDMIProperty.QUBIT_FREQUENCY: qp.frequency,
+        }[prop]
+    if prop in (QDMIProperty.CZ_FIDELITY, QDMIProperty.CZ_DURATION):
+        coupler = scope.get("coupler")
+        if coupler is None:
+            raise QDMIError(f"{prop.name} requires coupler= scope")
+        cp = snapshot.coupler_params(*coupler)
+        return cp.cz_fidelity if prop is QDMIProperty.CZ_FIDELITY else cp.cz_duration
+    raise QDMIError(f"unhandled property {prop.name}")  # pragma: no cover
+
+
+class QPUQDMIDevice(QDMIDevice):
+    """Live QDMI binding: every query reads the device's *current*
+    effective calibration, so compilers always see fresh data."""
+
+    def __init__(self, device: QPUDevice) -> None:
+        self._device = device
+
+    def supported_properties(self) -> FrozenSet[QDMIProperty]:
+        return _ALL
+
+    def _query(self, prop: QDMIProperty, scope: Dict[str, Any]) -> Any:
+        if prop is QDMIProperty.STATUS:
+            return self._device.status.value
+        snapshot = self._device.calibration()
+        return _answer_from_snapshot(
+            snapshot, self._device.name, self._device.status.value, prop, scope
+        )
+
+
+class SnapshotQDMIDevice(QDMIDevice):
+    """Frozen QDMI binding: answers from a fixed snapshot.
+
+    Models ahead-of-time compilation against stale calibration data —
+    the baseline the JIT path beats in the Figure 3 experiment.
+    """
+
+    def __init__(self, snapshot: CalibrationSnapshot, name: str = "snapshot-device") -> None:
+        self._snapshot = snapshot
+        self._name = name
+
+    def supported_properties(self) -> FrozenSet[QDMIProperty]:
+        return _ALL
+
+    def _query(self, prop: QDMIProperty, scope: Dict[str, Any]) -> Any:
+        return _answer_from_snapshot(self._snapshot, self._name, "online", prop, scope)
+
+
+__all__ = ["QPUQDMIDevice", "SnapshotQDMIDevice"]

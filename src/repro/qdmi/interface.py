@@ -1,0 +1,126 @@
+"""QDMI — the Quantum Device Management Interface.
+
+The paper (Section 2.6, Figure 3) describes QDMI as "a lightweight
+header-only C interface [that] allows to bridge hardware-specific
+performance data and the compiler's optimization flow … enabling
+software tools to query backend-specific metrics, including topology,
+gate fidelities, noise characteristics, and resource constraints, at
+runtime".
+
+We keep the same shape in Python: a small property-query protocol
+(:class:`QDMIDevice`), session handles (:class:`QDMISession`) so that
+tools acquire/release access explicitly, and an enumerated property
+space (:class:`QDMIProperty`).  Devices advertise which properties they
+support; querying an unsupported one raises
+:class:`~repro.errors.PropertyNotSupportedError` — exactly the
+`QDMI_ERROR_NOTSUPPORTED` contract of the C interface.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Any, Dict, FrozenSet, Optional, Tuple
+
+from repro.errors import PropertyNotSupportedError, SessionError
+
+
+class QDMIProperty(enum.Enum):
+    """The queryable property space."""
+
+    # device-scoped
+    NAME = "name"
+    NUM_QUBITS = "num_qubits"
+    COUPLING_MAP = "coupling_map"
+    NATIVE_GATES = "native_gates"
+    STATUS = "status"
+    CALIBRATION_TIMESTAMP = "calibration_timestamp"
+    CALIBRATION_KIND = "calibration_kind"
+    CALIBRATION_SNAPSHOT = "calibration_snapshot"
+    MEDIAN_PRX_FIDELITY = "median_prx_fidelity"
+    MEDIAN_CZ_FIDELITY = "median_cz_fidelity"
+    MEDIAN_READOUT_FIDELITY = "median_readout_fidelity"
+    # qubit-scoped (pass qubit=<int>)
+    T1 = "t1"
+    T2 = "t2"
+    PRX_FIDELITY = "prx_fidelity"
+    READOUT_FIDELITY = "readout_fidelity"
+    QUBIT_FREQUENCY = "qubit_frequency"
+    # coupler-scoped (pass coupler=(a, b))
+    CZ_FIDELITY = "cz_fidelity"
+    CZ_DURATION = "cz_duration"
+
+
+class QDMIDevice(ABC):
+    """A device exposing the QDMI property-query protocol."""
+
+    @abstractmethod
+    def supported_properties(self) -> FrozenSet[QDMIProperty]:
+        """The properties this device can answer."""
+
+    @abstractmethod
+    def _query(self, prop: QDMIProperty, scope: Dict[str, Any]) -> Any:
+        """Answer one property query (scope pre-validated)."""
+
+    def query(self, prop: QDMIProperty, **scope: Any) -> Any:
+        """Query *prop*, optionally scoped to ``qubit=`` or ``coupler=``.
+
+        Raises :class:`PropertyNotSupportedError` when the device does
+        not implement the property.
+        """
+        if prop not in self.supported_properties():
+            raise PropertyNotSupportedError(
+                f"device {self.device_name()!r} does not support {prop.name}"
+            )
+        return self._query(prop, scope)
+
+    def device_name(self) -> str:
+        try:
+            return str(self._query(QDMIProperty.NAME, {}))
+        except Exception:  # pragma: no cover - defensive
+            return type(self).__name__
+
+    def open_session(self) -> "QDMISession":
+        """Acquire a session handle (the C API's ``QDMI_session_open``)."""
+        return QDMISession(self)
+
+
+class QDMISession:
+    """An open handle through which tools issue queries.
+
+    Mirrors the C interface's explicit lifecycle: queries on a closed
+    session raise :class:`SessionError`.  Usable as a context manager.
+    """
+
+    def __init__(self, device: QDMIDevice) -> None:
+        self._device = device
+        self._open = True
+        self.queries_served = 0
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def query(self, prop: QDMIProperty, **scope: Any) -> Any:
+        if not self._open:
+            raise SessionError("QDMI session is closed")
+        self.queries_served += 1
+        return self._device.query(prop, **scope)
+
+    def close(self) -> None:
+        self._open = False
+
+    def __enter__(self) -> "QDMISession":
+        if not self._open:
+            raise SessionError("cannot re-enter a closed QDMI session")
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "open" if self._open else "closed"
+        return f"<QDMISession {self._device.device_name()!r} ({state}, {self.queries_served} queries)>"
+
+
+__all__ = ["QDMIProperty", "QDMIDevice", "QDMISession"]

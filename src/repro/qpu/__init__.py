@@ -1,0 +1,51 @@
+"""Device model: topology, calibration data, drift physics, executor."""
+
+from repro.qpu.device import (
+    FULL_CALIBRATION_DURATION,
+    JOB_OVERHEAD,
+    QUICK_CALIBRATION_DURATION,
+    DeviceStatus,
+    QPUDevice,
+    QPUJobResult,
+)
+from repro.qpu.drift import DriftConfig, DriftModel
+from repro.qpu.params import (
+    NOMINAL,
+    CalibrationSnapshot,
+    CouplerParams,
+    QubitParams,
+    nominal_calibration,
+)
+from repro.qpu.pulse import (
+    AcquirePulse,
+    DrivePulse,
+    FluxPulse,
+    PulseSchedule,
+    circuit_to_schedule,
+    schedule_to_circuit,
+)
+from repro.qpu.topology import Coupler, Topology
+
+__all__ = [
+    "FULL_CALIBRATION_DURATION",
+    "JOB_OVERHEAD",
+    "QUICK_CALIBRATION_DURATION",
+    "DeviceStatus",
+    "QPUDevice",
+    "QPUJobResult",
+    "DriftConfig",
+    "DriftModel",
+    "NOMINAL",
+    "CalibrationSnapshot",
+    "CouplerParams",
+    "QubitParams",
+    "nominal_calibration",
+    "Coupler",
+    "Topology",
+    "AcquirePulse",
+    "DrivePulse",
+    "FluxPulse",
+    "PulseSchedule",
+    "circuit_to_schedule",
+    "schedule_to_circuit",
+]

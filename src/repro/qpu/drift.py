@@ -1,0 +1,222 @@
+"""Parameter drift: why quantum computers need recalibration.
+
+The paper's central operational lesson (Section 3.2, Figure 4) is that
+"qubits … are part of dynamic systems that require regular tuning".
+This module is the hidden physical truth behind that statement:
+
+* **Miscalibration coordinates** — each qubit (and each coupler) carries
+  an Ornstein–Uhlenbeck coordinate modeling how far the control pulses
+  have drifted from the device's current physics.  Gate error grows
+  quadratically in the coordinate.  Calibration re-zeros the coordinate
+  (to a small residual) — *quick* calibration re-zeros only the
+  single-qubit and readout coordinates and leaves most of the two-qubit
+  miscalibration in place, which is exactly the paper's "quick
+  recalibration … generally results in lower system performance".
+* **T1 wander and TLS defects** — T1 follows a slow log-OU process, and
+  two-level-system defects (the paper cites PRX Quantum 3, 040332)
+  occasionally latch onto a qubit and depress its T1 for days.  No
+  calibration can fix these; they set the fidelity floor.
+
+The observable artifact is :meth:`DriftModel.effective_snapshot`, the
+calibration data a *measurement* of the device would report right now.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import CalibrationError
+from repro.qpu.params import CalibrationSnapshot, CouplerParams, QubitParams
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.units import DAY
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Tunables of the drift process (defaults give Figure-4-like traces)."""
+
+    miscal_tau: float = 3.0 * DAY       # OU relaxation time of miscalibration
+    miscal_std_1q: float = 1.0          # stationary std, dimensionless units
+    miscal_std_2q: float = 1.0
+    miscal_std_ro: float = 1.0
+    sens_1q: float = 1.5e-3             # added PRX error per unit coordinate²
+    sens_2q: float = 1.2e-2             # added CZ error per unit coordinate²
+    sens_ro: float = 3.0e-2             # added readout error per unit coordinate²
+    cross_sens_2q: float = 2.0e-3       # CZ penalty from 1q detuning of its qubits
+    t1_tau: float = 7.0 * DAY           # log-OU timescale of T1 wander
+    t1_log_std: float = 0.12            # stationary std of log T1
+    tls_rate: float = 1.0 / (30.0 * DAY)  # per-qubit TLS capture rate
+    tls_depth: float = 0.35             # T1 multiplier while a TLS is latched
+    tls_mean_duration: float = 2.0 * DAY
+    residual_full: float = 0.08         # coordinate residual after full cal
+    residual_quick_1q: float = 0.12     # 1q/readout residual after quick cal
+    quick_2q_retention: float = 0.65    # 2q miscalibration left after quick cal
+
+    def __post_init__(self) -> None:
+        check_positive(self.miscal_tau, "miscal_tau")
+        check_positive(self.t1_tau, "t1_tau")
+        if not 0.0 <= self.quick_2q_retention <= 1.0:
+            raise CalibrationError("quick_2q_retention must be in [0, 1]")
+
+
+class DriftModel:
+    """Hidden physical state of a device plus its evolution law.
+
+    The model owns simulation time (seconds).  :meth:`evolve` advances
+    the physics; :meth:`apply_calibration` models a calibration
+    procedure's effect; :meth:`effective_snapshot` reports what a
+    characterization measurement would see.
+    """
+
+    def __init__(
+        self,
+        base: CalibrationSnapshot,
+        config: Optional[DriftConfig] = None,
+        rng: RandomState = None,
+    ) -> None:
+        self.base = base
+        self.config = config or DriftConfig()
+        self._rng = as_rng(rng)
+        n = base.topology.num_qubits
+        m = base.topology.num_couplers
+        self.time = float(base.timestamp)
+        self._delta_1q = np.zeros(n)
+        self._delta_ro = np.zeros(n)
+        self._delta_2q = np.zeros(m)
+        self._t1_log = np.zeros(n)
+        self._tls_until = np.full(n, -np.inf)
+        self._coupler_index = {
+            edge: i for i, edge in enumerate(base.topology.couplers)
+        }
+        self._last_kind = base.calibration_kind
+
+    # -- evolution ----------------------------------------------------------------
+
+    def evolve(self, dt: float) -> None:
+        """Advance the hidden physics by *dt* seconds."""
+        if dt < 0:
+            raise CalibrationError("cannot evolve backwards in time")
+        if dt == 0:
+            return
+        cfg = self.config
+        r = self._rng
+
+        def ou(x: np.ndarray, tau: float, std: float) -> np.ndarray:
+            a = np.exp(-dt / tau)
+            return x * a + std * np.sqrt(1.0 - a * a) * r.normal(size=x.shape)
+
+        self._delta_1q = ou(self._delta_1q, cfg.miscal_tau, cfg.miscal_std_1q)
+        self._delta_ro = ou(self._delta_ro, cfg.miscal_tau, cfg.miscal_std_ro)
+        self._delta_2q = ou(self._delta_2q, cfg.miscal_tau, cfg.miscal_std_2q)
+        self._t1_log = ou(self._t1_log, cfg.t1_tau, cfg.t1_log_std)
+        # TLS capture: Poisson per qubit.
+        p_capture = 1.0 - np.exp(-cfg.tls_rate * dt)
+        captured = r.random(self._tls_until.shape) < p_capture
+        durations = r.exponential(cfg.tls_mean_duration, size=self._tls_until.shape)
+        new_until = self.time + dt + durations
+        self._tls_until = np.where(
+            captured & (self._tls_until < self.time + dt), new_until, self._tls_until
+        )
+        self.time += dt
+
+    # -- calibration --------------------------------------------------------------
+
+    def apply_calibration(self, kind: str) -> None:
+        """Re-zero miscalibration coordinates per procedure *kind*.
+
+        ``"full"`` re-tunes everything; ``"quick"`` re-tunes single-qubit
+        pulses and readout but retains most two-qubit miscalibration.
+        """
+        cfg = self.config
+        r = self._rng
+        n = self._delta_1q.shape[0]
+        m = self._delta_2q.shape[0]
+        if kind == "full":
+            self._delta_1q = cfg.residual_full * r.normal(size=n)
+            self._delta_ro = cfg.residual_full * r.normal(size=n)
+            self._delta_2q = cfg.residual_full * r.normal(size=m)
+        elif kind == "quick":
+            self._delta_1q = cfg.residual_quick_1q * r.normal(size=n)
+            self._delta_ro = cfg.residual_quick_1q * r.normal(size=n)
+            self._delta_2q = cfg.quick_2q_retention * self._delta_2q
+        else:
+            raise CalibrationError(f"unknown calibration kind {kind!r}")
+        self._last_kind = kind
+
+    # -- observation ---------------------------------------------------------------
+
+    def tls_active(self) -> np.ndarray:
+        """Boolean mask of qubits currently hosting a TLS defect."""
+        return self._tls_until > self.time
+
+    def effective_snapshot(self) -> CalibrationSnapshot:
+        """The calibration data a measurement would report *now*."""
+        cfg = self.config
+        base = self.base
+        tls = self.tls_active()
+        qubits: List[QubitParams] = []
+        for q, qp in enumerate(base.qubits):
+            t1 = qp.t1 * float(np.exp(self._t1_log[q]))
+            if tls[q]:
+                t1 *= cfg.tls_depth
+            t2 = min(qp.t2 * float(np.exp(self._t1_log[q])), 1.95 * t1)
+            add_1q = cfg.sens_1q * float(self._delta_1q[q]) ** 2
+            add_ro = cfg.sens_ro * float(self._delta_ro[q]) ** 2
+            # Decoherence during the pulse contributes error ~ duration/T1;
+            # a TLS-depressed T1 therefore shows up in gate fidelity too.
+            decoherence_1q = 0.5 * qp.prx_duration * (1.0 / t1 + 1.0 / t2)
+            qubits.append(
+                QubitParams(
+                    t1=t1,
+                    t2=t2,
+                    prx_error=_clip(qp.prx_error + add_1q + decoherence_1q),
+                    readout_error_0=_clip(qp.readout_error_0 + add_ro),
+                    readout_error_1=_clip(qp.readout_error_1 + 1.4 * add_ro),
+                    prx_duration=qp.prx_duration,
+                    readout_duration=qp.readout_duration,
+                    frequency=qp.frequency,
+                )
+            )
+        couplers: Dict[tuple, CouplerParams] = {}
+        for edge, cp in base.couplers.items():
+            i = self._coupler_index[edge]
+            a, b = edge
+            add_2q = cfg.sens_2q * float(self._delta_2q[i]) ** 2
+            cross = cfg.cross_sens_2q * (
+                float(self._delta_1q[a]) ** 2 + float(self._delta_1q[b]) ** 2
+            )
+            deco = 0.5 * cp.cz_duration * (
+                1.0 / qubits[a].t1 + 1.0 / qubits[b].t1
+            )
+            couplers[edge] = CouplerParams(
+                cz_error=_clip(cp.cz_error + add_2q + cross + deco),
+                cz_duration=cp.cz_duration,
+            )
+        return CalibrationSnapshot(
+            topology=base.topology,
+            qubits=tuple(qubits),
+            couplers=couplers,
+            timestamp=self.time,
+            calibration_kind=self._last_kind,
+            reset_duration=base.reset_duration,
+        )
+
+    def miscalibration_magnitude(self) -> Dict[str, float]:
+        """RMS miscalibration per subsystem — a health-analytics input."""
+        return {
+            "rms_1q": float(np.sqrt(np.mean(self._delta_1q**2))),
+            "rms_2q": float(np.sqrt(np.mean(self._delta_2q**2))),
+            "rms_ro": float(np.sqrt(np.mean(self._delta_ro**2))),
+            "tls_count": float(self.tls_active().sum()),
+        }
+
+
+def _clip(p: float) -> float:
+    return min(0.5, max(0.0, float(p)))
+
+
+__all__ = ["DriftConfig", "DriftModel"]

@@ -1,0 +1,300 @@
+"""Device calibration data: the per-qubit / per-coupler quality metrics.
+
+A :class:`CalibrationSnapshot` is the artifact the whole stack revolves
+around: QDMI serves it to the compiler, DCDB logs its history, Figure 4
+plots its evolution over 146 days, and the sampler's noise model is
+compiled directly from it.
+
+Nominal magnitudes follow the published benchmarks of the paper's device
+(IQM's 20-qubit system, arXiv:2408.12433): median T1 ≈ 40 µs, single-
+qubit gate fidelity ≈ 99.9 %, CZ fidelity ≈ 99.1 %, readout fidelity
+≈ 97.5 %, PRX duration 20 ns, CZ duration 40 ns, readout 1.5 µs, and the
+300 µs passive reset the paper's Section 2.4 bandwidth estimate assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from statistics import median
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CalibrationError, TopologyError
+from repro.qpu.topology import Coupler, Topology
+from repro.simulator.noise import (
+    NoiseModel,
+    ReadoutError,
+    depolarizing_error,
+    thermal_relaxation_error,
+)
+from repro.utils.units import MICROSECOND, NANOSECOND
+from repro.utils.validation import check_probability
+
+#: Paper-grade nominal hardware figures (see module docstring).
+NOMINAL = {
+    "t1": 40.0 * MICROSECOND,
+    "t2": 30.0 * MICROSECOND,
+    "prx_error": 1.0e-3,
+    "cz_error": 9.0e-3,
+    "readout_error": 2.5e-2,
+    "prx_duration": 20.0 * NANOSECOND,
+    "cz_duration": 40.0 * NANOSECOND,
+    "readout_duration": 1.5 * MICROSECOND,
+    "reset_duration": 300.0 * MICROSECOND,  # passive ground-state reset
+}
+
+
+@dataclass(frozen=True)
+class QubitParams:
+    """Calibrated properties of one transmon qubit."""
+
+    t1: float
+    t2: float
+    prx_error: float
+    readout_error_0: float  # P(read 1 | prepared 0)
+    readout_error_1: float  # P(read 0 | prepared 1)
+    prx_duration: float = NOMINAL["prx_duration"]
+    readout_duration: float = NOMINAL["readout_duration"]
+    frequency: float = 4.8e9
+
+    def __post_init__(self) -> None:
+        if self.t1 <= 0 or self.t2 <= 0:
+            raise CalibrationError("T1/T2 must be positive")
+        if self.t2 > 2.0 * self.t1 + 1e-12:
+            raise CalibrationError(f"unphysical T2 {self.t2:g} > 2·T1 {self.t1:g}")
+        check_probability(self.prx_error, "prx_error")
+        check_probability(self.readout_error_0, "readout_error_0")
+        check_probability(self.readout_error_1, "readout_error_1")
+
+    @property
+    def prx_fidelity(self) -> float:
+        return 1.0 - self.prx_error
+
+    @property
+    def readout_fidelity(self) -> float:
+        return 1.0 - 0.5 * (self.readout_error_0 + self.readout_error_1)
+
+    def readout(self) -> ReadoutError:
+        return ReadoutError(self.readout_error_0, self.readout_error_1)
+
+
+@dataclass(frozen=True)
+class CouplerParams:
+    """Calibrated properties of one tunable coupler (CZ gate)."""
+
+    cz_error: float
+    cz_duration: float = NOMINAL["cz_duration"]
+
+    def __post_init__(self) -> None:
+        check_probability(self.cz_error, "cz_error")
+
+    @property
+    def cz_fidelity(self) -> float:
+        return 1.0 - self.cz_error
+
+
+@dataclass(frozen=True)
+class CalibrationSnapshot:
+    """The full calibrated state of a device at one instant.
+
+    ``timestamp`` is simulation time in seconds since epoch of the run;
+    ``calibration_kind`` records whether the data came from a ``"full"``
+    or ``"quick"`` procedure (Section 3.2), which QDMI exposes to users.
+    """
+
+    topology: Topology
+    qubits: Tuple[QubitParams, ...]
+    couplers: Mapping[Coupler, CouplerParams]
+    timestamp: float = 0.0
+    calibration_kind: str = "full"
+    reset_duration: float = NOMINAL["reset_duration"]
+
+    def __post_init__(self) -> None:
+        if len(self.qubits) != self.topology.num_qubits:
+            raise CalibrationError(
+                f"snapshot has {len(self.qubits)} qubit entries for a "
+                f"{self.topology.num_qubits}-qubit topology"
+            )
+        expected = set(self.topology.couplers)
+        got = set(self.couplers)
+        if expected != got:
+            raise CalibrationError(
+                f"snapshot couplers do not match topology "
+                f"(missing {sorted(expected - got)}, extra {sorted(got - expected)})"
+            )
+
+    # -- aggregate quality metrics (the Figure 4 series) -----------------------
+
+    def median_prx_fidelity(self) -> float:
+        return median(q.prx_fidelity for q in self.qubits)
+
+    def median_cz_fidelity(self) -> float:
+        return median(c.cz_fidelity for c in self.couplers.values())
+
+    def median_readout_fidelity(self) -> float:
+        return median(q.readout_fidelity for q in self.qubits)
+
+    def median_t1(self) -> float:
+        return median(q.t1 for q in self.qubits)
+
+    def median_t2(self) -> float:
+        return median(q.t2 for q in self.qubits)
+
+    def worst_qubit(self) -> int:
+        """Index of the qubit with the lowest PRX fidelity."""
+        return min(range(len(self.qubits)), key=lambda i: self.qubits[i].prx_fidelity)
+
+    def summary(self) -> Dict[str, float]:
+        """The metric dict pushed to telemetry every monitoring cycle."""
+        return {
+            "median_prx_fidelity": self.median_prx_fidelity(),
+            "median_cz_fidelity": self.median_cz_fidelity(),
+            "median_readout_fidelity": self.median_readout_fidelity(),
+            "median_t1": self.median_t1(),
+            "median_t2": self.median_t2(),
+        }
+
+    # -- derived artifacts -------------------------------------------------------
+
+    def coupler_params(self, a: int, b: int) -> CouplerParams:
+        key = (min(int(a), int(b)), max(int(a), int(b)))
+        try:
+            return self.couplers[key]
+        except KeyError:
+            raise TopologyError(f"no coupler between qubits {a} and {b}") from None
+
+    def gate_duration(self, name: str, qubits: Sequence[int]) -> float:
+        """Physical duration of a native operation in seconds."""
+        if name == "prx":
+            return self.qubits[qubits[0]].prx_duration
+        if name == "cz":
+            return self.coupler_params(*qubits).cz_duration
+        if name == "measure":
+            return self.qubits[qubits[0]].readout_duration
+        if name == "reset":
+            return self.reset_duration
+        return 0.0  # rz (virtual), barrier, id
+
+    def as_noise_model(self, qubits: Optional[Sequence[int]] = None) -> NoiseModel:
+        """Compile the snapshot into the sampler's noise model.
+
+        Per native gate: depolarizing error at the calibrated rate plus
+        thermal relaxation over the gate duration.  Readout confusion per
+        qubit.  ``delay`` instructions get pure thermal relaxation scaled
+        by their duration parameter at execution time (handled by the
+        executor, which attaches per-delay errors itself).
+
+        With *qubits* given, the model is restricted to that subset and
+        re-indexed compactly (``qubits[i] → i``) — the executor uses this
+        to simulate only the active region of the chip.
+        """
+        if qubits is None:
+            index = {q: q for q in range(len(self.qubits))}
+        else:
+            index = {int(q): i for i, q in enumerate(qubits)}
+        nm = NoiseModel()
+        for q, qp in enumerate(self.qubits):
+            if q not in index:
+                continue
+            err = depolarizing_error(qp.prx_error, 1).compose(
+                thermal_relaxation_error(qp.t1, qp.t2, qp.prx_duration)
+            )
+            nm.add_gate_error(err, "prx", [index[q]])
+            nm.add_readout_error(qp.readout(), index[q])
+        for (a, b), cp in self.couplers.items():
+            if a not in index or b not in index:
+                continue
+            err2 = depolarizing_error(cp.cz_error, 2)
+            ta = thermal_relaxation_error(
+                self.qubits[a].t1, self.qubits[a].t2, cp.cz_duration, operand=0
+            )
+            tb = thermal_relaxation_error(
+                self.qubits[b].t1, self.qubits[b].t2, cp.cz_duration, operand=1
+            )
+            nm.add_gate_error(err2.compose(ta).compose(tb), "cz", [index[a], index[b]])
+        return nm
+
+    def with_updates(
+        self,
+        *,
+        qubits: Optional[Mapping[int, QubitParams]] = None,
+        couplers: Optional[Mapping[Coupler, CouplerParams]] = None,
+        timestamp: Optional[float] = None,
+        calibration_kind: Optional[str] = None,
+    ) -> "CalibrationSnapshot":
+        """Functional update helper."""
+        new_qubits = list(self.qubits)
+        for idx, qp in (qubits or {}).items():
+            new_qubits[idx] = qp
+        new_couplers = dict(self.couplers)
+        for key, cp in (couplers or {}).items():
+            new_couplers[tuple(sorted(key))] = cp  # type: ignore[index]
+        return CalibrationSnapshot(
+            topology=self.topology,
+            qubits=tuple(new_qubits),
+            couplers=new_couplers,
+            timestamp=self.timestamp if timestamp is None else timestamp,
+            calibration_kind=self.calibration_kind
+            if calibration_kind is None
+            else calibration_kind,
+            reset_duration=self.reset_duration,
+        )
+
+
+def nominal_calibration(
+    topology: Topology,
+    *,
+    rng: object = None,
+    timestamp: float = 0.0,
+    spread: float = 0.15,
+) -> CalibrationSnapshot:
+    """A freshly-calibrated snapshot with device-like parameter spread.
+
+    Each qubit/coupler draws its figures log-normally around the
+    :data:`NOMINAL` medians with relative *spread*, reproducing the
+    qubit-to-qubit variability real calibration reports show.
+    """
+    from repro.utils.rng import as_rng
+
+    r = as_rng(rng)  # type: ignore[arg-type]
+
+    def jitter(base: float) -> float:
+        return float(base * np.exp(r.normal(0.0, spread)))
+
+    qubits: List[QubitParams] = []
+    for q in range(topology.num_qubits):
+        t1 = jitter(NOMINAL["t1"])
+        t2 = min(jitter(NOMINAL["t2"]), 1.95 * t1)
+        e0 = min(0.5, jitter(NOMINAL["readout_error"]))
+        e1 = min(0.5, jitter(NOMINAL["readout_error"] * 1.4))
+        qubits.append(
+            QubitParams(
+                t1=t1,
+                t2=t2,
+                prx_error=min(0.5, jitter(NOMINAL["prx_error"])),
+                readout_error_0=e0,
+                readout_error_1=e1,
+                frequency=4.8e9 + 0.01e9 * q,
+            )
+        )
+    couplers = {
+        edge: CouplerParams(cz_error=min(0.5, jitter(NOMINAL["cz_error"])))
+        for edge in topology.couplers
+    }
+    return CalibrationSnapshot(
+        topology=topology,
+        qubits=tuple(qubits),
+        couplers=couplers,
+        timestamp=timestamp,
+        calibration_kind="full",
+    )
+
+
+__all__ = [
+    "NOMINAL",
+    "QubitParams",
+    "CouplerParams",
+    "CalibrationSnapshot",
+    "nominal_calibration",
+]

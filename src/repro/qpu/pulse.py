@@ -1,0 +1,281 @@
+"""Pulse-level access.
+
+Section 4: "some users needed pulse-level access, enabling them to move
+beyond circuit-based programming and design hardware-specific control
+sequences."  Section 2.6 likewise lists "gate- and pulse-level tasks" as
+inputs to the client.
+
+This module models the pulse layer at the fidelity the stack needs:
+
+* a :class:`PulseSchedule` of timed operations on per-qubit **drive**
+  channels (microwave pulses → PRX rotations), per-coupler **flux**
+  channels (CZ interactions) and **acquire** channels (readout);
+* lowering (:func:`schedule_to_circuit`) into the native circuit the
+  executor runs — drive pulses become PRX gates whose angle is set by
+  the pulse *area* (amplitude × duration, in units of the calibrated π
+  pulse), gaps become explicit ``delay`` instructions so idle
+  decoherence is accounted exactly;
+* :func:`circuit_to_schedule`, the reverse view compilers use to show
+  users "greater transparency in the quantum circuit compilation
+  process" (another Section 4 request).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import DeviceError
+from repro.qpu.params import NOMINAL, CalibrationSnapshot
+
+#: amplitude that yields a π rotation at the nominal PRX duration.
+PI_PULSE_AMPLITUDE = 1.0
+
+
+@dataclass(frozen=True)
+class DrivePulse:
+    """A microwave drive pulse on one qubit's drive channel.
+
+    ``amplitude`` is in π-pulse units (1.0 for the full flip at nominal
+    duration); ``phase`` is the drive phase — exactly the PRX φ.
+    """
+
+    qubit: int
+    duration: float
+    amplitude: float
+    phase: float = 0.0
+
+    def rotation_angle(self) -> float:
+        """θ = π · amplitude · (duration / nominal π-pulse duration)."""
+        return math.pi * self.amplitude * (self.duration / NOMINAL["prx_duration"])
+
+
+@dataclass(frozen=True)
+class FluxPulse:
+    """A coupler flux pulse implementing CZ between two qubits."""
+
+    qubits: Tuple[int, int]
+    duration: float
+
+
+@dataclass(frozen=True)
+class AcquirePulse:
+    """A readout acquisition window on one qubit."""
+
+    qubit: int
+    duration: float
+    clbit: Optional[int] = None
+
+
+PulseOp = Union[DrivePulse, FluxPulse, AcquirePulse]
+
+
+@dataclass(frozen=True)
+class TimedOp:
+    """A pulse op placed at an absolute schedule time (seconds)."""
+
+    time: float
+    op: PulseOp
+
+    @property
+    def end(self) -> float:
+        return self.time + self.op.duration
+
+    def channels(self) -> Tuple[str, ...]:
+        op = self.op
+        if isinstance(op, DrivePulse):
+            return (f"d{op.qubit}",)
+        if isinstance(op, FluxPulse):
+            a, b = sorted(op.qubits)
+            # a flux pulse occupies the coupler AND both drive channels
+            return (f"f{a}-{b}", f"d{a}", f"d{b}")
+        return (f"a{op.qubit}", f"d{op.qubit}")
+
+
+class PulseSchedule:
+    """An ordered set of timed pulse operations with channel bookkeeping."""
+
+    def __init__(self, name: str = "schedule") -> None:
+        self.name = str(name)
+        self._ops: List[TimedOp] = []
+        self._channel_free: Dict[str, float] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def insert(self, time: float, op: PulseOp) -> "PulseSchedule":
+        """Place *op* at absolute *time*; overlapping pulses on the same
+        channel are rejected (hardware sequencers cannot emit them)."""
+        timed = TimedOp(float(time), op)
+        if timed.time < 0:
+            raise DeviceError("pulse times must be non-negative")
+        for ch in timed.channels():
+            if timed.time < self._channel_free.get(ch, 0.0) - 1e-15:
+                raise DeviceError(
+                    f"channel {ch} busy until "
+                    f"{self._channel_free[ch]:.3e}s, cannot place op at "
+                    f"{timed.time:.3e}s"
+                )
+        for ch in timed.channels():
+            self._channel_free[ch] = max(self._channel_free.get(ch, 0.0), timed.end)
+        self._ops.append(timed)
+        self._ops.sort(key=lambda t: (t.time, id(t)))
+        return self
+
+    def append(self, op: PulseOp) -> "PulseSchedule":
+        """Place *op* as early as its channels allow."""
+        start = max(
+            (self._channel_free.get(ch, 0.0) for ch in TimedOp(0.0, op).channels()),
+            default=0.0,
+        )
+        return self.insert(start, op)
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def ops(self) -> Tuple[TimedOp, ...]:
+        return tuple(self._ops)
+
+    @property
+    def duration(self) -> float:
+        return max((t.end for t in self._ops), default=0.0)
+
+    def qubits_used(self) -> frozenset:
+        out: set[int] = set()
+        for t in self._ops:
+            op = t.op
+            if isinstance(op, FluxPulse):
+                out.update(op.qubits)
+            else:
+                out.add(op.qubit)
+        return frozenset(out)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def draw(self) -> str:
+        """Text timeline, one line per op (transparency for users)."""
+        lines = [f"schedule {self.name!r} ({self.duration * 1e9:.0f} ns):"]
+        for t in self._ops:
+            op = t.op
+            if isinstance(op, DrivePulse):
+                desc = (
+                    f"drive  q{op.qubit}  amp={op.amplitude:+.3f} "
+                    f"phase={op.phase:+.3f} → θ={op.rotation_angle():+.3f}"
+                )
+            elif isinstance(op, FluxPulse):
+                desc = f"flux   q{op.qubits[0]}–q{op.qubits[1]} (CZ)"
+            else:
+                desc = f"acquire q{op.qubit} → c{op.clbit if op.clbit is not None else op.qubit}"
+            lines.append(f"  t={t.time * 1e9:8.1f} ns  {desc}")
+        return "\n".join(lines)
+
+
+def schedule_to_circuit(
+    schedule: PulseSchedule, num_qubits: int, num_clbits: Optional[int] = None
+) -> QuantumCircuit:
+    """Lower a pulse schedule to the native circuit the executor runs.
+
+    Drive pulses become PRX gates; flux pulses become CZ; acquisitions
+    become measurements; channel idle gaps become explicit ``delay``
+    instructions so the executor's decoherence accounting sees the true
+    timing.
+    """
+    if num_qubits < 1:
+        raise DeviceError("num_qubits must be >= 1")
+    for q in schedule.qubits_used():
+        if not 0 <= q < num_qubits:
+            raise DeviceError(f"schedule uses qubit {q}; circuit has {num_qubits}")
+    circuit = QuantumCircuit(num_qubits, num_clbits, name=schedule.name)
+    qubit_time: Dict[int, float] = {}
+
+    def pad(qubit: int, start: float) -> None:
+        gap = start - qubit_time.get(qubit, 0.0)
+        if gap > 1e-12:
+            circuit.delay(gap, qubit)
+        qubit_time[qubit] = start
+
+    for timed in schedule.ops:
+        op = timed.op
+        if isinstance(op, DrivePulse):
+            pad(op.qubit, timed.time)
+            theta = op.rotation_angle()
+            if abs(theta) > 1e-12:
+                circuit.prx(theta, op.phase, op.qubit)
+            qubit_time[op.qubit] = timed.end
+        elif isinstance(op, FluxPulse):
+            a, b = op.qubits
+            pad(a, timed.time)
+            pad(b, timed.time)
+            circuit.cz(a, b)
+            qubit_time[a] = qubit_time[b] = timed.end
+        else:
+            pad(op.qubit, timed.time)
+            circuit.measure(op.qubit, op.clbit)
+            qubit_time[op.qubit] = timed.end
+    return circuit
+
+
+def circuit_to_schedule(
+    circuit: QuantumCircuit, snapshot: CalibrationSnapshot
+) -> PulseSchedule:
+    """Expose a native circuit's physical timeline as a pulse schedule.
+
+    ASAP-schedules each native instruction at its calibrated duration —
+    the "transparency in the quantum circuit compilation process"
+    early users asked for.  Only native circuits lower (transpile first).
+    """
+    schedule = PulseSchedule(circuit.name)
+    ready: Dict[int, float] = {}
+    for inst in circuit:
+        if inst.name == "barrier":
+            top = max((ready.get(q, 0.0) for q in inst.qubits), default=0.0)
+            for q in inst.qubits:
+                ready[q] = top
+            continue
+        if inst.name == "rz":
+            continue  # virtual: no pulse
+        start = max((ready.get(q, 0.0) for q in inst.qubits), default=0.0)
+        if inst.name == "prx":
+            theta = float(inst.params[0])  # type: ignore[arg-type]
+            phi = float(inst.params[1])  # type: ignore[arg-type]
+            dur = snapshot.gate_duration("prx", inst.qubits)
+            amp = theta / math.pi * (NOMINAL["prx_duration"] / dur)
+            schedule.insert(
+                start, DrivePulse(inst.qubits[0], dur, amp, phi)
+            )
+            end = start + dur
+        elif inst.name == "cz":
+            dur = snapshot.gate_duration("cz", inst.qubits)
+            schedule.insert(start, FluxPulse(tuple(inst.qubits), dur))  # type: ignore[arg-type]
+            end = start + dur
+        elif inst.name == "measure":
+            dur = snapshot.gate_duration("measure", inst.qubits)
+            schedule.insert(
+                start, AcquirePulse(inst.qubits[0], dur, inst.clbits[0])
+            )
+            end = start + dur
+        elif inst.name == "delay":
+            end = start + float(inst.params[0])  # type: ignore[arg-type]
+        elif inst.name in ("reset", "id"):
+            end = start + snapshot.gate_duration(inst.name, inst.qubits)
+        else:
+            raise DeviceError(
+                f"{inst.name!r} is not a native operation; transpile first"
+            )
+        for q in inst.qubits:
+            ready[q] = end
+    return schedule
+
+
+__all__ = [
+    "PI_PULSE_AMPLITUDE",
+    "DrivePulse",
+    "FluxPulse",
+    "AcquirePulse",
+    "TimedOp",
+    "PulseSchedule",
+    "schedule_to_circuit",
+    "circuit_to_schedule",
+]

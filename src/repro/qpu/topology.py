@@ -1,0 +1,216 @@
+"""QPU connectivity: the 20-qubit square-grid lattice.
+
+The paper's device has "20 superconducting transmon qubits in a square
+grid topology, where the tunable couplers mediate the connection between
+each qubit pair".  We model it as a 4×5 rectangular lattice; qubits are
+indexed 0–19 row-major and couplers are the lattice edges.
+
+The class is generic over grid size so the bandwidth experiment
+(Section 2.4) can scale the same model to 54- and 150-qubit devices.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.errors import TopologyError
+
+Coupler = Tuple[int, int]
+"""A coupler is a sorted qubit-index pair."""
+
+
+class Topology:
+    """An undirected qubit-connectivity graph with grid geometry."""
+
+    def __init__(self, num_qubits: int, edges: Iterable[Tuple[int, int]], name: str = "custom"):
+        self.num_qubits = int(num_qubits)
+        self.name = str(name)
+        if self.num_qubits < 1:
+            raise TopologyError("topology needs at least one qubit")
+        self._graph = nx.Graph()
+        self._graph.add_nodes_from(range(self.num_qubits))
+        for a, b in edges:
+            a, b = int(a), int(b)
+            if not (0 <= a < self.num_qubits and 0 <= b < self.num_qubits):
+                raise TopologyError(f"edge ({a}, {b}) out of range")
+            if a == b:
+                raise TopologyError(f"self-loop on qubit {a}")
+            self._graph.add_edge(a, b)
+        if self.num_qubits > 1 and not nx.is_connected(self._graph):
+            raise TopologyError("topology must be connected")
+        self._dist: Optional[Dict[int, Dict[int, int]]] = None
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def square_grid(cls, rows: int, cols: int) -> "Topology":
+        """Rectangular lattice, row-major indexing."""
+        if rows < 1 or cols < 1:
+            raise TopologyError("grid dimensions must be positive")
+        edges: List[Tuple[int, int]] = []
+        for r in range(rows):
+            for c in range(cols):
+                idx = r * cols + c
+                if c + 1 < cols:
+                    edges.append((idx, idx + 1))
+                if r + 1 < rows:
+                    edges.append((idx, idx + cols))
+        topo = cls(rows * cols, edges, name=f"grid{rows}x{cols}")
+        topo.rows, topo.cols = rows, cols  # type: ignore[attr-defined]
+        return topo
+
+    @classmethod
+    def line(cls, num_qubits: int) -> "Topology":
+        return cls(
+            num_qubits,
+            [(i, i + 1) for i in range(num_qubits - 1)],
+            name=f"line{num_qubits}",
+        )
+
+    @classmethod
+    def iqm_garnet_like(cls) -> "Topology":
+        """The paper's 20-qubit device: a 4×5 square grid."""
+        return cls.square_grid(4, 5)
+
+    @classmethod
+    def scaled_device(cls, num_qubits: int) -> "Topology":
+        """Near-square grid with *num_qubits* sites (Section 2.4 scaling:
+        20 → 54 → 150 qubits).  Chooses the most square factorization and
+        trims surplus sites from the last row."""
+        rows = max(1, int(math.isqrt(num_qubits)))
+        cols = math.ceil(num_qubits / rows)
+        full = cls.square_grid(rows, cols)
+        if rows * cols == num_qubits:
+            return full
+        keep = list(range(num_qubits))
+        edges = [
+            (a, b) for a, b in full.couplers if a < num_qubits and b < num_qubits
+        ]
+        topo = cls(num_qubits, edges, name=f"grid{rows}x{cols}-trim{num_qubits}")
+        return topo
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def couplers(self) -> List[Coupler]:
+        """Sorted list of couplers, each as a sorted pair."""
+        return sorted(tuple(sorted(e)) for e in self._graph.edges)
+
+    @property
+    def num_couplers(self) -> int:
+        return self._graph.number_of_edges()
+
+    def is_coupled(self, a: int, b: int) -> bool:
+        return self._graph.has_edge(int(a), int(b))
+
+    def neighbors(self, qubit: int) -> List[int]:
+        if not 0 <= qubit < self.num_qubits:
+            raise TopologyError(f"qubit {qubit} out of range")
+        return sorted(self._graph.neighbors(int(qubit)))
+
+    def degree(self, qubit: int) -> int:
+        return int(self._graph.degree[int(qubit)])
+
+    def distance(self, a: int, b: int) -> int:
+        """Hop distance between two qubits (cached all-pairs)."""
+        if self._dist is None:
+            self._dist = dict(nx.all_pairs_shortest_path_length(self._graph))
+        try:
+            return int(self._dist[int(a)][int(b)])
+        except KeyError:
+            raise TopologyError(f"qubits ({a}, {b}) out of range") from None
+
+    def shortest_path(self, a: int, b: int) -> List[int]:
+        return [int(q) for q in nx.shortest_path(self._graph, int(a), int(b))]
+
+    def hamiltonian_path(self) -> List[int]:
+        """A path visiting every qubit once, used to lay out GHZ chains.
+
+        For grid topologies the row-serpentine ("boustrophedon") path is
+        exact; for irregular graphs a greedy DFS fallback is used and may
+        raise when no path exists.
+        """
+        rows = getattr(self, "rows", None)
+        cols = getattr(self, "cols", None)
+        if rows is not None and cols is not None:
+            order: List[int] = []
+            for r in range(rows):
+                cs = range(cols) if r % 2 == 0 else range(cols - 1, -1, -1)
+                order.extend(r * cols + c for c in cs)
+            return order
+        # Greedy DFS with degree heuristic.
+        start = min(range(self.num_qubits), key=self.degree)
+        path = [start]
+        seen = {start}
+        while len(path) < self.num_qubits:
+            cands = [n for n in self.neighbors(path[-1]) if n not in seen]
+            if not cands:
+                raise TopologyError(
+                    f"no Hamiltonian path found on topology {self.name!r}"
+                )
+            nxt = min(cands, key=lambda n: sum(m not in seen for m in self.neighbors(n)))
+            path.append(nxt)
+            seen.add(nxt)
+        return path
+
+    def connected_subsets(self, size: int) -> List[FrozenSet[int]]:
+        """All connected qubit subsets of the given *size* (size ≤ 4 kept
+        tractable; used to enumerate GHZ benchmark regions)."""
+        if size < 1 or size > self.num_qubits:
+            raise TopologyError(f"invalid subset size {size}")
+        if size > 6:
+            raise TopologyError("connected_subsets limited to size <= 6")
+        current = {frozenset([q]) for q in range(self.num_qubits)}
+        for _ in range(size - 1):
+            grown: set[FrozenSet[int]] = set()
+            for sub in current:
+                for q in sub:
+                    for n in self._graph.neighbors(q):
+                        if n not in sub:
+                            grown.add(sub | {n})
+            current = grown
+        return sorted(current, key=sorted)
+
+    def subtopology(self, qubits: Sequence[int]) -> "Topology":
+        """Induced topology on *qubits*, re-indexed 0..k-1 in given order."""
+        index = {int(q): i for i, q in enumerate(qubits)}
+        if len(index) != len(qubits):
+            raise TopologyError("subtopology qubits must be distinct")
+        edges = [
+            (index[a], index[b])
+            for a, b in self._graph.edges
+            if a in index and b in index
+        ]
+        return Topology(len(qubits), edges, name=f"{self.name}-sub{len(qubits)}")
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (read-only by convention)."""
+        return self._graph
+
+    def ascii_art(self) -> str:
+        """Grid rendering for logs and the Figure 1 inventory bench."""
+        rows = getattr(self, "rows", None)
+        cols = getattr(self, "cols", None)
+        if rows is None or cols is None:
+            return f"<{self.name}: {self.num_qubits} qubits, {self.num_couplers} couplers>"
+        lines: List[str] = []
+        for r in range(rows):
+            lines.append(
+                " — ".join(f"Q{r * cols + c:02d}" for c in range(cols))
+            )
+            if r + 1 < rows:
+                lines.append("  |    " * (cols - 1) + "  |")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Topology {self.name!r}: {self.num_qubits} qubits, "
+            f"{self.num_couplers} couplers>"
+        )
+
+
+__all__ = ["Topology", "Coupler"]

@@ -1,0 +1,29 @@
+"""Resource management: discrete events, jobs, Slurm-like cluster, QRM."""
+
+from repro.scheduler.cluster import ClusterScheduler, Partition, Reservation
+from repro.scheduler.events import EventHandle, Simulation
+from repro.scheduler.jobs import Job, JobState
+from repro.scheduler.qrm import QUANTUM_PARTITION, QRMStats, QuantumResourceManager
+from repro.scheduler.workload import (
+    ArrivingJob,
+    WorkloadConfig,
+    generate_workload,
+    submit_workload,
+)
+
+__all__ = [
+    "ArrivingJob",
+    "WorkloadConfig",
+    "generate_workload",
+    "submit_workload",
+    "ClusterScheduler",
+    "Partition",
+    "Reservation",
+    "EventHandle",
+    "Simulation",
+    "Job",
+    "JobState",
+    "QUANTUM_PARTITION",
+    "QRMStats",
+    "QuantumResourceManager",
+]

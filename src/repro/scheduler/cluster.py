@@ -1,0 +1,275 @@
+"""Slurm-like cluster scheduler with partitions, backfill, reservations.
+
+The first-level resource manager of the integration: classical batch
+jobs run on node partitions; the QPU appears as a one-node ``quantum``
+partition whose jobs the :class:`~repro.scheduler.qrm.QuantumResourceManager`
+executes; maintenance and calibration slots are *advance reservations*
+that block a partition for a window — "it is critical that the center
+retains full control over scheduling these maintenance and calibration
+slots" (Section 3.2).
+
+Scheduling policy: priority-ordered FIFO with EASY backfill (a lower-
+priority job may start early iff it cannot delay the reservation made
+for the queue head).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import QueueError, ReservationError, SchedulerError
+from repro.scheduler.events import Simulation
+from repro.scheduler.jobs import Job, JobState
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A named pool of identical nodes."""
+
+    name: str
+    num_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise SchedulerError(f"partition {self.name!r} needs >= 1 node")
+
+
+@dataclass
+class Reservation:
+    """An advance reservation blocking *num_nodes* of a partition."""
+
+    partition: str
+    start: float
+    end: float
+    num_nodes: int
+    label: str = "reservation"
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ReservationError(
+                f"reservation {self.label!r} has non-positive duration"
+            )
+
+    def active_at(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+    def overlaps(self, start: float, end: float) -> bool:
+        return start < self.end and end > self.start
+
+
+class ClusterScheduler:
+    """Event-driven batch scheduler over one :class:`Simulation`.
+
+    Job execution is abstract: when a job starts, the scheduler
+    schedules its completion ``runtime`` seconds later (or kills it at
+    the walltime limit).  Quantum jobs are *not* executed here — the
+    quantum partition delegates to an attached executor callback, which
+    the QRM provides.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        partitions: Sequence[Partition],
+        *,
+        backfill: bool = True,
+    ) -> None:
+        if not partitions:
+            raise SchedulerError("cluster needs at least one partition")
+        self.sim = sim
+        self.partitions: Dict[str, Partition] = {p.name: p for p in partitions}
+        if len(self.partitions) != len(partitions):
+            raise SchedulerError("duplicate partition names")
+        self.backfill = bool(backfill)
+        self.queue: List[Job] = []
+        self.running: Dict[int, Tuple[Job, float]] = {}  # id → (job, expected end)
+        self.history: List[Job] = []
+        self.reservations: List[Reservation] = []
+        self._busy_nodes: Dict[str, int] = {p.name: 0 for p in partitions}
+        self._node_seconds_used: Dict[str, float] = {p.name: 0.0 for p in partitions}
+        #: optional override executor per partition: job → runtime seconds
+        self.executors: Dict[str, Callable[[Job], float]] = {}
+
+    # -- capacity helpers -------------------------------------------------------
+
+    def _reserved_nodes(self, partition: str, start: float, end: float) -> int:
+        return sum(
+            r.num_nodes
+            for r in self.reservations
+            if r.partition == partition and r.overlaps(start, end)
+        )
+
+    def free_nodes(self, partition: str, start: float, end: float) -> int:
+        """Nodes of *partition* free over the whole ``[start, end)``
+        window, accounting for running jobs and reservations."""
+        part = self.partitions[partition]
+        running_overlap = sum(
+            job.num_nodes
+            for job, exp_end in self.running.values()
+            if job.partition == partition and exp_end > start
+        )
+        return part.num_nodes - running_overlap - self._reserved_nodes(
+            partition, start, end
+        )
+
+    # -- submission / reservations -----------------------------------------------
+
+    def submit(self, job: Job) -> Job:
+        if job.partition not in self.partitions:
+            raise QueueError(f"unknown partition {job.partition!r}")
+        if job.num_nodes > self.partitions[job.partition].num_nodes:
+            raise QueueError(
+                f"job {job.name!r} wants {job.num_nodes} nodes; partition "
+                f"{job.partition!r} has {self.partitions[job.partition].num_nodes}"
+            )
+        job.mark_submitted(self.sim.now)
+        self.queue.append(job)
+        self._schedule_pass()
+        return job
+
+    def reserve(self, reservation: Reservation) -> Reservation:
+        if reservation.partition not in self.partitions:
+            raise ReservationError(f"unknown partition {reservation.partition!r}")
+        if reservation.num_nodes > self.partitions[reservation.partition].num_nodes:
+            raise ReservationError("reservation exceeds partition size")
+        self.reservations.append(reservation)
+        return reservation
+
+    def reservation_active(self, partition: str, t: Optional[float] = None) -> bool:
+        t = self.sim.now if t is None else t
+        return any(
+            r.partition == partition and r.active_at(t) for r in self.reservations
+        )
+
+    # -- the scheduling pass -------------------------------------------------------
+
+    def _schedule_pass(self) -> None:
+        """Try to start queued jobs (priority order, EASY backfill)."""
+        if not self.queue:
+            return
+        self.queue.sort(key=lambda j: (-j.priority, j.submitted_at or 0.0, j.job_id))
+        now = self.sim.now
+        started: List[Job] = []
+        shadow: Dict[str, Tuple[float, int]] = {}  # head job's reservation per partition
+        for idx, job in enumerate(self.queue):
+            window_end = now + job.walltime_limit
+            free_now = self.free_nodes(job.partition, now, window_end)
+            if free_now >= job.num_nodes:
+                blocked = False
+                if job.partition in shadow:
+                    # Backfill check: would this start delay the shadow job?
+                    shadow_start, shadow_nodes = shadow[job.partition]
+                    if now + job.walltime_limit > shadow_start:
+                        free_at_shadow = self.free_nodes(
+                            job.partition, shadow_start, shadow_start + 1.0
+                        )
+                        if free_at_shadow - job.num_nodes < shadow_nodes:
+                            blocked = True
+                if not blocked:
+                    self._start(job)
+                    started.append(job)
+                    continue
+            # Job cannot start now: becomes (or respects) the shadow job.
+            if job.partition not in shadow:
+                est = self._earliest_start(job)
+                shadow[job.partition] = (est, job.num_nodes)
+            if not self.backfill:
+                # FIFO semantics: nothing later in this partition may jump.
+                shadow.setdefault(job.partition, (math.inf, job.num_nodes))
+                # Mark the partition closed by using -inf free check below.
+                shadow[job.partition] = (now, self.partitions[job.partition].num_nodes + 1)
+        for job in started:
+            self.queue.remove(job)
+
+    def _earliest_start(self, job: Job) -> float:
+        """Estimate when *job* could start, from running-job end times and
+        reservation boundaries."""
+        candidates = [self.sim.now]
+        candidates += [end for _, end in self.running.values()]
+        candidates += [r.end for r in self.reservations if r.end > self.sim.now]
+        for t in sorted(set(candidates)):
+            if (
+                self.free_nodes(job.partition, t, t + job.walltime_limit)
+                >= job.num_nodes
+            ):
+                return t
+        return math.inf
+
+    def _start(self, job: Job) -> None:
+        job.mark_started(self.sim.now)
+        executor = self.executors.get(job.partition)
+        runtime = job.runtime
+        if executor is not None:
+            runtime = float(executor(job))
+        runtime = min(runtime, job.walltime_limit)
+        expected_end = self.sim.now + runtime
+        self.running[job.job_id] = (job, expected_end)
+        self._node_seconds_used[job.partition] += job.num_nodes * runtime
+        killed = runtime >= job.walltime_limit and job.runtime > job.walltime_limit
+        incarnation = job.requeue_count
+
+        def finish(sim: Simulation, job=job, killed=killed, incarnation=incarnation) -> None:
+            if job.state is not JobState.RUNNING:
+                return  # requeued/cancelled while running
+            if job.requeue_count != incarnation:
+                return  # stale completion event from a pre-requeue start
+            self.running.pop(job.job_id, None)
+            if killed:
+                job.mark_failed(sim.now, "walltime limit exceeded")
+            else:
+                job.mark_completed(sim.now, job.result)
+            self.history.append(job)
+            self._schedule_pass()
+
+        self.sim.schedule(expected_end, finish)
+
+    # -- disruption ------------------------------------------------------------------
+
+    def requeue_running(self, partition: str, reason: str) -> List[Job]:
+        """Requeue every running job of *partition* (outage handling)."""
+        victims = [
+            job
+            for job, _ in list(self.running.values())
+            if job.partition == partition
+        ]
+        for job in victims:
+            self.running.pop(job.job_id, None)
+            job.mark_requeued(self.sim.now, reason)
+            job.mark_submitted(self.sim.now)
+            self.queue.append(job)
+        if victims:
+            self._schedule_pass()
+        return victims
+
+    def kick(self) -> None:
+        """External nudge to run a scheduling pass (e.g. reservation ended)."""
+        self._schedule_pass()
+
+    # -- metrics ---------------------------------------------------------------------
+
+    def utilization(self, partition: str, horizon: float) -> float:
+        """Node-seconds used / node-seconds available over ``[0, horizon]``."""
+        part = self.partitions[partition]
+        if horizon <= 0:
+            return 0.0
+        return self._node_seconds_used[partition] / (part.num_nodes * horizon)
+
+    def mean_wait_time(self, partition: Optional[str] = None) -> float:
+        waits = [
+            j.wait_time
+            for j in self.history
+            if j.wait_time is not None and (partition is None or j.partition == partition)
+        ]
+        return float(sum(waits) / len(waits)) if waits else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<ClusterScheduler {len(self.partitions)} partitions, "
+            f"{len(self.queue)} queued, {len(self.running)} running, "
+            f"{len(self.history)} done>"
+        )
+
+
+__all__ = ["Partition", "Reservation", "ClusterScheduler"]

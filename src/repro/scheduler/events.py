@@ -1,0 +1,127 @@
+"""Discrete-event simulation core.
+
+Everything time-driven in the stack — the Slurm-like cluster, the QRM,
+the outage injector, the 146-day operations run — shares this engine: a
+priority queue of ``(time, sequence, callback)`` events with
+deterministic FIFO ordering among simultaneous events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SchedulerError
+
+Callback = Callable[["Simulation"], None]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Returned by :meth:`Simulation.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class Simulation:
+    """A deterministic discrete-event loop.
+
+    >>> sim = Simulation()
+    >>> sim.schedule(5.0, lambda s: print(f"hello at {s.now}"))
+    >>> sim.run_until(10.0)
+    hello at 5.0
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now = float(start_time)
+        self._heap: List[_Event] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+
+    def schedule(self, time: float, callback: Callback) -> EventHandle:
+        """Schedule *callback* at absolute *time* (must not be in the past)."""
+        if time < self.now - 1e-9:
+            raise SchedulerError(
+                f"cannot schedule event at {time} before now ({self.now})"
+            )
+        event = _Event(max(time, self.now), next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_in(self, delay: float, callback: Callback) -> EventHandle:
+        """Schedule *callback* after *delay* seconds."""
+        if delay < 0:
+            raise SchedulerError(f"negative delay {delay}")
+        return self.schedule(self.now + delay, callback)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) event, if any."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback(self)
+            self.events_processed += 1
+            return True
+        return False
+
+    def run_until(self, end_time: float, *, max_events: int = 10_000_000) -> None:
+        """Process events up to *end_time* (inclusive), then set the clock
+        to *end_time*."""
+        processed = 0
+        while True:
+            nxt = self.peek_time()
+            if nxt is None or nxt > end_time:
+                break
+            self.step()
+            processed += 1
+            if processed > max_events:
+                raise SchedulerError(
+                    f"run_until exceeded {max_events} events — runaway loop?"
+                )
+        self.now = max(self.now, float(end_time))
+
+    def run_all(self, *, max_events: int = 10_000_000) -> None:
+        """Drain the event queue completely."""
+        processed = 0
+        while self.step():
+            processed += 1
+            if processed > max_events:
+                raise SchedulerError("run_all exceeded event budget")
+
+    def __repr__(self) -> str:
+        return f"<Simulation t={self.now:.1f}s, {len(self._heap)} pending>"
+
+
+__all__ = ["Simulation", "EventHandle", "Callback"]

@@ -1,0 +1,148 @@
+"""Job model shared by the cluster scheduler and the QRM.
+
+One :class:`Job` type covers both classical batch jobs (node counts and
+wallclock limits, Slurm-style) and quantum jobs (a compiled circuit and
+a shot count).  The state machine is deliberately strict — illegal
+transitions raise — because the restart/requeue logic after outages
+(Section 4's "more robust job restart tools" user request) depends on
+unambiguous job states.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import JobError
+
+_job_ids = itertools.count(1)
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    REQUEUED = "requeued"
+
+
+_LEGAL = {
+    JobState.PENDING: {JobState.RUNNING, JobState.CANCELLED},
+    JobState.RUNNING: {
+        JobState.COMPLETED,
+        JobState.FAILED,
+        JobState.CANCELLED,
+        JobState.REQUEUED,
+    },
+    JobState.REQUEUED: {JobState.PENDING, JobState.CANCELLED},
+    JobState.COMPLETED: set(),
+    JobState.FAILED: set(),
+    JobState.CANCELLED: set(),
+}
+
+
+@dataclass
+class Job:
+    """A schedulable unit of work.
+
+    For classical jobs, ``num_nodes``/``walltime_limit``/``runtime``
+    drive the cluster simulator.  For quantum jobs (``is_quantum``), the
+    ``payload`` carries whatever the QRM needs (circuit, shots) and
+    ``runtime`` is estimated from the shot count at submission.
+    """
+
+    name: str
+    user: str = "user"
+    partition: str = "compute"
+    num_nodes: int = 1
+    walltime_limit: float = 3600.0
+    runtime: float = 60.0
+    priority: int = 0
+    is_quantum: bool = False
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+    state: JobState = JobState.PENDING
+    submitted_at: Optional[float] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    requeue_count: int = 0
+    result: Optional[Any] = None
+    failure_reason: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise JobError("num_nodes must be >= 1")
+        if self.runtime < 0 or self.walltime_limit <= 0:
+            raise JobError("runtime must be >= 0 and walltime_limit > 0")
+
+    # -- state machine ---------------------------------------------------------
+
+    def _transition(self, to: JobState) -> None:
+        if to not in _LEGAL[self.state]:
+            raise JobError(
+                f"job {self.job_id} cannot go {self.state.value} → {to.value}"
+            )
+        self.state = to
+
+    def mark_submitted(self, now: float) -> None:
+        if self.submitted_at is not None and self.state is not JobState.REQUEUED:
+            raise JobError(f"job {self.job_id} already submitted")
+        if self.state is JobState.REQUEUED:
+            self._transition(JobState.PENDING)
+        self.submitted_at = float(now)
+
+    def mark_started(self, now: float) -> None:
+        self._transition(JobState.RUNNING)
+        self.started_at = float(now)
+
+    def mark_completed(self, now: float, result: Any = None) -> None:
+        self._transition(JobState.COMPLETED)
+        self.finished_at = float(now)
+        self.result = result
+
+    def mark_failed(self, now: float, reason: str) -> None:
+        self._transition(JobState.FAILED)
+        self.finished_at = float(now)
+        self.failure_reason = reason
+
+    def mark_cancelled(self, now: float, reason: str = "cancelled") -> None:
+        self._transition(JobState.CANCELLED)
+        self.finished_at = float(now)
+        self.failure_reason = reason
+
+    def mark_requeued(self, now: float, reason: str) -> None:
+        """Interrupt a running job and return it to the queue (outage
+        recovery path; Section 4 users asked for exactly this)."""
+        self._transition(JobState.REQUEUED)
+        self.started_at = None
+        self.finished_at = None
+        self.requeue_count += 1
+        self.failure_reason = reason
+
+    # -- metrics ---------------------------------------------------------------
+
+    @property
+    def wait_time(self) -> Optional[float]:
+        if self.submitted_at is None or self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def turnaround(self) -> Optional[float]:
+        if self.submitted_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def __repr__(self) -> str:
+        kind = "Q" if self.is_quantum else "C"
+        return (
+            f"<Job #{self.job_id} [{kind}] {self.name!r} {self.state.value} "
+            f"nodes={self.num_nodes} rt={self.runtime:.0f}s>"
+        )
+
+
+__all__ = ["Job", "JobState"]

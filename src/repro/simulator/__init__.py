@@ -1,0 +1,61 @@
+"""Quantum state simulation: state vectors, channels, noise, sampling."""
+
+from repro.simulator.channels import (
+    KrausChannel,
+    amplitude_damping_channel,
+    bit_flip_channel,
+    depolarizing_channel,
+    identity_channel,
+    pauli_channel,
+    phase_damping_channel,
+    phase_flip_channel,
+    thermal_relaxation_kraus,
+    thermal_relaxation_twirl,
+)
+from repro.simulator.counts import Counts
+from repro.simulator.density import DensityMatrix, simulate_density
+from repro.simulator.noise import (
+    ErrorTerm,
+    NoiseModel,
+    QuantumError,
+    ReadoutError,
+    depolarizing_error,
+    pauli_error,
+    thermal_relaxation_error,
+)
+from repro.simulator.sampler import ideal_probabilities, sample_counts
+from repro.simulator.statevector import (
+    StateVector,
+    circuit_unitary,
+    ghz_state,
+    simulate_statevector,
+)
+
+__all__ = [
+    "KrausChannel",
+    "amplitude_damping_channel",
+    "bit_flip_channel",
+    "depolarizing_channel",
+    "identity_channel",
+    "pauli_channel",
+    "phase_damping_channel",
+    "phase_flip_channel",
+    "thermal_relaxation_kraus",
+    "thermal_relaxation_twirl",
+    "Counts",
+    "DensityMatrix",
+    "simulate_density",
+    "ErrorTerm",
+    "NoiseModel",
+    "QuantumError",
+    "ReadoutError",
+    "depolarizing_error",
+    "pauli_error",
+    "thermal_relaxation_error",
+    "ideal_probabilities",
+    "sample_counts",
+    "StateVector",
+    "circuit_unitary",
+    "ghz_state",
+    "simulate_statevector",
+]

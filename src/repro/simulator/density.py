@@ -1,0 +1,152 @@
+"""Exact density-matrix engine for small systems.
+
+Used by the test suite to validate the trajectory sampler and the
+Pauli-twirl approximation against exact open-system evolution.  The
+``2^n × 2^n`` density matrix limits this engine to ~8 qubits, which is
+plenty for validation (the 20-qubit production path uses trajectories).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import SimulationError
+from repro.simulator.channels import KrausChannel
+from repro.simulator.noise import NoiseModel
+from repro.simulator.statevector import StateVector, _embed
+
+
+class DensityMatrix:
+    """A mutable n-qubit mixed state ρ."""
+
+    def __init__(self, num_qubits: int, data: Optional[np.ndarray] = None):
+        if num_qubits < 1:
+            raise SimulationError("state needs at least one qubit")
+        if num_qubits > 10:
+            raise SimulationError(
+                f"{num_qubits} qubits exceeds the density-matrix limit (10)"
+            )
+        self.num_qubits = int(num_qubits)
+        dim = 1 << self.num_qubits
+        if data is None:
+            self._data = np.zeros((dim, dim), dtype=complex)
+            self._data[0, 0] = 1.0
+        else:
+            arr = np.asarray(data, dtype=complex)
+            if arr.shape != (dim, dim):
+                raise SimulationError(f"density matrix must be {dim}×{dim}")
+            self._data = arr.copy()
+
+    @classmethod
+    def from_statevector(cls, state: StateVector) -> "DensityMatrix":
+        vec = state.data
+        return cls(state.num_qubits, np.outer(vec, vec.conj()))
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    def trace(self) -> float:
+        return float(np.real(np.trace(self._data)))
+
+    def purity(self) -> float:
+        return float(np.real(np.trace(self._data @ self._data)))
+
+    def apply_unitary(self, matrix: np.ndarray, qubits: Sequence[int]) -> "DensityMatrix":
+        full = _embed(np.asarray(matrix, dtype=complex), qubits, self.num_qubits)
+        self._data = full @ self._data @ full.conj().T
+        return self
+
+    def apply_channel(self, channel: KrausChannel, qubits: Sequence[int]) -> "DensityMatrix":
+        out = np.zeros_like(self._data)
+        for k in channel.operators:
+            full = _embed(k, qubits, self.num_qubits)
+            out += full @ self._data @ full.conj().T
+        self._data = out
+        return self
+
+    def probabilities(self) -> np.ndarray:
+        return np.real(np.diag(self._data)).clip(min=0.0)
+
+    def fidelity_pure(self, state: StateVector) -> float:
+        """``⟨ψ|ρ|ψ⟩`` against a pure reference state."""
+        vec = state.data
+        return float(np.real(vec.conj() @ (self._data @ vec)))
+
+    def expectation(self, operator: np.ndarray) -> float:
+        return float(np.real(np.trace(self._data @ operator)))
+
+    def __repr__(self) -> str:
+        return (
+            f"<DensityMatrix {self.num_qubits} qubits, tr {self.trace():.6f}, "
+            f"purity {self.purity():.6f}>"
+        )
+
+
+def simulate_density(
+    circuit: QuantumCircuit,
+    noise: Optional[NoiseModel] = None,
+    *,
+    exact_channels: Optional[dict] = None,
+) -> DensityMatrix:
+    """Exact evolution of *circuit* under a noise model.
+
+    Stochastic :class:`~repro.simulator.noise.QuantumError` events are
+    expanded into their exact mixture channels.  *exact_channels* may map
+    ``(gate_name, qubits)`` to a :class:`KrausChannel` to override the
+    twirled form with an exact channel (used by validation tests).
+
+    Measurements are ignored (read probabilities off the final ρ);
+    resets are applied as the exact reset channel.
+    """
+    from repro.simulator.channels import PAULI_MATRICES
+
+    rho = DensityMatrix(circuit.num_qubits)
+    for inst in circuit:
+        if inst.name in ("barrier", "delay", "measure", "id"):
+            pass
+        elif inst.name == "reset":
+            _apply_reset(rho, inst.qubits[0])
+            continue
+        else:
+            rho.apply_unitary(inst.matrix(), inst.qubits)
+        if noise is None:
+            continue
+        override = None
+        if exact_channels is not None:
+            override = exact_channels.get((inst.name, tuple(inst.qubits)))
+        if override is not None:
+            rho.apply_channel(override, inst.qubits)
+            continue
+        err = noise.error_for(inst.name, inst.qubits)
+        if err is None:
+            continue
+        # Expand the stochastic error into an exact mixture.
+        residual = 1.0 - err.total_probability
+        acc = residual * rho.data
+        for term in err.terms:
+            branch = DensityMatrix(rho.num_qubits, rho.data)
+            if term.kind == "pauli":
+                for offset, label in enumerate(term.pauli.upper()):
+                    if label == "I":
+                        continue
+                    branch.apply_unitary(PAULI_MATRICES[label], [inst.qubits[offset]])
+            else:
+                _apply_reset(branch, inst.qubits[term.reset_operand])
+            acc = acc + term.probability * branch.data
+        rho._data = acc
+    return rho
+
+
+def _apply_reset(rho: DensityMatrix, qubit: int) -> None:
+    """Exact reset-to-|0⟩ channel: K0 = |0⟩⟨0|, K1 = |0⟩⟨1|."""
+    k0 = np.array([[1, 0], [0, 0]], dtype=complex)
+    k1 = np.array([[0, 1], [0, 0]], dtype=complex)
+    rho.apply_channel(KrausChannel((k0, k1), name="reset"), [qubit])
+
+
+__all__ = ["DensityMatrix", "simulate_density"]

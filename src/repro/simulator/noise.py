@@ -1,0 +1,272 @@
+"""Stochastic (trajectory-friendly) noise model.
+
+The device-scale sampler cannot afford density matrices at 20 qubits, so
+all executor noise is expressed as *stochastic error events*: after a
+noisy operation, with some probability a Pauli string is injected or a
+qubit is reset.  This is the Pauli-twirl approximation of the exact
+channels in :mod:`repro.simulator.channels`; the test suite validates
+the approximation against exact density-matrix evolution on small
+systems.
+
+A :class:`NoiseModel` maps operations to :class:`QuantumError` instances
+and qubits to :class:`ReadoutError` confusion matrices, and is exactly
+the artifact the device's calibration state compiles into (see
+:mod:`repro.qpu.device`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import NoiseModelError
+from repro.simulator.channels import thermal_relaxation_twirl
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import check_probability
+
+
+@dataclass(frozen=True)
+class ErrorTerm:
+    """One possible error event.
+
+    ``kind`` is ``"pauli"`` (inject ``pauli`` on the operand qubits,
+    string index *i* acting on operand *i*) or ``"reset"`` (reset operand
+    qubit ``reset_operand`` to ``|0⟩``).
+    """
+
+    kind: str
+    probability: float
+    pauli: str = ""
+    reset_operand: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("pauli", "reset"):
+            raise NoiseModelError(f"unknown error kind {self.kind!r}")
+        check_probability(self.probability, "error probability")
+        if self.kind == "pauli":
+            if not self.pauli or set(self.pauli.upper()) - set("IXYZ"):
+                raise NoiseModelError(f"invalid Pauli string {self.pauli!r}")
+
+
+class QuantumError:
+    """A stochastic error: a distribution over :class:`ErrorTerm` events.
+
+    The identity event carries probability ``1 − Σ term probabilities``.
+    """
+
+    def __init__(self, terms: Sequence[ErrorTerm]):
+        total = sum(t.probability for t in terms)
+        if total > 1.0 + 1e-9:
+            raise NoiseModelError(f"error probabilities sum to {total:g} > 1")
+        self.terms: Tuple[ErrorTerm, ...] = tuple(t for t in terms if t.probability > 0)
+
+    @property
+    def total_probability(self) -> float:
+        """Probability that *any* error event fires."""
+        return min(1.0, sum(t.probability for t in self.terms))
+
+    def sample_many(self, shots: int, rng: RandomState = None) -> np.ndarray:
+        """Vectorized sampling: returns an int array of length *shots*
+        where ``-1`` means "no error" and ``k ≥ 0`` indexes ``terms[k]``."""
+        r = as_rng(rng)
+        probs = np.array([t.probability for t in self.terms], dtype=float)
+        cum = np.cumsum(probs)
+        u = r.random(int(shots))
+        idx = np.searchsorted(cum, u, side="right")
+        out = np.where(idx < len(self.terms), idx, -1)
+        return out.astype(np.int64)
+
+    def compose(self, other: "QuantumError") -> "QuantumError":
+        """First-order composition: concatenate event lists (valid for the
+        small probabilities this stack operates at; double events are
+        O(p²) and neglected, as in standard trajectory samplers)."""
+        return QuantumError(list(self.terms) + list(other.terms))
+
+    def scaled(self, factor: float) -> "QuantumError":
+        """All event probabilities multiplied by *factor* (clipped to 1)."""
+        return QuantumError(
+            [
+                ErrorTerm(t.kind, min(1.0, t.probability * factor), t.pauli, t.reset_operand)
+                for t in self.terms
+            ]
+        )
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{t.pauli if t.kind == 'pauli' else f'reset[{t.reset_operand}]'}:"
+            f"{t.probability:.2e}"
+            for t in self.terms
+        )
+        return f"QuantumError({body})"
+
+
+# -- constructors -------------------------------------------------------------
+
+
+def pauli_error(pairs: Sequence[Tuple[str, float]]) -> QuantumError:
+    """Error from explicit ``(pauli_string, probability)`` pairs."""
+    return QuantumError(
+        [ErrorTerm("pauli", p, pauli=s.upper()) for s, p in pairs if set(s.upper()) != {"I"}]
+    )
+
+
+def depolarizing_error(p: float, num_qubits: int = 1) -> QuantumError:
+    """Uniform depolarizing: probability *p* split over non-identity Paulis."""
+    check_probability(p, "p")
+    labels: List[str] = [""]
+    for _ in range(num_qubits):
+        labels = [lbl + ch for lbl in labels for ch in "IXYZ"]
+    non_identity = [lbl for lbl in labels if set(lbl) != {"I"}]
+    weight = p / len(non_identity)
+    return pauli_error([(lbl, weight) for lbl in non_identity])
+
+
+def thermal_relaxation_error(
+    t1: float, t2: float, duration: float, operand: int = 0
+) -> QuantumError:
+    """Pauli/reset-twirled thermal relaxation on one operand qubit."""
+    events = thermal_relaxation_twirl(t1, t2, duration)
+    terms: List[ErrorTerm] = []
+    for kind, prob in events:
+        if prob <= 0:
+            continue
+        if kind == "reset":
+            terms.append(ErrorTerm("reset", prob, reset_operand=operand))
+        else:
+            terms.append(ErrorTerm("pauli", prob, pauli=kind))
+    # Pauli strings must span all operands; pad with identity around the
+    # target operand when used on multi-qubit ops.
+    return QuantumError(
+        [
+            t
+            if t.kind == "reset"
+            else ErrorTerm("pauli", t.probability, pauli=_pad(t.pauli, operand), reset_operand=0)
+            for t in terms
+        ]
+    )
+
+
+def _pad(pauli: str, operand: int) -> str:
+    return "I" * operand + pauli
+
+
+@dataclass(frozen=True)
+class ReadoutError:
+    """Asymmetric single-qubit readout confusion.
+
+    ``p_meas1_given0`` = P(read 1 | prepared 0), ``p_meas0_given1`` =
+    P(read 0 | prepared 1).  Transmon readout is typically asymmetric
+    (|1⟩ decays during the readout pulse), so the two are independent.
+    """
+
+    p_meas1_given0: float
+    p_meas0_given1: float
+
+    def __post_init__(self) -> None:
+        check_probability(self.p_meas1_given0, "p_meas1_given0")
+        check_probability(self.p_meas0_given1, "p_meas0_given1")
+
+    @property
+    def fidelity(self) -> float:
+        """Mean assignment fidelity ``1 − (ε₀ + ε₁)/2``."""
+        return 1.0 - 0.5 * (self.p_meas1_given0 + self.p_meas0_given1)
+
+    def confusion_matrix(self) -> np.ndarray:
+        """``M[measured, true]`` stochastic matrix."""
+        e0, e1 = self.p_meas1_given0, self.p_meas0_given1
+        return np.array([[1 - e0, e1], [e0, 1 - e1]], dtype=float)
+
+    def apply_to_bits(self, bits: np.ndarray, rng: RandomState = None) -> np.ndarray:
+        """Corrupt a column of measured bits in place-free fashion."""
+        r = as_rng(rng)
+        bits = np.asarray(bits, dtype=np.uint8)
+        flips0 = (bits == 0) & (r.random(bits.shape) < self.p_meas1_given0)
+        flips1 = (bits == 1) & (r.random(bits.shape) < self.p_meas0_given1)
+        return bits ^ (flips0 | flips1).astype(np.uint8)
+
+
+class NoiseModel:
+    """Operation-level stochastic noise plus per-qubit readout confusion.
+
+    Errors attach to ``(gate_name, qubits)`` with two fallbacks: an
+    all-qubit default per gate name, then nothing.  This mirrors how a
+    calibration snapshot describes a device: each gate on each
+    qubit/coupler has its own error rate.
+    """
+
+    def __init__(self) -> None:
+        self._local: Dict[Tuple[str, Tuple[int, ...]], QuantumError] = {}
+        self._default: Dict[str, QuantumError] = {}
+        self._readout: Dict[int, ReadoutError] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def add_gate_error(
+        self,
+        error: QuantumError,
+        gate_name: str,
+        qubits: Optional[Sequence[int]] = None,
+    ) -> "NoiseModel":
+        """Attach *error* to *gate_name*, optionally only on *qubits*."""
+        if qubits is None:
+            if gate_name in self._default:
+                self._default[gate_name] = self._default[gate_name].compose(error)
+            else:
+                self._default[gate_name] = error
+        else:
+            key = (gate_name, tuple(int(q) for q in qubits))
+            if key in self._local:
+                self._local[key] = self._local[key].compose(error)
+            else:
+                self._local[key] = error
+        return self
+
+    def add_readout_error(self, error: ReadoutError, qubit: int) -> "NoiseModel":
+        self._readout[int(qubit)] = error
+        return self
+
+    # -- queries -------------------------------------------------------------
+
+    def error_for(self, gate_name: str, qubits: Sequence[int]) -> Optional[QuantumError]:
+        """The error attached to this specific operation, if any.
+
+        For symmetric two-qubit gates both operand orders are checked.
+        """
+        key = (gate_name, tuple(int(q) for q in qubits))
+        if key in self._local:
+            return self._local[key]
+        if len(qubits) == 2:
+            rev = (gate_name, (int(qubits[1]), int(qubits[0])))
+            if rev in self._local:
+                return self._local[rev]
+        return self._default.get(gate_name)
+
+    def readout_for(self, qubit: int) -> Optional[ReadoutError]:
+        return self._readout.get(int(qubit))
+
+    @property
+    def noisy_gates(self) -> frozenset:
+        names = {g for g, _ in self._local} | set(self._default)
+        return frozenset(names)
+
+    def is_trivial(self) -> bool:
+        return not (self._local or self._default or self._readout)
+
+    def __repr__(self) -> str:
+        return (
+            f"<NoiseModel {len(self._local)} local errors, "
+            f"{len(self._default)} defaults, {len(self._readout)} readout>"
+        )
+
+
+__all__ = [
+    "ErrorTerm",
+    "QuantumError",
+    "pauli_error",
+    "depolarizing_error",
+    "thermal_relaxation_error",
+    "ReadoutError",
+    "NoiseModel",
+]

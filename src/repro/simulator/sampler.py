@@ -1,0 +1,271 @@
+"""Shot sampler with trajectory grouping.
+
+Sampling a noisy 20-qubit circuit shot-by-shot would re-simulate the
+full state vector thousands of times.  Because every executor error is a
+*stochastic event* (Pauli injection or reset — see
+:mod:`repro.simulator.noise`), two shots whose sampled error events are
+identical traverse identical trajectories.  The sampler therefore:
+
+1. pre-samples the error realization of every shot (vectorized),
+2. groups shots by realization — at realistic error rates the
+   overwhelmingly common group is "no error at all",
+3. simulates one trajectory per distinct realization,
+4. samples measurement outcomes per group and applies readout confusion
+   bit-wise (vectorized).
+
+Circuits with mid-circuit measurement or reset fall back to a per-shot
+path, since their collapse randomness de-groups trajectories.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.errors import SimulationError
+from repro.simulator.counts import Counts
+from repro.simulator.noise import NoiseModel, QuantumError
+from repro.simulator.statevector import StateVector
+from repro.utils.rng import RandomState, as_rng
+
+_PAULI = {
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+
+def sample_counts(
+    circuit: QuantumCircuit,
+    shots: int,
+    *,
+    noise: Optional[NoiseModel] = None,
+    rng: RandomState = None,
+    instruction_errors: Optional[Mapping[int, QuantumError]] = None,
+) -> Counts:
+    """Sample *shots* measurement outcomes of *circuit* under *noise*.
+
+    Returns a :class:`Counts` over the circuit's classical bits.  Qubits
+    never measured leave their classical bits at 0.
+
+    *instruction_errors* optionally attaches an extra
+    :class:`QuantumError` to specific instruction indices — the device
+    executor uses this for duration-dependent idle/delay decoherence
+    that cannot be keyed by gate name alone.
+    """
+    if shots < 1:
+        raise SimulationError("shots must be >= 1")
+    if not circuit.has_measurements():
+        raise SimulationError(
+            f"circuit {circuit.name!r} has no measurements; nothing to sample"
+        )
+    r = as_rng(rng)
+    extra = dict(instruction_errors or {})
+    if _needs_per_shot(circuit):
+        bits = _sample_per_shot(circuit, int(shots), noise, r, extra)
+    else:
+        bits = _sample_grouped(circuit, int(shots), noise, r, extra)
+    bits = _apply_readout(circuit, bits, noise, r)
+    return Counts.from_bit_array(bits)
+
+
+def ideal_probabilities(circuit: QuantumCircuit) -> Dict[str, float]:
+    """Noiseless outcome probabilities over the measured classical bits."""
+    from repro.simulator.statevector import simulate_statevector
+
+    state = simulate_statevector(circuit)
+    mapping = _measurement_map(circuit)
+    probs = state.probabilities()
+    out: Dict[str, float] = {}
+    width = circuit.num_clbits
+    for basis, p in enumerate(probs):
+        if p < 1e-15:
+            continue
+        bits = ["0"] * width
+        for qubit, clbit in mapping.items():
+            bits[width - 1 - clbit] = str((basis >> qubit) & 1)
+        key = "".join(bits)
+        out[key] = out.get(key, 0.0) + float(p)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# internals
+# ---------------------------------------------------------------------------
+
+
+def _needs_per_shot(circuit: QuantumCircuit) -> bool:
+    """True when collapse randomness prevents trajectory grouping."""
+    measured: set[int] = set()
+    for inst in circuit:
+        if inst.name == "reset":
+            return True
+        if inst.name == "measure":
+            measured.add(inst.qubits[0])
+            continue
+        if inst.name == "barrier":
+            continue
+        if measured & set(inst.qubits):
+            return True  # gate after measurement on the same qubit
+    return False
+
+
+def _measurement_map(circuit: QuantumCircuit) -> Dict[int, int]:
+    """qubit → clbit mapping (last measurement of each qubit wins)."""
+    mapping: Dict[int, int] = {}
+    for inst in circuit:
+        if inst.name == "measure":
+            mapping[inst.qubits[0]] = inst.clbits[0]
+    return mapping
+
+
+def _noisy_ops(
+    circuit: QuantumCircuit,
+    noise: Optional[NoiseModel],
+    extra: Mapping[int, QuantumError],
+) -> List[Tuple[int, QuantumError]]:
+    out: List[Tuple[int, QuantumError]] = []
+    for idx, inst in enumerate(circuit):
+        if inst.name == "barrier":
+            continue
+        err: Optional[QuantumError] = None
+        if noise is not None and not noise.is_trivial():
+            err = noise.error_for(inst.name, inst.qubits)
+        bonus = extra.get(idx)
+        if bonus is not None:
+            err = bonus if err is None else err.compose(bonus)
+        if err is not None and err.terms:
+            out.append((idx, err))
+    return out
+
+
+def _inject(state: StateVector, inst: Instruction, err: QuantumError, term_idx: int) -> None:
+    term = err.terms[term_idx]
+    if term.kind == "pauli":
+        for offset, label in enumerate(term.pauli.upper()):
+            if label == "I":
+                continue
+            state.apply_matrix(_PAULI[label], [inst.qubits[offset]])
+    else:
+        q = inst.qubits[term.reset_operand]
+        # Stochastic-event reset: project to |0⟩ deterministically by
+        # collapsing on the dominant branch; exact behaviour of the
+        # twirled thermal channel (population transfer to ground).
+        p1 = state.marginal_probability_one(q)
+        if p1 > 1.0 - 1e-12:
+            state.apply_matrix(_PAULI["X"], [q])
+        elif p1 > 1e-12:
+            state.collapse(q, 0)
+
+
+def _run_trajectory(
+    circuit: QuantumCircuit,
+    pattern: Dict[int, int],
+    errors: Dict[int, QuantumError],
+) -> Tuple[StateVector, Dict[int, int]]:
+    state = StateVector(circuit.num_qubits)
+    mapping: Dict[int, int] = {}
+    for idx, inst in enumerate(circuit):
+        if inst.name == "measure":
+            mapping[inst.qubits[0]] = inst.clbits[0]
+        elif inst.name in ("barrier", "delay", "id"):
+            pass
+        else:
+            state.apply_matrix(inst.matrix(), inst.qubits)
+        if idx in pattern:
+            _inject(state, inst, errors[idx], pattern[idx])
+    return state, mapping
+
+
+def _sample_grouped(
+    circuit: QuantumCircuit,
+    shots: int,
+    noise: Optional[NoiseModel],
+    rng: np.random.Generator,
+    extra: Mapping[int, QuantumError],
+) -> np.ndarray:
+    noisy = _noisy_ops(circuit, noise, extra)
+    errors = dict(noisy)
+    # 1-2. sample realizations and group shots
+    groups: Dict[Tuple[Tuple[int, int], ...], int] = {}
+    if not noisy:
+        groups[()] = shots
+    else:
+        draws = np.stack(
+            [err.sample_many(shots, rng) for _, err in noisy], axis=0
+        )  # (n_noisy_ops, shots)
+        any_error = (draws >= 0).any(axis=0)
+        clean = int(shots - any_error.sum())
+        if clean:
+            groups[()] = clean
+        op_indices = np.array([idx for idx, _ in noisy])
+        for s in np.nonzero(any_error)[0]:
+            col = draws[:, s]
+            key = tuple(
+                (int(op_indices[j]), int(col[j])) for j in np.nonzero(col >= 0)[0]
+            )
+            groups[key] = groups.get(key, 0) + 1
+    # 3-4. one trajectory per distinct realization
+    width = circuit.num_clbits
+    chunks: List[np.ndarray] = []
+    for key, group_shots in groups.items():
+        state, mapping = _run_trajectory(circuit, dict(key), errors)
+        qubits = sorted(mapping)
+        sampled = state.sample(group_shots, rng, qubits=qubits)
+        bits = np.zeros((group_shots, width), dtype=np.uint8)
+        for col, q in enumerate(qubits):
+            bits[:, mapping[q]] = sampled[:, col]
+        chunks.append(bits)
+    return np.concatenate(chunks, axis=0)
+
+
+def _sample_per_shot(
+    circuit: QuantumCircuit,
+    shots: int,
+    noise: Optional[NoiseModel],
+    rng: np.random.Generator,
+    extra: Mapping[int, QuantumError],
+) -> np.ndarray:
+    noisy = dict(_noisy_ops(circuit, noise, extra))
+    width = circuit.num_clbits
+    bits = np.zeros((shots, width), dtype=np.uint8)
+    for s in range(shots):
+        state = StateVector(circuit.num_qubits)
+        for idx, inst in enumerate(circuit):
+            if inst.name == "measure":
+                outcome = state.measure(inst.qubits[0], rng)
+                bits[s, inst.clbits[0]] = outcome
+            elif inst.name == "reset":
+                state.reset(inst.qubits[0], rng)
+            elif inst.name in ("barrier", "delay", "id"):
+                pass
+            else:
+                state.apply_matrix(inst.matrix(), inst.qubits)
+            err = noisy.get(idx)
+            if err is not None:
+                draw = int(err.sample_many(1, rng)[0])
+                if draw >= 0:
+                    _inject(state, inst, err, draw)
+    return bits
+
+
+def _apply_readout(
+    circuit: QuantumCircuit,
+    bits: np.ndarray,
+    noise: Optional[NoiseModel],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    if noise is None:
+        return bits
+    mapping = _measurement_map(circuit)
+    out = bits.copy()
+    for qubit, clbit in mapping.items():
+        ro = noise.readout_for(qubit)
+        if ro is not None:
+            out[:, clbit] = ro.apply_to_bits(out[:, clbit], rng)
+    return out
+
+
+__all__ = ["sample_counts", "ideal_probabilities"]

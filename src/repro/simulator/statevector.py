@@ -1,0 +1,333 @@
+"""Dense state-vector engine.
+
+This is the computational substrate standing in for the paper's physical
+QPU: a little-endian ``2^n`` complex state with vectorized gate
+application.  Twenty qubits — the size of the modeled device — is a
+16 MiB state, small enough that every gate application is a handful of
+reshaped matrix products (see the hpc-parallel guide: vectorize, avoid
+copies; gate application here moves axes as *views* and allocates only
+the contracted result).
+
+Conventions
+-----------
+* little-endian: basis index ``i = Σ_q b_q · 2^q`` (qubit 0 is the LSB);
+* two-qubit matrices are indexed ``i = b_{q1}·2 + b_{q0}`` for operands
+  ``(q0, q1)``, matching :mod:`repro.circuits.gates`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import SimulationError
+from repro.utils.rng import RandomState, as_rng
+
+_PAULIS: Dict[str, np.ndarray] = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+
+class StateVector:
+    """A mutable n-qubit pure state.
+
+    Created in ``|0…0⟩`` unless an explicit amplitude vector is given.
+    """
+
+    def __init__(self, num_qubits: int, data: Optional[np.ndarray] = None) -> None:
+        if num_qubits < 1:
+            raise SimulationError("state needs at least one qubit")
+        if num_qubits > 26:
+            raise SimulationError(
+                f"{num_qubits} qubits exceeds the dense-state limit (26)"
+            )
+        self.num_qubits = int(num_qubits)
+        dim = 1 << self.num_qubits
+        if data is None:
+            self._data = np.zeros(dim, dtype=complex)
+            self._data[0] = 1.0
+        else:
+            arr = np.asarray(data, dtype=complex).reshape(-1)
+            if arr.shape != (dim,):
+                raise SimulationError(
+                    f"state vector for {num_qubits} qubits must have length {dim}, "
+                    f"got {arr.shape}"
+                )
+            self._data = arr.copy()
+
+    # -- basic accessors ------------------------------------------------------
+
+    @property
+    def data(self) -> np.ndarray:
+        """The amplitude vector (a live view; mutate with care)."""
+        return self._data
+
+    @property
+    def dim(self) -> int:
+        return self._data.size
+
+    def copy(self) -> "StateVector":
+        return StateVector(self.num_qubits, self._data)
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self._data))
+
+    def normalize(self) -> "StateVector":
+        n = self.norm()
+        if n < 1e-300:
+            raise SimulationError("cannot normalize a zero state")
+        self._data /= n
+        return self
+
+    def probabilities(self) -> np.ndarray:
+        """Basis-state probabilities ``|ψ_i|²``."""
+        return np.abs(self._data) ** 2
+
+    def fidelity(self, other: "StateVector") -> float:
+        """``|⟨self|other⟩|²``."""
+        if other.num_qubits != self.num_qubits:
+            raise SimulationError("fidelity requires equal qubit counts")
+        return float(abs(np.vdot(self._data, other._data)) ** 2)
+
+    # -- gate application -------------------------------------------------------
+
+    def _axis(self, qubit: int) -> int:
+        """Tensor axis of *qubit* in the C-ordered ``(2,)*n`` view."""
+        if not 0 <= qubit < self.num_qubits:
+            raise SimulationError(
+                f"qubit {qubit} out of range for {self.num_qubits}-qubit state"
+            )
+        return self.num_qubits - 1 - qubit
+
+    def apply_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> "StateVector":
+        """Apply a ``2^k × 2^k`` unitary (or Kraus operator) to *qubits*.
+
+        ``qubits`` lists operands least-significant-first with respect to
+        the matrix's own index convention.
+        """
+        k = len(qubits)
+        matrix = np.asarray(matrix, dtype=complex)
+        if matrix.shape != (1 << k, 1 << k):
+            raise SimulationError(
+                f"matrix shape {matrix.shape} does not match {k} qubits"
+            )
+        if len(set(qubits)) != k:
+            raise SimulationError(f"operands must be distinct, got {tuple(qubits)}")
+        n = self.num_qubits
+        tensor = self._data.reshape((2,) * n)
+        # Move operand axes to the front, most-significant operand first,
+        # so the C-order flattening of the leading block matches the
+        # matrix convention (index = Σ b_{q_j} 2^j).
+        axes = [self._axis(q) for q in reversed(qubits)]
+        tensor = np.moveaxis(tensor, axes, range(k))
+        block = tensor.reshape(1 << k, -1)
+        block = matrix @ block
+        tensor = block.reshape((2,) * n)
+        tensor = np.moveaxis(tensor, range(k), axes)
+        self._data = np.ascontiguousarray(tensor).reshape(-1)
+        return self
+
+    def apply_gate(
+        self, name: str, qubits: Sequence[int], params: Sequence[float] = ()
+    ) -> "StateVector":
+        """Apply a library gate by mnemonic."""
+        from repro.circuits import gates as gate_lib
+
+        spec = gate_lib.spec(name)
+        if spec.directive:
+            raise SimulationError(
+                f"{name!r} is a directive, not a unitary; use the sampler"
+            )
+        return self.apply_matrix(spec.matrix(params), qubits)
+
+    def apply_pauli(self, pauli: str, qubits: Sequence[int]) -> "StateVector":
+        """Apply a Pauli string like ``"XZY"`` to the listed qubits
+        (string index i acts on ``qubits[i]``)."""
+        if len(pauli) != len(qubits):
+            raise SimulationError("pauli string and qubit list lengths differ")
+        for label, q in zip(pauli.upper(), qubits):
+            if label == "I":
+                continue
+            try:
+                self.apply_matrix(_PAULIS[label], [q])
+            except KeyError:
+                raise SimulationError(f"unknown Pauli label {label!r}") from None
+        return self
+
+    # -- measurement ------------------------------------------------------------
+
+    def marginal_probability_one(self, qubit: int) -> float:
+        """``P(qubit = 1)``."""
+        axis = self._axis(qubit)
+        tensor = self.probabilities().reshape((2,) * self.num_qubits)
+        sl: List[object] = [slice(None)] * self.num_qubits
+        sl[axis] = 1
+        return float(tensor[tuple(sl)].sum())
+
+    def collapse(self, qubit: int, outcome: int) -> float:
+        """Project *qubit* onto *outcome* and renormalize.
+
+        Returns the pre-collapse probability of the outcome.  Raises if
+        that probability is (numerically) zero.
+        """
+        p1 = self.marginal_probability_one(qubit)
+        prob = p1 if outcome else 1.0 - p1
+        if prob < 1e-15:
+            raise SimulationError(
+                f"cannot collapse qubit {qubit} onto impossible outcome {outcome}"
+            )
+        axis = self._axis(qubit)
+        tensor = self._data.reshape((2,) * self.num_qubits)
+        sl: List[object] = [slice(None)] * self.num_qubits
+        sl[axis] = 1 - outcome
+        tensor[tuple(sl)] = 0.0
+        self._data = tensor.reshape(-1)
+        self._data /= math.sqrt(prob)
+        return prob
+
+    def measure(self, qubit: int, rng: RandomState = None) -> int:
+        """Projectively measure one qubit, collapsing the state."""
+        r = as_rng(rng)
+        p1 = self.marginal_probability_one(qubit)
+        outcome = 1 if r.random() < p1 else 0
+        self.collapse(qubit, outcome)
+        return outcome
+
+    def reset(self, qubit: int, rng: RandomState = None) -> "StateVector":
+        """Measure-and-flip reset of one qubit to ``|0⟩``."""
+        outcome = self.measure(qubit, rng)
+        if outcome:
+            self.apply_matrix(_PAULIS["X"], [qubit])
+        return self
+
+    def sample(
+        self, shots: int, rng: RandomState = None, qubits: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Draw *shots* basis-state samples without collapsing.
+
+        Returns an ``(shots, k)`` uint8 array of bits, column *j* being
+        qubit ``qubits[j]`` (default: all qubits in index order).
+        """
+        r = as_rng(rng)
+        probs = self.probabilities()
+        # Guard against drift from accumulated float error.
+        probs = probs / probs.sum()
+        outcomes = r.choice(probs.size, size=int(shots), p=probs)
+        qs = list(range(self.num_qubits)) if qubits is None else list(qubits)
+        bits = np.empty((int(shots), len(qs)), dtype=np.uint8)
+        for col, q in enumerate(qs):
+            bits[:, col] = (outcomes >> q) & 1
+        return bits
+
+    # -- observables --------------------------------------------------------------
+
+    def expectation_pauli(self, pauli: str, qubits: Sequence[int]) -> float:
+        """``⟨ψ| P |ψ⟩`` for a Pauli string on the listed qubits."""
+        work = self.copy()
+        work.apply_pauli(pauli, qubits)
+        return float(np.real(np.vdot(self._data, work._data)))
+
+    def expectation_diagonal(self, diagonal: np.ndarray) -> float:
+        """Expectation of an operator diagonal in the computational basis."""
+        diag = np.asarray(diagonal, dtype=float).reshape(-1)
+        if diag.shape != (self.dim,):
+            raise SimulationError("diagonal length must equal state dimension")
+        return float(np.dot(self.probabilities(), diag))
+
+    def __repr__(self) -> str:
+        return f"<StateVector {self.num_qubits} qubits, norm {self.norm():.6f}>"
+
+
+def simulate_statevector(
+    circuit: QuantumCircuit,
+    *,
+    initial: Optional[StateVector] = None,
+    rng: RandomState = None,
+) -> StateVector:
+    """Run *circuit*'s unitary part, returning the final state.
+
+    Measurements are *skipped* (sampling is the sampler's job); resets
+    collapse stochastically using *rng*; barriers and delays are no-ops
+    in the noiseless engine.
+    """
+    state = initial.copy() if initial is not None else StateVector(circuit.num_qubits)
+    if state.num_qubits != circuit.num_qubits:
+        raise SimulationError("initial state size does not match circuit")
+    r = as_rng(rng)
+    for inst in circuit:
+        if inst.name in ("barrier", "delay", "measure", "id"):
+            continue
+        if inst.name == "reset":
+            state.reset(inst.qubits[0], r)
+            continue
+        state.apply_matrix(inst.matrix(), inst.qubits)
+    return state
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Full ``2^n × 2^n`` unitary of a measurement-free circuit.
+
+    Exponential in qubits — intended for the test suite (n ≤ 10).
+    """
+    n = circuit.num_qubits
+    if n > 12:
+        raise SimulationError("circuit_unitary is limited to 12 qubits")
+    dim = 1 << n
+    u = np.eye(dim, dtype=complex)
+    for inst in circuit:
+        if inst.name in ("barrier", "delay", "id"):
+            continue
+        if inst.is_directive:
+            raise SimulationError(
+                f"circuit_unitary cannot handle directive {inst.name!r}"
+            )
+        full = _embed(inst.matrix(), inst.qubits, n)
+        u = full @ u
+    return u
+
+
+def _embed(matrix: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Embed a k-qubit matrix into the full Hilbert space."""
+    state_dim = 1 << num_qubits
+    out = np.zeros((state_dim, state_dim), dtype=complex)
+    k = len(qubits)
+    rest = [q for q in range(num_qubits) if q not in qubits]
+    for col in range(state_dim):
+        sub_col = 0
+        for j, q in enumerate(qubits):
+            sub_col |= ((col >> q) & 1) << j
+        base = col
+        for q in qubits:
+            base &= ~(1 << q)
+        col_vec = matrix[:, sub_col]
+        for sub_row, amp in enumerate(col_vec):
+            if amp == 0:
+                continue
+            row = base
+            for j, q in enumerate(qubits):
+                row |= ((sub_row >> j) & 1) << q
+            out[row, col] += amp
+    return out
+
+
+def ghz_state(num_qubits: int) -> StateVector:
+    """The ideal ``(|0…0⟩ + |1…1⟩)/√2`` state (Section 3.2's benchmark target)."""
+    sv = StateVector(num_qubits)
+    sv.data[0] = 1.0 / math.sqrt(2.0)
+    sv.data[-1] = 1.0 / math.sqrt(2.0)
+    sv.data[1:-1] = 0.0
+    return sv
+
+
+__all__ = [
+    "StateVector",
+    "simulate_statevector",
+    "circuit_unitary",
+    "ghz_state",
+]

@@ -1,0 +1,36 @@
+"""DCDB-style telemetry: store, collector plugins, analytics, QDMI bridge."""
+
+from repro.telemetry.analytics import (
+    QubitHealth,
+    RecalibrationAdvice,
+    RecalibrationAdvisor,
+    detect_anomalies,
+    qubit_health,
+    trend,
+)
+from repro.telemetry.plugins import (
+    CallbackPlugin,
+    DCDBCollector,
+    JobAccountingPlugin,
+    Plugin,
+    QPUMetricsPlugin,
+)
+from repro.telemetry.qdmi_bridge import TelemetryQDMIDevice
+from repro.telemetry.store import MetricPoint, MetricStore
+
+__all__ = [
+    "QubitHealth",
+    "RecalibrationAdvice",
+    "RecalibrationAdvisor",
+    "detect_anomalies",
+    "qubit_health",
+    "trend",
+    "CallbackPlugin",
+    "DCDBCollector",
+    "JobAccountingPlugin",
+    "Plugin",
+    "QPUMetricsPlugin",
+    "TelemetryQDMIDevice",
+    "MetricPoint",
+    "MetricStore",
+]

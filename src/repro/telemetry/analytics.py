@@ -1,0 +1,221 @@
+"""Operational analytics over the telemetry store.
+
+DCDB's Wintermute layer does "online and holistic operational data
+analytics"; the paper's follow-up work adds "Qubit Health Analytics and
+Clustering for HPC-Integrated Quantum Processors" (Deng et al. 2025).
+This module provides the pieces the operations loop and the experiments
+actually use:
+
+* :func:`trend` — robust slope estimate of a sensor over a window
+  (drift detection);
+* :func:`detect_anomalies` — z-score outliers against a trailing
+  baseline (catches TLS events as sudden T1 drops);
+* :func:`qubit_health` — per-qubit composite health scores and a 2-means
+  clustering into healthy/degraded groups;
+* :class:`RecalibrationAdvisor` — the "do we need a recalibration?"
+  policy that turns monitoring into action (Section 3.1: "attempt to
+  identify when a (re-)calibration is required").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TelemetryError
+from repro.telemetry.store import MetricStore
+
+
+def trend(
+    store: MetricStore, sensor: str, start: float, end: float
+) -> Tuple[float, float]:
+    """Least-squares (slope per second, intercept) of *sensor* over
+    ``[start, end]``.  Needs ≥ 3 points."""
+    t, v = store.query(sensor, start, end)
+    if t.size < 3:
+        raise TelemetryError(f"not enough points on {sensor!r} for a trend")
+    t0 = t - t[0]
+    slope, intercept = np.polyfit(t0, v, 1)
+    return float(slope), float(intercept)
+
+
+def detect_anomalies(
+    store: MetricStore,
+    sensor: str,
+    start: float,
+    end: float,
+    *,
+    z_threshold: float = 4.0,
+    baseline_fraction: float = 0.5,
+) -> List[float]:
+    """Timestamps whose value deviates more than *z_threshold* standard
+    deviations from the leading-baseline statistics.
+
+    The baseline is the first *baseline_fraction* of the window, so a
+    step change (TLS capture, cooling incident) flags every subsequent
+    point until the effect decays.
+    """
+    t, v = store.query(sensor, start, end)
+    if t.size < 8:
+        return []
+    n_base = max(4, int(t.size * baseline_fraction))
+    base = v[:n_base]
+    mu, sigma = float(base.mean()), float(base.std())
+    sigma = max(sigma, 1e-12)
+    z = np.abs(v - mu) / sigma
+    return [float(ts) for ts in t[z > z_threshold]]
+
+
+@dataclass(frozen=True)
+class QubitHealth:
+    """Composite health of one qubit at one instant."""
+
+    qubit: int
+    score: float        # 1.0 = nominal, lower is worse
+    t1: float
+    prx_error: float
+    readout_error: float
+    cluster: str        # "healthy" | "degraded"
+
+
+def qubit_health(
+    store: MetricStore,
+    num_qubits: int,
+    at: Optional[float] = None,
+    *,
+    prefix: str = "qpu",
+) -> List[QubitHealth]:
+    """Score and cluster all qubits from their latest telemetry.
+
+    Score = geometric mean of (T1 ratio to cohort median, PRX fidelity
+    ratio, readout fidelity ratio), so 1.0 means "median qubit".  A
+    2-means split on the scores labels the degraded group — the paper's
+    health-clustering idea at its simplest useful form.
+    """
+    rows: List[Tuple[int, float, float, float]] = []
+    for q in range(num_qubits):
+        tag = f"{prefix}.qubit{q:02d}"
+        try:
+            t1 = store.latest(f"{tag}.t1").value
+            prx = store.latest(f"{tag}.prx_error").value
+            ro = store.latest(f"{tag}.readout_error").value
+        except TelemetryError:
+            raise TelemetryError(
+                f"missing telemetry for qubit {q}; run a collection cycle first"
+            ) from None
+        rows.append((q, t1, prx, ro))
+    t1_med = float(np.median([r[1] for r in rows]))
+    prx_med = float(np.median([1.0 - r[2] for r in rows]))
+    ro_med = float(np.median([1.0 - r[3] for r in rows]))
+    scores = []
+    for q, t1, prx, ro in rows:
+        ratio_t1 = t1 / max(t1_med, 1e-12)
+        ratio_prx = (1.0 - prx) / max(prx_med, 1e-12)
+        ratio_ro = (1.0 - ro) / max(ro_med, 1e-12)
+        scores.append((ratio_t1 * ratio_prx * ratio_ro) ** (1.0 / 3.0))
+    clusters = _two_means(np.array(scores))
+    return [
+        QubitHealth(
+            qubit=q,
+            score=float(s),
+            t1=t1,
+            prx_error=prx,
+            readout_error=ro,
+            cluster="healthy" if c else "degraded",
+        )
+        for (q, t1, prx, ro), s, c in zip(rows, scores, clusters)
+    ]
+
+
+def _two_means(values: np.ndarray, iters: int = 32) -> np.ndarray:
+    """1-D 2-means; returns boolean mask of the *higher* cluster.  With
+    (numerically) identical values everything is 'healthy'."""
+    lo, hi = float(values.min()), float(values.max())
+    if hi - lo < 1e-9:
+        return np.ones(values.shape, dtype=bool)
+    c_lo, c_hi = lo, hi
+    for _ in range(iters):
+        assign_hi = np.abs(values - c_hi) <= np.abs(values - c_lo)
+        if assign_hi.all() or (~assign_hi).all():
+            break
+        new_hi = float(values[assign_hi].mean())
+        new_lo = float(values[~assign_hi].mean())
+        if math.isclose(new_hi, c_hi) and math.isclose(new_lo, c_lo):
+            break
+        c_hi, c_lo = new_hi, new_lo
+    return np.abs(values - c_hi) <= np.abs(values - c_lo)
+
+
+@dataclass(frozen=True)
+class RecalibrationAdvice:
+    """Output of the advisor: what to do and why."""
+
+    action: str  # "none" | "quick" | "full"
+    reason: str
+
+
+class RecalibrationAdvisor:
+    """Turns telemetry into a quick/full/none recalibration decision.
+
+    Policy (matching the paper's operational logic):
+
+    * if the two-qubit (CZ) median fidelity fell below its floor, only a
+      **full** calibration retunes the couplers;
+    * else if single-qubit or readout medians fell below their floors, a
+      **quick** calibration suffices (40 min vs 100 min);
+    * else if the calibration is older than ``max_age``, take the
+      scheduled **full** slot;
+    * else do nothing.
+    """
+
+    def __init__(
+        self,
+        *,
+        prx_floor: float = 0.9975,
+        readout_floor: float = 0.955,
+        cz_floor: float = 0.982,
+        max_age: float = 2.0 * 24 * 3600.0,
+        prefix: str = "qpu",
+    ) -> None:
+        self.prx_floor = float(prx_floor)
+        self.readout_floor = float(readout_floor)
+        self.cz_floor = float(cz_floor)
+        self.max_age = float(max_age)
+        self.prefix = prefix
+
+    def advise(self, store: MetricStore) -> RecalibrationAdvice:
+        try:
+            prx = store.latest(f"{self.prefix}.median_prx_fidelity").value
+            cz = store.latest(f"{self.prefix}.median_cz_fidelity").value
+            ro = store.latest(f"{self.prefix}.median_readout_fidelity").value
+            age = store.latest(f"{self.prefix}.calibration_age").value
+        except TelemetryError:
+            return RecalibrationAdvice("full", "no telemetry yet: establish baseline")
+        if cz < self.cz_floor:
+            return RecalibrationAdvice(
+                "full", f"median CZ fidelity {cz:.4f} below floor {self.cz_floor:.4f}"
+            )
+        if prx < self.prx_floor or ro < self.readout_floor:
+            return RecalibrationAdvice(
+                "quick",
+                f"1q/readout medians ({prx:.4f}/{ro:.4f}) below floors "
+                f"({self.prx_floor:.4f}/{self.readout_floor:.4f})",
+            )
+        if age > self.max_age:
+            return RecalibrationAdvice(
+                "full", f"calibration age {age / 3600.0:.1f} h exceeds limit"
+            )
+        return RecalibrationAdvice("none", "all medians within bounds")
+
+
+__all__ = [
+    "trend",
+    "detect_anomalies",
+    "QubitHealth",
+    "qubit_health",
+    "RecalibrationAdvice",
+    "RecalibrationAdvisor",
+]

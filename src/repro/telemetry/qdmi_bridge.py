@@ -1,0 +1,98 @@
+"""The Figure 3 bridge: a QDMI device backed by DCDB telemetry.
+
+"A QDMI Device has been developed that interfaces with DCDB to acquire
+telemetry from quantum hardware and its operational environment … This
+setup allows to consume these live data during tasks such as JIT
+compilation and environment-aware optimizations."
+
+:class:`TelemetryQDMIDevice` answers scalar QDMI queries from the
+telemetry store's latest values, and serves the full calibration
+snapshot through a pluggable provider (normally the live device, so
+compilers get exact per-qubit data; dashboards and external tools get
+the store-backed scalars without ever touching the QPU directly —
+the "transparent dissemination" requirement of Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Optional
+
+from repro.errors import QDMIError, TelemetryError
+from repro.qdmi.interface import QDMIDevice, QDMIProperty
+from repro.qpu.params import CalibrationSnapshot
+from repro.telemetry.store import MetricStore
+
+_SCALAR_SENSORS: Dict[QDMIProperty, str] = {
+    QDMIProperty.MEDIAN_PRX_FIDELITY: "qpu.median_prx_fidelity",
+    QDMIProperty.MEDIAN_CZ_FIDELITY: "qpu.median_cz_fidelity",
+    QDMIProperty.MEDIAN_READOUT_FIDELITY: "qpu.median_readout_fidelity",
+}
+
+_QUBIT_SENSORS: Dict[QDMIProperty, str] = {
+    QDMIProperty.T1: "t1",
+    QDMIProperty.T2: "t2",
+}
+
+
+class TelemetryQDMIDevice(QDMIDevice):
+    """QDMI answers sourced from the DCDB store."""
+
+    def __init__(
+        self,
+        store: MetricStore,
+        *,
+        name: str = "dcdb-device",
+        snapshot_provider: Optional[Callable[[], CalibrationSnapshot]] = None,
+        prefix: str = "qpu",
+    ) -> None:
+        self._store = store
+        self._name = name
+        self._snapshot_provider = snapshot_provider
+        self._prefix = prefix
+
+    def supported_properties(self) -> FrozenSet[QDMIProperty]:
+        props = set(_SCALAR_SENSORS) | set(_QUBIT_SENSORS) | {QDMIProperty.NAME}
+        if self._snapshot_provider is not None:
+            props |= {
+                QDMIProperty.CALIBRATION_SNAPSHOT,
+                QDMIProperty.NUM_QUBITS,
+                QDMIProperty.COUPLING_MAP,
+                QDMIProperty.CALIBRATION_TIMESTAMP,
+                QDMIProperty.CALIBRATION_KIND,
+            }
+        return frozenset(props)
+
+    def _query(self, prop: QDMIProperty, scope: Dict[str, Any]) -> Any:
+        if prop is QDMIProperty.NAME:
+            return self._name
+        if prop in _SCALAR_SENSORS:
+            try:
+                return self._store.latest(_SCALAR_SENSORS[prop]).value
+            except TelemetryError as exc:
+                raise QDMIError(f"telemetry not yet collected: {exc}") from exc
+        if prop in _QUBIT_SENSORS:
+            qubit = scope.get("qubit")
+            if qubit is None:
+                raise QDMIError(f"{prop.name} requires qubit= scope")
+            sensor = f"{self._prefix}.qubit{int(qubit):02d}.{_QUBIT_SENSORS[prop]}"
+            try:
+                return self._store.latest(sensor).value
+            except TelemetryError as exc:
+                raise QDMIError(f"telemetry not yet collected: {exc}") from exc
+        if self._snapshot_provider is None:  # pragma: no cover - guarded by supported set
+            raise QDMIError(f"{prop.name} requires a snapshot provider")
+        snapshot = self._snapshot_provider()
+        if prop is QDMIProperty.CALIBRATION_SNAPSHOT:
+            return snapshot
+        if prop is QDMIProperty.NUM_QUBITS:
+            return snapshot.topology.num_qubits
+        if prop is QDMIProperty.COUPLING_MAP:
+            return tuple(snapshot.topology.couplers)
+        if prop is QDMIProperty.CALIBRATION_TIMESTAMP:
+            return snapshot.timestamp
+        if prop is QDMIProperty.CALIBRATION_KIND:
+            return snapshot.calibration_kind
+        raise QDMIError(f"unhandled property {prop.name}")  # pragma: no cover
+
+
+__all__ = ["TelemetryQDMIDevice"]

@@ -1,0 +1,188 @@
+"""DCDB-like time-series metric store.
+
+The paper monitors the QPU through DCDB, "an open-source, plugin-based
+system designed for continuous and holistic collection of operational
+and environmental metrics … aggregat[ing] this data in a distributed
+noSQL data store, enabling cross-system correlation".
+
+:class:`MetricStore` is the in-memory stand-in: append-only per-sensor
+series with range queries, latest-value lookup, windowed aggregation and
+cross-sensor correlation.  Storage is chunked NumPy arrays so that the
+146-day operations run (hundreds of thousands of points) stays cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TelemetryError
+
+_CHUNK = 4096
+
+
+class _Series:
+    """Append-only (timestamp, value) series with amortized growth."""
+
+    __slots__ = ("_t", "_v", "_n")
+
+    def __init__(self) -> None:
+        self._t = np.empty(_CHUNK, dtype=float)
+        self._v = np.empty(_CHUNK, dtype=float)
+        self._n = 0
+
+    def append(self, t: float, v: float) -> None:
+        if self._n and t < self._t[self._n - 1]:
+            raise TelemetryError(
+                f"out-of-order insert: {t} < {self._t[self._n - 1]}"
+            )
+        if self._n == self._t.size:
+            self._t = np.concatenate([self._t, np.empty(self._t.size, dtype=float)])
+            self._v = np.concatenate([self._v, np.empty(self._v.size, dtype=float)])
+        self._t[self._n] = t
+        self._v[self._n] = v
+        self._n += 1
+
+    def view(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self._t[: self._n], self._v[: self._n]
+
+    def __len__(self) -> int:
+        return self._n
+
+
+@dataclass(frozen=True)
+class MetricPoint:
+    """One observation of one sensor."""
+
+    sensor: str
+    timestamp: float
+    value: float
+
+
+class MetricStore:
+    """Per-sensor time series with range queries and aggregation.
+
+    Sensor names are hierarchical strings, DCDB-style, e.g.
+    ``"qpu.qubit03.t1"`` or ``"facility.cooling.water_in_temp"``.
+    """
+
+    def __init__(self) -> None:
+        self._series: Dict[str, _Series] = {}
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def insert(self, sensor: str, timestamp: float, value: float) -> None:
+        """Append one observation (timestamps must be non-decreasing per
+        sensor, which a collector loop guarantees)."""
+        if not sensor:
+            raise TelemetryError("sensor name must be non-empty")
+        series = self._series.get(sensor)
+        if series is None:
+            series = self._series[sensor] = _Series()
+        series.append(float(timestamp), float(value))
+
+    def insert_many(self, timestamp: float, values: Mapping[str, float]) -> None:
+        """Append one collection cycle's worth of observations."""
+        for sensor, value in values.items():
+            self.insert(sensor, timestamp, value)
+
+    # -- queries --------------------------------------------------------------------
+
+    def sensors(self, prefix: str = "") -> List[str]:
+        """Sensor names, optionally filtered by hierarchical prefix."""
+        return sorted(s for s in self._series if s.startswith(prefix))
+
+    def __contains__(self, sensor: str) -> bool:
+        return sensor in self._series
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def num_points(self, sensor: Optional[str] = None) -> int:
+        if sensor is not None:
+            return len(self._get(sensor))
+        return sum(len(s) for s in self._series.values())
+
+    def _get(self, sensor: str) -> _Series:
+        try:
+            return self._series[sensor]
+        except KeyError:
+            raise TelemetryError(f"unknown sensor {sensor!r}") from None
+
+    def latest(self, sensor: str) -> MetricPoint:
+        series = self._get(sensor)
+        if not len(series):
+            raise TelemetryError(f"sensor {sensor!r} has no data")
+        t, v = series.view()
+        return MetricPoint(sensor, float(t[-1]), float(v[-1]))
+
+    def query(
+        self,
+        sensor: str,
+        start: float = -math.inf,
+        end: float = math.inf,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(timestamps, values) with ``start <= t <= end`` (views, no copy
+        beyond the boolean selection)."""
+        t, v = self._get(sensor).view()
+        lo = np.searchsorted(t, start, side="left")
+        hi = np.searchsorted(t, end, side="right")
+        return t[lo:hi], v[lo:hi]
+
+    def aggregate(
+        self,
+        sensor: str,
+        start: float,
+        end: float,
+        window: float,
+        how: str = "mean",
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Windowed aggregation (``mean``/``min``/``max``/``last``) over
+        ``[start, end)`` with fixed *window* width.  Empty windows yield
+        NaN.  This is the dashboard's downsampling query."""
+        if window <= 0:
+            raise TelemetryError("window must be positive")
+        t, v = self.query(sensor, start, end)
+        n_windows = max(1, int(math.ceil((end - start) / window)))
+        centers = start + (np.arange(n_windows) + 0.5) * window
+        out = np.full(n_windows, np.nan)
+        if t.size:
+            idx = np.minimum(((t - start) / window).astype(int), n_windows - 1)
+            for w in range(n_windows):
+                mask = idx == w
+                if not mask.any():
+                    continue
+                vals = v[mask]
+                if how == "mean":
+                    out[w] = vals.mean()
+                elif how == "min":
+                    out[w] = vals.min()
+                elif how == "max":
+                    out[w] = vals.max()
+                elif how == "last":
+                    out[w] = vals[-1]
+                else:
+                    raise TelemetryError(f"unknown aggregation {how!r}")
+        return centers, out
+
+    def correlate(
+        self, sensor_a: str, sensor_b: str, start: float, end: float, window: float
+    ) -> float:
+        """Pearson correlation of two sensors on a common windowed grid —
+        the "cross-system correlation" DCDB exists to enable (e.g. water
+        temperature vs readout fidelity)."""
+        _, a = self.aggregate(sensor_a, start, end, window)
+        _, b = self.aggregate(sensor_b, start, end, window)
+        mask = ~(np.isnan(a) | np.isnan(b))
+        if mask.sum() < 3:
+            raise TelemetryError("not enough overlapping data to correlate")
+        aa, bb = a[mask], b[mask]
+        if aa.std() < 1e-15 or bb.std() < 1e-15:
+            return 0.0
+        return float(np.corrcoef(aa, bb)[0, 1])
+
+
+__all__ = ["MetricStore", "MetricPoint"]

@@ -1,0 +1,34 @@
+"""Circuit-to-hardware compilation passes."""
+
+from repro.transpiler.decompose import (
+    decompose_swaps,
+    decompose_to_cz,
+    synthesize_native,
+)
+from repro.transpiler.layout import (
+    Layout,
+    best_ghz_chain,
+    layout_fidelity_score,
+    line_layout,
+    noise_adaptive_layout,
+    trivial_layout,
+)
+from repro.transpiler.routing import RoutingResult, route
+from repro.transpiler.transpile import LAYOUT_METHODS, TranspileResult, transpile
+
+__all__ = [
+    "decompose_swaps",
+    "decompose_to_cz",
+    "synthesize_native",
+    "Layout",
+    "best_ghz_chain",
+    "layout_fidelity_score",
+    "line_layout",
+    "noise_adaptive_layout",
+    "trivial_layout",
+    "RoutingResult",
+    "route",
+    "LAYOUT_METHODS",
+    "TranspileResult",
+    "transpile",
+]

@@ -1,0 +1,243 @@
+"""Gate decomposition passes.
+
+Two rewrites live here:
+
+* :func:`decompose_to_cz` — expand every two-qubit gate into CZ plus
+  single-qubit gates (run *before* routing, so the router only reasons
+  about CZ adjacency);
+* :func:`synthesize_native` — merge every run of single-qubit gates into
+  at most one physical PRX pulse plus a *virtual* RZ frame update,
+  exploiting that RZ commutes with the (diagonal) CZ and is irrelevant
+  before measurement/reset.  This is the pulse-count-optimal form real
+  phased-RX control stacks emit.
+
+Both passes preserve measurement-outcome semantics exactly; the test
+suite verifies unitary equivalence up to global phase on random
+circuits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.gates import prx_rz_for_unitary, rz_matrix, spec
+from repro.circuits.parameters import numeric_value
+from repro.errors import TranspilationError
+
+_CZ_RULES_MAX_ROUNDS = 6
+
+
+def decompose_to_cz(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Rewrite so every multi-qubit gate is a CZ.
+
+    Symbolic parameters are allowed (cp/rzz rules are linear in the
+    angle), so variational templates can be decomposed once and bound
+    per iteration.
+    """
+    work = list(circuit.instructions)
+    for _ in range(_CZ_RULES_MAX_ROUNDS):
+        out: List[Instruction] = []
+        changed = False
+        for inst in work:
+            rule = _CZ_RULES.get(inst.name)
+            if rule is None:
+                out.append(inst)
+            else:
+                out.extend(rule(inst))
+                changed = True
+        work = out
+        if not changed:
+            break
+    else:
+        raise TranspilationError("decompose_to_cz did not converge")
+    result = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+    result.metadata = dict(circuit.metadata)
+    for inst in work:
+        result._instructions.append(inst)
+    return result
+
+
+def _rule_cx(inst: Instruction) -> List[Instruction]:
+    c, t = inst.qubits
+    return [
+        Instruction("h", (t,)),
+        Instruction("cz", (c, t)),
+        Instruction("h", (t,)),
+    ]
+
+
+def _rule_swap(inst: Instruction) -> List[Instruction]:
+    a, b = inst.qubits
+    return [
+        Instruction("cx", (a, b)),
+        Instruction("cx", (b, a)),
+        Instruction("cx", (a, b)),
+    ]
+
+
+def _rule_iswap(inst: Instruction) -> List[Instruction]:
+    # iSWAP = SWAP · CZ · (S ⊗ S)   (verified in tests up to global phase)
+    a, b = inst.qubits
+    return [
+        Instruction("s", (a,)),
+        Instruction("s", (b,)),
+        Instruction("cz", (a, b)),
+        Instruction("swap", (a, b)),
+    ]
+
+
+def _rule_cp(inst: Instruction) -> List[Instruction]:
+    # CP(λ) ≐ RZ(λ/2)_a · RZ(λ/2)_b · RZZ(−λ/2)
+    (lam,) = inst.params
+    a, b = inst.qubits
+    half = lam * 0.5 if not isinstance(lam, (int, float)) else 0.5 * float(lam)
+    neg_half = -half if not isinstance(half, (int, float)) else -float(half)
+    return [
+        Instruction("rz", (a,), (half,)),
+        Instruction("rz", (b,), (half,)),
+        Instruction("rzz", (a, b), (neg_half,)),
+    ]
+
+
+def _rule_rzz(inst: Instruction) -> List[Instruction]:
+    (theta,) = inst.params
+    a, b = inst.qubits
+    return [
+        Instruction("cx", (a, b)),
+        Instruction("rz", (b,), (theta,)),
+        Instruction("cx", (a, b)),
+    ]
+
+
+_CZ_RULES = {
+    "cx": _rule_cx,
+    "swap": _rule_swap,
+    "iswap": _rule_iswap,
+    "cp": _rule_cp,
+    "rzz": _rule_rzz,
+}
+
+
+# ---------------------------------------------------------------------------
+# Native synthesis with virtual RZ
+# ---------------------------------------------------------------------------
+
+
+def synthesize_native(
+    circuit: QuantumCircuit, *, emit_trailing_rz: bool = True
+) -> QuantumCircuit:
+    """Convert a CZ-only circuit to the native {PRX, CZ, RZ} gate set.
+
+    Runs of single-qubit gates are accumulated into one unitary and
+    emitted as a single PRX pulse; the residual Z rotation stays virtual
+    (tracked classically) and is:
+
+    * folded into the next PRX on the same qubit,
+    * commuted through CZ (both are diagonal in Z),
+    * dropped at measurement/reset (Z phase is unobservable there),
+    * optionally emitted as an explicit (virtual, error-free) ``rz`` at
+      the end of the circuit so the result stays unitarily equivalent.
+
+    All parameters must be bound (synthesis needs numeric matrices).
+    """
+    n = circuit.num_qubits
+    out = QuantumCircuit(n, circuit.num_clbits, circuit.name)
+    out.metadata = dict(circuit.metadata)
+    # accum[q]: pending single-qubit unitary not yet emitted (includes the
+    # virtual-RZ carry).  None means identity.
+    accum: List[Optional[np.ndarray]] = [None] * n
+    # carry[q]: virtual Z angle to re-apply after the last emitted pulse.
+    carry: List[float] = [0.0] * n
+
+    def fold_carry(q: int) -> None:
+        """Move the virtual-Z carry into the accumulator."""
+        if carry[q] != 0.0:
+            base = accum[q] if accum[q] is not None else np.eye(2, dtype=complex)
+            accum[q] = base @ rz_matrix(carry[q])
+            carry[q] = 0.0
+
+    def flush(q: int) -> None:
+        """Emit the accumulated unitary as ≤1 PRX; keep residual Z virtual."""
+        fold_carry(q)
+        if accum[q] is None:
+            return
+        pulses, tau = prx_rz_for_unitary(accum[q])
+        for theta, phi in pulses:
+            out.append("prx", [q], [theta, phi])
+        carry[q] = tau
+        accum[q] = None
+
+    for inst in circuit:
+        name = inst.name
+        if name == "cz":
+            a, b = inst.qubits
+            flush(a)
+            flush(b)
+            out.append("cz", [a, b])  # carry commutes through CZ
+        elif name == "measure":
+            q = inst.qubits[0]
+            flush(q)
+            carry[q] = 0.0  # Z before measurement is unobservable
+            out.append("measure", [q], clbits=inst.clbits)
+        elif name == "reset":
+            q = inst.qubits[0]
+            flush(q)
+            carry[q] = 0.0
+            out.append("reset", [q])
+        elif name == "barrier":
+            for q in inst.qubits:
+                flush(q)
+            out.barrier(*inst.qubits)
+        elif name == "delay":
+            q = inst.qubits[0]
+            flush(q)
+            out.append("delay", [q], inst.params)
+        elif name == "rz":
+            q = inst.qubits[0]
+            carry_angle = numeric_value(inst.params[0])
+            if accum[q] is None and carry[q] == 0.0:
+                carry[q] = carry_angle
+            else:
+                fold_carry(q)
+                base = accum[q] if accum[q] is not None else np.eye(2, dtype=complex)
+                accum[q] = rz_matrix(carry_angle) @ base
+        elif name == "id":
+            continue
+        else:
+            gate_spec = spec(name)
+            if gate_spec.num_qubits != 1 or gate_spec.directive:
+                raise TranspilationError(
+                    f"synthesize_native expects a CZ-only circuit, found {name!r}"
+                )
+            fold_carry(q := inst.qubits[0])
+            matrix = inst.matrix()
+            base = accum[q] if accum[q] is not None else np.eye(2, dtype=complex)
+            accum[q] = matrix @ base
+    for q in range(n):
+        flush(q)
+        if emit_trailing_rz and abs(carry[q]) > 1e-12:
+            out.append("rz", [q], [carry[q]])
+    return out
+
+
+def decompose_swaps(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Expand router-inserted SWAPs into H/CZ (post-routing cleanup)."""
+    out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+    out.metadata = dict(circuit.metadata)
+    for inst in circuit:
+        if inst.name != "swap":
+            out._instructions.append(inst)
+            continue
+        a, b = inst.qubits
+        for c, t in ((a, b), (b, a), (a, b)):
+            out.h(t)
+            out.cz(c, t)
+            out.h(t)
+    return out
+
+
+__all__ = ["decompose_to_cz", "synthesize_native", "decompose_swaps"]

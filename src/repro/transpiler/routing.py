@@ -1,0 +1,166 @@
+"""SWAP-insertion routing.
+
+Takes a CZ-only logical circuit plus an initial placement and produces a
+physically-executable circuit in which every CZ touches a real coupler.
+The router walks the program in order, and for each non-adjacent CZ
+moves one endpoint along the shortest physical path, preferring the
+direction that helps upcoming gates (a one-gate lookahead — a light
+version of the SABRE heuristic that stays deterministic).
+
+The router reports the *final* layout, which downstream consumers need
+to interpret measurement results and to compose tightly-coupled hybrid
+iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.errors import TranspilationError
+from repro.qpu.topology import Topology
+from repro.transpiler.layout import Layout
+
+
+@dataclass(frozen=True)
+class RoutingResult:
+    """Routed circuit plus layout bookkeeping."""
+
+    circuit: QuantumCircuit
+    initial_layout: Layout
+    final_layout: Layout
+    swap_count: int
+
+
+def route(
+    circuit: QuantumCircuit,
+    topology: Topology,
+    initial_layout: Optional[Layout] = None,
+    *,
+    lookahead: int = 8,
+) -> RoutingResult:
+    """Insert SWAPs so every two-qubit gate is coupler-adjacent.
+
+    The output circuit is over *physical* indices and has
+    ``topology.num_qubits`` qubits.  Only ``cz`` two-qubit gates are
+    accepted (run :func:`repro.transpiler.decompose.decompose_to_cz`
+    first).
+    """
+    if initial_layout is None:
+        initial_layout = {q: q for q in range(circuit.num_qubits)}
+    _check_layout(circuit, topology, initial_layout)
+    logical_to_phys: Dict[int, int] = dict(initial_layout)
+    out = QuantumCircuit(topology.num_qubits, circuit.num_clbits, circuit.name)
+    out.metadata = dict(circuit.metadata)
+    swap_count = 0
+    pending = list(circuit.instructions)
+    for pos, inst in enumerate(pending):
+        if inst.name == "barrier":
+            phys = tuple(logical_to_phys[q] for q in inst.qubits)
+            out.barrier(*phys)
+            continue
+        if len(inst.qubits) == 1 or inst.is_directive:
+            out._instructions.append(
+                Instruction(
+                    inst.name,
+                    tuple(logical_to_phys[q] for q in inst.qubits),
+                    inst.params,
+                    inst.clbits,
+                )
+            )
+            continue
+        if inst.name != "cz":
+            raise TranspilationError(
+                f"router only handles cz two-qubit gates, found {inst.name!r}"
+            )
+        a, b = inst.qubits
+        while not topology.is_coupled(logical_to_phys[a], logical_to_phys[b]):
+            step = _best_swap(
+                topology, logical_to_phys, a, b, pending[pos + 1 :], lookahead
+            )
+            out.append("swap", list(step))
+            swap_count += 1
+            _apply_swap(logical_to_phys, step)
+        out.cz(logical_to_phys[a], logical_to_phys[b])
+    return RoutingResult(
+        circuit=out,
+        initial_layout=dict(initial_layout),
+        final_layout=dict(logical_to_phys),
+        swap_count=swap_count,
+    )
+
+
+def _check_layout(circuit: QuantumCircuit, topology: Topology, layout: Layout) -> None:
+    if set(layout) < set(range(circuit.num_qubits)):
+        missing = sorted(set(range(circuit.num_qubits)) - set(layout))
+        raise TranspilationError(f"layout is missing logical qubits {missing}")
+    phys = list(layout.values())
+    if len(set(phys)) != len(phys):
+        raise TranspilationError("layout maps two logical qubits to one physical")
+    for p in phys:
+        if not 0 <= p < topology.num_qubits:
+            raise TranspilationError(f"physical qubit {p} out of range")
+
+
+def _apply_swap(layout: Dict[int, int], phys_pair: Tuple[int, int]) -> None:
+    """Update logical→physical after swapping two physical qubits."""
+    pa, pb = phys_pair
+    inv = {p: l for l, p in layout.items()}
+    la, lb = inv.get(pa), inv.get(pb)
+    if la is not None:
+        layout[la] = pb
+    if lb is not None:
+        layout[lb] = pa
+
+
+def _best_swap(
+    topology: Topology,
+    layout: Dict[int, int],
+    a: int,
+    b: int,
+    upcoming: Sequence[Instruction],
+    lookahead: int,
+) -> Tuple[int, int]:
+    """Choose the physical swap that most reduces current+future distance."""
+    pa, pb = layout[a], layout[b]
+    candidates: List[Tuple[int, int]] = []
+    # swaps that move either endpoint one hop along some shortest direction
+    for endpoint in (pa, pb):
+        for n in topology.neighbors(endpoint):
+            candidates.append((endpoint, n))
+    future: List[Tuple[int, int]] = []
+    for inst in upcoming:
+        if inst.name == "cz":
+            future.append(inst.qubits)  # type: ignore[arg-type]
+            if len(future) >= lookahead:
+                break
+
+    def cost_after(swap: Tuple[int, int]) -> Tuple[int, float]:
+        trial = dict(layout)
+        _apply_swap(trial, swap)
+        primary = topology.distance(trial[a], trial[b])
+        fut = 0.0
+        for decay, (la, lb) in enumerate(future):
+            fut += topology.distance(trial[la], trial[lb]) * (0.5 ** (decay + 1))
+        return (primary, fut)
+
+    best = min(candidates, key=lambda s: cost_after(s) + (s,))  # deterministic tiebreak
+    before = topology.distance(pa, pb)
+    after = topology.distance(
+        *(lambda t: (t[a], t[b]))(_swapped(layout, best))
+    )
+    if after >= before:
+        # Ensure progress: force a move strictly along the shortest path.
+        path = topology.shortest_path(pa, pb)
+        best = (path[0], path[1])
+    return best
+
+
+def _swapped(layout: Dict[int, int], swap: Tuple[int, int]) -> Dict[int, int]:
+    trial = dict(layout)
+    _apply_swap(trial, swap)
+    return trial
+
+
+__all__ = ["RoutingResult", "route"]

@@ -1,0 +1,127 @@
+"""The transpilation pipeline driver.
+
+``transpile()`` chains the passes in the order a production stack runs
+them::
+
+    decompose-to-CZ → place → route → expand SWAPs → native synthesis
+
+and returns a :class:`TranspileResult` carrying the physical circuit and
+the layout bookkeeping that the middleware needs to interpret results.
+
+Layout methods:
+
+* ``"trivial"``   — identity placement (the no-telemetry baseline);
+* ``"line"``      — Hamiltonian-path window (chain circuits / GHZ);
+* ``"noise_adaptive"`` — greedy calibration-aware placement (requires a
+  snapshot; this is the QDMI/JIT path of Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import TranspilationError
+from repro.qpu.params import CalibrationSnapshot
+from repro.qpu.topology import Topology
+from repro.transpiler.decompose import (
+    decompose_swaps,
+    decompose_to_cz,
+    synthesize_native,
+)
+from repro.transpiler.layout import (
+    Layout,
+    line_layout,
+    noise_adaptive_layout,
+    trivial_layout,
+)
+from repro.transpiler.routing import route
+
+LAYOUT_METHODS = ("trivial", "line", "noise_adaptive")
+
+
+@dataclass(frozen=True)
+class TranspileResult:
+    """Physical circuit plus provenance."""
+
+    circuit: QuantumCircuit
+    initial_layout: Layout
+    final_layout: Layout
+    swap_count: int
+    layout_method: str
+
+    @property
+    def physical_measured_qubits(self) -> Dict[int, int]:
+        """clbit → physical qubit actually measured."""
+        out: Dict[int, int] = {}
+        for inst in self.circuit:
+            if inst.name == "measure":
+                out[inst.clbits[0]] = inst.qubits[0]
+        return out
+
+    def stats(self) -> Dict[str, int]:
+        ops = self.circuit.count_ops()
+        return {
+            "prx": ops.get("prx", 0),
+            "cz": ops.get("cz", 0),
+            "rz": ops.get("rz", 0),
+            "measure": ops.get("measure", 0),
+            "swaps_inserted": self.swap_count,
+            "depth": self.circuit.depth(),
+        }
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    topology: Topology,
+    *,
+    snapshot: Optional[CalibrationSnapshot] = None,
+    layout_method: str = "noise_adaptive",
+    initial_layout: Optional[Layout] = None,
+    emit_trailing_rz: bool = True,
+) -> TranspileResult:
+    """Compile *circuit* for the device described by *topology*/*snapshot*.
+
+    Falls back from ``noise_adaptive`` to ``trivial`` when no snapshot is
+    available (the static-compilation baseline of the Figure 3 bench).
+    Symbolic parameters must be bound before transpilation (the JIT
+    compiler caches at the IR level instead; see :mod:`repro.compiler`).
+    """
+    if circuit.parameters:
+        raise TranspilationError(
+            "transpile requires a fully-bound circuit; bind parameters first"
+        )
+    method = layout_method
+    if method not in LAYOUT_METHODS:
+        raise TranspilationError(
+            f"unknown layout method {layout_method!r}; choose from {LAYOUT_METHODS}"
+        )
+    cz_only = decompose_to_cz(circuit)
+    if initial_layout is not None:
+        placement = dict(initial_layout)
+    elif method == "trivial":
+        placement = trivial_layout(cz_only, topology)
+    elif method == "line":
+        placement = line_layout(cz_only, topology, snapshot)
+    else:
+        if snapshot is None:
+            placement = trivial_layout(cz_only, topology)
+            method = "trivial"
+        else:
+            placement = noise_adaptive_layout(cz_only, topology, snapshot)
+    routed = route(cz_only, topology, placement)
+    expanded = decompose_swaps(routed.circuit)
+    native = synthesize_native(expanded, emit_trailing_rz=emit_trailing_rz)
+    native.metadata["layout_method"] = method
+    native.metadata["swap_count"] = routed.swap_count
+    return TranspileResult(
+        circuit=native,
+        initial_layout=routed.initial_layout,
+        final_layout=routed.final_layout,
+        swap_count=routed.swap_count,
+        layout_method=method,
+    )
+
+
+__all__ = ["TranspileResult", "transpile", "LAYOUT_METHODS"]

@@ -1,0 +1,49 @@
+"""Shared utilities: RNG plumbing, units, validation and small math helpers."""
+
+from repro.utils.rng import RandomState, as_rng, child_rng
+from repro.utils.units import (
+    GHZ,
+    HOUR,
+    KHZ,
+    MHZ,
+    MICROSECOND,
+    MILLISECOND,
+    MINUTE,
+    NANOSECOND,
+    DAY,
+    WEEK,
+    dbm_to_watt,
+    format_duration,
+    format_si,
+    watt_to_dbm,
+)
+from repro.utils.validation import (
+    check_index,
+    check_positive,
+    check_probability,
+    check_unit_interval,
+)
+
+__all__ = [
+    "RandomState",
+    "as_rng",
+    "child_rng",
+    "GHZ",
+    "MHZ",
+    "KHZ",
+    "NANOSECOND",
+    "MICROSECOND",
+    "MILLISECOND",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "dbm_to_watt",
+    "watt_to_dbm",
+    "format_si",
+    "format_duration",
+    "check_index",
+    "check_positive",
+    "check_probability",
+    "check_unit_interval",
+]

@@ -1,0 +1,128 @@
+"""Unit constants and formatting helpers.
+
+The stack uses SI base units internally: seconds for time, hertz for
+frequency, watts for power, kelvin for temperature, tesla for magnetic
+field, bits/second for data rate.  The constants here exist so that
+configuration code reads like the paper ("full recalibration takes
+``100 * MINUTE``", "passive reset of ``300 * MICROSECOND``").
+"""
+
+from __future__ import annotations
+
+# -- time ------------------------------------------------------------------
+NANOSECOND = 1e-9
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+WEEK = 7 * DAY
+
+# -- frequency -------------------------------------------------------------
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+# -- power -----------------------------------------------------------------
+MILLIWATT = 1e-3
+KILOWATT = 1e3
+MEGAWATT = 1e6
+
+# -- data ------------------------------------------------------------------
+KBIT = 1e3
+MBIT = 1e6
+GBIT = 1e9
+BYTE = 8.0  # bits
+
+# -- magnetic field --------------------------------------------------------
+MICROTESLA = 1e-6
+
+_SI_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "µ"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+]
+
+
+def format_si(value: float, unit: str, digits: int = 3) -> str:
+    """Format *value* with an SI prefix, e.g. ``format_si(533e3, 'bit/s')``
+    → ``'533 kbit/s'``."""
+    if value == 0:
+        return f"0 {unit}"
+    mag = abs(value)
+    for factor, prefix in _SI_PREFIXES:
+        if mag >= factor:
+            scaled = value / factor
+            return f"{scaled:.{digits}g} {prefix}{unit}"
+    factor, prefix = _SI_PREFIXES[-1]
+    return f"{value / factor:.{digits}g} {prefix}{unit}"
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration: ``format_duration(2.5 * DAY)`` → ``'2d 12h'``."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1e-3:
+        return format_si(seconds, "s")
+    if seconds < 60:
+        return f"{seconds:.3g}s"
+    parts: list[str] = []
+    remaining = seconds
+    for span, label in ((DAY, "d"), (HOUR, "h"), (MINUTE, "m")):
+        if remaining >= span:
+            whole = int(remaining // span)
+            parts.append(f"{whole}{label}")
+            remaining -= whole * span
+        if len(parts) == 2:
+            return " ".join(parts)
+    if remaining >= 1 and len(parts) < 2:
+        parts.append(f"{int(round(remaining))}s")
+    return " ".join(parts) if parts else "0s"
+
+
+def dbm_to_watt(dbm: float) -> float:
+    """Convert a power level in dBm to watts."""
+    return 10 ** (dbm / 10.0) * MILLIWATT
+
+
+def watt_to_dbm(watt: float) -> float:
+    """Convert a power level in watts to dBm."""
+    import math
+
+    if watt <= 0:
+        raise ValueError("power must be positive to express in dBm")
+    return 10.0 * math.log10(watt / MILLIWATT)
+
+
+__all__ = [
+    "NANOSECOND",
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "KHZ",
+    "MHZ",
+    "GHZ",
+    "MILLIWATT",
+    "KILOWATT",
+    "MEGAWATT",
+    "KBIT",
+    "MBIT",
+    "GBIT",
+    "BYTE",
+    "MICROTESLA",
+    "format_si",
+    "format_duration",
+    "dbm_to_watt",
+    "watt_to_dbm",
+]

@@ -1,0 +1,55 @@
+"""Small argument-validation helpers used across the stack.
+
+They raise :class:`ValueError`/:class:`IndexError` with messages that name
+the offending argument, which keeps call-site code free of boilerplate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def check_probability(value: float, name: str = "probability") -> float:
+    """Validate ``0 <= value <= 1`` and return it as ``float``."""
+    v = float(value)
+    if not 0.0 <= v <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return v
+
+
+def check_unit_interval(value: float, name: str = "value") -> float:
+    """Alias of :func:`check_probability` with a neutral message."""
+    return check_probability(value, name)
+
+
+def check_positive(value: float, name: str = "value", strict: bool = True) -> float:
+    """Validate positivity (strict by default) and return ``float(value)``."""
+    v = float(value)
+    if strict and not v > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and v < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return v
+
+
+def check_index(index: int, size: int, name: str = "index") -> int:
+    """Validate ``0 <= index < size`` and return ``int(index)``."""
+    i = int(index)
+    if not 0 <= i < size:
+        raise IndexError(f"{name} {index!r} out of range for size {size}")
+    return i
+
+
+def check_distinct(indices: Sequence[int], name: str = "qubits") -> None:
+    """Validate that *indices* contains no duplicates."""
+    if len(set(indices)) != len(indices):
+        raise ValueError(f"{name} must be distinct, got {tuple(indices)!r}")
+
+
+__all__ = [
+    "check_probability",
+    "check_unit_interval",
+    "check_positive",
+    "check_index",
+    "check_distinct",
+]

@@ -1,0 +1,143 @@
+"""Tests for live benchmarks and the recalibration controller."""
+
+import pytest
+
+from repro.calibration import (
+    CalibrationController,
+    ghz_benchmark,
+    health_check_suite,
+    readout_benchmark,
+)
+from repro.errors import CalibrationError, DeviceError
+from repro.qpu import QPUDevice
+from repro.telemetry import DCDBCollector, MetricStore, QPUMetricsPlugin
+from repro.utils.units import DAY, HOUR, MINUTE
+
+
+class TestGhzBenchmark:
+    def test_fresh_device_scores_high(self, device):
+        result = ghz_benchmark(device, 4, shots=800)
+        assert result.score > 0.8
+        assert len(result.qubits) == 4
+
+    def test_chain_is_on_device(self, device):
+        result = ghz_benchmark(device, 5, shots=256)
+        for a, b in zip(result.qubits, result.qubits[1:]):
+            assert device.topology.is_coupled(a, b)
+
+    def test_explicit_chain_respected(self, device):
+        chain = [0, 1, 2]
+        result = ghz_benchmark(device, 3, shots=256, chain=chain)
+        assert result.qubits == (0, 1, 2)
+
+    def test_chain_length_mismatch(self, device):
+        with pytest.raises(DeviceError):
+            ghz_benchmark(device, 3, chain=[0, 1])
+
+    def test_size_bounds(self, device):
+        with pytest.raises(DeviceError):
+            ghz_benchmark(device, 1)
+
+    def test_score_degrades_with_drift(self):
+        fresh = QPUDevice(seed=21)
+        fresh_score = ghz_benchmark(fresh, 6, shots=1200).score
+        aged = QPUDevice(seed=21)
+        aged.advance_time(10 * DAY)
+        aged_score = ghz_benchmark(aged, 6, shots=1200).score
+        assert aged_score < fresh_score
+
+    def test_details_populated(self, device):
+        result = ghz_benchmark(device, 3, shots=256)
+        assert "p_all_zero" in result.details
+        assert result.duration > 0
+
+
+class TestReadoutBenchmark:
+    def test_scores_near_readout_fidelity(self, device):
+        result = readout_benchmark(device, shots=400)
+        snapshot = device.calibration()
+        expected = snapshot.median_readout_fidelity()
+        assert result.score == pytest.approx(expected, abs=0.03)
+
+    def test_covers_all_qubits(self, device):
+        result = readout_benchmark(device, shots=64)
+        assert result.qubits == tuple(range(20))
+
+
+class TestHealthSuite:
+    def test_contains_requested_checks(self, device):
+        suite = health_check_suite(device, ghz_sizes=(2, 4), shots=128)
+        assert set(suite) == {"ghz2", "ghz4", "readout"}
+
+    def test_oversized_ghz_skipped(self, device):
+        suite = health_check_suite(device, ghz_sizes=(2, 50), shots=64)
+        assert "ghz50" not in suite
+
+
+class TestController:
+    def _telemetry(self, device):
+        store = MetricStore()
+        collector = DCDBCollector(store, [QPUMetricsPlugin(device, per_qubit=False)])
+        return store, collector
+
+    def test_no_action_when_fresh(self, device):
+        store, collector = self._telemetry(device)
+        ctrl = CalibrationController(device)
+        collector.run_cycle(device.time)
+        assert ctrl.step(store) is None
+        assert ctrl.stats.advised_none == 1
+
+    def test_calibrates_after_drift(self, device):
+        store, collector = self._telemetry(device)
+        ctrl = CalibrationController(device)
+        events = []
+        for _ in range(5 * 12):
+            device.advance_time(2 * HOUR)
+            collector.run_cycle(device.time)
+            ev = ctrl.step(store)
+            if ev:
+                events.append(ev)
+        assert events, "controller never calibrated over 5 days of drift"
+        assert all(e.kind in ("quick", "full") for e in events)
+
+    def test_window_blocks_calibration(self, device):
+        store, collector = self._telemetry(device)
+        ctrl = CalibrationController(device, window_fn=lambda _t: False)
+        device.advance_time(6 * DAY)
+        collector.run_cycle(device.time)
+        assert ctrl.step(store) is None
+        assert ctrl.stats.skipped_no_window == 1
+
+    def test_fixed_period_policy(self, device):
+        store, _ = self._telemetry(device)
+        ctrl = CalibrationController(
+            device, policy="fixed_period", fixed_period=12 * HOUR
+        )
+        device.advance_time(13 * HOUR)
+        ev = ctrl.step(store)
+        assert ev is not None and ev.kind == "full"
+        # immediately after: no new calibration
+        assert ctrl.step(store) is None
+
+    def test_unknown_policy_rejected(self, device):
+        with pytest.raises(CalibrationError):
+            CalibrationController(device, policy="vibes")
+
+    def test_force(self, device):
+        ctrl = CalibrationController(device)
+        ev = ctrl.force("full", "post-outage")
+        assert ev.kind == "full"
+        assert ev.duration == pytest.approx(100 * MINUTE)
+        assert ctrl.stats.full_count == 1
+
+    def test_stats_total_time(self, device):
+        ctrl = CalibrationController(device)
+        ctrl.force("quick")
+        ctrl.force("full")
+        assert ctrl.stats.total_calibration_time == pytest.approx(140 * MINUTE)
+
+    def test_events_logged(self, device):
+        ctrl = CalibrationController(device)
+        ctrl.force("quick", "test reason")
+        assert len(ctrl.events) == 1
+        assert ctrl.events[0].reason == "test reason"

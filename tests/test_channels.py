@@ -1,0 +1,157 @@
+"""Tests for exact Kraus channels and the Pauli-twirl bridge."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NoiseModelError
+from repro.simulator.channels import (
+    KrausChannel,
+    amplitude_damping_channel,
+    bit_flip_channel,
+    depolarizing_channel,
+    identity_channel,
+    pauli_channel,
+    phase_damping_channel,
+    phase_flip_channel,
+    thermal_relaxation_kraus,
+    thermal_relaxation_twirl,
+)
+
+
+class TestKrausChannel:
+    def test_cptp_validation_rejects_bad_set(self):
+        k = np.array([[1, 0], [0, 0.5]], dtype=complex)
+        with pytest.raises(NoiseModelError):
+            KrausChannel((k,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(NoiseModelError):
+            KrausChannel(())
+
+    def test_identity_channel_preserves_rho(self):
+        rho = np.array([[0.7, 0.2j], [-0.2j, 0.3]], dtype=complex)
+        out = identity_channel().apply_to_density(rho)
+        np.testing.assert_allclose(out, rho)
+
+    def test_trace_preserved_by_all_standard_channels(self):
+        rho = np.array([[0.6, 0.1 + 0.2j], [0.1 - 0.2j, 0.4]], dtype=complex)
+        for ch in (
+            bit_flip_channel(0.3),
+            phase_flip_channel(0.2),
+            depolarizing_channel(0.25),
+            amplitude_damping_channel(0.4),
+            phase_damping_channel(0.15),
+            thermal_relaxation_kraus(40e-6, 30e-6, 1e-6),
+        ):
+            out = ch.apply_to_density(rho)
+            assert np.trace(out).real == pytest.approx(1.0, abs=1e-10)
+
+    def test_compose_order(self):
+        """AD then complete phase damping: coherence fully killed."""
+        ad = amplitude_damping_channel(0.5)
+        pd = phase_damping_channel(1.0)
+        combined = ad.compose(pd)
+        rho = 0.5 * np.ones((2, 2), dtype=complex)
+        out = combined.apply_to_density(rho)
+        assert abs(out[0, 1]) < 1e-12
+
+    def test_average_gate_fidelity_depolarizing(self):
+        """F̄ = 1 − 2p/3 for our single-qubit depolarizing convention:
+        only the √(1−p)·I Kraus operator has nonzero trace, so
+        F̄ = (4(1−p) + 2) / 6."""
+        p = 0.12
+        ch = depolarizing_channel(p)
+        assert ch.average_gate_fidelity() == pytest.approx(1.0 - 2.0 * p / 3.0, abs=1e-12)
+
+    def test_process_fidelity_identity(self):
+        assert identity_channel().process_fidelity() == pytest.approx(1.0)
+
+    def test_num_qubits(self):
+        assert depolarizing_channel(0.1, 2).num_qubits == 2
+
+
+class TestStandardChannels:
+    def test_bit_flip_action(self):
+        rho = np.array([[1, 0], [0, 0]], dtype=complex)
+        out = bit_flip_channel(0.25).apply_to_density(rho)
+        assert out[1, 1].real == pytest.approx(0.25)
+
+    def test_phase_flip_kills_coherence(self):
+        rho = 0.5 * np.ones((2, 2), dtype=complex)
+        out = phase_flip_channel(0.5).apply_to_density(rho)
+        assert abs(out[0, 1]) < 1e-12
+
+    def test_amplitude_damping_population(self):
+        rho = np.array([[0, 0], [0, 1]], dtype=complex)
+        out = amplitude_damping_channel(0.3).apply_to_density(rho)
+        assert out[0, 0].real == pytest.approx(0.3)
+        assert out[1, 1].real == pytest.approx(0.7)
+
+    def test_pauli_channel_prob_sum_validated(self):
+        with pytest.raises(NoiseModelError):
+            pauli_channel([("X", 0.7), ("Z", 0.5)])
+
+    def test_pauli_channel_label_width(self):
+        with pytest.raises(NoiseModelError):
+            pauli_channel([("XX", 0.1)], num_qubits=1)
+
+    def test_two_qubit_depolarizing_uniform(self):
+        ch = depolarizing_channel(0.15, 2)
+        assert len(ch.operators) == 16  # identity + 15 Paulis
+
+
+class TestThermalRelaxation:
+    def test_population_decay_rate(self):
+        t1, t = 40e-6, 10e-6
+        ch = thermal_relaxation_kraus(t1, t1, t)
+        rho = np.array([[0, 0], [0, 1]], dtype=complex)
+        out = ch.apply_to_density(rho)
+        assert out[1, 1].real == pytest.approx(math.exp(-t / t1), abs=1e-9)
+
+    def test_coherence_decay_rate(self):
+        t1, t2, t = 40e-6, 25e-6, 5e-6
+        ch = thermal_relaxation_kraus(t1, t2, t)
+        rho = 0.5 * np.ones((2, 2), dtype=complex)
+        out = ch.apply_to_density(rho)
+        assert abs(out[0, 1]) == pytest.approx(0.5 * math.exp(-t / t2), abs=1e-9)
+
+    def test_unphysical_t2_rejected(self):
+        with pytest.raises(NoiseModelError):
+            thermal_relaxation_kraus(10e-6, 25e-6, 1e-6)
+
+    def test_zero_duration_is_identity(self):
+        ch = thermal_relaxation_kraus(40e-6, 30e-6, 0.0)
+        rho = np.array([[0.5, 0.4], [0.4, 0.5]], dtype=complex)
+        np.testing.assert_allclose(ch.apply_to_density(rho), rho, atol=1e-12)
+
+    @given(
+        st.floats(10e-6, 100e-6),
+        st.floats(0.2, 1.0),
+        st.floats(1e-7, 20e-6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_twirl_matches_exact_diagonals(self, t1, t2_ratio, duration):
+        """The Pauli/reset twirl reproduces the exact channel's
+        populations AND coherence envelope (both decay factors)."""
+        t2 = t2_ratio * t1
+        exact = thermal_relaxation_kraus(t1, t2, duration)
+        events = dict(thermal_relaxation_twirl(t1, t2, duration))
+        p_reset = events.get("reset", 0.0)
+        p_z = events.get("Z", 0.0)
+        # populations: |1⟩ survives with 1 - p_reset
+        rho1 = np.array([[0, 0], [0, 1]], dtype=complex)
+        exact_pop = exact.apply_to_density(rho1)[1, 1].real
+        assert 1.0 - p_reset == pytest.approx(exact_pop, abs=1e-9)
+        # coherence: factor (1 - p_reset - 2 p_z) ≈ e^{-t/T2}
+        rho_plus = 0.5 * np.ones((2, 2), dtype=complex)
+        exact_coh = abs(exact.apply_to_density(rho_plus)[0, 1])
+        twirl_coh = 0.5 * (1.0 - p_reset - 2.0 * p_z)
+        assert twirl_coh == pytest.approx(exact_coh, abs=1e-9)
+
+    def test_twirl_clamps_t2_above_t1(self):
+        events = dict(thermal_relaxation_twirl(10e-6, 18e-6, 1e-6))
+        assert events["Z"] >= 0.0

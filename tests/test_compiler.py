@@ -1,0 +1,229 @@
+"""Tests for the MLIR-like IR, dialects, lowering, and JIT."""
+
+import math
+
+import pytest
+
+from repro.compiler import (
+    CatalystKernel,
+    JITCompiler,
+    Module,
+    Operation,
+    QuakeKernel,
+    circuit_to_qir,
+    lower_to_qir,
+    qir_to_circuit,
+    register_dialect_conversion,
+    verify_module,
+)
+from repro.compiler.ir import Builder
+from repro.circuits import ghz_circuit
+from repro.errors import CompilerError, DialectError, LoweringError
+from repro.qdmi import QPUQDMIDevice, SnapshotQDMIDevice
+from repro.qpu import QPUDevice
+from repro.simulator import ideal_probabilities
+
+
+class TestIR:
+    def test_builder_emits_with_results(self):
+        m = Module("k")
+        b = Builder(m, "quake")
+        (v,) = b.emit("alloca", result_types=["qubit"], size=2)
+        assert v.type == "qubit"
+        assert m.ops[0].qualified == "quake.alloca"
+
+    def test_verify_detects_undefined_value(self):
+        m = Module("bad")
+        from repro.compiler.ir import Value
+
+        m.add(Operation("quake", "h", operands=(Value(99, "qubit"),)))
+        with pytest.raises(CompilerError):
+            verify_module(m)
+
+    def test_verify_detects_double_definition(self):
+        m = Module("bad")
+        from repro.compiler.ir import Value
+
+        v = Value(0, "qubit")
+        m.add(Operation("quake", "a", results=(v,)))
+        m.add(Operation("quake", "b", results=(v,)))
+        with pytest.raises(CompilerError):
+            verify_module(m)
+
+    def test_fingerprint_stable_and_sensitive(self):
+        k1 = QuakeKernel(2)
+        k1.h(0)
+        k2 = QuakeKernel(2)
+        k2.h(0)
+        assert k1.module.fingerprint() == k2.module.fingerprint()
+        k3 = QuakeKernel(2)
+        k3.h(1)
+        assert k1.module.fingerprint() != k3.module.fingerprint()
+
+    def test_dump_mentions_ops(self):
+        k = QuakeKernel(1)
+        k.h(0)
+        assert "quake.h" in k.module.dump()
+
+    def test_dialects_used(self):
+        k = QuakeKernel(1)
+        k.h(0)
+        assert k.module.dialects_used() == {"quake"}
+
+
+class TestQuakeDialect:
+    def test_ghz_via_quake(self):
+        k = QuakeKernel(3, "ghz")
+        k.h(0).cx(0, 1).cx(1, 2).mz()
+        qc = qir_to_circuit(lower_to_qir(k.module))
+        probs = ideal_probabilities(qc)
+        assert probs == pytest.approx({"000": 0.5, "111": 0.5})
+
+    def test_rotations(self):
+        k = QuakeKernel(1)
+        k.rx(math.pi, 0).mz()
+        qc = qir_to_circuit(lower_to_qir(k.module))
+        assert ideal_probabilities(qc) == pytest.approx({"1": 1.0})
+
+    def test_unknown_gate_rejected(self):
+        k = QuakeKernel(1)
+        with pytest.raises(DialectError):
+            k.gate("foo", [0])
+
+    def test_wrong_arity_rejected(self):
+        k = QuakeKernel(2)
+        with pytest.raises(DialectError):
+            k.gate("h", [0, 1])
+
+    def test_qubit_out_of_range(self):
+        k = QuakeKernel(2)
+        with pytest.raises(DialectError):
+            k.h(5)
+
+    def test_controlled_z_spelling(self):
+        """quake spells CZ as quake.z with a control operand."""
+        k = QuakeKernel(2)
+        k.cz(0, 1)
+        assert any(
+            op.name == "z" and op.attributes.get("num_controls") == 1
+            for op in k.module.ops
+        )
+
+
+class TestCatalystDialect:
+    def test_ghz_via_catalyst(self):
+        c = CatalystKernel(3, "ghz")
+        c.custom("Hadamard", [0]).custom("CNOT", [0, 1]).custom("CNOT", [1, 2])
+        c.measure()
+        qc = qir_to_circuit(lower_to_qir(c.module))
+        assert ideal_probabilities(qc) == pytest.approx({"000": 0.5, "111": 0.5})
+
+    def test_unknown_gate_rejected(self):
+        c = CatalystKernel(1)
+        with pytest.raises(DialectError):
+            c.custom("Toffoli", [0])
+
+    def test_parameterized_gate(self):
+        c = CatalystKernel(1)
+        c.custom("RX", [0], [math.pi]).measure()
+        qc = qir_to_circuit(lower_to_qir(c.module))
+        assert ideal_probabilities(qc) == pytest.approx({"1": 1.0})
+
+    def test_both_dialects_agree(self):
+        k = QuakeKernel(2)
+        k.h(0).cx(0, 1).mz()
+        c = CatalystKernel(2)
+        c.custom("Hadamard", [0]).custom("CNOT", [0, 1]).measure()
+        p1 = ideal_probabilities(qir_to_circuit(lower_to_qir(k.module)))
+        p2 = ideal_probabilities(qir_to_circuit(lower_to_qir(c.module)))
+        assert p1 == pytest.approx(p2)
+
+
+class TestLowering:
+    def test_unregistered_dialect_rejected(self):
+        m = Module("x")
+        b = Builder(m, "mystery")
+        b.emit("alloca", result_types=["qubit"], size=1)
+        b.emit("zap")
+        with pytest.raises((DialectError, LoweringError)):
+            lower_to_qir(m)
+
+    def test_new_dialect_pluggable(self):
+        """The paper's extensibility claim: register a dialect, lower it."""
+        from repro.compiler.ir import Value
+
+        def convert(op, qubit_index):
+            from repro.compiler.lowering import _qir_gate
+
+            if op.name == "hadamard_all":
+                n = int(op.attributes["n"])
+                return [_qir_gate("h", [q]) for q in range(n)]
+            raise LoweringError(op.name)
+
+        register_dialect_conversion("toy", convert)
+        m = Module("toy-prog")
+        b = Builder(m, "quake")
+        b.emit("alloca", result_types=["qubit"], size=2)
+        tb = Builder(m, "toy")
+        tb.emit("hadamard_all", n=2)
+        qc = qir_to_circuit(lower_to_qir(m))
+        assert qc.count_ops()["h"] == 2
+
+    def test_circuit_to_qir_roundtrip(self):
+        qc = ghz_circuit(3)
+        module = circuit_to_qir(qc)
+        back = qir_to_circuit(module)
+        assert back == qc
+
+    def test_qir_module_requires_init(self):
+        m = Module("no-init")
+        with pytest.raises(LoweringError):
+            qir_to_circuit(m)
+
+
+class TestJIT:
+    def test_cache_hit_same_calibration(self):
+        device = QPUDevice(seed=1)
+        jit = JITCompiler(QPUQDMIDevice(device))
+        k = QuakeKernel(3)
+        k.h(0).cx(0, 1).cx(1, 2).mz()
+        a = jit.compile(k.module)
+        b = jit.compile(k.module)
+        assert not a.from_cache and b.from_cache
+        assert jit.cache_info()["hits"] == 1
+
+    def test_recalibration_invalidates_cache(self):
+        device = QPUDevice(seed=1)
+        jit = JITCompiler(QPUQDMIDevice(device))
+        k = QuakeKernel(2)
+        k.h(0).cx(0, 1).mz()
+        jit.compile(k.module)
+        device.calibrate("quick")
+        b = jit.compile(k.module)
+        assert not b.from_cache
+
+    def test_snapshot_device_never_invalidates(self, snapshot):
+        jit = JITCompiler(SnapshotQDMIDevice(snapshot))
+        k = QuakeKernel(2)
+        k.h(0).mz()
+        jit.compile(k.module)
+        assert jit.compile(k.module).from_cache
+
+    def test_layout_method_keys_cache(self, snapshot):
+        jit = JITCompiler(SnapshotQDMIDevice(snapshot))
+        k = QuakeKernel(2)
+        k.h(0).cx(0, 1).mz()
+        jit.compile(k.module, layout_method="trivial")
+        b = jit.compile(k.module, layout_method="noise_adaptive")
+        assert not b.from_cache
+
+    def test_compiled_circuit_is_native(self, device):
+        jit = JITCompiler(QPUQDMIDevice(device))
+        artifact = jit.compile(ghz_circuit(4))
+        assert artifact.circuit.is_native()
+        device.execute(artifact.circuit, shots=32)  # executes cleanly
+
+    def test_rejects_unknown_program_type(self, device):
+        jit = JITCompiler(QPUQDMIDevice(device))
+        with pytest.raises(CompilerError):
+            jit.compile("not a program")

@@ -1,0 +1,89 @@
+"""Tests for the circuit dependency DAG."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit, ghz_circuit
+from repro.circuits.dag import CircuitDag, layers
+
+
+class TestDagStructure:
+    def test_independent_gates_no_edges(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).h(1)
+        dag = CircuitDag(qc)
+        assert dag.nodes[0].predecessors == []
+        assert dag.nodes[1].predecessors == []
+
+    def test_chain_dependencies(self):
+        qc = ghz_circuit(3, measure=False)
+        dag = CircuitDag(qc)
+        # cx(0,1) depends on h(0); cx(1,2) depends on cx(0,1)
+        assert dag.nodes[1].predecessors == [0]
+        assert dag.nodes[2].predecessors == [1]
+
+    def test_two_qubit_joins_dependencies(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).h(1).cz(0, 1)
+        dag = CircuitDag(qc)
+        assert dag.nodes[2].predecessors == [0, 1]
+
+    def test_successors_mirror_predecessors(self):
+        qc = ghz_circuit(4)
+        dag = CircuitDag(qc)
+        for node in dag:
+            for p in node.predecessors:
+                assert node.index in dag.nodes[p].successors
+
+    def test_front_layer(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).h(1).cx(0, 1).h(2)
+        front = CircuitDag(qc).front_layer()
+        assert sorted(n.index for n in front) == [0, 1, 3]
+
+    def test_barrier_orders_across_qubits(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.barrier()
+        qc.h(1)
+        dag = CircuitDag(qc)
+        assert dag.nodes[2].predecessors == [1]  # h(1) waits on barrier
+
+
+class TestLayers:
+    def test_ghz_layer_count_matches_depth(self):
+        qc = ghz_circuit(4, measure=False)
+        assert len(CircuitDag(qc).layers()) == qc.depth()
+
+    def test_parallel_single_layer(self):
+        qc = QuantumCircuit(4)
+        for q in range(4):
+            qc.x(q)
+        ls = layers(qc)
+        assert len(ls) == 1 and len(ls[0]) == 4
+
+    def test_layers_partition_all_instructions(self):
+        qc = ghz_circuit(5)
+        total = sum(len(layer) for layer in CircuitDag(qc).layers())
+        assert total == len(qc)
+
+
+class TestCriticalPath:
+    def test_uniform_durations(self):
+        qc = ghz_circuit(3, measure=False)
+        dag = CircuitDag(qc)
+        assert dag.critical_path_length(lambda inst: 1.0) == pytest.approx(3.0)
+
+    def test_weighted_durations(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        dag = CircuitDag(qc)
+        dur = {"h": 2.0, "cx": 5.0}
+        assert dag.critical_path_length(
+            lambda inst: dur[inst.name]
+        ) == pytest.approx(7.0)
+
+    def test_parallel_max_not_sum(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).h(1)
+        dag = CircuitDag(qc)
+        assert dag.critical_path_length(lambda inst: 3.0) == pytest.approx(3.0)

@@ -1,0 +1,109 @@
+"""Tests for the exact density-matrix engine."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, ghz_circuit
+from repro.errors import SimulationError
+from repro.simulator import (
+    DensityMatrix,
+    NoiseModel,
+    depolarizing_error,
+    pauli_error,
+    simulate_density,
+)
+from repro.simulator.channels import (
+    amplitude_damping_channel,
+    depolarizing_channel,
+)
+from repro.simulator.statevector import StateVector, simulate_statevector
+
+
+class TestDensityMatrix:
+    def test_initial_pure_zero(self):
+        rho = DensityMatrix(2)
+        assert rho.trace() == pytest.approx(1.0)
+        assert rho.purity() == pytest.approx(1.0)
+
+    def test_size_limit(self):
+        with pytest.raises(SimulationError):
+            DensityMatrix(11)
+
+    def test_from_statevector(self):
+        sv = StateVector(1)
+        sv.apply_gate("h", [0])
+        rho = DensityMatrix.from_statevector(sv)
+        assert rho.purity() == pytest.approx(1.0)
+        np.testing.assert_allclose(rho.probabilities(), [0.5, 0.5], atol=1e-12)
+
+    def test_unitary_matches_statevector(self):
+        qc = ghz_circuit(3, measure=False)
+        rho = simulate_density(qc)
+        sv = simulate_statevector(qc)
+        assert rho.fidelity_pure(sv) == pytest.approx(1.0)
+
+    def test_channel_reduces_purity(self):
+        rho = DensityMatrix(1)
+        rho.apply_unitary(np.array([[1, 1], [1, -1]]) / np.sqrt(2), [0])
+        rho.apply_channel(depolarizing_channel(0.5), [0])
+        assert rho.purity() < 1.0
+        assert rho.trace() == pytest.approx(1.0)
+
+    def test_expectation(self):
+        rho = DensityMatrix(1)
+        z = np.diag([1.0, -1.0])
+        assert rho.expectation(z) == pytest.approx(1.0)
+
+
+class TestSimulateDensity:
+    def test_noiseless_matches_probs(self):
+        qc = ghz_circuit(4, measure=False)
+        rho = simulate_density(qc)
+        probs = rho.probabilities()
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[-1] == pytest.approx(0.5)
+
+    def test_stochastic_error_expansion(self):
+        """Pauli error expands to the exact mixture."""
+        qc = QuantumCircuit(1)
+        qc.id(0)
+        nm = NoiseModel()
+        nm.add_gate_error(pauli_error([("X", 0.3)]), "id")
+        rho = simulate_density(qc, nm)
+        np.testing.assert_allclose(rho.probabilities(), [0.7, 0.3], atol=1e-12)
+
+    def test_exact_channel_override(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        nm = NoiseModel()
+        nm.add_gate_error(pauli_error([("X", 0.0001)]), "x")
+        override = {("x", (0,)): amplitude_damping_channel(0.4)}
+        rho = simulate_density(qc, nm, exact_channels=override)
+        assert rho.probabilities()[0] == pytest.approx(0.4)
+
+    def test_reset_channel(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        qc.reset(0)
+        rho = simulate_density(qc)
+        np.testing.assert_allclose(rho.probabilities(), [1.0, 0.0], atol=1e-12)
+
+    def test_trace_preserved_under_noise(self):
+        qc = ghz_circuit(3, measure=False)
+        nm = NoiseModel()
+        nm.add_gate_error(depolarizing_error(0.1, 2), "cx")
+        nm.add_gate_error(depolarizing_error(0.02, 1), "h")
+        rho = simulate_density(qc, nm)
+        assert rho.trace() == pytest.approx(1.0, abs=1e-10)
+
+    def test_noise_reduces_ghz_fidelity_monotonically(self):
+        qc = ghz_circuit(3, measure=False)
+        target = simulate_statevector(qc)
+        fidelities = []
+        for p in (0.0, 0.05, 0.15):
+            nm = NoiseModel()
+            nm.add_gate_error(depolarizing_error(p, 2), "cx")
+            rho = simulate_density(qc, nm)
+            fidelities.append(rho.fidelity_pure(target))
+        assert fidelities[0] == pytest.approx(1.0)
+        assert fidelities[0] > fidelities[1] > fidelities[2]

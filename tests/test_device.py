@@ -1,0 +1,159 @@
+"""Tests for the QPU device model."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit, ghz_circuit
+from repro.errors import DeviceError, DeviceUnavailableError, TopologyError
+from repro.qpu import (
+    FULL_CALIBRATION_DURATION,
+    QUICK_CALIBRATION_DURATION,
+    DeviceStatus,
+    QPUDevice,
+)
+from repro.transpiler import transpile
+from repro.utils.units import MINUTE
+
+
+def native_ghz(device, n=3):
+    return transpile(
+        ghz_circuit(n), device.topology, snapshot=device.calibration()
+    ).circuit
+
+
+class TestValidation:
+    def test_non_native_gate_rejected(self, device):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.measure_all()
+        with pytest.raises(DeviceError):
+            device.execute(qc)
+
+    def test_uncoupled_cz_rejected(self, device):
+        qc = QuantumCircuit(20)
+        qc.cz(0, 19)
+        qc.measure(0)
+        with pytest.raises(TopologyError):
+            device.execute(qc)
+
+    def test_too_many_qubits_rejected(self, device):
+        qc = QuantumCircuit(21)
+        qc.measure(0)
+        with pytest.raises(DeviceError):
+            device.execute(qc)
+
+    def test_zero_shots_rejected(self, device):
+        with pytest.raises(DeviceError):
+            device.execute(native_ghz(device), shots=0)
+
+    def test_native_circuit_accepted(self, device):
+        result = device.execute(native_ghz(device), shots=64)
+        assert result.shots == 64
+
+
+class TestExecution:
+    def test_ghz_outcome_quality(self, device):
+        result = device.execute(native_ghz(device, 4), shots=1500)
+        fid = result.counts.marginal([0, 1, 2, 3]).ghz_fidelity_estimate()
+        assert fid > 0.75  # noisy but recognizable
+
+    def test_job_advances_time(self, device):
+        t0 = device.time
+        result = device.execute(native_ghz(device), shots=200)
+        assert device.time == pytest.approx(t0 + result.duration)
+
+    def test_shot_duration_reset_dominated(self, device):
+        result = device.execute(native_ghz(device), shots=16)
+        # 300 µs reset dominates; gates + readout add a few µs
+        assert 300e-6 < result.shot_duration < 320e-6
+
+    def test_job_counter_increments(self, device):
+        r1 = device.execute(native_ghz(device), shots=16)
+        r2 = device.execute(native_ghz(device), shots=16)
+        assert r2.job_id == r1.job_id + 1
+        assert device.jobs_executed == 2
+
+    def test_busy_seconds_accumulate(self, device):
+        device.execute(native_ghz(device), shots=100)
+        assert device.busy_seconds > 0
+
+    def test_output_bytes_formats(self, device):
+        result = device.execute(native_ghz(device, 3), shots=100)
+        assert result.output_bytes("bitstrings") == 100 * 3
+        assert result.output_bytes("raw_iq") == 100 * 3 * 8
+        assert result.output_bytes("histogram") < result.output_bytes("bitstrings")
+        with pytest.raises(DeviceError):
+            result.output_bytes("parquet")
+
+    def test_data_rate_positive(self, device):
+        result = device.execute(native_ghz(device), shots=256)
+        assert result.data_rate() > 0
+
+    def test_execution_reproducible_with_seed(self):
+        a = QPUDevice(seed=99)
+        b = QPUDevice(seed=99)
+        ra = a.execute(native_ghz(a), shots=200)
+        rb = b.execute(native_ghz(b), shots=200)
+        assert ra.counts.to_dict() == rb.counts.to_dict()
+
+
+class TestCalibration:
+    def test_durations_match_paper(self, device):
+        assert device.calibrate("quick") == pytest.approx(40 * MINUTE)
+        assert device.calibrate("full") == pytest.approx(100 * MINUTE)
+
+    def test_unknown_kind_rejected(self, device):
+        with pytest.raises(DeviceError):
+            device.calibrate("hyper")
+
+    def test_calibration_improves_aged_device(self, device):
+        device.advance_time(6 * 24 * 3600)
+        before = device.calibration().median_cz_fidelity()
+        device.calibrate("full")
+        after = device.calibration().median_cz_fidelity()
+        assert after > before
+
+    def test_calibrating_seconds_tracked(self, device):
+        device.calibrate("quick")
+        assert device.calibrating_seconds == pytest.approx(40 * MINUTE)
+
+    def test_status_restored_after_calibration(self, device):
+        device.calibrate("quick")
+        assert device.status is DeviceStatus.ONLINE
+
+
+class TestAvailability:
+    def test_offline_execute_rejected(self, device):
+        device.set_status(DeviceStatus.OFFLINE)
+        with pytest.raises(DeviceUnavailableError):
+            device.execute(native_ghz(device))
+
+    def test_offline_calibrate_rejected(self, device):
+        device.set_status(DeviceStatus.MAINTENANCE)
+        with pytest.raises(DeviceUnavailableError):
+            device.calibrate("full")
+
+    def test_drift_continues_while_offline(self, device):
+        device.set_status(DeviceStatus.OFFLINE)
+        t0 = device.time
+        device.advance_time(3600.0)
+        assert device.time == t0 + 3600.0
+
+
+class TestIdleNoise:
+    def test_idle_noise_hurts_fidelity(self):
+        """Explicit long delays accumulate decoherence."""
+        device = QPUDevice(seed=4)
+        base = native_ghz(device, 3)
+        slowed = QuantumCircuit(base.num_qubits, base.num_clbits, "slowed")
+        for inst in base:
+            if inst.name == "measure":
+                # idle every qubit for 30 µs before readout
+                slowed.append("delay", [inst.qubits[0]], [30e-6])
+            slowed.append_instruction(inst)
+        fast = device.execute(base, shots=4000)
+        slow = device.execute(slowed, shots=4000)
+        # T1 decay during the delay empties the |111⟩ branch (the GHZ
+        # population proxy would hide this: decay *feeds* |000⟩)
+        p111_fast = fast.counts.marginal([0, 1, 2]).probabilities().get("111", 0.0)
+        p111_slow = slow.counts.marginal([0, 1, 2]).probabilities().get("111", 0.0)
+        assert p111_slow < p111_fast - 0.05

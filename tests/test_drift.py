@@ -1,0 +1,124 @@
+"""Tests for the parameter drift model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.qpu.drift import DriftConfig, DriftModel
+from repro.qpu.params import nominal_calibration
+from repro.qpu.topology import Topology
+from repro.utils.units import DAY, HOUR
+
+
+@pytest.fixture
+def model(grid20):
+    base = nominal_calibration(grid20, rng=0)
+    return DriftModel(base, rng=np.random.default_rng(1))
+
+
+class TestEvolution:
+    def test_zero_dt_noop(self, model):
+        before = model.effective_snapshot().median_prx_fidelity()
+        model.evolve(0.0)
+        assert model.effective_snapshot().median_prx_fidelity() == before
+
+    def test_negative_dt_rejected(self, model):
+        with pytest.raises(CalibrationError):
+            model.evolve(-1.0)
+
+    def test_time_advances(self, model):
+        model.evolve(3600.0)
+        assert model.time == pytest.approx(3600.0)
+
+    def test_fidelity_degrades_over_days(self, model):
+        fresh = model.effective_snapshot()
+        model.evolve(5 * DAY)
+        aged = model.effective_snapshot()
+        assert aged.median_cz_fidelity() < fresh.median_cz_fidelity()
+        assert aged.median_prx_fidelity() < fresh.median_prx_fidelity()
+
+    def test_deterministic_given_seed(self, grid20):
+        base = nominal_calibration(grid20, rng=0)
+        a = DriftModel(base, rng=np.random.default_rng(5))
+        b = DriftModel(base, rng=np.random.default_rng(5))
+        a.evolve(DAY)
+        b.evolve(DAY)
+        assert a.effective_snapshot().summary() == b.effective_snapshot().summary()
+
+    def test_tls_events_eventually_occur(self, grid20):
+        base = nominal_calibration(grid20, rng=0)
+        cfg = DriftConfig(tls_rate=1.0 / DAY)  # fast capture for the test
+        model = DriftModel(base, cfg, rng=np.random.default_rng(2))
+        model.evolve(5 * DAY)
+        assert model.tls_active().sum() > 0
+
+    def test_tls_depresses_t1(self, grid20):
+        base = nominal_calibration(grid20, rng=0)
+        cfg = DriftConfig(tls_rate=50.0 / DAY, tls_depth=0.3, tls_mean_duration=10 * DAY)
+        model = DriftModel(base, cfg, rng=np.random.default_rng(3))
+        model.evolve(2 * DAY)
+        snap = model.effective_snapshot()
+        mask = model.tls_active()
+        assert mask.any()
+        for q in np.nonzero(mask)[0]:
+            assert snap.qubits[q].t1 < base.qubits[q].t1
+
+
+class TestCalibrationEffects:
+    def test_full_calibration_restores_fidelity(self, model):
+        model.evolve(6 * DAY)
+        degraded = model.effective_snapshot().median_cz_fidelity()
+        model.apply_calibration("full")
+        restored = model.effective_snapshot().median_cz_fidelity()
+        assert restored > degraded
+
+    def test_quick_restores_1q_but_not_2q(self, grid20):
+        """The Section 3.2 trade-off: quick is faster but lower performance."""
+        base = nominal_calibration(grid20, rng=0)
+        results = {}
+        for kind in ("quick", "full"):
+            model = DriftModel(base, rng=np.random.default_rng(7))
+            model.evolve(6 * DAY)
+            model.apply_calibration(kind)
+            snap = model.effective_snapshot()
+            results[kind] = (snap.median_prx_fidelity(), snap.median_cz_fidelity())
+        # both restore 1q to similar levels
+        assert results["quick"][0] == pytest.approx(results["full"][0], abs=2e-3)
+        # full restores CZ strictly better
+        assert results["full"][1] > results["quick"][1]
+
+    def test_unknown_kind_rejected(self, model):
+        with pytest.raises(CalibrationError):
+            model.apply_calibration("medium")
+
+    def test_miscalibration_magnitude_resets(self, model):
+        model.evolve(6 * DAY)
+        before = model.miscalibration_magnitude()
+        model.apply_calibration("full")
+        after = model.miscalibration_magnitude()
+        assert after["rms_1q"] < before["rms_1q"]
+        assert after["rms_2q"] < before["rms_2q"]
+
+    def test_snapshot_kind_label_tracks(self, model):
+        model.apply_calibration("quick")
+        assert model.effective_snapshot().calibration_kind == "quick"
+
+
+class TestConfig:
+    def test_invalid_retention_rejected(self):
+        with pytest.raises(CalibrationError):
+            DriftConfig(quick_2q_retention=1.5)
+
+    def test_invalid_tau_rejected(self):
+        with pytest.raises(ValueError):
+            DriftConfig(miscal_tau=-1.0)
+
+    def test_snapshot_errors_clipped(self, grid20):
+        """Even extreme drift never produces probabilities > 0.5."""
+        base = nominal_calibration(grid20, rng=0)
+        cfg = DriftConfig(sens_2q=10.0, miscal_std_2q=5.0)
+        model = DriftModel(base, cfg, rng=np.random.default_rng(9))
+        model.evolve(30 * DAY)
+        snap = model.effective_snapshot()
+        for cp in snap.couplers.values():
+            assert 0.0 <= cp.cz_error <= 0.5

@@ -1,0 +1,302 @@
+"""Tests for power, cooling, network, cryostat, and outage models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import CryostatError, FacilityError
+from repro.facility.cooling import (
+    AMBIENT_DELTA_LIMIT_PER_DAY,
+    CoolingWaterSpec,
+    ReadoutPhaseModel,
+    ambient_stability_ok,
+    cooling_envelope_table,
+    cryostat_compatible,
+    hpc_rack_compatible,
+    readout_error_vs_ambient,
+)
+from repro.facility.cryostat import (
+    BASE_TEMPERATURE,
+    CALIBRATION_SURVIVES_BELOW,
+    COOLDOWN_MAX,
+    COOLDOWN_MIN,
+    ROOM_TEMPERATURE,
+    TIME_TO_EXCEED_1K,
+    Cryostat,
+    CryostatState,
+    cooldown_duration,
+    warmup_temperature,
+)
+from repro.facility.network import (
+    ETHERNET_LINK,
+    continuous_data_rate,
+    link_utilization,
+    measured_data_rate,
+    scaling_table,
+)
+from repro.facility.outage import (
+    FacilityConfig,
+    OutageScenario,
+    OutageType,
+    downtime_comparison,
+    simulate_outage,
+)
+from repro.facility.power import (
+    HPCCabinetModel,
+    QPUPowerModel,
+    QPUPowerPhase,
+    fits_in_hpc_budget,
+    power_comparison,
+)
+from repro.utils.units import DAY, HOUR, KILOWATT, MINUTE
+
+
+class TestPower:
+    def test_peak_is_30kw(self):
+        assert QPUPowerModel().draw(QPUPowerPhase.COOLDOWN) == pytest.approx(30 * KILOWATT)
+
+    def test_cabinet_is_140kw(self):
+        assert HPCCabinetModel().real_power == pytest.approx(140 * KILOWATT)
+
+    def test_cooling_envelope_300kw_per_cabinet(self):
+        assert HPCCabinetModel().cooling_capability_per_cabinet == pytest.approx(
+            300 * KILOWATT
+        )
+
+    def test_comparison_ratios(self):
+        rows = power_comparison()
+        by_system = {r["system"]: r for r in rows}
+        cab = by_system["Cray EX4000 cabinet (max draw)"]
+        assert cab["vs_qpu_peak"] == pytest.approx(140.0 / 30.0)
+
+    def test_paper_conclusion_holds(self):
+        assert fits_in_hpc_budget()
+
+    def test_energy_schedule(self):
+        m = QPUPowerModel()
+        e = m.energy([(QPUPowerPhase.COOLDOWN, 3600.0), (QPUPowerPhase.STEADY, 3600.0)])
+        assert e == pytest.approx((30e3 + 22e3) * 3600.0)
+
+    def test_energy_rejects_negative_duration(self):
+        with pytest.raises(FacilityError):
+            QPUPowerModel().energy([(QPUPowerPhase.STEADY, -1.0)])
+
+    def test_heat_split(self):
+        m = QPUPowerModel()
+        total = m.heat_to_air(QPUPowerPhase.STEADY) + m.heat_to_water(QPUPowerPhase.STEADY)
+        assert total <= m.draw(QPUPowerPhase.STEADY)
+
+
+class TestCooling:
+    def test_chilled_loop_serves_qpu(self):
+        chilled = CoolingWaterSpec("chilled", 18.0, 2.0, 1e5)
+        assert cryostat_compatible(chilled)
+
+    def test_warm_loop_rejected_for_qpu_but_fine_for_racks(self):
+        """Section 2.3's central contrast."""
+        warm = CoolingWaterSpec("warm", 40.0, 3.0, 1e6)
+        assert not cryostat_compatible(warm)
+        assert hpc_rack_compatible(warm)
+
+    def test_envelope_table_shape(self):
+        table = cooling_envelope_table()
+        assert any(r["qpu_ok"] and r["hpc_rack_ok"] for r in table)
+        assert any(not r["qpu_ok"] and r["hpc_rack_ok"] for r in table)
+
+    def test_ambient_stability_criterion(self):
+        steady = 21.0 + 0.3 * np.sin(np.linspace(0, 20, 2000))
+        assert ambient_stability_ok(steady, sample_period=60.0)
+        swinging = 21.0 + 1.5 * np.sin(np.linspace(0, 20, 2000))
+        assert not ambient_stability_ok(swinging, sample_period=60.0)
+
+    def test_readout_error_grows_quadratically(self):
+        model = ReadoutPhaseModel()
+        e1 = model.added_readout_error(1.0)
+        e2 = model.added_readout_error(2.0)
+        assert e2 == pytest.approx(4.0 * e1)
+
+    def test_within_limit_penalty_small(self):
+        """Inside ΔT < 1 °C, the added readout error is negligible."""
+        rows = readout_error_vs_ambient()
+        within = next(r for r in rows if r["delta_t_c"] == 1.0)
+        assert within["added_readout_error"] < 2e-3
+
+
+class TestCryostat:
+    def test_two_minutes_to_1k(self):
+        """Paper: 'it takes two minutes to exceed this temperature'."""
+        assert warmup_temperature(TIME_TO_EXCEED_1K) == pytest.approx(
+            CALIBRATION_SURVIVES_BELOW
+        )
+        assert warmup_temperature(TIME_TO_EXCEED_1K - 5.0) < 1.0
+        assert warmup_temperature(TIME_TO_EXCEED_1K + 60.0) > 1.0
+
+    def test_warmup_approaches_room_temperature(self):
+        assert warmup_temperature(30 * DAY) == pytest.approx(ROOM_TEMPERATURE, rel=0.01)
+
+    def test_warmup_rejects_negative(self):
+        with pytest.raises(CryostatError):
+            warmup_temperature(-1.0)
+
+    def test_cooldown_bounds_match_paper(self):
+        """2–5 days depending on the temperature reached."""
+        assert cooldown_duration(ROOM_TEMPERATURE) == pytest.approx(COOLDOWN_MAX)
+        assert cooldown_duration(4.0) == pytest.approx(COOLDOWN_MIN)
+        assert COOLDOWN_MIN == 2 * DAY and COOLDOWN_MAX == 5 * DAY
+
+    def test_cooldown_monotone_in_start_temperature(self):
+        temps = [0.5, 2.0, 10.0, 77.0, 300.0]
+        durations = [cooldown_duration(t) for t in temps]
+        assert durations == sorted(durations)
+
+    def test_sub_1k_needs_only_stabilization(self):
+        assert cooldown_duration(0.5) == pytest.approx(2 * HOUR)
+
+    def test_below_base_rejected(self):
+        with pytest.raises(CryostatError):
+            cooldown_duration(0.001)
+
+    def test_state_machine_fault_and_recover(self):
+        cryo = Cryostat()
+        assert cryo.operational
+        cryo.fail_cooling()
+        cryo.advance(10 * MINUTE)
+        assert cryo.state is CryostatState.WARMING
+        assert not cryo.calibration_survived
+        duration = cryo.restore_cooling()
+        assert duration >= 2 * DAY
+        cryo.advance(duration + 1.0)
+        assert cryo.operational
+        assert cryo.temperature == pytest.approx(BASE_TEMPERATURE)
+
+    def test_brief_fault_calibration_survives(self):
+        cryo = Cryostat()
+        cryo.fail_cooling()
+        cryo.advance(60.0)  # under the 2-minute horizon
+        assert cryo.calibration_survived
+
+    def test_vacuum_holds_then_lost(self):
+        cryo = Cryostat()
+        cryo.fail_cooling()
+        cryo.advance(7 * DAY)
+        assert cryo.vacuum_intact
+        cryo.advance(30 * DAY)
+        assert not cryo.vacuum_intact
+
+    def test_restore_when_cold_is_noop(self):
+        assert Cryostat().restore_cooling() == 0.0
+
+
+class TestNetwork:
+    def test_paper_headline_number(self):
+        """1/300 µs × 20 × 8 bit = 533 kbit/s."""
+        rate = continuous_data_rate(20)
+        assert rate == pytest.approx(533.33e3, rel=1e-3)
+
+    def test_well_below_gigabit(self):
+        assert link_utilization(20) < 0.001
+
+    def test_linear_scaling(self):
+        """Section 2.4: data rate grows linearly with qubit count."""
+        r20 = continuous_data_rate(20)
+        assert continuous_data_rate(54) == pytest.approx(r20 * 54 / 20)
+        assert continuous_data_rate(150) == pytest.approx(r20 * 150 / 20)
+
+    def test_scaling_table_rows(self):
+        rows = scaling_table()
+        assert [r["num_qubits"] for r in rows] == [20.0, 54.0, 150.0]
+        assert rows[-1]["link_utilization_pct"] < 1.0  # even 150q is fine
+
+    def test_invalid_inputs(self):
+        with pytest.raises(FacilityError):
+            continuous_data_rate(0)
+        with pytest.raises(FacilityError):
+            continuous_data_rate(20, shot_period=0.0)
+
+    def test_measured_rate_below_analytic(self, device):
+        """Control-software overhead keeps the measured rate below the
+        continuous bound (the paper's 'additional inefficiency')."""
+        from repro.circuits import ghz_circuit
+        from repro.transpiler import transpile
+
+        qc = transpile(ghz_circuit(5), device.topology, snapshot=device.calibration()).circuit
+        results = [device.execute(qc, shots=256) for _ in range(3)]
+        measured = measured_data_rate(results)
+        analytic = continuous_data_rate(5)
+        assert 0 < measured < analytic
+
+    def test_measured_rate_requires_jobs(self):
+        with pytest.raises(FacilityError):
+            measured_data_rate([])
+
+
+class TestOutage:
+    def test_redundancy_absorbs_cooling_fault(self):
+        report = simulate_outage(
+            OutageScenario(OutageType.COOLING_WATER_OVERTEMP, 30 * MINUTE),
+            FacilityConfig(redundant_cooling=True),
+        )
+        assert report.absorbed_by_redundancy
+        assert report.total_downtime == 0.0
+
+    def test_no_redundancy_multi_day_downtime(self):
+        report = simulate_outage(
+            OutageScenario(OutageType.COOLING_WATER_OVERTEMP, 30 * MINUTE),
+            FacilityConfig(redundant_cooling=False),
+        )
+        assert not report.calibration_survived
+        assert report.total_downtime > 2 * DAY
+
+    def test_ups_bridges_short_power_blip(self):
+        report = simulate_outage(
+            OutageScenario(OutageType.POWER_LOSS, 5 * MINUTE),
+            FacilityConfig(ups_present=True),
+        )
+        assert report.absorbed_by_redundancy
+
+    def test_power_loss_beyond_ups(self):
+        report = simulate_outage(
+            OutageScenario(OutageType.POWER_LOSS, 2 * HOUR),
+            FacilityConfig(ups_present=True),
+        )
+        assert not report.absorbed_by_redundancy
+        # UPS bought 30 min: warming lasted 1.5 h → tens of kelvin, full recal
+        assert not report.calibration_survived
+        assert any("full recalibration" in s.name for s in report.steps)
+
+    def test_sub_1k_excursion_quick_recovery(self):
+        """Section 3.5: below 1 K the automated calibration restores it."""
+        report = simulate_outage(
+            OutageScenario(OutageType.COOLING_PUMP_FAILURE, 60.0),
+            FacilityConfig(redundant_cooling=False),
+        )
+        assert report.calibration_survived
+        assert report.total_downtime < 6 * HOUR
+        assert any("automated calibration" in s.name for s in report.steps)
+
+    def test_planned_maintenance_no_thermal_impact(self):
+        report = simulate_outage(
+            OutageScenario(OutageType.PLANNED_MAINTENANCE, 8 * HOUR)
+        )
+        assert report.calibration_survived
+        assert report.peak_temperature == pytest.approx(0.010)
+
+    def test_downtime_comparison_ordering(self):
+        """Lesson 3: redundancy beats no-redundancy at any fault length."""
+        for minutes in (5, 60, 360):
+            rows = dict(downtime_comparison(minutes * MINUTE))
+            assert rows["redundant"] <= rows["no redundancy"]
+            assert rows["no redundancy"] > DAY
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(Exception):
+            OutageScenario(OutageType.POWER_LOSS, -1.0)
+
+    def test_summary_renders(self):
+        report = simulate_outage(
+            OutageScenario(OutageType.COOLING_PUMP_FAILURE, HOUR),
+            FacilityConfig(redundant_cooling=False),
+        )
+        text = report.summary()
+        assert "downtime" in text and "cooldown" in text

@@ -1,0 +1,165 @@
+"""Tests for sensors and the Table 1 site survey."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SiteSurveyError
+from repro.facility.sensors import (
+    SiteProfile,
+    ac_magnetic_field,
+    dc_magnetic_field,
+    floor_vibration,
+    humidity,
+    record_all,
+    sound_pressure,
+    temperature,
+)
+from repro.facility.site_survey import (
+    LIMITS,
+    DeliveryPath,
+    analyze_ac_magnetic,
+    analyze_dc_magnetic,
+    analyze_delivery_path,
+    analyze_floor_load,
+    analyze_humidity,
+    analyze_sound,
+    analyze_temperature,
+    analyze_vibration,
+    band_amplitude_spectrum,
+    run_survey,
+    select_site,
+)
+from repro.utils.units import HOUR, MICROTESLA
+
+QUIET = SiteProfile("quiet", tram_distance=1000, hvac_intensity=0.3, basement=True)
+TRAM = SiteProfile("tram-side", tram_distance=25, hvac_intensity=0.5)
+CONCERT = SiteProfile("concert-hall", death_metal_hours=24.0)
+
+
+class TestSensors:
+    def test_traces_have_expected_shape(self):
+        traces = record_all(QUIET, 26 * HOUR, rng=0)
+        assert traces["dc_magnetic_field"].data.shape[1] == 3
+        assert traces["ac_magnetic_field"].data.shape[1] == 3
+        assert traces["floor_vibration"].data.ndim == 1
+        assert traces["temperature"].duration == 26 * HOUR
+
+    def test_fast_sensors_truncated(self):
+        traces = record_all(QUIET, 26 * HOUR, rng=0, fast_sensor_duration=60.0)
+        assert traces["floor_vibration"].duration == 60.0
+        assert traces["humidity"].duration == 26 * HOUR
+
+    def test_reproducible(self):
+        a = floor_vibration(QUIET, 60.0, rng=3)
+        b = floor_vibration(QUIET, 60.0, rng=3)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_tram_increases_vibration(self):
+        quiet = floor_vibration(QUIET, 120.0, rng=1)
+        loud = floor_vibration(TRAM, 120.0, rng=1)
+        assert np.std(loud.data) > np.std(quiet.data)
+
+    def test_temperature_diurnal_cycle_present(self):
+        trace = temperature(QUIET, 26 * HOUR, rng=2)
+        # diurnal swing is visible over a day
+        assert trace.data.max() - trace.data.min() > 0.2
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(Exception):
+            SiteProfile("bad", tram_distance=-5)
+
+
+class TestSpectralAnalysis:
+    def test_band_amplitude_recovers_sine(self):
+        fs, f0, amp = 1000.0, 60.0, 2.5
+        t = np.arange(0, 10.0, 1 / fs)
+        sig = amp * np.sin(2 * math.pi * f0 * t)
+        freqs, spectrum = band_amplitude_spectrum(sig, fs, 50.0, 70.0)
+        peak = spectrum.max()
+        assert peak == pytest.approx(amp, rel=0.01)
+
+    def test_band_restriction(self):
+        t = np.arange(0, 5.0, 1 / 1000.0)
+        sig = np.sin(2 * math.pi * 200.0 * t)
+        freqs, spectrum = band_amplitude_spectrum(sig, 1000.0, 5.0, 100.0)
+        assert spectrum.max() < 0.01  # tone lies outside band
+
+
+class TestAnalyses:
+    def test_quiet_site_passes_everything(self):
+        report = run_survey(QUIET, rng=11)
+        assert report.passed, report.as_table()
+
+    def test_tram_fails_vibration_or_dc(self):
+        report = run_survey(TRAM, rng=11)
+        failed = {row.measurement for row in report.failures()}
+        assert failed & {"Floor vibrations", "DC magnetic field"}
+
+    def test_concert_fails_sound(self):
+        report = run_survey(CONCERT, rng=11)
+        failed = {row.measurement for row in report.failures()}
+        assert "Sound pressure" in failed
+
+    def test_short_temperature_recording_rejected(self):
+        """Table 1: ≥ 25 h of temperature data required."""
+        trace = temperature(QUIET, 10 * HOUR, rng=0)
+        with pytest.raises(SiteSurveyError):
+            analyze_temperature(trace)
+
+    def test_short_humidity_recording_rejected(self):
+        trace = humidity(QUIET, 10 * HOUR, rng=0)
+        with pytest.raises(SiteSurveyError):
+            analyze_humidity(trace)
+
+    def test_fluorescent_proximity_fails_ac(self):
+        close = SiteProfile("fluor", fluorescent_distance=0.3)
+        trace = ac_magnetic_field(close, 60.0, rng=5)
+        row = analyze_ac_magnetic(trace)
+        assert not row.passed
+
+    def test_dc_limit_value(self):
+        assert LIMITS["dc_magnetic_field"] == pytest.approx(100 * MICROTESLA)
+
+    def test_delivery_path_bottleneck(self):
+        path = DeliveryPath({"dock": 2.0, "elevator": 0.85, "hall": 1.2})
+        row = analyze_delivery_path(path)
+        assert not row.passed
+        assert "elevator" in row.detail
+
+    def test_delivery_path_90cm_boundary(self):
+        ok = DeliveryPath({"door": 0.90})
+        assert analyze_delivery_path(ok).passed
+
+    def test_floor_load(self):
+        assert analyze_floor_load(1500.0).passed
+        assert not analyze_floor_load(800.0).passed
+
+    def test_report_table_rendering(self):
+        report = run_survey(QUIET, rng=1)
+        table = report.as_table()
+        assert "DC magnetic field" in table
+        assert "OVERALL" in table
+
+
+class TestSiteSelection:
+    def test_selects_only_passing_site(self):
+        reports = [run_survey(p, rng=7) for p in (QUIET, TRAM, CONCERT)]
+        winner, notes = select_site(reports)
+        assert winner is not None and winner.site == "quiet"
+        assert any("rejected" in n for n in notes)
+
+    def test_no_passing_site(self):
+        reports = [run_survey(p, rng=7) for p in (TRAM, CONCERT)]
+        winner, notes = select_site(reports)
+        assert winner is None
+        assert len(notes) == 2
+
+    def test_margin_tiebreak(self):
+        quieter = SiteProfile(
+            "quieter", tram_distance=2000, hvac_intensity=0.1, basement=True
+        )
+        reports = [run_survey(QUIET, rng=3), run_survey(quieter, rng=3)]
+        winner, _ = select_site(reports)
+        assert winner.site == "quieter"

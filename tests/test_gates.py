@@ -1,0 +1,178 @@
+"""Tests for the gate library and PRX synthesis."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import gates as G
+from repro.errors import GateError
+from tests.conftest import assert_close_up_to_phase, random_unitary_2x2
+
+
+class TestMatrices:
+    def test_all_unitary_gates_are_unitary(self):
+        rng = np.random.default_rng(0)
+        for name, spec in G.GATES.items():
+            if spec.directive:
+                continue
+            params = rng.uniform(-math.pi, math.pi, spec.num_params)
+            m = spec.matrix(params)
+            dim = 1 << spec.num_qubits
+            np.testing.assert_allclose(
+                m @ m.conj().T, np.eye(dim), atol=1e-12, err_msg=name
+            )
+
+    def test_hermitian_gates_self_inverse(self):
+        for name, spec in G.GATES.items():
+            if not spec.hermitian:
+                continue
+            m = spec.matrix()
+            np.testing.assert_allclose(m @ m, np.eye(m.shape[0]), atol=1e-12)
+
+    def test_prx_zero_phase_is_rx(self):
+        for theta in (0.3, 1.2, math.pi):
+            np.testing.assert_allclose(
+                G.prx_matrix(theta, 0.0), G.rx_matrix(theta), atol=1e-12
+            )
+
+    def test_prx_half_pi_phase_is_ry(self):
+        for theta in (0.3, 1.2):
+            np.testing.assert_allclose(
+                G.prx_matrix(theta, math.pi / 2), G.ry_matrix(theta), atol=1e-12
+            )
+
+    def test_prx_identity_decomposition(self):
+        """PRX(θ, φ) = RZ(φ) RX(θ) RZ(−φ)."""
+        theta, phi = 0.7, 1.1
+        expected = G.rz_matrix(phi) @ G.rx_matrix(theta) @ G.rz_matrix(-phi)
+        np.testing.assert_allclose(G.prx_matrix(theta, phi), expected, atol=1e-12)
+
+    def test_u_gate_special_cases(self):
+        np.testing.assert_allclose(
+            G.u_matrix(math.pi / 2, 0.0, math.pi),
+            G.spec("h").matrix(),
+            atol=1e-12,
+        )
+
+    def test_cx_action_on_basis(self):
+        m = G.cx_matrix()
+        # |control=1, target=0⟩ → |1,1⟩: little-endian index 0b01=1 → 0b11=3
+        vec = np.zeros(4)
+        vec[1] = 1.0
+        out = m @ vec
+        assert abs(out[3] - 1.0) < 1e-12
+
+    def test_cz_symmetric(self):
+        assert G.spec("cz").symmetric
+
+    def test_rzz_diagonal(self):
+        m = G.rzz_matrix(0.5)
+        assert np.allclose(m, np.diag(np.diag(m)))
+
+    def test_spec_unknown_gate_raises(self):
+        with pytest.raises(GateError):
+            G.spec("nonexistent")
+
+    def test_matrix_wrong_param_count(self):
+        with pytest.raises(GateError):
+            G.spec("rx").matrix([])
+
+    def test_directive_has_no_matrix(self):
+        with pytest.raises(GateError):
+            G.spec("measure").matrix()
+
+    def test_native_set_contents(self):
+        assert "prx" in G.NATIVE_GATES
+        assert "cz" in G.NATIVE_GATES
+        assert "rz" in G.NATIVE_GATES  # virtual
+        assert "cx" not in G.NATIVE_GATES
+        assert G.is_native("prx") and not G.is_native("h")
+
+
+class TestZXZAngles:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_zxz_reconstruction(self, seed):
+        rng = np.random.default_rng(seed)
+        u = random_unitary_2x2(rng)
+        su = u / np.sqrt(np.linalg.det(u))
+        b, g, d = G.zxz_angles(su)
+        rebuilt = G.rz_matrix(b) @ G.rx_matrix(g) @ G.rz_matrix(d)
+        assert_close_up_to_phase(rebuilt, su)
+
+    def test_zxz_identity(self):
+        b, g, d = G.zxz_angles(np.eye(2, dtype=complex))
+        assert abs(g) < 1e-12
+
+    def test_zxz_pure_rx_pi(self):
+        su = G.rx_matrix(math.pi)
+        b, g, d = G.zxz_angles(su)
+        assert abs(g - math.pi) < 1e-9
+
+
+class TestPRXSynthesis:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_prx_rz_reconstruction(self, seed):
+        rng = np.random.default_rng(seed)
+        u = random_unitary_2x2(rng)
+        pulses, tau = G.prx_rz_for_unitary(u)
+        assert len(pulses) <= 1
+        m = np.eye(2, dtype=complex)
+        for theta, phi in pulses:
+            m = G.prx_matrix(theta, phi) @ m
+        m = G.rz_matrix(tau) @ m
+        assert_close_up_to_phase(m, u)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_prx_pair_reconstruction(self, seed):
+        rng = np.random.default_rng(seed)
+        u = random_unitary_2x2(rng)
+        pulses = G.prx_pair_for_unitary(u)
+        assert len(pulses) <= 2
+        m = np.eye(2, dtype=complex)
+        for theta, phi in pulses:
+            m = G.prx_matrix(theta, phi) @ m
+        assert_close_up_to_phase(m, u)
+
+    def test_identity_needs_no_pulses(self):
+        assert G.prx_pair_for_unitary(np.eye(2, dtype=complex)) == []
+        pulses, tau = G.prx_rz_for_unitary(np.eye(2, dtype=complex))
+        assert pulses == [] and abs(tau) < 1e-12
+
+    def test_pure_rz_uses_pulse_pair(self):
+        u = G.rz_matrix(0.8)
+        pulses = G.prx_pair_for_unitary(u)
+        assert len(pulses) == 2
+        m = G.prx_matrix(*pulses[1]) @ G.prx_matrix(*pulses[0])
+        assert_close_up_to_phase(m, u)
+
+    def test_pure_rz_virtual_form_is_pulse_free(self):
+        pulses, tau = G.prx_rz_for_unitary(G.rz_matrix(0.8))
+        assert pulses == []
+        assert abs(tau - 0.8) < 1e-9
+
+    def test_x_gate_single_pulse(self):
+        pulses = G.prx_pair_for_unitary(G.spec("x").matrix())
+        assert len(pulses) == 1
+        theta, _ = pulses[0]
+        assert abs(theta - math.pi) < 1e-9
+
+    def test_hadamard_synthesis(self):
+        h = G.spec("h").matrix()
+        pulses, tau = G.prx_rz_for_unitary(h)
+        assert len(pulses) == 1  # one physical pulse + virtual RZ
+        m = G.rz_matrix(tau) @ G.prx_matrix(*pulses[0])
+        assert_close_up_to_phase(m, h)
+
+    def test_singular_matrix_rejected(self):
+        with pytest.raises(GateError):
+            G.prx_pair_for_unitary(np.zeros((2, 2), dtype=complex))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(GateError):
+            G.prx_rz_for_unitary(np.eye(4, dtype=complex))

@@ -1,0 +1,179 @@
+"""End-to-end integration tests crossing all stack layers."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import CalibrationController, ghz_benchmark
+from repro.circuits import ghz_circuit
+from repro.compiler import JITCompiler
+from repro.facility import (
+    FacilityConfig,
+    OutageScenario,
+    OutageType,
+    simulate_outage,
+)
+from repro.hybrid import VQE, h2_hamiltonian
+from repro.middleware import MQSSClient, RestServer
+from repro.middleware.adapters import make_kernel
+from repro.qdmi import QPUQDMIDevice, QDMIProperty
+from repro.qpu import DeviceStatus, QPUDevice
+from repro.scheduler import (
+    ClusterScheduler,
+    Job,
+    JobState,
+    Partition,
+    QuantumResourceManager,
+    Simulation,
+)
+from repro.telemetry import DCDBCollector, MetricStore, QPUMetricsPlugin
+from repro.utils.units import DAY, HOUR, MINUTE
+
+
+class TestFullStackExecution:
+    """Adapter → client → QRM → JIT → transpiler → device → counts."""
+
+    def test_cudaq_to_counts_via_hpc_path(self):
+        device = QPUDevice(seed=100)
+        client = MQSSClient(QuantumResourceManager(device), context="hpc")
+        kernel, q = make_kernel(4, "ghz4")
+        kernel.h(q[0])
+        for i in range(3):
+            kernel.cx(q[i], q[i + 1])
+        kernel.mz()
+        counts = client.run(kernel.module, shots=1200)
+        assert counts.ghz_fidelity_estimate() > 0.7
+
+    def test_rest_path_full_serialization(self):
+        device = QPUDevice(seed=101)
+        qrm = QuantumResourceManager(device)
+        client = MQSSClient(qrm, context="remote")
+        counts = client.run(ghz_circuit(3), shots=600)
+        assert counts.shots == 600
+        assert counts.most_frequent() in ("000", "111")
+
+    def test_quantum_job_inside_cluster(self):
+        """The QPU as a partition of the classical cluster."""
+        sim = Simulation()
+        cluster = ClusterScheduler(
+            sim, [Partition("compute", 8), Partition("quantum", 1)]
+        )
+        device = QPUDevice(seed=102)
+        qrm = QuantumResourceManager(device, cluster=cluster)
+
+        def quantum_executor(job: Job) -> float:
+            # the cluster owns the job's state machine; the executor only
+            # performs the physical run and reports the true duration
+            artifact = qrm.jit.compile(job.payload["program"])
+            result = device.execute(artifact.circuit, shots=job.payload["shots"])
+            job.result = result
+            return result.duration
+
+        cluster.executors["quantum"] = quantum_executor
+        qjob = Job(
+            name="ghz",
+            partition="quantum",
+            runtime=10.0,
+            walltime_limit=600.0,
+            is_quantum=True,
+            payload={"program": ghz_circuit(3), "shots": 256},
+        )
+        cluster.submit(qjob)
+        cluster.submit(Job(name="classical", num_nodes=4, runtime=100, walltime_limit=200))
+        sim.run_until(2000)
+        assert qjob.state is JobState.COMPLETED
+        assert qjob.result.counts.shots == 256
+
+
+class TestTelemetryDrivenCompilation:
+    def test_jit_placement_reacts_to_degradation(self):
+        """Degrade a region; the JIT avoids it after telemetry updates."""
+        device = QPUDevice(seed=103)
+        jit = JITCompiler(QPUQDMIDevice(device))
+        before = jit.compile(ghz_circuit(4))
+        # age the device hard so some couplers degrade
+        device.advance_time(20 * DAY)
+        after = jit.compile(ghz_circuit(4))
+        assert not after.from_cache
+        assert after.calibration_timestamp > before.calibration_timestamp
+
+    def test_monitoring_to_calibration_loop(self):
+        """Drift → telemetry → advisor → controller → restored fidelity."""
+        device = QPUDevice(seed=104)
+        store = MetricStore()
+        collector = DCDBCollector(store, [QPUMetricsPlugin(device, per_qubit=False)])
+        controller = CalibrationController(device)
+        calibrated = 0
+        for _ in range(10 * 6):
+            device.advance_time(4 * HOUR)
+            collector.run_cycle(device.time)
+            if controller.step(store):
+                calibrated += 1
+        assert calibrated >= 2
+        assert device.calibration().median_cz_fidelity() > 0.975
+
+
+class TestOutageToScheduler:
+    def test_outage_requeues_and_recovers(self):
+        """Cooling fault → device offline → jobs requeue → recovery →
+        forced full calibration → jobs complete (Section 3.5 end-to-end)."""
+        device = QPUDevice(seed=105)
+        qrm = QuantumResourceManager(device)
+        controller = CalibrationController(device)
+        for _ in range(3):
+            qrm.submit(ghz_circuit(3), shots=64)
+        qrm.run_next()  # one job done pre-outage
+        # outage strikes
+        report = simulate_outage(
+            OutageScenario(OutageType.COOLING_WATER_OVERTEMP, 45 * MINUTE),
+            FacilityConfig(redundant_cooling=False),
+        )
+        device.set_status(DeviceStatus.OFFLINE)
+        assert qrm.run_next().state is JobState.PENDING  # requeued, not lost
+        # recovery completes: device cold again, full calibration required
+        device.advance_time(report.total_downtime)
+        device.set_status(DeviceStatus.ONLINE)
+        if not report.calibration_survived:
+            controller.force("full", "post-outage recovery")
+        assert qrm.drain() == 2
+        assert qrm.stats.jobs_completed == 3
+
+
+class TestHybridOnFullStack:
+    def test_vqe_through_client(self):
+        """The tightly-coupled loop of Section 2.6 on the noisy device."""
+        device = QPUDevice(seed=106)
+        client = MQSSClient(QuantumResourceManager(device), context="hpc")
+        ham = h2_hamiltonian()
+        vqe = VQE(
+            ham,
+            lambda qc, shots: client.run(qc, shots=shots),
+            shots=300,
+            depth=2,
+        )
+        result = vqe.minimize(optimizer="spsa", iterations=25, rng=6)
+        # noisy hardware: demand qualitative convergence, not chemistry
+        assert result.energy < -1.0
+        assert vqe.energy_evaluations > 25
+
+
+class TestHealthCheckConsistency:
+    def test_benchmark_score_tracks_calibration_quality(self):
+        device = QPUDevice(seed=107)
+        fresh = ghz_benchmark(device, 5, shots=800).score
+        device.advance_time(12 * DAY)
+        aged = ghz_benchmark(device, 5, shots=800).score
+        device.calibrate("full")
+        restored = ghz_benchmark(device, 5, shots=800).score
+        assert aged < fresh
+        assert restored > aged
+
+    def test_rest_device_info_matches_qdmi(self):
+        device = QPUDevice(seed=108)
+        qrm = QuantumResourceManager(device)
+        server = RestServer(qrm)
+        info = server.get_device().body
+        with QPUQDMIDevice(device).open_session() as session:
+            assert info["num_qubits"] == session.query(QDMIProperty.NUM_QUBITS)
+            assert info["median_cz_fidelity"] == pytest.approx(
+                session.query(QDMIProperty.MEDIAN_CZ_FIDELITY), abs=1e-6
+            )

@@ -1,0 +1,157 @@
+"""Tests for the stochastic noise model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NoiseModelError
+from repro.simulator.noise import (
+    ErrorTerm,
+    NoiseModel,
+    QuantumError,
+    ReadoutError,
+    depolarizing_error,
+    pauli_error,
+    thermal_relaxation_error,
+)
+
+
+class TestErrorTerm:
+    def test_invalid_kind(self):
+        with pytest.raises(NoiseModelError):
+            ErrorTerm("flip", 0.1)
+
+    def test_invalid_pauli(self):
+        with pytest.raises(NoiseModelError):
+            ErrorTerm("pauli", 0.1, pauli="AB")
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            ErrorTerm("pauli", 1.5, pauli="X")
+
+
+class TestQuantumError:
+    def test_total_probability(self):
+        err = pauli_error([("X", 0.01), ("Z", 0.02)])
+        assert err.total_probability == pytest.approx(0.03)
+
+    def test_over_unity_rejected(self):
+        with pytest.raises(NoiseModelError):
+            QuantumError([ErrorTerm("pauli", 0.6, pauli="X"), ErrorTerm("pauli", 0.5, pauli="Z")])
+
+    def test_sample_many_statistics(self):
+        err = pauli_error([("X", 0.2)])
+        draws = err.sample_many(50_000, rng=np.random.default_rng(0))
+        rate = (draws >= 0).mean()
+        assert abs(rate - 0.2) < 0.01
+
+    def test_sample_many_term_indices(self):
+        err = pauli_error([("X", 0.5), ("Z", 0.5)])
+        draws = err.sample_many(1000, rng=np.random.default_rng(1))
+        assert set(np.unique(draws)) <= {0, 1}
+
+    def test_compose_concatenates(self):
+        a = pauli_error([("X", 0.01)])
+        b = pauli_error([("Z", 0.02)])
+        c = a.compose(b)
+        assert len(c.terms) == 2
+        assert c.total_probability == pytest.approx(0.03)
+
+    def test_scaled(self):
+        err = pauli_error([("X", 0.1)]).scaled(2.0)
+        assert err.total_probability == pytest.approx(0.2)
+
+    def test_identity_terms_dropped(self):
+        err = pauli_error([("I", 0.5), ("X", 0.1)])
+        assert err.total_probability == pytest.approx(0.1)
+
+
+class TestConstructors:
+    def test_depolarizing_split(self):
+        err = depolarizing_error(0.03, 1)
+        assert len(err.terms) == 3
+        for t in err.terms:
+            assert t.probability == pytest.approx(0.01)
+
+    def test_depolarizing_two_qubit(self):
+        err = depolarizing_error(0.15, 2)
+        assert len(err.terms) == 15
+        assert err.total_probability == pytest.approx(0.15)
+
+    def test_thermal_relaxation_has_reset_and_z(self):
+        err = thermal_relaxation_error(40e-6, 30e-6, 1e-6)
+        kinds = {t.kind for t in err.terms}
+        assert kinds == {"reset", "pauli"}
+
+    def test_thermal_relaxation_operand_padding(self):
+        err = thermal_relaxation_error(40e-6, 30e-6, 1e-6, operand=1)
+        for t in err.terms:
+            if t.kind == "pauli":
+                assert t.pauli.startswith("I")
+            else:
+                assert t.reset_operand == 1
+
+
+class TestReadoutError:
+    def test_fidelity(self):
+        ro = ReadoutError(0.02, 0.04)
+        assert ro.fidelity == pytest.approx(0.97)
+
+    def test_confusion_matrix_stochastic(self):
+        m = ReadoutError(0.1, 0.2).confusion_matrix()
+        np.testing.assert_allclose(m.sum(axis=0), [1.0, 1.0])
+
+    def test_apply_to_bits_statistics(self):
+        ro = ReadoutError(0.1, 0.3)
+        rng = np.random.default_rng(2)
+        zeros = np.zeros(50_000, dtype=np.uint8)
+        ones = np.ones(50_000, dtype=np.uint8)
+        assert abs(ro.apply_to_bits(zeros, rng).mean() - 0.1) < 0.01
+        assert abs(1.0 - ro.apply_to_bits(ones, rng).mean() - 0.3) < 0.01
+
+    def test_perfect_readout_no_flips(self):
+        ro = ReadoutError(0.0, 0.0)
+        bits = np.array([0, 1, 1, 0], dtype=np.uint8)
+        np.testing.assert_array_equal(ro.apply_to_bits(bits, np.random.default_rng(0)), bits)
+
+
+class TestNoiseModel:
+    def test_local_overrides_default(self):
+        nm = NoiseModel()
+        default = pauli_error([("X", 0.01)])
+        local = pauli_error([("Z", 0.05)])
+        nm.add_gate_error(default, "prx")
+        nm.add_gate_error(local, "prx", [3])
+        assert nm.error_for("prx", [3]).terms[0].pauli == "Z"
+        assert nm.error_for("prx", [1]).terms[0].pauli == "X"
+
+    def test_symmetric_two_qubit_lookup(self):
+        nm = NoiseModel()
+        nm.add_gate_error(depolarizing_error(0.01, 2), "cz", [2, 5])
+        assert nm.error_for("cz", [5, 2]) is not None
+
+    def test_missing_returns_none(self):
+        assert NoiseModel().error_for("cz", [0, 1]) is None
+
+    def test_double_add_composes(self):
+        nm = NoiseModel()
+        nm.add_gate_error(pauli_error([("X", 0.01)]), "prx", [0])
+        nm.add_gate_error(pauli_error([("Z", 0.01)]), "prx", [0])
+        assert len(nm.error_for("prx", [0]).terms) == 2
+
+    def test_readout_registration(self):
+        nm = NoiseModel()
+        nm.add_readout_error(ReadoutError(0.01, 0.02), 4)
+        assert nm.readout_for(4).fidelity == pytest.approx(0.985)
+        assert nm.readout_for(3) is None
+
+    def test_is_trivial(self):
+        nm = NoiseModel()
+        assert nm.is_trivial()
+        nm.add_gate_error(pauli_error([("X", 0.01)]), "prx")
+        assert not nm.is_trivial()
+
+    def test_noisy_gates(self):
+        nm = NoiseModel()
+        nm.add_gate_error(pauli_error([("X", 0.01)]), "prx")
+        nm.add_gate_error(depolarizing_error(0.01, 2), "cz", [0, 1])
+        assert nm.noisy_gates == frozenset({"prx", "cz"})

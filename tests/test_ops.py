@@ -1,0 +1,200 @@
+"""Tests for the operations simulation and onboarding model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.ops import (
+    OnboardingProgram,
+    OperationsConfig,
+    OperationsSimulator,
+    UserProfile,
+)
+from repro.ops.onboarding import FAQ_CATEGORIES, default_cohort
+from repro.qpu import QPUDevice
+from repro.utils.units import HOUR
+
+
+class TestOperationsSimulator:
+    def test_short_run_produces_daily_records(self):
+        sim = OperationsSimulator(QPUDevice(seed=1), OperationsConfig(duration_days=7))
+        result = sim.run()
+        assert len(result.days) == 7
+        series = result.fig4_series()
+        assert series["day"].shape == (7,)
+
+    def test_fidelities_stay_in_band(self):
+        """The Figure 4 claim: consistent fidelities over time."""
+        sim = OperationsSimulator(QPUDevice(seed=2), OperationsConfig(duration_days=21))
+        result = sim.run()
+        series = result.fig4_series()
+        assert series["prx_fidelity"].min() > 0.99
+        assert series["cz_fidelity"].min() > 0.95
+        assert series["readout_fidelity"].min() > 0.90
+
+    def test_fidelity_ordering_matches_paper(self):
+        """Fig 4 ordering: 1q ≥ CZ and 1q ≥ readout on average."""
+        result = OperationsSimulator(
+            QPUDevice(seed=3), OperationsConfig(duration_days=14)
+        ).run()
+        s = result.summary()
+        assert s["mean_prx_fidelity"] > s["mean_cz_fidelity"]
+        assert s["mean_prx_fidelity"] > s["mean_readout_fidelity"]
+
+    def test_unattended_operation(self):
+        result = OperationsSimulator(
+            QPUDevice(seed=4), OperationsConfig(duration_days=10)
+        ).run()
+        assert result.human_interventions == 0
+        assert result.unattended_days() == 10
+        assert result.online_fraction == pytest.approx(1.0)
+
+    def test_calibrations_happen(self):
+        result = OperationsSimulator(
+            QPUDevice(seed=5), OperationsConfig(duration_days=14)
+        ).run()
+        s = result.summary()
+        assert s["quick_calibrations"] + s["full_calibrations"] > 0
+
+    def test_nightly_window_restricts_calibration_times(self):
+        cfg = OperationsConfig(duration_days=10, calibration_windows="nightly")
+        sim = OperationsSimulator(QPUDevice(seed=6), cfg)
+        result = sim.run()
+        lo, hi = cfg.nightly_window
+        for event in result.calibration_events:
+            hour_of_day = (event.timestamp % (24 * 3600.0)) / 3600.0
+            assert lo <= hour_of_day < hi
+
+    def test_no_windows_means_no_calibration(self):
+        cfg = OperationsConfig(duration_days=10, calibration_windows="none")
+        result = OperationsSimulator(QPUDevice(seed=7), cfg).run()
+        assert not result.calibration_events
+
+    def test_uncalibrated_device_degrades(self):
+        """Without calibration windows, CZ fidelity decays — the negative
+        control for the Figure 4 experiment."""
+        managed = OperationsSimulator(
+            QPUDevice(seed=8), OperationsConfig(duration_days=14)
+        ).run()
+        unmanaged = OperationsSimulator(
+            QPUDevice(seed=8), OperationsConfig(duration_days=14, calibration_windows="none")
+        ).run()
+        assert (
+            unmanaged.summary()["min_cz_fidelity"]
+            < managed.summary()["min_cz_fidelity"]
+        )
+
+    def test_workload_jobs_executed(self):
+        cfg = OperationsConfig(
+            duration_days=2, workload_jobs_per_day=3, workload_ghz_size=3, workload_shots=32
+        )
+        result = OperationsSimulator(QPUDevice(seed=9), cfg).run()
+        assert result.jobs_executed >= 4
+
+    def test_telemetry_populated(self):
+        result = OperationsSimulator(
+            QPUDevice(seed=10), OperationsConfig(duration_days=3)
+        ).run()
+        assert result.store.num_points() > 1000
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ReproError):
+            OperationsConfig(duration_days=0)
+        with pytest.raises(ReproError):
+            OperationsConfig(calibration_windows="weekends")
+
+
+class TestOnboarding:
+    def test_structured_beats_unstructured(self):
+        """Lesson 4: structured onboarding converts access to output."""
+        structured = OnboardingProgram(
+            default_cohort(12, rng=1), structured=True, days=90, rng=1
+        ).run()
+        unstructured = OnboardingProgram(
+            default_cohort(12, rng=1), structured=False, days=90, rng=1
+        ).run()
+        assert (
+            structured.mean_time_to_first_success
+            <= unstructured.mean_time_to_first_success
+        )
+        assert structured.users_reached_create >= unstructured.users_reached_create
+        assert structured.publications >= unstructured.publications
+
+    def test_faq_categories_match_paper(self):
+        assert "Getting Started" in FAQ_CATEGORIES
+        assert "Budgeting" in FAQ_CATEGORIES
+        assert len(FAQ_CATEGORIES) == 6
+
+    def test_tickets_categorized(self):
+        report = OnboardingProgram(default_cohort(10, rng=2), days=60, rng=2).run()
+        assert set(report.tickets_by_category) == set(FAQ_CATEGORIES)
+        assert sum(report.tickets_by_category.values()) == report.total_tickets
+
+    def test_empty_cohort_rejected(self):
+        with pytest.raises(ReproError):
+            OnboardingProgram([], rng=0)
+
+    def test_unknown_background_rejected(self):
+        with pytest.raises(ReproError):
+            UserProfile(name="x", background="astrologer")
+
+    def test_deterministic(self):
+        a = OnboardingProgram(default_cohort(8, rng=3), days=30, rng=3).run()
+        b = OnboardingProgram(default_cohort(8, rng=3), days=30, rng=3).run()
+        assert a.mean_time_to_first_success == b.mean_time_to_first_success
+        assert a.total_tickets == b.total_tickets
+
+    def test_cohort_mixes_backgrounds(self):
+        cohort = default_cohort(10)
+        backgrounds = {u.background for u in cohort}
+        assert backgrounds == {"quantum_expert", "hpc_practitioner"}
+
+
+class TestOperationsWithOutages:
+    """Section 3.5 integrated into the operations horizon."""
+
+    def _run(self, outage_minutes, redundant, days=14):
+        from repro.facility import FacilityConfig, OutageScenario, OutageType
+        from repro.utils.units import MINUTE
+
+        cfg = OperationsConfig(
+            duration_days=days,
+            outages={
+                5: OutageScenario(
+                    OutageType.COOLING_WATER_OVERTEMP, outage_minutes * MINUTE
+                )
+            },
+            facility=FacilityConfig(
+                ups_present=redundant, redundant_cooling=redundant
+            ),
+        )
+        return OperationsSimulator(QPUDevice(seed=50), cfg).run()
+
+    def test_redundant_facility_no_downtime(self):
+        result = self._run(45, redundant=True)
+        assert result.online_fraction == pytest.approx(1.0)
+        assert result.outage_reports[0][1].absorbed_by_redundancy
+
+    def test_bare_facility_multi_day_downtime(self):
+        result = self._run(45, redundant=False)
+        assert result.online_fraction < 0.9
+        day, report = result.outage_reports[0]
+        assert day == 5
+        assert not report.calibration_survived
+        assert report.total_downtime > 2 * 24 * 3600
+
+    def test_device_returns_calibrated_after_recovery(self):
+        result = self._run(45, redundant=False, days=14)
+        # after recovery the final days show restored CZ fidelity
+        final = result.days[-1]
+        assert final.median_cz_fidelity > 0.97
+
+    def test_outage_day_validated(self):
+        from repro.errors import ReproError
+        from repro.facility import OutageScenario, OutageType
+
+        with pytest.raises(ReproError):
+            OperationsConfig(
+                duration_days=5,
+                outages={9: OutageScenario(OutageType.POWER_LOSS, 60.0)},
+            )

@@ -1,0 +1,85 @@
+"""Package-surface and exception-hierarchy tests."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_names_exported(self):
+        for name in (
+            "QuantumCircuit",
+            "ghz_circuit",
+            "MQSSClient",
+            "QPUDevice",
+            "Topology",
+            "QuantumResourceManager",
+            "Counts",
+        ):
+            assert hasattr(repro, name), name
+
+    def test_all_subpackages_import(self):
+        import repro.calibration
+        import repro.circuits
+        import repro.compiler
+        import repro.facility
+        import repro.hybrid
+        import repro.middleware
+        import repro.middleware.adapters
+        import repro.ops
+        import repro.qdmi
+        import repro.qpu
+        import repro.scheduler
+        import repro.simulator
+        import repro.telemetry
+        import repro.transpiler
+
+    def test_docstring_quickstart_runs(self):
+        """The quickstart in the package docstring must actually work."""
+        from repro import MQSSClient, QPUDevice, QuantumResourceManager
+        from repro.circuits import ghz_circuit
+
+        device = QPUDevice(seed=7)
+        client = MQSSClient(QuantumResourceManager(device), context="hpc")
+        counts = client.run(ghz_circuit(5), shots=128)
+        assert counts.shots == 128
+
+
+class TestExceptionHierarchy:
+    def test_everything_roots_at_repro_error(self):
+        names = [
+            n
+            for n in dir(errors)
+            if n.endswith("Error") and n != "ReproError"
+        ]
+        assert len(names) > 20
+        for name in names:
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_layer_families(self):
+        assert issubclass(errors.GateError, errors.CircuitError)
+        assert issubclass(errors.NoiseModelError, errors.SimulationError)
+        assert issubclass(errors.TopologyError, errors.DeviceError)
+        assert issubclass(errors.LoweringError, errors.CompilerError)
+        assert issubclass(errors.RestApiError, errors.MiddlewareError)
+        assert issubclass(errors.SiteSurveyError, errors.FacilityError)
+        assert issubclass(errors.ReservationError, errors.SchedulerError)
+
+    def test_rest_api_error_carries_status(self):
+        err = errors.RestApiError(404, "not found")
+        assert err.status == 404
+        assert "not found" in str(err)
+
+    def test_catching_at_layer_granularity(self):
+        """A scheduler can catch device trouble without masking bugs."""
+        try:
+            raise errors.DeviceUnavailableError("cooling down")
+        except errors.DeviceError as caught:
+            assert "cooling" in str(caught)
+        with pytest.raises(errors.ReproError):
+            raise errors.QueueError("full")

@@ -1,0 +1,114 @@
+"""Tests for symbolic circuit parameters."""
+
+import pytest
+
+from repro.circuits.parameters import (
+    Parameter,
+    ParameterExpression,
+    bind_value,
+    make_binding,
+    numeric_value,
+    parameters_of,
+)
+from repro.errors import ParameterError
+
+
+class TestParameter:
+    def test_same_name_distinct_identity(self):
+        a, b = Parameter("x"), Parameter("x")
+        assert a != b
+        assert hash(a) != hash(b) or a is not b
+
+    def test_name(self):
+        assert Parameter("theta").name == "theta"
+
+    def test_parameters_of_self(self):
+        p = Parameter("p")
+        assert parameters_of(p) == frozenset({p})
+
+    def test_parameters_of_numeric(self):
+        assert parameters_of(1.5) == frozenset()
+
+
+class TestExpressionArithmetic:
+    def test_add_scalar(self):
+        p = Parameter("p")
+        e = p + 2.0
+        assert e.bind({p: 1.0}) == 3.0
+
+    def test_radd(self):
+        p = Parameter("p")
+        assert (2.0 + p).bind({p: 1.0}) == 3.0
+
+    def test_sub_and_rsub(self):
+        p = Parameter("p")
+        assert (p - 1.0).bind({p: 3.0}) == 2.0
+        assert (1.0 - p).bind({p: 3.0}) == -2.0
+
+    def test_mul_div(self):
+        p = Parameter("p")
+        assert (3.0 * p).bind({p: 2.0}) == 6.0
+        assert (p / 2.0).bind({p: 3.0}) == 1.5
+
+    def test_neg(self):
+        p = Parameter("p")
+        assert (-p).bind({p: 2.0}) == -2.0
+
+    def test_combined_affine(self):
+        a, b = Parameter("a"), Parameter("b")
+        e = 2.0 * a - b + 1.0
+        assert e.bind({a: 1.0, b: 3.0}) == 0.0
+
+    def test_mul_expression_by_expression_rejected(self):
+        a, b = Parameter("a"), Parameter("b")
+        with pytest.raises(TypeError):
+            _ = a * b
+
+    def test_zero_coefficient_drops_parameter(self):
+        p = Parameter("p")
+        e = p - p
+        assert e.is_numeric()
+        assert e.numeric() == 0.0
+
+
+class TestBinding:
+    def test_partial_bind(self):
+        a, b = Parameter("a"), Parameter("b")
+        e = a + b
+        partial = e.bind({a: 1.0})
+        assert isinstance(partial, ParameterExpression)
+        assert partial.bind({b: 2.0}) == 3.0
+
+    def test_numeric_raises_on_free(self):
+        p = Parameter("p")
+        with pytest.raises(ParameterError):
+            (p + 1.0).numeric()
+
+    def test_bind_value_numeric_passthrough(self):
+        assert bind_value(2.0, {}) == 2.0
+
+    def test_numeric_value(self):
+        p = Parameter("p")
+        assert numeric_value((p + 1.0).bind({p: 1.0})) == 2.0
+        assert numeric_value(5) == 5.0
+
+    def test_make_binding_checks_length(self):
+        p, q = Parameter("p"), Parameter("q")
+        binding = make_binding([p, q], [1.0, 2.0])
+        assert binding[p] == 1.0 and binding[q] == 2.0
+        with pytest.raises(ParameterError):
+            make_binding([p, q], [1.0])
+
+    def test_equality_with_scalar(self):
+        p = Parameter("p")
+        assert (p - p + 3.0) == 3.0
+
+    def test_coefficient_lookup(self):
+        p = Parameter("p")
+        e = 2.5 * p + 1.0
+        assert e.coefficient(p) == 2.5
+        assert e.offset == 1.0
+
+    def test_repr_contains_name(self):
+        p = Parameter("alpha")
+        assert "alpha" in repr(2.0 * p + 1.0)

@@ -1,0 +1,246 @@
+"""Cross-layer property-based tests (hypothesis).
+
+These pin down the invariants the stack's correctness rests on:
+serialization round-trips, unitarity preservation, sampler/probability
+agreement, transpiler semantics, counts algebra, store monotonicity.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    QuantumCircuit,
+    circuit_from_dict,
+    circuit_to_dict,
+    random_circuit,
+)
+from repro.simulator import Counts, sample_counts, simulate_statevector
+from repro.simulator.sampler import ideal_probabilities
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+seeds = st.integers(0, 10_000)
+small_circuits = st.builds(
+    lambda seed, n, depth: random_circuit(n, depth, seed=seed),
+    seeds,
+    st.integers(2, 4),
+    st.integers(1, 25),
+)
+
+
+class TestSerializationProperties:
+    @given(small_circuits)
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_identity(self, circuit):
+        assert circuit_from_dict(circuit_to_dict(circuit)) == circuit
+
+    @given(small_circuits)
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_preserves_semantics(self, circuit):
+        restored = circuit_from_dict(circuit_to_dict(circuit))
+        p1, p2 = ideal_probabilities(circuit), ideal_probabilities(restored)
+        for key in set(p1) | set(p2):
+            assert p1.get(key, 0) == pytest.approx(p2.get(key, 0), abs=1e-12)
+
+
+class TestSimulatorProperties:
+    @given(seeds, st.integers(2, 4), st.integers(1, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_unitarity_preserved(self, seed, n, depth):
+        circuit = random_circuit(n, depth, seed=seed, measure=False)
+        sv = simulate_statevector(circuit)
+        assert sv.norm() == pytest.approx(1.0, abs=1e-9)
+
+    @given(seeds, st.integers(2, 3), st.integers(1, 15))
+    @settings(max_examples=15, deadline=None)
+    def test_sampling_matches_ideal_distribution(self, seed, n, depth):
+        circuit = random_circuit(n, depth, seed=seed)
+        ideal = ideal_probabilities(circuit)
+        counts = sample_counts(circuit, 30_000, rng=seed)
+        empirical = counts.probabilities()
+        for key in set(ideal) | set(empirical):
+            assert empirical.get(key, 0.0) == pytest.approx(
+                ideal.get(key, 0.0), abs=0.02
+            )
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_probabilities_sum_to_one(self, seed):
+        circuit = random_circuit(3, 20, seed=seed)
+        probs = ideal_probabilities(circuit)
+        assert sum(probs.values()) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestTranspilerProperties:
+    @given(seeds, st.integers(2, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_native_output_and_semantics(self, seed, n):
+        from repro.qpu.params import nominal_calibration
+        from repro.qpu.topology import Topology
+        from repro.transpiler import transpile
+
+        grid = Topology.square_grid(3, 3)
+        snap = nominal_calibration(grid, rng=0)
+        circuit = random_circuit(n, 12, seed=seed)
+        result = transpile(circuit, grid, snapshot=snap)
+        assert result.circuit.is_native()
+        p1 = ideal_probabilities(circuit)
+        p2 = ideal_probabilities(result.circuit)
+        for key in set(p1) | set(p2):
+            assert p1.get(key, 0) == pytest.approx(p2.get(key, 0), abs=1e-8)
+
+    @given(seeds, st.integers(2, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_layout_is_injective(self, seed, n):
+        from repro.qpu.params import nominal_calibration
+        from repro.qpu.topology import Topology
+        from repro.transpiler import noise_adaptive_layout
+
+        grid = Topology.square_grid(4, 5)
+        snap = nominal_calibration(grid, rng=seed)
+        circuit = random_circuit(n, 15, seed=seed)
+        layout = noise_adaptive_layout(circuit, grid, snap)
+        assert len(set(layout.values())) == n
+
+
+class TestCountsProperties:
+    count_dicts = st.dictionaries(
+        st.sampled_from(["000", "001", "010", "011", "100", "101", "110", "111"]),
+        st.integers(1, 500),
+        min_size=1,
+    )
+
+    @given(count_dicts)
+    @settings(max_examples=40, deadline=None)
+    def test_marginal_preserves_shots(self, data):
+        counts = Counts(data)
+        assert counts.marginal([0, 2]).shots == counts.shots
+
+    @given(count_dicts, count_dicts)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_is_commutative_in_totals(self, d1, d2):
+        a, b = Counts(d1), Counts(d2)
+        assert a.merged(b).shots == b.merged(a).shots == a.shots + b.shots
+
+    @given(count_dicts)
+    @settings(max_examples=40, deadline=None)
+    def test_expectation_bounded(self, data):
+        counts = Counts(data)
+        assert -1.0 <= counts.expectation_z() <= 1.0
+
+    @given(count_dicts)
+    @settings(max_examples=40, deadline=None)
+    def test_hellinger_self_fidelity(self, data):
+        counts = Counts(data)
+        assert counts.hellinger_fidelity(counts) == pytest.approx(1.0)
+
+
+class TestTelemetryProperties:
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_store_accepts_sorted_inserts(self, offsets):
+        from repro.telemetry import MetricStore
+
+        store = MetricStore()
+        t = 0.0
+        for dt in offsets:
+            t += dt
+            store.insert("x", t, 1.0)
+        assert store.num_points("x") == len(offsets)
+        assert store.latest("x").timestamp == pytest.approx(t)
+
+    @given(st.integers(1, 200), st.floats(1.0, 100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_aggregate_mean_bounded_by_extremes(self, n, window):
+        from repro.telemetry import MetricStore
+
+        store = MetricStore()
+        rng = np.random.default_rng(n)
+        values = rng.normal(size=n)
+        for i, v in enumerate(values):
+            store.insert("x", float(i), float(v))
+        _, agg = store.aggregate("x", 0.0, float(n), window)
+        finite = agg[~np.isnan(agg)]
+        if finite.size:
+            assert finite.min() >= values.min() - 1e-9
+            assert finite.max() <= values.max() + 1e-9
+
+
+class TestSchedulerProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 4), st.integers(10, 500)), min_size=1, max_size=20
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_all_jobs_eventually_complete(self, specs):
+        from repro.scheduler import ClusterScheduler, Job, Partition, Simulation
+
+        sim = Simulation()
+        cluster = ClusterScheduler(sim, [Partition("compute", 4)])
+        jobs = [
+            cluster.submit(
+                Job(name=f"j{i}", num_nodes=nodes, runtime=float(rt), walltime_limit=float(rt) * 2)
+            )
+            for i, (nodes, rt) in enumerate(specs)
+        ]
+        sim.run_until(sum(rt for _, rt in specs) * 10.0 + 1000.0)
+        from repro.scheduler import JobState
+
+        assert all(j.state is JobState.COMPLETED for j in jobs)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 4), st.integers(10, 500)), min_size=2, max_size=15
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_capacity_never_exceeded(self, specs):
+        """At every start event, running node usage ≤ partition size."""
+        from repro.scheduler import ClusterScheduler, Job, Partition, Simulation
+
+        sim = Simulation()
+        cluster = ClusterScheduler(sim, [Partition("compute", 4)])
+        peak = [0]
+        original_start = cluster._start
+
+        def tracked_start(job):
+            original_start(job)
+            usage = sum(j.num_nodes for j, _ in cluster.running.values())
+            peak[0] = max(peak[0], usage)
+
+        cluster._start = tracked_start
+        for i, (nodes, rt) in enumerate(specs):
+            cluster.submit(
+                Job(name=f"j{i}", num_nodes=nodes, runtime=float(rt), walltime_limit=float(rt) * 2)
+            )
+        sim.run_until(1e7)
+        assert peak[0] <= 4
+
+
+class TestGateAlgebraProperties:
+    @given(st.floats(-math.pi, math.pi), st.floats(-math.pi, math.pi))
+    @settings(max_examples=50, deadline=None)
+    def test_prx_composition_same_axis(self, theta1, theta2):
+        """Same-phase PRX pulses add their angles."""
+        from repro.circuits.gates import prx_matrix
+
+        phi = 0.7
+        composed = prx_matrix(theta2, phi) @ prx_matrix(theta1, phi)
+        direct = prx_matrix(theta1 + theta2, phi)
+        np.testing.assert_allclose(composed, direct, atol=1e-10)
+
+    @given(st.floats(-math.pi, math.pi), st.floats(-math.pi, math.pi))
+    @settings(max_examples=50, deadline=None)
+    def test_rz_commutes_with_cz(self, phi, theta):
+        from repro.circuits.gates import rz_matrix, spec
+
+        cz = spec("cz").matrix()
+        rz0 = np.kron(np.eye(2), rz_matrix(phi))  # rz on qubit 0 (LSB)
+        np.testing.assert_allclose(cz @ rz0, rz0 @ cz, atol=1e-12)

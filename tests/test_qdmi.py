@@ -1,0 +1,136 @@
+"""Tests for the QDMI interface and device bindings."""
+
+import pytest
+
+from repro.errors import PropertyNotSupportedError, QDMIError, SessionError
+from repro.qdmi import (
+    QDMIProperty,
+    QDMISession,
+    QPUQDMIDevice,
+    SnapshotQDMIDevice,
+)
+from repro.qpu import DeviceStatus, QPUDevice
+
+
+class TestSession:
+    def test_context_manager_closes(self, device):
+        qdmi = QPUQDMIDevice(device)
+        with qdmi.open_session() as session:
+            assert session.is_open
+            session.query(QDMIProperty.NUM_QUBITS)
+        assert not session.is_open
+
+    def test_closed_session_rejects_queries(self, device):
+        session = QPUQDMIDevice(device).open_session()
+        session.close()
+        with pytest.raises(SessionError):
+            session.query(QDMIProperty.NUM_QUBITS)
+
+    def test_reenter_closed_rejected(self, device):
+        session = QPUQDMIDevice(device).open_session()
+        session.close()
+        with pytest.raises(SessionError):
+            with session:
+                pass
+
+    def test_query_counter(self, device):
+        with QPUQDMIDevice(device).open_session() as session:
+            session.query(QDMIProperty.NUM_QUBITS)
+            session.query(QDMIProperty.NATIVE_GATES)
+        assert session.queries_served == 2
+
+
+class TestQPUDeviceBinding:
+    def test_device_scoped_properties(self, device):
+        qdmi = QPUQDMIDevice(device)
+        assert qdmi.query(QDMIProperty.NUM_QUBITS) == 20
+        assert qdmi.query(QDMIProperty.STATUS) == "online"
+        assert len(qdmi.query(QDMIProperty.COUPLING_MAP)) == 31
+        assert "prx" in qdmi.query(QDMIProperty.NATIVE_GATES)
+
+    def test_qubit_scoped_properties(self, device):
+        qdmi = QPUQDMIDevice(device)
+        t1 = qdmi.query(QDMIProperty.T1, qubit=3)
+        assert 1e-6 < t1 < 1e-3
+        fid = qdmi.query(QDMIProperty.PRX_FIDELITY, qubit=3)
+        assert 0.9 < fid <= 1.0
+
+    def test_qubit_scope_required(self, device):
+        with pytest.raises(QDMIError):
+            QPUQDMIDevice(device).query(QDMIProperty.T1)
+
+    def test_coupler_scoped_properties(self, device):
+        qdmi = QPUQDMIDevice(device)
+        coupler = device.topology.couplers[0]
+        fid = qdmi.query(QDMIProperty.CZ_FIDELITY, coupler=coupler)
+        assert 0.9 < fid <= 1.0
+
+    def test_coupler_scope_required(self, device):
+        with pytest.raises(QDMIError):
+            QPUQDMIDevice(device).query(QDMIProperty.CZ_FIDELITY)
+
+    def test_status_tracks_device(self, device):
+        qdmi = QPUQDMIDevice(device)
+        device.set_status(DeviceStatus.MAINTENANCE)
+        assert qdmi.query(QDMIProperty.STATUS) == "maintenance"
+
+    def test_live_binding_sees_drift(self, device):
+        qdmi = QPUQDMIDevice(device)
+        before = qdmi.query(QDMIProperty.MEDIAN_CZ_FIDELITY)
+        device.advance_time(6 * 24 * 3600)
+        after = qdmi.query(QDMIProperty.MEDIAN_CZ_FIDELITY)
+        assert after != before
+
+    def test_timestamp_updates_on_calibration(self, device):
+        qdmi = QPUQDMIDevice(device)
+        t0 = qdmi.query(QDMIProperty.CALIBRATION_TIMESTAMP)
+        device.calibrate("quick")
+        t1 = qdmi.query(QDMIProperty.CALIBRATION_TIMESTAMP)
+        assert t1 > t0
+
+
+class TestSnapshotBinding:
+    def test_frozen_answers(self, snapshot):
+        qdmi = SnapshotQDMIDevice(snapshot, name="frozen")
+        assert qdmi.query(QDMIProperty.NAME) == "frozen"
+        assert (
+            qdmi.query(QDMIProperty.CALIBRATION_SNAPSHOT).timestamp
+            == snapshot.timestamp
+        )
+
+    def test_supports_everything(self, snapshot):
+        qdmi = SnapshotQDMIDevice(snapshot)
+        assert qdmi.supported_properties() == frozenset(QDMIProperty)
+
+
+class TestTelemetryBinding:
+    def test_answers_from_store(self, device):
+        from repro.telemetry import (
+            DCDBCollector,
+            MetricStore,
+            QPUMetricsPlugin,
+            TelemetryQDMIDevice,
+        )
+
+        store = MetricStore()
+        collector = DCDBCollector(store, [QPUMetricsPlugin(device)])
+        collector.run_cycle(device.time)
+        qdmi = TelemetryQDMIDevice(store, snapshot_provider=device.calibration)
+        fid = qdmi.query(QDMIProperty.MEDIAN_CZ_FIDELITY)
+        assert 0.9 < fid <= 1.0
+        t1 = qdmi.query(QDMIProperty.T1, qubit=0)
+        assert t1 > 0
+
+    def test_uncollected_store_raises(self, device):
+        from repro.telemetry import MetricStore, TelemetryQDMIDevice
+
+        qdmi = TelemetryQDMIDevice(MetricStore())
+        with pytest.raises(QDMIError):
+            qdmi.query(QDMIProperty.MEDIAN_CZ_FIDELITY)
+
+    def test_snapshot_unsupported_without_provider(self, device):
+        from repro.telemetry import MetricStore, TelemetryQDMIDevice
+
+        qdmi = TelemetryQDMIDevice(MetricStore())
+        with pytest.raises(PropertyNotSupportedError):
+            qdmi.query(QDMIProperty.CALIBRATION_SNAPSHOT)

@@ -1,0 +1,133 @@
+"""Tests for calibration snapshots and the derived noise model."""
+
+import pytest
+
+from repro.errors import CalibrationError, TopologyError
+from repro.qpu.params import (
+    NOMINAL,
+    CalibrationSnapshot,
+    CouplerParams,
+    QubitParams,
+    nominal_calibration,
+)
+from repro.qpu.topology import Topology
+
+
+def make_qubit(**overrides):
+    base = dict(
+        t1=40e-6, t2=30e-6, prx_error=1e-3, readout_error_0=0.02, readout_error_1=0.03
+    )
+    base.update(overrides)
+    return QubitParams(**base)
+
+
+class TestQubitParams:
+    def test_fidelities(self):
+        qp = make_qubit()
+        assert qp.prx_fidelity == pytest.approx(0.999)
+        assert qp.readout_fidelity == pytest.approx(0.975)
+
+    def test_unphysical_t2_rejected(self):
+        with pytest.raises(CalibrationError):
+            make_qubit(t1=10e-6, t2=25e-6)
+
+    def test_negative_t1_rejected(self):
+        with pytest.raises(CalibrationError):
+            make_qubit(t1=-1e-6)
+
+    def test_readout_object(self):
+        ro = make_qubit().readout()
+        assert ro.p_meas1_given0 == 0.02
+
+
+class TestSnapshot:
+    def test_nominal_matches_topology(self, grid20):
+        snap = nominal_calibration(grid20, rng=0)
+        assert len(snap.qubits) == 20
+        assert set(snap.couplers) == set(grid20.couplers)
+
+    def test_qubit_count_mismatch_rejected(self, grid20):
+        snap = nominal_calibration(grid20, rng=0)
+        with pytest.raises(CalibrationError):
+            CalibrationSnapshot(
+                topology=grid20,
+                qubits=snap.qubits[:-1],
+                couplers=dict(snap.couplers),
+            )
+
+    def test_coupler_mismatch_rejected(self, grid20):
+        snap = nominal_calibration(grid20, rng=0)
+        couplers = dict(snap.couplers)
+        couplers.pop(next(iter(couplers)))
+        with pytest.raises(CalibrationError):
+            CalibrationSnapshot(
+                topology=grid20, qubits=snap.qubits, couplers=couplers
+            )
+
+    def test_medians_near_nominal(self, grid20):
+        snap = nominal_calibration(grid20, rng=1, spread=0.05)
+        assert snap.median_prx_fidelity() == pytest.approx(
+            1 - NOMINAL["prx_error"], abs=2e-4
+        )
+        assert snap.median_cz_fidelity() == pytest.approx(
+            1 - NOMINAL["cz_error"], abs=2e-3
+        )
+        assert snap.median_t1() == pytest.approx(NOMINAL["t1"], rel=0.15)
+
+    def test_coupler_params_symmetric_lookup(self, snapshot):
+        a, b = next(iter(snapshot.couplers))
+        assert snapshot.coupler_params(b, a) is snapshot.coupler_params(a, b)
+
+    def test_coupler_params_missing(self, snapshot):
+        with pytest.raises(TopologyError):
+            snapshot.coupler_params(0, 19)
+
+    def test_gate_durations(self, snapshot):
+        assert snapshot.gate_duration("prx", [0]) == pytest.approx(20e-9)
+        a, b = next(iter(snapshot.couplers))
+        assert snapshot.gate_duration("cz", [a, b]) == pytest.approx(40e-9)
+        assert snapshot.gate_duration("measure", [0]) == pytest.approx(1.5e-6)
+        assert snapshot.gate_duration("reset", [0]) == pytest.approx(300e-6)
+        assert snapshot.gate_duration("rz", [0]) == 0.0  # virtual
+
+    def test_summary_keys(self, snapshot):
+        s = snapshot.summary()
+        assert set(s) == {
+            "median_prx_fidelity",
+            "median_cz_fidelity",
+            "median_readout_fidelity",
+            "median_t1",
+            "median_t2",
+        }
+
+    def test_worst_qubit(self, snapshot):
+        worst = snapshot.worst_qubit()
+        worst_fid = snapshot.qubits[worst].prx_fidelity
+        assert all(q.prx_fidelity >= worst_fid for q in snapshot.qubits)
+
+    def test_with_updates(self, snapshot):
+        new_q = make_qubit(prx_error=0.2)
+        updated = snapshot.with_updates(qubits={3: new_q}, timestamp=99.0)
+        assert updated.qubits[3].prx_error == 0.2
+        assert updated.timestamp == 99.0
+        assert snapshot.qubits[3].prx_error != 0.2  # original untouched
+
+
+class TestNoiseModelCompilation:
+    def test_noise_model_has_all_gates(self, snapshot):
+        nm = snapshot.as_noise_model()
+        assert nm.error_for("prx", [0]) is not None
+        a, b = next(iter(snapshot.couplers))
+        assert nm.error_for("cz", [a, b]) is not None
+        assert nm.readout_for(0) is not None
+
+    def test_noise_rates_scale_with_snapshot(self, grid20):
+        snap = nominal_calibration(grid20, rng=2)
+        bad = snap.with_updates(qubits={0: make_qubit(prx_error=0.1)})
+        nm = bad.as_noise_model()
+        err = nm.error_for("prx", [0])
+        assert err.total_probability > 0.09
+
+    def test_uncoupled_cz_has_no_error_entry(self, snapshot):
+        nm = snapshot.as_noise_model()
+        assert nm.error_for("cz", [0, 19]) is None

@@ -1,0 +1,295 @@
+"""Tests for the discrete-event engine, jobs, cluster, and QRM."""
+
+import pytest
+
+from repro.circuits import ghz_circuit
+from repro.errors import (
+    JobError,
+    QueueError,
+    ReservationError,
+    SchedulerError,
+)
+from repro.qpu import DeviceStatus, QPUDevice
+from repro.scheduler import (
+    ClusterScheduler,
+    Job,
+    JobState,
+    Partition,
+    QuantumResourceManager,
+    Reservation,
+    Simulation,
+)
+from repro.utils.units import HOUR, MINUTE
+
+
+class TestSimulation:
+    def test_events_fire_in_order(self):
+        sim = Simulation()
+        log = []
+        sim.schedule(5.0, lambda s: log.append("b"))
+        sim.schedule(1.0, lambda s: log.append("a"))
+        sim.schedule(9.0, lambda s: log.append("c"))
+        sim.run_until(10.0)
+        assert log == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulation()
+        log = []
+        for i in range(5):
+            sim.schedule(1.0, lambda s, i=i: log.append(i))
+        sim.run_until(2.0)
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulation(start_time=10.0)
+        with pytest.raises(SchedulerError):
+            sim.schedule(5.0, lambda s: None)
+
+    def test_cancel(self):
+        sim = Simulation()
+        log = []
+        handle = sim.schedule(1.0, lambda s: log.append("x"))
+        handle.cancel()
+        sim.run_until(2.0)
+        assert log == []
+
+    def test_run_until_advances_clock(self):
+        sim = Simulation()
+        sim.run_until(100.0)
+        assert sim.now == 100.0
+
+    def test_events_scheduled_during_events(self):
+        sim = Simulation()
+        log = []
+
+        def first(s):
+            s.schedule_in(1.0, lambda s2: log.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run_until(5.0)
+        assert log == ["second"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SchedulerError):
+            Simulation().schedule_in(-1.0, lambda s: None)
+
+
+class TestJobStateMachine:
+    def test_happy_path(self):
+        j = Job(name="x")
+        j.mark_submitted(0.0)
+        j.mark_started(5.0)
+        j.mark_completed(15.0)
+        assert j.wait_time == 5.0
+        assert j.turnaround == 15.0
+
+    def test_illegal_transition(self):
+        j = Job(name="x")
+        with pytest.raises(JobError):
+            j.mark_completed(1.0)
+
+    def test_double_submit_rejected(self):
+        j = Job(name="x")
+        j.mark_submitted(0.0)
+        with pytest.raises(JobError):
+            j.mark_submitted(1.0)
+
+    def test_requeue_cycle(self):
+        j = Job(name="x")
+        j.mark_submitted(0.0)
+        j.mark_started(1.0)
+        j.mark_requeued(2.0, "outage")
+        assert j.state is JobState.REQUEUED
+        j.mark_submitted(3.0)
+        assert j.state is JobState.PENDING
+        assert j.requeue_count == 1
+
+    def test_validation(self):
+        with pytest.raises(JobError):
+            Job(name="x", num_nodes=0)
+        with pytest.raises(JobError):
+            Job(name="x", walltime_limit=0.0)
+
+
+class TestCluster:
+    def _cluster(self, nodes=8, backfill=True):
+        sim = Simulation()
+        cluster = ClusterScheduler(sim, [Partition("compute", nodes)], backfill=backfill)
+        return sim, cluster
+
+    def test_jobs_run_and_complete(self):
+        sim, cluster = self._cluster()
+        jobs = [
+            cluster.submit(Job(name=f"j{i}", num_nodes=2, runtime=100, walltime_limit=200))
+            for i in range(4)
+        ]
+        sim.run_until(1000)
+        assert all(j.state is JobState.COMPLETED for j in jobs)
+
+    def test_capacity_respected(self):
+        sim, cluster = self._cluster(nodes=4)
+        jobs = [
+            cluster.submit(Job(name=f"j{i}", num_nodes=4, runtime=100, walltime_limit=200))
+            for i in range(3)
+        ]
+        sim.run_until(1000)
+        starts = sorted(j.started_at for j in jobs)
+        assert starts == [0.0, 100.0, 200.0]
+
+    def test_unknown_partition_rejected(self):
+        _, cluster = self._cluster()
+        with pytest.raises(QueueError):
+            cluster.submit(Job(name="x", partition="gpu"))
+
+    def test_oversized_job_rejected(self):
+        _, cluster = self._cluster(nodes=4)
+        with pytest.raises(QueueError):
+            cluster.submit(Job(name="x", num_nodes=8))
+
+    def test_walltime_kill(self):
+        sim, cluster = self._cluster()
+        job = cluster.submit(Job(name="runaway", runtime=500, walltime_limit=100))
+        sim.run_until(1000)
+        assert job.state is JobState.FAILED
+        assert "walltime" in job.failure_reason
+
+    def test_priority_ordering(self):
+        sim, cluster = self._cluster(nodes=2)
+        blocker = cluster.submit(Job(name="blocker", num_nodes=2, runtime=100, walltime_limit=150))
+        low = cluster.submit(Job(name="low", num_nodes=2, runtime=10, walltime_limit=50, priority=0))
+        high = cluster.submit(Job(name="high", num_nodes=2, runtime=10, walltime_limit=50, priority=5))
+        sim.run_until(1000)
+        assert high.started_at < low.started_at
+
+    def test_backfill_lets_small_jobs_jump(self):
+        sim, cluster = self._cluster(nodes=4)
+        cluster.submit(Job(name="running", num_nodes=3, runtime=100, walltime_limit=120))
+        big = cluster.submit(Job(name="big", num_nodes=4, runtime=50, walltime_limit=60, priority=10))
+        small = cluster.submit(Job(name="small", num_nodes=1, runtime=30, walltime_limit=40))
+        sim.run_until(1000)
+        # small fits in the free node before big's 100 s shadow: backfilled
+        assert small.started_at < big.started_at
+        assert small.started_at == 0.0
+
+    def test_fifo_mode_blocks_jumping(self):
+        sim, cluster = self._cluster(nodes=4, backfill=False)
+        cluster.submit(Job(name="running", num_nodes=3, runtime=100, walltime_limit=120))
+        big = cluster.submit(Job(name="big", num_nodes=4, runtime=50, walltime_limit=60, priority=10))
+        small = cluster.submit(Job(name="small", num_nodes=1, runtime=30, walltime_limit=40))
+        sim.run_until(1000)
+        # without backfill, small waits behind big
+        assert small.started_at >= big.started_at
+
+    def test_reservation_blocks_jobs(self):
+        sim, cluster = self._cluster(nodes=4)
+        cluster.reserve(Reservation("compute", 0.0, 500.0, 4, "maintenance"))
+        job = cluster.submit(Job(name="x", num_nodes=2, runtime=10, walltime_limit=600))
+        sim.run_until(200)
+        assert job.state is JobState.PENDING  # blocked by reservation
+        sim.run_until(1000)
+        cluster.kick()
+        sim.run_until(1200)
+        assert job.state is JobState.COMPLETED
+
+    def test_reservation_validation(self):
+        _, cluster = self._cluster()
+        with pytest.raises(ReservationError):
+            cluster.reserve(Reservation("compute", 10.0, 5.0, 1))
+        with pytest.raises(ReservationError):
+            cluster.reserve(Reservation("gpu", 0.0, 10.0, 1))
+
+    def test_requeue_running(self):
+        sim, cluster = self._cluster()
+        job = cluster.submit(Job(name="x", num_nodes=2, runtime=100, walltime_limit=200))
+        sim.run_until(10)
+        victims = cluster.requeue_running("compute", "power outage")
+        assert victims == [job]
+        assert job.requeue_count == 1
+        # with free nodes, the scheduler restarts it immediately
+        assert job.state is JobState.RUNNING
+        assert job.started_at == pytest.approx(10.0)
+        sim.run_until(1000)
+        assert job.state is JobState.COMPLETED
+        # full runtime after the restart, not the stale pre-outage finish
+        assert job.finished_at == pytest.approx(110.0)
+
+    def test_utilization_accounting(self):
+        sim, cluster = self._cluster(nodes=4)
+        cluster.submit(Job(name="x", num_nodes=4, runtime=500, walltime_limit=600))
+        sim.run_until(1000)
+        assert cluster.utilization("compute", 1000) == pytest.approx(0.5)
+
+
+class TestQRM:
+    def test_submit_and_run(self, device):
+        qrm = QuantumResourceManager(device)
+        job = qrm.submit(ghz_circuit(3), shots=128)
+        assert qrm.queue_length == 1
+        done = qrm.run_next()
+        assert done is job
+        assert job.state is JobState.COMPLETED
+        assert job.result.counts.shots == 128
+
+    def test_priority_order(self, device):
+        qrm = QuantumResourceManager(device)
+        low = qrm.submit(ghz_circuit(2), shots=32, priority=0)
+        high = qrm.submit(ghz_circuit(2), shots=32, priority=9)
+        assert qrm.run_next() is high
+
+    def test_drain(self, device):
+        qrm = QuantumResourceManager(device)
+        for _ in range(3):
+            qrm.submit(ghz_circuit(2), shots=32)
+        assert qrm.drain() == 3
+        assert qrm.idle()
+
+    def test_offline_device_requeues(self, device):
+        qrm = QuantumResourceManager(device)
+        job = qrm.submit(ghz_circuit(2), shots=32)
+        device.set_status(DeviceStatus.OFFLINE)
+        returned = qrm.run_next()
+        assert returned.state is JobState.PENDING
+        assert qrm.stats.jobs_requeued == 1
+        device.set_status(DeviceStatus.ONLINE)
+        qrm.drain()
+        assert job.state is JobState.COMPLETED
+
+    def test_drain_stops_when_device_down(self, device):
+        qrm = QuantumResourceManager(device)
+        qrm.submit(ghz_circuit(2), shots=32)
+        qrm.submit(ghz_circuit(2), shots=32)
+        device.set_status(DeviceStatus.OFFLINE)
+        assert qrm.drain() == 0
+        assert qrm.queue_length == 2
+
+    def test_invalid_shots(self, device):
+        qrm = QuantumResourceManager(device)
+        with pytest.raises(JobError):
+            qrm.submit(ghz_circuit(2), shots=0)
+
+    def test_calibration_slot_reserves_partition(self, device):
+        sim = Simulation()
+        cluster = ClusterScheduler(
+            sim, [Partition("compute", 4), Partition("quantum", 1)]
+        )
+        qrm = QuantumResourceManager(device, cluster=cluster)
+        duration = qrm.calibration_slot("quick")
+        assert duration == pytest.approx(40 * MINUTE)
+        assert cluster.reservation_active("quantum", sim.now)
+        assert qrm.stats.calibration_slots_opened == 1
+
+    def test_cluster_without_quantum_partition_rejected(self, device):
+        sim = Simulation()
+        cluster = ClusterScheduler(sim, [Partition("compute", 4)])
+        with pytest.raises(QueueError):
+            QuantumResourceManager(device, cluster=cluster)
+
+    def test_jit_compiles_fresh_after_calibration(self, device):
+        """JIT picks up the new calibration for a job submitted before it."""
+        qrm = QuantumResourceManager(device)
+        qrm.submit(ghz_circuit(3), shots=32)
+        device.calibrate("quick")
+        job = qrm.run_next()
+        assert job.payload["calibration_timestamp"] == pytest.approx(
+            device.calibration().timestamp, abs=60.0
+        )

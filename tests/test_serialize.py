@@ -1,0 +1,84 @@
+"""Tests for circuit JSON serialization (the REST wire format)."""
+
+import json
+
+import pytest
+
+from repro.circuits import (
+    QuantumCircuit,
+    circuit_from_dict,
+    circuit_from_json,
+    circuit_to_dict,
+    circuit_to_json,
+    ghz_circuit,
+    random_circuit,
+)
+from repro.circuits.parameters import Parameter
+from repro.circuits.serialize import FORMAT_VERSION
+from repro.errors import SerializationError
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_circuit_roundtrip(self, seed):
+        qc = random_circuit(4, 25, seed=seed)
+        restored = circuit_from_dict(circuit_to_dict(qc))
+        assert restored == qc
+        assert restored.name == qc.name
+
+    def test_json_roundtrip(self):
+        qc = ghz_circuit(3)
+        assert circuit_from_json(circuit_to_json(qc)) == qc
+
+    def test_metadata_preserved(self):
+        qc = ghz_circuit(2)
+        qc.metadata["experiment"] = "bell-test"
+        restored = circuit_from_dict(circuit_to_dict(qc))
+        assert restored.metadata["experiment"] == "bell-test"
+
+    def test_barrier_roundtrip(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        qc.barrier(0, 2)
+        restored = circuit_from_dict(circuit_to_dict(qc))
+        assert restored[1].name == "barrier"
+        assert restored[1].qubits == (0, 2)
+
+    def test_measure_clbits_roundtrip(self):
+        qc = QuantumCircuit(2, num_clbits=4)
+        qc.measure(0, 3)
+        restored = circuit_from_dict(circuit_to_dict(qc))
+        assert restored[0].clbits == (3,)
+        assert restored.num_clbits == 4
+
+
+class TestValidation:
+    def test_unbound_parameters_rejected(self):
+        qc = QuantumCircuit(1)
+        qc.rx(Parameter("p"), 0)
+        with pytest.raises(SerializationError):
+            circuit_to_dict(qc)
+
+    def test_wrong_version_rejected(self):
+        payload = circuit_to_dict(ghz_circuit(2))
+        payload["version"] = FORMAT_VERSION + 1
+        with pytest.raises(SerializationError):
+            circuit_from_dict(payload)
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(SerializationError):
+            circuit_from_dict({"version": FORMAT_VERSION})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SerializationError):
+            circuit_from_json("{not json")
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(SerializationError):
+            circuit_from_json(json.dumps([1, 2, 3]))
+
+    def test_bad_gate_name_rejected(self):
+        payload = circuit_to_dict(ghz_circuit(2))
+        payload["instructions"][0]["name"] = "frobnicate"
+        with pytest.raises(SerializationError):
+            circuit_from_dict(payload)

@@ -1,0 +1,238 @@
+"""Tests for the dense state-vector engine."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, ghz_circuit, random_circuit
+from repro.errors import SimulationError
+from repro.simulator.statevector import (
+    StateVector,
+    _embed,
+    circuit_unitary,
+    ghz_state,
+    simulate_statevector,
+)
+from tests.conftest import assert_close_up_to_phase, random_unitary_2x2
+
+
+class TestBasics:
+    def test_initial_state_is_zero_ket(self):
+        sv = StateVector(3)
+        assert sv.data[0] == 1.0
+        assert np.count_nonzero(sv.data) == 1
+
+    def test_rejects_zero_qubits(self):
+        with pytest.raises(SimulationError):
+            StateVector(0)
+
+    def test_rejects_too_many_qubits(self):
+        with pytest.raises(SimulationError):
+            StateVector(27)
+
+    def test_explicit_data_validated(self):
+        with pytest.raises(SimulationError):
+            StateVector(2, np.ones(3))
+
+    def test_copy_is_independent(self):
+        a = StateVector(2)
+        b = a.copy()
+        b.apply_gate("x", [0])
+        assert a.data[0] == 1.0
+
+    def test_normalize(self):
+        sv = StateVector(1, np.array([2.0, 0.0]))
+        sv.normalize()
+        assert sv.norm() == pytest.approx(1.0)
+
+    def test_normalize_zero_raises(self):
+        sv = StateVector(1, np.array([0.0, 0.0]))
+        with pytest.raises(SimulationError):
+            sv.normalize()
+
+
+class TestGateApplication:
+    def test_x_on_each_qubit_little_endian(self):
+        for q in range(3):
+            sv = StateVector(3)
+            sv.apply_gate("x", [q])
+            assert sv.data[1 << q] == pytest.approx(1.0)
+
+    def test_two_qubit_operand_order(self):
+        """cx(control=0, target=1): |q0=1⟩ → |q0=1, q1=1⟩."""
+        sv = StateVector(2)
+        sv.apply_gate("x", [0])
+        sv.apply_gate("cx", [0, 1])
+        assert abs(sv.data[3]) == pytest.approx(1.0)
+
+    def test_two_qubit_matches_embedded_matrix(self):
+        rng = np.random.default_rng(3)
+        from repro.circuits.gates import cx_matrix
+
+        for qubits in ((0, 2), (2, 0), (1, 3)):
+            vec = rng.normal(size=16) + 1j * rng.normal(size=16)
+            vec /= np.linalg.norm(vec)
+            sv = StateVector(4, vec)
+            sv.apply_matrix(cx_matrix(), qubits)
+            expected = _embed(cx_matrix(), qubits, 4) @ vec
+            np.testing.assert_allclose(sv.data, expected, atol=1e-12)
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_1q_matches_embed(self, seed):
+        rng = np.random.default_rng(seed)
+        u = random_unitary_2x2(rng)
+        q = int(rng.integers(3))
+        vec = rng.normal(size=8) + 1j * rng.normal(size=8)
+        vec /= np.linalg.norm(vec)
+        sv = StateVector(3, vec)
+        sv.apply_matrix(u, [q])
+        np.testing.assert_allclose(sv.data, _embed(u, [q], 3) @ vec, atol=1e-10)
+
+    def test_norm_preserved_by_unitaries(self):
+        qc = random_circuit(4, 30, seed=8, measure=False)
+        sv = simulate_statevector(qc)
+        assert sv.norm() == pytest.approx(1.0, abs=1e-10)
+
+    def test_duplicate_operands_rejected(self):
+        sv = StateVector(2)
+        from repro.circuits.gates import cx_matrix
+
+        with pytest.raises(SimulationError):
+            sv.apply_matrix(cx_matrix(), [0, 0])
+
+    def test_directive_rejected(self):
+        with pytest.raises(SimulationError):
+            StateVector(1).apply_gate("measure", [0])
+
+    def test_apply_pauli_string(self):
+        sv = StateVector(2)
+        sv.apply_pauli("XI", [0, 1])
+        assert abs(sv.data[1]) == pytest.approx(1.0)
+
+    def test_apply_pauli_bad_label(self):
+        with pytest.raises(SimulationError):
+            StateVector(1).apply_pauli("Q", [0])
+
+
+class TestMeasurement:
+    def test_marginal_probability(self):
+        sv = StateVector(2)
+        sv.apply_gate("h", [0])
+        assert sv.marginal_probability_one(0) == pytest.approx(0.5)
+        assert sv.marginal_probability_one(1) == pytest.approx(0.0)
+
+    def test_collapse_renormalizes(self):
+        sv = StateVector(1)
+        sv.apply_gate("h", [0])
+        p = sv.collapse(0, 1)
+        assert p == pytest.approx(0.5)
+        assert abs(sv.data[1]) == pytest.approx(1.0)
+
+    def test_collapse_impossible_outcome_raises(self):
+        sv = StateVector(1)
+        with pytest.raises(SimulationError):
+            sv.collapse(0, 1)
+
+    def test_measure_collapses_consistently(self):
+        sv = StateVector(2)
+        sv.apply_gate("h", [0])
+        sv.apply_gate("cx", [0, 1])
+        outcome = sv.measure(0, rng=0)
+        # entangled: second qubit must agree
+        assert sv.marginal_probability_one(1) == pytest.approx(float(outcome))
+
+    def test_reset_forces_zero(self):
+        sv = StateVector(1)
+        sv.apply_gate("x", [0])
+        sv.reset(0, rng=0)
+        assert abs(sv.data[0]) == pytest.approx(1.0)
+
+    def test_sample_statistics(self):
+        sv = StateVector(1)
+        sv.apply_gate("h", [0])
+        bits = sv.sample(20_000, rng=1)
+        assert bits.shape == (20_000, 1)
+        assert abs(bits.mean() - 0.5) < 0.02
+
+    def test_sample_subset_of_qubits(self):
+        sv = StateVector(3)
+        sv.apply_gate("x", [2])
+        bits = sv.sample(10, rng=0, qubits=[2, 0])
+        assert (bits[:, 0] == 1).all()
+        assert (bits[:, 1] == 0).all()
+
+
+class TestObservables:
+    def test_expectation_z_on_zero(self):
+        assert StateVector(1).expectation_pauli("Z", [0]) == pytest.approx(1.0)
+
+    def test_expectation_x_on_plus(self):
+        sv = StateVector(1)
+        sv.apply_gate("h", [0])
+        assert sv.expectation_pauli("X", [0]) == pytest.approx(1.0)
+
+    def test_ghz_zz_correlation(self):
+        sv = simulate_statevector(ghz_circuit(3, measure=False))
+        assert sv.expectation_pauli("ZZ", [0, 1]) == pytest.approx(1.0)
+        assert sv.expectation_pauli("Z", [0]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_expectation_diagonal(self):
+        sv = StateVector(1)
+        sv.apply_gate("x", [0])
+        assert sv.expectation_diagonal(np.array([3.0, 7.0])) == pytest.approx(7.0)
+
+    def test_fidelity_orthogonal_and_equal(self):
+        a, b = StateVector(2), StateVector(2)
+        assert a.fidelity(b) == pytest.approx(1.0)
+        b.apply_gate("x", [0])
+        assert a.fidelity(b) == pytest.approx(0.0)
+
+
+class TestSimulateCircuit:
+    def test_ghz_state_production(self):
+        sv = simulate_statevector(ghz_circuit(5, measure=False))
+        assert sv.fidelity(ghz_state(5)) == pytest.approx(1.0)
+
+    def test_measure_and_barrier_skipped(self):
+        sv = simulate_statevector(ghz_circuit(3))  # has measures
+        assert sv.norm() == pytest.approx(1.0)
+
+    def test_initial_state_used(self):
+        init = StateVector(2)
+        init.apply_gate("x", [0])
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        sv = simulate_statevector(qc, initial=init)
+        assert abs(sv.data[3]) == pytest.approx(1.0)
+
+    def test_mismatched_initial_raises(self):
+        with pytest.raises(SimulationError):
+            simulate_statevector(ghz_circuit(3), initial=StateVector(2))
+
+    def test_reset_in_circuit(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        qc.reset(0)
+        sv = simulate_statevector(qc, rng=0)
+        assert abs(sv.data[0]) == pytest.approx(1.0)
+
+
+class TestCircuitUnitary:
+    def test_matches_statevector_on_zero(self):
+        qc = random_circuit(3, 15, seed=2, measure=False)
+        u = circuit_unitary(qc)
+        sv = simulate_statevector(qc)
+        np.testing.assert_allclose(u[:, 0], sv.data, atol=1e-10)
+
+    def test_is_unitary(self):
+        qc = random_circuit(3, 20, seed=5, measure=False)
+        u = circuit_unitary(qc)
+        np.testing.assert_allclose(u @ u.conj().T, np.eye(8), atol=1e-10)
+
+    def test_rejects_directives(self):
+        with pytest.raises(SimulationError):
+            circuit_unitary(ghz_circuit(2))  # contains measure

@@ -1,0 +1,224 @@
+"""Tests for the DCDB-style telemetry store, plugins, and analytics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SensorError, TelemetryError
+from repro.qpu import QPUDevice
+from repro.telemetry import (
+    CallbackPlugin,
+    DCDBCollector,
+    JobAccountingPlugin,
+    MetricStore,
+    QPUMetricsPlugin,
+    RecalibrationAdvisor,
+    detect_anomalies,
+    qubit_health,
+    trend,
+)
+from repro.utils.units import DAY, HOUR
+
+
+class TestMetricStore:
+    def test_insert_and_latest(self):
+        s = MetricStore()
+        s.insert("a.b", 1.0, 10.0)
+        s.insert("a.b", 2.0, 20.0)
+        point = s.latest("a.b")
+        assert point.timestamp == 2.0 and point.value == 20.0
+
+    def test_out_of_order_rejected(self):
+        s = MetricStore()
+        s.insert("x", 5.0, 1.0)
+        with pytest.raises(TelemetryError):
+            s.insert("x", 4.0, 1.0)
+
+    def test_empty_sensor_name_rejected(self):
+        with pytest.raises(TelemetryError):
+            MetricStore().insert("", 0.0, 1.0)
+
+    def test_unknown_sensor_raises(self):
+        with pytest.raises(TelemetryError):
+            MetricStore().latest("missing")
+
+    def test_prefix_filter(self):
+        s = MetricStore()
+        s.insert("qpu.t1", 0.0, 1.0)
+        s.insert("facility.temp", 0.0, 2.0)
+        assert s.sensors("qpu") == ["qpu.t1"]
+
+    def test_range_query(self):
+        s = MetricStore()
+        for t in range(10):
+            s.insert("x", float(t), float(t * t))
+        ts, vs = s.query("x", 3.0, 6.0)
+        assert list(ts) == [3.0, 4.0, 5.0, 6.0]
+        assert list(vs) == [9.0, 16.0, 25.0, 36.0]
+
+    def test_growth_beyond_chunk(self):
+        s = MetricStore()
+        n = 10_000
+        for t in range(n):
+            s.insert("big", float(t), 1.0)
+        assert s.num_points("big") == n
+
+    def test_insert_many(self):
+        s = MetricStore()
+        s.insert_many(1.0, {"a": 1.0, "b": 2.0})
+        assert len(s) == 2
+
+    def test_aggregate_mean(self):
+        s = MetricStore()
+        for t in range(100):
+            s.insert("x", float(t), float(t))
+        centers, values = s.aggregate("x", 0.0, 100.0, 10.0)
+        assert len(values) == 10
+        assert values[0] == pytest.approx(4.5)
+
+    def test_aggregate_empty_window_nan(self):
+        s = MetricStore()
+        s.insert("x", 0.0, 1.0)
+        _, values = s.aggregate("x", 0.0, 30.0, 10.0)
+        assert np.isnan(values[1]) and np.isnan(values[2])
+
+    def test_aggregate_modes(self):
+        s = MetricStore()
+        for t, v in ((0.0, 1.0), (1.0, 5.0), (2.0, 3.0)):
+            s.insert("x", t, v)
+        for how, expected in (("min", 1.0), ("max", 5.0), ("last", 3.0)):
+            _, vals = s.aggregate("x", 0.0, 10.0, 10.0, how=how)
+            assert vals[0] == expected
+
+    def test_aggregate_bad_mode(self):
+        s = MetricStore()
+        s.insert("x", 0.0, 1.0)
+        with pytest.raises(TelemetryError):
+            s.aggregate("x", 0.0, 1.0, 1.0, how="median!")
+
+    def test_correlate_perfect(self):
+        s = MetricStore()
+        for t in range(50):
+            s.insert("a", float(t), float(t))
+            s.insert("b", float(t), 2.0 * t + 1.0)
+        assert s.correlate("a", "b", 0.0, 50.0, 5.0) == pytest.approx(1.0)
+
+    def test_correlate_needs_overlap(self):
+        s = MetricStore()
+        s.insert("a", 0.0, 1.0)
+        s.insert("b", 0.0, 1.0)
+        with pytest.raises(TelemetryError):
+            s.correlate("a", "b", 0.0, 1.0, 1.0)
+
+
+class TestCollector:
+    def test_cycle_lands_points(self, device):
+        store = MetricStore()
+        collector = DCDBCollector(store, [QPUMetricsPlugin(device)])
+        landed = collector.run_cycle(0.0)
+        assert landed > 100  # medians + 20 qubits × 4 + 31 couplers
+        assert "qpu.median_cz_fidelity" in store
+
+    def test_failing_plugin_skipped(self, device):
+        def bad(_t):
+            raise SensorError("broken sensor")
+
+        store = MetricStore()
+        collector = DCDBCollector(
+            store,
+            [CallbackPlugin("bad", bad), JobAccountingPlugin(device)],
+        )
+        landed = collector.run_cycle(0.0)
+        assert landed == 3  # accounting only
+
+    def test_callback_plugin_validates_return(self):
+        store = MetricStore()
+        collector = DCDBCollector(store, [CallbackPlugin("x", lambda t: [1, 2])])
+        with pytest.raises(SensorError):
+            collector.plugins[0].collect(0.0)
+
+    def test_cycles_counted(self, device):
+        collector = DCDBCollector(MetricStore(), [JobAccountingPlugin(device)])
+        collector.run_cycle(0.0)
+        collector.run_cycle(60.0)
+        assert collector.cycles_run == 2
+        assert collector.last_cycle_at == 60.0
+
+
+class TestAnalytics:
+    def test_trend_detects_slope(self):
+        s = MetricStore()
+        for t in range(20):
+            s.insert("x", float(t), 3.0 * t + 1.0)
+        slope, intercept = trend(s, "x", 0.0, 20.0)
+        assert slope == pytest.approx(3.0)
+        assert intercept == pytest.approx(1.0)
+
+    def test_trend_needs_points(self):
+        s = MetricStore()
+        s.insert("x", 0.0, 1.0)
+        with pytest.raises(TelemetryError):
+            trend(s, "x", 0.0, 1.0)
+
+    def test_anomaly_detection_step_change(self):
+        s = MetricStore()
+        rng = np.random.default_rng(0)
+        for t in range(100):
+            base = 10.0 if t < 70 else 4.0  # TLS-style T1 drop
+            s.insert("t1", float(t), base + rng.normal(0, 0.05))
+        anomalies = detect_anomalies(s, "t1", 0.0, 100.0)
+        assert anomalies and min(anomalies) >= 70.0
+
+    def test_no_anomalies_in_stationary_data(self):
+        s = MetricStore()
+        rng = np.random.default_rng(1)
+        for t in range(100):
+            s.insert("x", float(t), rng.normal(0, 1))
+        assert detect_anomalies(s, "x", 0.0, 100.0, z_threshold=6.0) == []
+
+    def test_qubit_health_flags_degraded(self, device):
+        store = MetricStore()
+        # inject a degraded qubit by hand-feeding per-qubit sensors
+        for q in range(20):
+            bad = q == 7
+            store.insert(f"qpu.qubit{q:02d}.t1", 0.0, 10e-6 if bad else 40e-6)
+            store.insert(f"qpu.qubit{q:02d}.prx_error", 0.0, 0.05 if bad else 1e-3)
+            store.insert(f"qpu.qubit{q:02d}.readout_error", 0.0, 0.2 if bad else 0.025)
+        health = qubit_health(store, 20)
+        degraded = [h.qubit for h in health if h.cluster == "degraded"]
+        assert degraded == [7]
+
+    def test_qubit_health_requires_data(self):
+        with pytest.raises(TelemetryError):
+            qubit_health(MetricStore(), 20)
+
+
+class TestRecalibrationAdvisor:
+    def _store_with(self, prx, cz, ro, age=HOUR):
+        s = MetricStore()
+        s.insert("qpu.median_prx_fidelity", 0.0, prx)
+        s.insert("qpu.median_cz_fidelity", 0.0, cz)
+        s.insert("qpu.median_readout_fidelity", 0.0, ro)
+        s.insert("qpu.calibration_age", 0.0, age)
+        return s
+
+    def test_all_good_none(self):
+        advice = RecalibrationAdvisor().advise(self._store_with(0.999, 0.991, 0.975))
+        assert advice.action == "none"
+
+    def test_cz_drop_triggers_full(self):
+        advice = RecalibrationAdvisor().advise(self._store_with(0.999, 0.975, 0.975))
+        assert advice.action == "full"
+
+    def test_readout_drop_triggers_quick(self):
+        advice = RecalibrationAdvisor().advise(self._store_with(0.999, 0.991, 0.94))
+        assert advice.action == "quick"
+
+    def test_stale_calibration_triggers_full(self):
+        advice = RecalibrationAdvisor().advise(
+            self._store_with(0.999, 0.991, 0.975, age=5 * DAY)
+        )
+        assert advice.action == "full"
+
+    def test_no_telemetry_bootstraps_full(self):
+        advice = RecalibrationAdvisor().advise(MetricStore())
+        assert advice.action == "full"

@@ -1,0 +1,117 @@
+"""Tests for the device topology."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.qpu.topology import Topology
+
+
+class TestConstruction:
+    def test_square_grid_counts(self):
+        t = Topology.square_grid(4, 5)
+        assert t.num_qubits == 20
+        # edges: 4*(5-1) horizontal + 5*(4-1) vertical = 16 + 15
+        assert t.num_couplers == 31
+
+    def test_garnet_like_is_4x5(self):
+        t = Topology.iqm_garnet_like()
+        assert t.num_qubits == 20
+        assert t.rows == 4 and t.cols == 5
+
+    def test_line(self):
+        t = Topology.line(5)
+        assert t.num_couplers == 4
+        assert t.is_coupled(2, 3)
+        assert not t.is_coupled(0, 4)
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(TopologyError):
+            Topology(4, [(0, 1), (2, 3)])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(TopologyError):
+            Topology(2, [(0, 0), (0, 1)])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(TopologyError):
+            Topology(2, [(0, 5)])
+
+    def test_scaled_device_sizes(self):
+        for n in (20, 54, 150):
+            t = Topology.scaled_device(n)
+            assert t.num_qubits == n
+
+
+class TestQueries:
+    def test_grid_adjacency(self):
+        t = Topology.square_grid(4, 5)
+        assert t.is_coupled(0, 1)      # horizontal
+        assert t.is_coupled(0, 5)      # vertical
+        assert not t.is_coupled(0, 6)  # diagonal
+        assert not t.is_coupled(4, 5)  # row wrap
+
+    def test_neighbors_corner_and_center(self):
+        t = Topology.square_grid(4, 5)
+        assert t.neighbors(0) == [1, 5]
+        assert t.neighbors(6) == [1, 5, 7, 11]
+
+    def test_degree(self):
+        t = Topology.square_grid(4, 5)
+        assert t.degree(0) == 2
+        assert t.degree(6) == 4
+
+    def test_distance(self):
+        t = Topology.square_grid(4, 5)
+        assert t.distance(0, 0) == 0
+        assert t.distance(0, 1) == 1
+        assert t.distance(0, 19) == 7  # manhattan (3 rows + 4 cols)
+
+    def test_shortest_path_endpoints(self):
+        t = Topology.square_grid(4, 5)
+        path = t.shortest_path(0, 19)
+        assert path[0] == 0 and path[-1] == 19
+        assert len(path) == t.distance(0, 19) + 1
+        for a, b in zip(path, path[1:]):
+            assert t.is_coupled(a, b)
+
+
+class TestHamiltonianPath:
+    def test_grid_serpentine_visits_all(self):
+        t = Topology.square_grid(4, 5)
+        path = t.hamiltonian_path()
+        assert sorted(path) == list(range(20))
+        for a, b in zip(path, path[1:]):
+            assert t.is_coupled(a, b)
+
+    def test_line_path(self):
+        t = Topology.line(6)
+        path = t.hamiltonian_path()
+        assert sorted(path) == list(range(6))
+
+
+class TestSubsets:
+    def test_connected_pairs_are_couplers(self):
+        t = Topology.square_grid(2, 3)
+        pairs = t.connected_subsets(2)
+        assert len(pairs) == t.num_couplers
+
+    def test_size_limit(self):
+        t = Topology.square_grid(2, 2)
+        with pytest.raises(TopologyError):
+            t.connected_subsets(7)
+
+    def test_subtopology_reindexes(self):
+        t = Topology.square_grid(2, 3)
+        sub = t.subtopology([0, 1, 2])
+        assert sub.num_qubits == 3
+        assert sub.is_coupled(0, 1) and sub.is_coupled(1, 2)
+
+    def test_subtopology_distinct_required(self):
+        t = Topology.square_grid(2, 2)
+        with pytest.raises(TopologyError):
+            t.subtopology([0, 0])
+
+    def test_ascii_art_mentions_all_qubits(self):
+        art = Topology.square_grid(2, 2).ascii_art()
+        for q in range(4):
+            assert f"Q{q:02d}" in art

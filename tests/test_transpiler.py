@@ -1,0 +1,290 @@
+"""Tests for decomposition, layout, routing, and the full pipeline."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, ghz_circuit, random_circuit
+from repro.errors import TranspilationError
+from repro.qpu.params import nominal_calibration
+from repro.qpu.topology import Topology
+from repro.simulator import ideal_probabilities, sample_counts
+from repro.simulator.statevector import circuit_unitary
+from repro.transpiler import (
+    best_ghz_chain,
+    decompose_swaps,
+    decompose_to_cz,
+    layout_fidelity_score,
+    line_layout,
+    noise_adaptive_layout,
+    route,
+    synthesize_native,
+    transpile,
+    trivial_layout,
+)
+from tests.conftest import assert_close_up_to_phase
+
+
+class TestDecomposeToCZ:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_unitary_equivalence(self, seed):
+        qc = random_circuit(3, 12, seed=seed, measure=False)
+        qc.iswap(0, 1).cp(0.7, 1, 2).rzz(0.3, 0, 2).swap(0, 2).cx(2, 0)
+        out = decompose_to_cz(qc)
+        assert_close_up_to_phase(circuit_unitary(out), circuit_unitary(qc))
+
+    def test_only_cz_two_qubit_remains(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 1).swap(1, 2).iswap(0, 2).cp(0.3, 0, 1).rzz(0.2, 1, 2)
+        out = decompose_to_cz(qc)
+        for inst in out:
+            if inst.is_two_qubit:
+                assert inst.name == "cz"
+
+    def test_symbolic_params_survive(self):
+        from repro.circuits.parameters import Parameter
+
+        p = Parameter("p")
+        qc = QuantumCircuit(2)
+        qc.cp(p, 0, 1)
+        out = decompose_to_cz(qc)
+        assert out.parameters == (p,)
+
+    def test_measurements_preserved(self):
+        qc = ghz_circuit(3)
+        out = decompose_to_cz(qc)
+        assert out.count_ops()["measure"] == 3
+
+
+class TestSynthesizeNative:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_unitary_equivalence(self, seed):
+        qc = random_circuit(3, 20, seed=100 + seed, measure=False)
+        native = synthesize_native(decompose_to_cz(qc))
+        assert_close_up_to_phase(circuit_unitary(native), circuit_unitary(qc))
+
+    def test_output_gate_set(self):
+        qc = random_circuit(3, 15, seed=0, measure=False)
+        native = synthesize_native(decompose_to_cz(qc))
+        assert set(native.count_ops()) <= {"prx", "cz", "rz", "measure", "barrier", "delay"}
+
+    def test_single_pulse_per_run(self):
+        """A run of five 1q gates merges into at most one PRX pulse."""
+        qc = QuantumCircuit(1)
+        qc.h(0).t(0).s(0).x(0).rz(0.3, 0)
+        native = synthesize_native(decompose_to_cz(qc))
+        assert native.count_ops().get("prx", 0) <= 1
+
+    def test_measurement_outcome_equivalence(self):
+        qc = random_circuit(4, 25, seed=3)
+        native = synthesize_native(decompose_to_cz(qc))
+        p1 = ideal_probabilities(qc)
+        p2 = ideal_probabilities(native)
+        for key in set(p1) | set(p2):
+            assert p1.get(key, 0) == pytest.approx(p2.get(key, 0), abs=1e-9)
+
+    def test_pure_rz_stays_virtual(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.7, 0)
+        native = synthesize_native(decompose_to_cz(qc))
+        ops = native.count_ops()
+        assert ops.get("prx", 0) == 0
+        assert ops.get("rz", 0) == 1  # trailing virtual rz
+
+    def test_rz_before_measure_dropped(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.7, 0)
+        qc.measure(0)
+        native = synthesize_native(decompose_to_cz(qc))
+        assert native.count_ops() == {"measure": 1}
+
+    def test_virtual_rz_commutes_through_cz(self):
+        qc = QuantumCircuit(2)
+        qc.rz(0.5, 0)
+        qc.cz(0, 1)
+        qc.h(0)
+        native = synthesize_native(qc)
+        assert_close_up_to_phase(circuit_unitary(native), circuit_unitary(qc))
+
+
+class TestLayout:
+    def test_trivial(self, grid20):
+        qc = ghz_circuit(5)
+        assert trivial_layout(qc, grid20) == {i: i for i in range(5)}
+
+    def test_trivial_too_large(self, grid20):
+        with pytest.raises(TranspilationError):
+            trivial_layout(QuantumCircuit(25), grid20)
+
+    def test_line_layout_contiguous(self, grid20, snapshot):
+        qc = ghz_circuit(6)
+        layout = line_layout(qc, grid20, snapshot)
+        phys = [layout[i] for i in range(6)]
+        for a, b in zip(phys, phys[1:]):
+            assert grid20.is_coupled(a, b)
+
+    def test_noise_adaptive_valid_bijection(self, grid20, snapshot):
+        qc = random_circuit(8, 30, seed=1)
+        layout = noise_adaptive_layout(qc, grid20, snapshot)
+        assert len(set(layout.values())) == 8
+        assert set(layout) == set(range(8))
+
+    def test_noise_adaptive_avoids_bad_region(self, grid20):
+        """Degrade one corner; placement should avoid it for a 2q circuit."""
+        from repro.qpu.params import CouplerParams, QubitParams
+
+        snap = nominal_calibration(grid20, rng=3)
+        bad_qubit = QubitParams(
+            t1=5e-6, t2=4e-6, prx_error=0.2, readout_error_0=0.3, readout_error_1=0.3
+        )
+        snap = snap.with_updates(qubits={0: bad_qubit, 1: bad_qubit})
+        qc = QuantumCircuit(2)
+        qc.cz(0, 1)
+        qc.measure_all()
+        layout = noise_adaptive_layout(qc, grid20, snap)
+        assert 0 not in layout.values() and 1 not in layout.values()
+
+    def test_layout_fidelity_score_orders(self, grid20):
+        from repro.qpu.params import QubitParams
+
+        snap = nominal_calibration(grid20, rng=3)
+        bad = QubitParams(
+            t1=5e-6, t2=4e-6, prx_error=0.2, readout_error_0=0.3, readout_error_1=0.3
+        )
+        snap = snap.with_updates(qubits={0: bad})
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        qc.measure_all()
+        good_score = layout_fidelity_score(qc, {0: 7}, snap)
+        bad_score = layout_fidelity_score(qc, {0: 0}, snap)
+        assert good_score > bad_score
+
+
+class TestBestGhzChain:
+    def test_chain_is_simple_path(self, snapshot, grid20):
+        chain = best_ghz_chain(snapshot, 8)
+        assert len(set(chain)) == 8
+        for a, b in zip(chain, chain[1:]):
+            assert grid20.is_coupled(a, b)
+
+    def test_full_device_chain(self, snapshot):
+        chain = best_ghz_chain(snapshot, 20)
+        assert sorted(chain) == list(range(20))
+
+    def test_single_qubit_chain(self, snapshot):
+        chain = best_ghz_chain(snapshot, 1)
+        assert len(chain) == 1
+
+    def test_invalid_length(self, snapshot):
+        with pytest.raises(TranspilationError):
+            best_ghz_chain(snapshot, 0)
+        with pytest.raises(TranspilationError):
+            best_ghz_chain(snapshot, 21)
+
+
+class TestRouting:
+    def test_adjacent_needs_no_swaps(self, grid20):
+        qc = QuantumCircuit(2)
+        qc.cz(0, 1)
+        result = route(qc, grid20)
+        assert result.swap_count == 0
+
+    def test_distant_pair_gets_swaps(self, grid20):
+        qc = QuantumCircuit(20)
+        qc.cz(0, 19)
+        result = route(qc, grid20)
+        assert result.swap_count >= grid20.distance(0, 19) - 1
+
+    def test_all_cz_coupler_legal_after_routing(self, grid20):
+        qc = random_circuit(8, 40, seed=5, measure=False)
+        cz_only = decompose_to_cz(qc)
+        routed = decompose_swaps(route(cz_only, grid20).circuit)
+        for inst in routed:
+            if inst.name == "cz":
+                assert grid20.is_coupled(*inst.qubits)
+
+    def test_final_layout_tracks_swaps(self, grid20):
+        qc = QuantumCircuit(20)
+        qc.cz(0, 19)
+        result = route(qc, grid20)
+        # every logical qubit still mapped to a distinct physical one
+        assert len(set(result.final_layout.values())) == 20
+
+    def test_non_cz_two_qubit_rejected(self, grid20):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        with pytest.raises(TranspilationError):
+            route(qc, grid20)
+
+    def test_bad_layout_rejected(self, grid20):
+        qc = QuantumCircuit(2)
+        qc.cz(0, 1)
+        with pytest.raises(TranspilationError):
+            route(qc, grid20, {0: 0, 1: 0})
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_routed_semantics_preserved(self, grid20, seed):
+        """Measured distribution invariant under routing (via final layout)."""
+        qc = random_circuit(5, 20, seed=seed)
+        result = transpile(qc, grid20, layout_method="trivial")
+        p_orig = ideal_probabilities(qc)
+        p_routed = ideal_probabilities(result.circuit)
+        for key in set(p_orig) | set(p_routed):
+            assert p_orig.get(key, 0) == pytest.approx(
+                p_routed.get(key, 0), abs=1e-9
+            )
+
+
+class TestPipeline:
+    def test_output_is_native(self, grid20, snapshot):
+        result = transpile(random_circuit(6, 30, seed=2), grid20, snapshot=snapshot)
+        assert result.circuit.is_native()
+
+    def test_stats_shape(self, grid20, snapshot):
+        stats = transpile(ghz_circuit(5), grid20, snapshot=snapshot).stats()
+        assert {"prx", "cz", "swaps_inserted", "depth"} <= set(stats)
+
+    def test_unbound_parameters_rejected(self, grid20):
+        from repro.circuits.parameters import Parameter
+
+        qc = QuantumCircuit(1)
+        qc.rx(Parameter("p"), 0)
+        with pytest.raises(TranspilationError):
+            transpile(qc, grid20)
+
+    def test_unknown_layout_method_rejected(self, grid20):
+        with pytest.raises(TranspilationError):
+            transpile(ghz_circuit(2), grid20, layout_method="magic")
+
+    def test_noise_adaptive_falls_back_without_snapshot(self, grid20):
+        result = transpile(ghz_circuit(3), grid20, snapshot=None)
+        assert result.layout_method == "trivial"
+
+    def test_explicit_initial_layout_respected(self, grid20, snapshot):
+        layout = {0: 10, 1: 11, 2: 12}
+        result = transpile(
+            ghz_circuit(3), grid20, snapshot=snapshot, initial_layout=layout
+        )
+        assert result.initial_layout == layout
+
+    def test_physical_measured_qubits(self, grid20, snapshot):
+        result = transpile(ghz_circuit(3), grid20, snapshot=snapshot)
+        mapping = result.physical_measured_qubits
+        assert set(mapping) == {0, 1, 2}
+        assert set(mapping.values()) == set(result.final_layout.values())
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_circuits_full_pipeline_semantics(self, seed):
+        """Property: transpilation preserves measured distributions."""
+        grid = Topology.square_grid(3, 3)
+        snap = nominal_calibration(grid, rng=0)
+        qc = random_circuit(4, 15, seed=seed)
+        result = transpile(qc, grid, snapshot=snap)
+        p_orig = ideal_probabilities(qc)
+        p_new = ideal_probabilities(result.circuit)
+        for key in set(p_orig) | set(p_new):
+            assert p_orig.get(key, 0) == pytest.approx(p_new.get(key, 0), abs=1e-8)

@@ -1,0 +1,130 @@
+"""Tests for repro.utils: RNG plumbing, units, validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, child_rng, spawn_many
+from repro.utils.units import (
+    DAY,
+    HOUR,
+    MINUTE,
+    dbm_to_watt,
+    format_duration,
+    format_si,
+    watt_to_dbm,
+)
+from repro.utils.validation import (
+    check_distinct,
+    check_index,
+    check_positive,
+    check_probability,
+)
+
+
+class TestRng:
+    def test_as_rng_from_int_is_deterministic(self):
+        a = as_rng(7).random(5)
+        b = as_rng(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_as_rng_passthrough_generator(self):
+        g = np.random.default_rng(1)
+        assert as_rng(g) is g
+
+    def test_as_rng_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_child_rng_deterministic(self):
+        a = child_rng(42, "drift", 3).random(4)
+        b = child_rng(42, "drift", 3).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_child_rng_keys_independent(self):
+        a = child_rng(42, "drift").random(100)
+        b = child_rng(42, "exec").random(100)
+        assert not np.allclose(a, b)
+
+    def test_child_rng_different_parents_differ(self):
+        a = child_rng(1, "x").random(50)
+        b = child_rng(2, "x").random(50)
+        assert not np.allclose(a, b)
+
+    def test_child_rng_from_generator_spawns(self):
+        g = np.random.default_rng(0)
+        c = child_rng(g, "anything")
+        assert isinstance(c, np.random.Generator)
+        assert c is not g
+
+    def test_spawn_many_count_and_independence(self):
+        streams = spawn_many(9, "qubit", 5)
+        assert len(streams) == 5
+        draws = [s.random() for s in streams]
+        assert len(set(round(d, 12) for d in draws)) == 5
+
+
+class TestUnits:
+    def test_time_constants(self):
+        assert MINUTE == 60.0
+        assert HOUR == 3600.0
+        assert DAY == 86400.0
+
+    def test_format_si_kbit(self):
+        assert format_si(533.3e3, "bit/s") == "533 kbit/s"
+
+    def test_format_si_zero(self):
+        assert format_si(0.0, "W") == "0 W"
+
+    def test_format_si_small(self):
+        out = format_si(2e-6, "T")
+        assert "µT" in out
+
+    def test_format_duration_days_hours(self):
+        assert format_duration(2.5 * DAY) == "2d 12h"
+
+    def test_format_duration_minutes(self):
+        assert format_duration(40 * MINUTE) == "40m"
+
+    def test_format_duration_negative(self):
+        assert format_duration(-HOUR).startswith("-")
+
+    def test_dbm_roundtrip(self):
+        for dbm in (-30.0, 0.0, 10.0):
+            assert math.isclose(watt_to_dbm(dbm_to_watt(dbm)), dbm, abs_tol=1e-9)
+
+    def test_watt_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            watt_to_dbm(0.0)
+
+
+class TestValidation:
+    def test_probability_bounds(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_probability(1.0001)
+        with pytest.raises(ValueError):
+            check_probability(-0.1)
+
+    def test_positive_strict(self):
+        assert check_positive(2.5) == 2.5
+        with pytest.raises(ValueError):
+            check_positive(0.0)
+
+    def test_positive_nonstrict_allows_zero(self):
+        assert check_positive(0.0, strict=False) == 0.0
+        with pytest.raises(ValueError):
+            check_positive(-1.0, strict=False)
+
+    def test_index(self):
+        assert check_index(3, 5) == 3
+        with pytest.raises(IndexError):
+            check_index(5, 5)
+        with pytest.raises(IndexError):
+            check_index(-1, 5)
+
+    def test_distinct(self):
+        check_distinct((0, 1, 2))
+        with pytest.raises(ValueError):
+            check_distinct((0, 1, 0))

@@ -1,0 +1,89 @@
+"""Tests for the synthetic workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulerError
+from repro.scheduler import ClusterScheduler, JobState, Partition, Simulation
+from repro.scheduler.workload import (
+    WorkloadConfig,
+    generate_workload,
+    submit_workload,
+)
+from repro.utils.units import DAY, HOUR
+
+
+class TestGeneration:
+    def test_reproducible(self):
+        a = generate_workload(DAY, rng=5)
+        b = generate_workload(DAY, rng=5)
+        assert len(a) == len(b)
+        assert all(x.arrival == y.arrival for x, y in zip(a, b))
+
+    def test_arrival_rate_statistics(self):
+        cfg = WorkloadConfig(arrival_rate=10.0 / HOUR)
+        arrivals = generate_workload(10 * DAY, cfg, rng=1)
+        expected = 10.0 * 24 * 10
+        assert expected * 0.85 < len(arrivals) < expected * 1.15
+
+    def test_arrivals_sorted_and_in_window(self):
+        arrivals = generate_workload(DAY, rng=2)
+        times = [a.arrival for a in arrivals]
+        assert times == sorted(times)
+        assert all(0 <= t < DAY for t in times)
+
+    def test_runtime_capped(self):
+        cfg = WorkloadConfig(max_runtime=2 * HOUR, runtime_sigma=2.5)
+        arrivals = generate_workload(5 * DAY, cfg, rng=3)
+        assert all(a.job.runtime <= 2 * HOUR for a in arrivals)
+
+    def test_walltime_exceeds_runtime(self):
+        arrivals = generate_workload(DAY, rng=4)
+        classical = [a.job for a in arrivals if not a.job.is_quantum]
+        assert all(j.walltime_limit > j.runtime for j in classical)
+
+    def test_quantum_fraction(self):
+        cfg = WorkloadConfig(quantum_fraction=0.3)
+        arrivals = generate_workload(5 * DAY, cfg, rng=5)
+        q = sum(1 for a in arrivals if a.job.is_quantum)
+        assert 0.2 < q / len(arrivals) < 0.4
+        for a in arrivals:
+            if a.job.is_quantum:
+                assert a.job.partition == "quantum"
+                assert a.job.payload["shots"] == cfg.quantum_shots
+
+    def test_max_nodes_clamp(self):
+        arrivals = generate_workload(2 * DAY, rng=6, max_nodes=4)
+        assert all(a.job.num_nodes <= 4 for a in arrivals if not a.job.is_quantum)
+
+    def test_invalid_config(self):
+        with pytest.raises(SchedulerError):
+            WorkloadConfig(arrival_rate=0.0)
+        with pytest.raises(SchedulerError):
+            WorkloadConfig(quantum_fraction=1.5)
+
+
+class TestSubmission:
+    def test_workload_drives_cluster(self):
+        sim = Simulation()
+        cluster = ClusterScheduler(sim, [Partition("compute", 16)])
+        cfg = WorkloadConfig(arrival_rate=15.0 / HOUR, runtime_median=20 * 60.0)
+        arrivals = generate_workload(DAY, cfg, rng=7, max_nodes=16)
+        jobs = submit_workload(cluster, arrivals)
+        # generous horizon: wide jobs serialize the machine, so the queue
+        # drains much more slowly than the arrival window
+        sim.run_until(20 * DAY)
+        done = sum(1 for j in jobs if j.state is JobState.COMPLETED)
+        # walltime factor ≥ 1.2 means no walltime kills: all must finish
+        assert done == len(jobs)
+        assert cluster.utilization("compute", 20 * DAY) > 0.0
+
+    def test_jobs_not_started_before_arrival(self):
+        sim = Simulation()
+        cluster = ClusterScheduler(sim, [Partition("compute", 64)])
+        arrivals = generate_workload(DAY, rng=8, max_nodes=16)
+        submit_workload(cluster, arrivals)
+        sim.run_until(2 * DAY)
+        for a in arrivals:
+            if a.job.started_at is not None:
+                assert a.job.started_at >= a.arrival - 1e-9
