@@ -1,0 +1,132 @@
+"""Perf microbenchmarks for the fast-kernel simulation engine.
+
+Complements ``scripts/bench.py`` (the standalone harness that emits
+``BENCH_simulator.json``): these run inside the benchmark suite at small,
+CI-friendly sizes and persist a table to ``benchmarks/out/`` so the perf
+trajectory is visible next to the paper-reproduction artifacts.  The
+assertions are deliberately loose sanity floors — exact numbers belong
+to the harness — but they do pin the engine's ordering: fast kernels
+must not be slower than the generic path, and prefix-sharing must not be
+slower than from-scratch trajectory groups.
+"""
+
+import time
+from contextlib import contextmanager
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.circuits import ghz_circuit
+from repro.circuits.gates import cx_matrix, rz_matrix, spec
+from repro.simulator import NoiseModel, depolarizing_error, sample_counts
+from repro.simulator import sampler as sampler_mod
+from repro.simulator.statevector import StateVector
+
+NUM_QUBITS = 14
+GATE_REPS = 40
+
+#: Wall-clock assertions tolerate this much CI noise before going red.
+TIMING_SLACK = 1.5
+
+
+@contextmanager
+def _engine(fast):
+    """Select the fast or seed engine, restoring the previous state."""
+    prev_kernels = StateVector.use_fast_kernels
+    prev_prefix = sampler_mod.USE_PREFIX_SHARING
+    StateVector.use_fast_kernels = fast
+    sampler_mod.USE_PREFIX_SHARING = fast
+    try:
+        yield
+    finally:
+        StateVector.use_fast_kernels = prev_kernels
+        sampler_mod.USE_PREFIX_SHARING = prev_prefix
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _gate_loop(matrix, arity):
+    def run():
+        sv = StateVector(NUM_QUBITS)
+        for i in range(GATE_REPS):
+            if arity == 1:
+                sv.apply_matrix(matrix, [i % NUM_QUBITS])
+            else:
+                sv.apply_matrix(matrix, [i % NUM_QUBITS, (i + 1) % NUM_QUBITS])
+
+    return run
+
+
+def test_perf_gate_kernels():
+    cases = [
+        ("h (dense 1q)", spec("h").matrix(), 1),
+        ("rz (diag 1q)", rz_matrix(0.37), 1),
+        ("cx (perm 2q)", cx_matrix(), 2),
+        ("cz (diag 2q)", spec("cz").matrix(), 2),
+    ]
+    lines = [f"{'kernel':<16s} {'generic':>10s} {'fast':>10s} {'speedup':>8s}"]
+    for label, matrix, arity in cases:
+        run = _gate_loop(matrix, arity)
+        with _engine(fast=False):
+            generic = _best_of(run)
+        with _engine(fast=True):
+            fast = _best_of(run)
+        lines.append(
+            f"{label:<16s} {generic * 1e3:>8.2f}ms {fast * 1e3:>8.2f}ms "
+            f"{generic / fast:>7.2f}x"
+        )
+        assert fast <= generic * TIMING_SLACK, (
+            f"{label}: fast kernel slower than generic"
+        )
+    report("perf_gate_kernels", "\n".join(lines))
+
+
+def test_perf_prefix_sharing_sampler():
+    circuit = ghz_circuit(12)
+    noise = NoiseModel()
+    noise.add_gate_error(depolarizing_error(0.01, 2), "cx")
+    noise.add_gate_error(depolarizing_error(0.005, 1), "h")
+    shots = 256
+
+    def run():
+        sample_counts(circuit, shots, noise=noise, rng=7)
+
+    with _engine(fast=False):
+        baseline = _best_of(run, repeats=2)
+    with _engine(fast=True):
+        fast = _best_of(run, repeats=2)
+    lines = [
+        f"GHZ-12, {shots} shots, depolarizing noise, grouped path",
+        f"seed engine : {baseline * 1e3:8.2f} ms   "
+        f"({shots / baseline:8.0f} shots/s)",
+        f"fast engine : {fast * 1e3:8.2f} ms   ({shots / fast:8.0f} shots/s)",
+        f"speedup     : {baseline / fast:8.2f} x",
+    ]
+    report("perf_prefix_sharing", "\n".join(lines))
+    assert fast <= baseline * TIMING_SLACK, (
+        "prefix-sharing engine slower than seed engine"
+    )
+
+
+def test_perf_sample_bit_extraction():
+    """Vectorized shift-and-mask shot extraction stays sub-millisecond
+    per 10k shots at device width."""
+    sv = StateVector(20)
+    for q in range(20):
+        sv.apply_matrix(spec("h").matrix(), [q])
+    rng = np.random.default_rng(0)
+    start = time.perf_counter()
+    bits = sv.sample(10_000, rng)
+    elapsed = time.perf_counter() - start
+    assert bits.shape == (10_000, 20)
+    report(
+        "perf_sample_extraction",
+        f"10k shots x 20 qubits sampled+extracted in {elapsed * 1e3:.2f} ms",
+    )

@@ -1,0 +1,311 @@
+#!/usr/bin/env python
+"""Simulator perf harness: before/after numbers for the fast-kernel engine.
+
+Measures the hot paths every workload in the stack bottoms out in —
+gate application, noisy shot sampling, VQE iteration latency — in two
+lanes:
+
+* **baseline** — the seed engine: generic ``moveaxis`` gate application
+  (``StateVector.use_fast_kernels = False``) and from-scratch trajectory
+  groups (``sampler.USE_PREFIX_SHARING = False``);
+* **fast** — the default dispatch: specialized 1q/2q kernels plus
+  trajectory prefix-sharing.
+
+Results are printed as a table and written to ``BENCH_simulator.json``
+(schema ``repro.bench.simulator/v1``) so later PRs have a perf
+trajectory to beat.  ``--quick`` shrinks sizes to fit the tier-1 CI
+budget; the default configuration runs the paper-scale 20-qubit GHZ
+shot-sampling benchmark whose speedup this PR's acceptance gate checks.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional
+
+_REPO = pathlib.Path(__file__).resolve().parents[1]
+if str(_REPO / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.circuits import ghz_circuit  # noqa: E402
+from repro.circuits.gates import cx_matrix, rz_matrix, spec  # noqa: E402
+from repro.hybrid import VQE, h2_hamiltonian  # noqa: E402
+from repro.simulator import (  # noqa: E402
+    NoiseModel,
+    depolarizing_error,
+    sample_counts,
+)
+from repro.simulator import sampler as sampler_mod  # noqa: E402
+from repro.simulator.sampler import _sample_per_shot  # noqa: E402
+from repro.simulator.statevector import StateVector  # noqa: E402
+
+SCHEMA = "repro.bench.simulator/v1"
+
+
+@contextmanager
+def engine(fast: bool):
+    """Select the fast or the seed-equivalent baseline engine."""
+    prev_kernels = StateVector.use_fast_kernels
+    prev_prefix = sampler_mod.USE_PREFIX_SHARING
+    StateVector.use_fast_kernels = fast
+    sampler_mod.USE_PREFIX_SHARING = fast
+    try:
+        yield
+    finally:
+        StateVector.use_fast_kernels = prev_kernels
+        sampler_mod.USE_PREFIX_SHARING = prev_prefix
+
+
+def _timed(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds for one call of *fn*."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _entry(
+    name: str,
+    params: Dict[str, object],
+    baseline_seconds: float,
+    fast_seconds: float,
+    throughput_unit: Optional[str] = None,
+    work_items: Optional[int] = None,
+) -> Dict[str, object]:
+    entry: Dict[str, object] = {
+        "name": name,
+        "params": params,
+        "baseline_seconds": baseline_seconds,
+        "fast_seconds": fast_seconds,
+        "speedup": baseline_seconds / fast_seconds if fast_seconds > 0 else None,
+    }
+    if throughput_unit and work_items:
+        entry["throughput_unit"] = throughput_unit
+        entry["baseline_throughput"] = work_items / baseline_seconds
+        entry["fast_throughput"] = work_items / fast_seconds
+    return entry
+
+
+# ---------------------------------------------------------------------------
+# benchmarks
+# ---------------------------------------------------------------------------
+
+
+def bench_gate_apply(num_qubits: int, reps: int, repeats: int) -> List[Dict[str, object]]:
+    """1q/2q/diagonal gate-application throughput on an n-qubit state."""
+    h = spec("h").matrix()
+    cx = cx_matrix()
+    rz = rz_matrix(0.37)
+    cz = spec("cz").matrix()
+    cases = [
+        ("gate_apply_1q_dense", h, lambda i: [i % num_qubits]),
+        ("gate_apply_1q_diag", rz, lambda i: [i % num_qubits]),
+        (
+            "gate_apply_2q_cx",
+            cx,
+            lambda i: [i % num_qubits, (i + 1) % num_qubits],
+        ),
+        (
+            "gate_apply_2q_diag_cz",
+            cz,
+            lambda i: [i % num_qubits, (i + 1) % num_qubits],
+        ),
+    ]
+    out = []
+    for name, matrix, operands in cases:
+        def run():
+            sv = StateVector(num_qubits)
+            for i in range(reps):
+                sv.apply_matrix(matrix, operands(i))
+
+        with engine(fast=False):
+            base = _timed(run, repeats)
+        with engine(fast=True):
+            fast = _timed(run, repeats)
+        out.append(
+            _entry(
+                name,
+                {"num_qubits": num_qubits, "gates": reps},
+                base,
+                fast,
+                throughput_unit="gates_per_sec",
+                work_items=reps,
+            )
+        )
+    return out
+
+
+def _ghz_noise() -> NoiseModel:
+    nm = NoiseModel()
+    nm.add_gate_error(depolarizing_error(0.01, 2), "cx")
+    nm.add_gate_error(depolarizing_error(0.005, 1), "h")
+    return nm
+
+
+def bench_ghz_sampling(num_qubits: int, shots: int) -> Dict[str, object]:
+    """The acceptance benchmark: GHZ shot sampling, grouped path, under
+    depolarizing noise — seed engine vs fast engine."""
+    circuit = ghz_circuit(num_qubits)
+    noise = _ghz_noise()
+    with engine(fast=False):
+        base = _timed(lambda: sample_counts(circuit, shots, noise=noise, rng=7), 1)
+    with engine(fast=True):
+        fast = _timed(lambda: sample_counts(circuit, shots, noise=noise, rng=7), 1)
+    return _entry(
+        "ghz_shot_sampling_grouped",
+        {"num_qubits": num_qubits, "shots": shots, "noise": "depolarizing"},
+        base,
+        fast,
+        throughput_unit="shots_per_sec",
+        work_items=shots,
+    )
+
+
+def bench_grouped_vs_per_shot(num_qubits: int, shots: int) -> Dict[str, object]:
+    """Shots/sec of the grouped path vs the per-shot path (fast engine
+    in both lanes; this isolates the trajectory-grouping win)."""
+    circuit = ghz_circuit(num_qubits)
+    noise = _ghz_noise()
+    with engine(fast=True):
+        per_shot = _timed(
+            lambda: _sample_per_shot(
+                circuit, shots, noise, np.random.default_rng(7), {}
+            ),
+            1,
+        )
+        grouped = _timed(lambda: sample_counts(circuit, shots, noise=noise, rng=7), 1)
+    return _entry(
+        "grouped_vs_per_shot",
+        {"num_qubits": num_qubits, "shots": shots, "noise": "depolarizing"},
+        per_shot,
+        grouped,
+        throughput_unit="shots_per_sec",
+        work_items=shots,
+    )
+
+
+def bench_vqe_iteration(shots: int, repeats: int) -> List[Dict[str, object]]:
+    """Latency of one VQE energy evaluation (the tight-loop unit of work):
+    the sampled estimator and the exact state-vector path."""
+    ham = h2_hamiltonian()
+    rng = np.random.default_rng(5)
+    runner = lambda qc, s: sample_counts(qc, s, rng=rng)  # noqa: E731
+    vqe = VQE(ham, runner, depth=2, shots=shots)
+    values = np.linspace(-0.4, 0.4, len(vqe.parameters))
+    out = []
+    for name, call in (
+        ("vqe_iteration_sampled", lambda: vqe.energy(values)),
+        ("vqe_iteration_exact", lambda: vqe.energy_exact(values)),
+    ):
+        with engine(fast=False):
+            base = _timed(call, repeats)
+        with engine(fast=True):
+            fast = _timed(call, repeats)
+        out.append(
+            _entry(
+                name,
+                {"hamiltonian": "h2", "shots": shots, "ansatz_depth": 2},
+                base,
+                fast,
+                throughput_unit="iterations_per_sec",
+                work_items=1,
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+
+def run(quick: bool) -> Dict[str, object]:
+    if quick:
+        config = {
+            "gate_qubits": 14,
+            "gate_reps": 40,
+            "ghz_qubits": 12,
+            "ghz_shots": 256,
+            "per_shot_qubits": 8,
+            "per_shot_shots": 64,
+            "vqe_shots": 128,
+        }
+        repeats = 1
+    else:
+        config = {
+            "gate_qubits": 20,
+            "gate_reps": 60,
+            "ghz_qubits": 20,
+            "ghz_shots": 512,
+            "per_shot_qubits": 10,
+            "per_shot_shots": 200,
+            "vqe_shots": 512,
+        }
+        repeats = 2
+    benchmarks: List[Dict[str, object]] = []
+    benchmarks += bench_gate_apply(config["gate_qubits"], config["gate_reps"], repeats)
+    benchmarks.append(bench_ghz_sampling(config["ghz_qubits"], config["ghz_shots"]))
+    benchmarks.append(
+        bench_grouped_vs_per_shot(
+            config["per_shot_qubits"], config["per_shot_shots"]
+        )
+    )
+    benchmarks += bench_vqe_iteration(config["vqe_shots"], repeats)
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "config": config,
+        "benchmarks": benchmarks,
+    }
+
+
+def render(result: Dict[str, object]) -> str:
+    lines = [
+        f"{'benchmark':<28s} {'baseline':>10s} {'fast':>10s} {'speedup':>8s}",
+        "-" * 60,
+    ]
+    for b in result["benchmarks"]:
+        lines.append(
+            f"{b['name']:<28s} {b['baseline_seconds']:>9.4f}s "
+            f"{b['fast_seconds']:>9.4f}s {b['speedup']:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes fitting the tier-1 CI time budget",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=_REPO / "BENCH_simulator.json",
+        help="output JSON path (default: repo-root BENCH_simulator.json)",
+    )
+    args = parser.parse_args(argv)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    result = run(quick=args.quick)
+    print(render(result))
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -89,8 +89,17 @@ class Instruction:
 
     def matrix(self) -> np.ndarray:
         """Numeric unitary of this instruction (raises on directives or
-        unbound parameters)."""
-        return self.spec.matrix([numeric_value(p) for p in self.params])
+        unbound parameters).
+
+        Memoized per instance: instructions are immutable, so repeated
+        trajectories over the same circuit resolve each matrix once (the
+        shared array is read-only — copy before mutating).
+        """
+        cached = self.__dict__.get("_matrix")
+        if cached is None:
+            cached = self.spec.matrix([numeric_value(p) for p in self.params])
+            object.__setattr__(self, "_matrix", cached)
+        return cached
 
     def bound(self, binding: Mapping[Parameter, float]) -> "Instruction":
         """A copy with *binding* substituted into the parameters."""

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -167,7 +168,12 @@ class GateSpec:
     directive: bool = False
 
     def matrix(self, params: Sequence[float] = ()) -> np.ndarray:
-        """Unitary matrix for the given numeric *params*."""
+        """Unitary matrix for the given numeric *params*.
+
+        Registered gates are served from a process-wide cache (the array
+        is marked read-only), so repeated trajectories and parameter
+        sweeps over the same angles never rebuild identical matrices.
+        """
         if self.matrix_fn is None:
             raise GateError(f"gate {self.name!r} has no unitary matrix")
         if len(params) != self.num_params:
@@ -175,10 +181,25 @@ class GateSpec:
                 f"gate {self.name!r} takes {self.num_params} parameters, "
                 f"got {len(params)}"
             )
-        return self.matrix_fn(*[float(p) for p in params])
+        return _cached_matrix(self, tuple(float(p) for p in params))
 
 
 GATES: Dict[str, GateSpec] = {}
+
+
+@lru_cache(maxsize=4096)
+def _cached_matrix(spec_: GateSpec, params: Tuple[float, ...]) -> np.ndarray:
+    """Cache of gate matrices keyed by ``(spec instance, angles)``.
+
+    Keying on the spec itself (not its name) means re-registering a
+    mnemonic with a new :class:`GateSpec` can never serve a stale
+    matrix.  Returned arrays are shared and frozen read-only: every
+    consumer in the stack (state-vector kernels, density evolution,
+    synthesis) treats gate matrices as immutable inputs.
+    """
+    matrix = spec_.matrix_fn(*params)
+    matrix.setflags(write=False)
+    return matrix
 
 
 def _register(spec_: GateSpec) -> GateSpec:

@@ -4,6 +4,7 @@ from repro.hybrid.observables import (
     PauliSum,
     PauliTerm,
     estimate_expectation,
+    expectation_statevector,
     h2_hamiltonian,
     transverse_field_ising,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "PauliSum",
     "PauliTerm",
     "estimate_expectation",
+    "expectation_statevector",
     "h2_hamiltonian",
     "transverse_field_ising",
     "OptimizationResult",

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -151,6 +152,52 @@ class PauliSum:
         return " ".join(repr(t) for t in self.terms) or "0"
 
 
+@lru_cache(maxsize=64)
+def _parity_signs(k: int) -> np.ndarray:
+    """``(-1)^popcount(j)`` for the ``2^k`` indices of a k-qubit marginal."""
+    idx = np.arange(1 << k)
+    parity = idx
+    for shift in (16, 8, 4, 2, 1):
+        parity = parity ^ (parity >> shift)
+    return 1.0 - 2.0 * (parity & 1)
+
+
+def expectation_statevector(hamiltonian: PauliSum, state) -> float:
+    """Exact ``⟨H⟩`` on a prepared :class:`~repro.simulator.statevector.StateVector`.
+
+    Terms are evaluated through their qubit-wise-commuting groups: each
+    group needs at most one basis-rotated copy of the state (none at all
+    for Z-only groups) and exactly one probability vector, after which
+    every member term is a Z-string contracted as a signed marginal —
+    no per-term state copies or full-state allocations.  This is the
+    zero-shot-noise expectation path used by tight-loop benchmarking
+    and algorithm validation.
+    """
+    n = state.num_qubits
+    total = hamiltonian.identity_offset
+    for group in hamiltonian.grouped_terms():
+        basis: Dict[int, str] = {}
+        for term in group:
+            basis.update(dict(term.paulis))
+        if all(label == "Z" for label in basis.values()):
+            work = state  # already diagonal; no copy, no rotation
+        else:
+            work = state.copy()
+            rotation = PauliTerm.make(1.0, basis).measurement_basis_circuit(n)
+            for inst in rotation:
+                work.apply_gate(inst.name, inst.qubits)
+        tensor = work.probabilities().reshape((2,) * n)
+        for term in group:
+            qs = set(term.qubits)
+            # qubit q lives on tensor axis n-1-q; marginalize the rest
+            other_axes = tuple(n - 1 - q for q in range(n) if q not in qs)
+            marginal = tensor.sum(axis=other_axes).reshape(-1)
+            total += term.coefficient * float(
+                marginal @ _parity_signs(len(qs))
+            )
+    return float(total)
+
+
 def estimate_expectation(
     hamiltonian: PauliSum,
     run_circuit,
@@ -239,6 +286,7 @@ __all__ = [
     "PauliTerm",
     "PauliSum",
     "estimate_expectation",
+    "expectation_statevector",
     "h2_hamiltonian",
     "transverse_field_ising",
 ]

@@ -22,7 +22,11 @@ import numpy as np
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.parameters import Parameter
 from repro.errors import ReproError
-from repro.hybrid.observables import PauliSum, estimate_expectation
+from repro.hybrid.observables import (
+    PauliSum,
+    estimate_expectation,
+    expectation_statevector,
+)
 from repro.hybrid.optimizers import (
     OptimizationResult,
     nelder_mead_minimize,
@@ -125,6 +129,22 @@ class VQE:
         self.energy_evaluations += 1
         return estimate_expectation(
             self.hamiltonian, self.run_circuit, bound, shots=self.shots
+        )
+
+    def energy_exact(self, values: Sequence[float]) -> float:
+        """Shot-noise-free ⟨H⟩ via direct state-vector evaluation.
+
+        One ansatz simulation plus the grouped diagonal expectation path
+        — no measurement circuits, no sampling.  Used for landscape
+        validation and by the perf harness's VQE-iteration benchmark.
+        """
+        from repro.simulator.statevector import simulate_statevector
+
+        binding = dict(zip(self.parameters, map(float, values)))
+        bound = self.template.bind(binding)
+        self.energy_evaluations += 1
+        return expectation_statevector(
+            self.hamiltonian, simulate_statevector(bound)
         )
 
     # -- optimization ----------------------------------------------------------

@@ -103,7 +103,14 @@ class ClusterScheduler:
 
     def free_nodes(self, partition: str, start: float, end: float) -> int:
         """Nodes of *partition* free over the whole ``[start, end)``
-        window, accounting for running jobs and reservations."""
+        window, accounting for running jobs and reservations.
+
+        This is a *forecast*: a running job whose expected end is at or
+        before *start* is assumed gone by then (its completion event
+        fires no later than *start*).  For the can-it-start-right-now
+        check use :meth:`_free_nodes_immediate`, which must not make
+        that assumption.
+        """
         part = self.partitions[partition]
         running_overlap = sum(
             job.num_nodes
@@ -112,6 +119,25 @@ class ClusterScheduler:
         )
         return part.num_nodes - running_overlap - self._reserved_nodes(
             partition, start, end
+        )
+
+    def _free_nodes_immediate(self, partition: str, window_end: float) -> int:
+        """Nodes free for a start at the current instant.
+
+        Every job still in ``running`` occupies its nodes — including
+        one whose expected end *is* now, since its completion event may
+        share the current timestamp but has not fired yet; counting
+        those nodes as free would oversubscribe the partition (the
+        completion's own schedule pass will start what fits).
+        """
+        part = self.partitions[partition]
+        running_overlap = sum(
+            job.num_nodes
+            for job, _ in self.running.values()
+            if job.partition == partition
+        )
+        return part.num_nodes - running_overlap - self._reserved_nodes(
+            partition, self.sim.now, window_end
         )
 
     # -- submission / reservations -----------------------------------------------
@@ -155,7 +181,7 @@ class ClusterScheduler:
         shadow: Dict[str, Tuple[float, int]] = {}  # head job's reservation per partition
         for idx, job in enumerate(self.queue):
             window_end = now + job.walltime_limit
-            free_now = self.free_nodes(job.partition, now, window_end)
+            free_now = self._free_nodes_immediate(job.partition, window_end)
             if free_now >= job.num_nodes:
                 blocked = False
                 if job.partition in shadow:

@@ -61,6 +61,11 @@ class QuantumError:
         if total > 1.0 + 1e-9:
             raise NoiseModelError(f"error probabilities sum to {total:g} > 1")
         self.terms: Tuple[ErrorTerm, ...] = tuple(t for t in terms if t.probability > 0)
+        # Cumulative distribution, precomputed once: sample_many runs per
+        # noisy op per sampling call, and the term list is immutable.
+        self._cumulative = np.cumsum(
+            np.array([t.probability for t in self.terms], dtype=float)
+        )
 
     @property
     def total_probability(self) -> float:
@@ -71,10 +76,8 @@ class QuantumError:
         """Vectorized sampling: returns an int array of length *shots*
         where ``-1`` means "no error" and ``k ≥ 0`` indexes ``terms[k]``."""
         r = as_rng(rng)
-        probs = np.array([t.probability for t in self.terms], dtype=float)
-        cum = np.cumsum(probs)
         u = r.random(int(shots))
-        idx = np.searchsorted(cum, u, side="right")
+        idx = np.searchsorted(self._cumulative, u, side="right")
         out = np.where(idx < len(self.terms), idx, -1)
         return out.astype(np.int64)
 

@@ -1,0 +1,48 @@
+"""Smoke test for the perf harness: ``scripts/bench.py --quick`` must run
+inside the tier-1 time budget and emit a schema-valid
+``BENCH_simulator.json``."""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+REQUIRED_ENTRY_KEYS = {
+    "name",
+    "params",
+    "baseline_seconds",
+    "fast_seconds",
+    "speedup",
+}
+
+
+def test_bench_quick_emits_valid_schema(tmp_path):
+    out = tmp_path / "BENCH_simulator.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "bench.py"), "--quick", "--out", str(out)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == "repro.bench.simulator/v1"
+    assert payload["quick"] is True
+    assert isinstance(payload["config"], dict)
+    names = set()
+    for entry in payload["benchmarks"]:
+        assert REQUIRED_ENTRY_KEYS <= set(entry), entry
+        assert entry["baseline_seconds"] > 0
+        assert entry["fast_seconds"] > 0
+        assert entry["speedup"] == entry["baseline_seconds"] / entry["fast_seconds"]
+        names.add(entry["name"])
+    # the acceptance-gate benchmark and the two workload lenses must exist
+    assert "ghz_shot_sampling_grouped" in names
+    assert "grouped_vs_per_shot" in names
+    assert "vqe_iteration_sampled" in names

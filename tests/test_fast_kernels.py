@@ -1,0 +1,348 @@
+"""Equivalence suite for the fast-kernel simulation engine.
+
+The specialized 1q/2q kernels, the bit-sliced measurement helpers, the
+vectorized sampler, and the trajectory prefix-sharing path must all be
+*semantically invisible*: every test here pins the fast implementation
+against the generic reference (``apply_matrix_generic``, the baseline
+grouped sampler, or a hand-rolled slow computation) to 1e-12, or — where
+RNG consumption order legitimately differs — statistically.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, ghz_circuit, random_circuit
+from repro.circuits.gates import (
+    cphase_matrix,
+    cx_matrix,
+    prx_matrix,
+    rz_matrix,
+    rzz_matrix,
+    spec,
+)
+from repro.hybrid.observables import (
+    PauliSum,
+    expectation_statevector,
+    h2_hamiltonian,
+    transverse_field_ising,
+)
+from repro.simulator import NoiseModel, depolarizing_error, pauli_error
+from repro.simulator import sampler as sampler_mod
+from repro.simulator.sampler import (
+    _run_trajectory,
+    _sample_grouped,
+    _sample_grouped_baseline,
+    sample_counts,
+)
+from repro.simulator.statevector import StateVector, simulate_statevector
+from tests.conftest import random_unitary_2x2
+
+
+def random_state(num_qubits: int, rng: np.random.Generator) -> np.ndarray:
+    vec = rng.normal(size=1 << num_qubits) + 1j * rng.normal(size=1 << num_qubits)
+    return vec / np.linalg.norm(vec)
+
+
+def random_unitary(dim: int, rng: np.random.Generator) -> np.ndarray:
+    z = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(z)
+    return q * (np.diag(r) / np.abs(np.diag(r)))
+
+
+def assert_fast_matches_generic(matrix, qubits, num_qubits, seed=0):
+    rng = np.random.default_rng(seed)
+    vec = random_state(num_qubits, rng)
+    fast = StateVector(num_qubits, vec).apply_matrix(matrix, qubits)
+    slow = StateVector(num_qubits, vec).apply_matrix_generic(matrix, qubits)
+    np.testing.assert_allclose(fast.data, slow.data, atol=1e-12)
+
+
+class TestOneQubitKernels:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_random_unitary_any_qubit(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 6))
+        q = int(rng.integers(n))
+        assert_fast_matches_generic(random_unitary_2x2(rng), [q], n, seed)
+
+    @pytest.mark.parametrize("name", ["z", "s", "sdg", "t", "tdg", "p", "rz"])
+    def test_diagonal_gates(self, name):
+        g = spec(name)
+        params = [0.0] * 0 if g.num_params == 0 else [0.731]
+        for q in range(4):
+            assert_fast_matches_generic(g.matrix(params), [q], 4, seed=q)
+
+    @pytest.mark.parametrize("name", ["x", "y"])
+    def test_antidiagonal_gates(self, name):
+        for q in range(4):
+            assert_fast_matches_generic(spec(name).matrix(), [q], 4, seed=q)
+
+    @pytest.mark.parametrize("name", ["h", "sx", "prx"])
+    def test_dense_gates(self, name):
+        g = spec(name)
+        params = [] if g.num_params == 0 else [0.4, -1.2][: g.num_params]
+        for q in range(4):
+            assert_fast_matches_generic(g.matrix(params), [q], 4, seed=q)
+
+
+class TestTwoQubitKernels:
+    #: adjacent, non-adjacent, and both operand orders
+    PAIRS = [(0, 1), (1, 0), (0, 2), (2, 0), (1, 3), (3, 1), (0, 3)]
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_random_unitary_any_pair(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 6))
+        qs = [int(q) for q in rng.choice(n, size=2, replace=False)]
+        assert_fast_matches_generic(random_unitary(4, rng), qs, n, seed)
+
+    @pytest.mark.parametrize("pair", PAIRS)
+    def test_diagonal_cz_cp_rzz(self, pair):
+        for matrix in (spec("cz").matrix(), cphase_matrix(0.9), rzz_matrix(-1.3)):
+            assert_fast_matches_generic(matrix, pair, 4, seed=sum(pair))
+
+    @pytest.mark.parametrize("pair", PAIRS)
+    def test_permutation_cx_swap_iswap(self, pair):
+        for matrix in (cx_matrix(), spec("swap").matrix(), spec("iswap").matrix()):
+            assert_fast_matches_generic(matrix, pair, 4, seed=sum(pair))
+
+    def test_identity_rows_leave_slices_untouched(self):
+        """CX must not rewrite the control-off subspace at all."""
+        rng = np.random.default_rng(5)
+        vec = random_state(3, rng)
+        sv = StateVector(3, vec)
+        sv.apply_matrix(cx_matrix(), [0, 2])
+        # control (qubit 0) = 0 amplitudes are bit-identical
+        untouched = [i for i in range(8) if not (i & 1)]
+        np.testing.assert_array_equal(sv.data[untouched], vec[untouched])
+
+
+class TestCircuitLevelEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_circuits_match_generic_engine(self, seed):
+        qc = random_circuit(5, 40, seed=seed, measure=False)
+        fast = simulate_statevector(qc)
+        StateVector.use_fast_kernels = False
+        try:
+            slow = simulate_statevector(qc)
+        finally:
+            StateVector.use_fast_kernels = True
+        np.testing.assert_allclose(fast.data, slow.data, atol=1e-12)
+
+    def test_three_qubit_operator_uses_generic_path(self):
+        rng = np.random.default_rng(9)
+        u = random_unitary(8, rng)
+        vec = random_state(4, rng)
+        got = StateVector(4, vec).apply_matrix(u, [0, 2, 3])
+        want = StateVector(4, vec).apply_matrix_generic(u, [0, 2, 3])
+        np.testing.assert_allclose(got.data, want.data, atol=1e-12)
+
+
+class TestMeasurementHelpers:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_marginal_matches_full_tensor(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 6))
+        q = int(rng.integers(n))
+        sv = StateVector(n, random_state(n, rng))
+        probs = sv.probabilities()
+        want = sum(p for i, p in enumerate(probs) if (i >> q) & 1)
+        assert sv.marginal_probability_one(q) == pytest.approx(want, abs=1e-12)
+
+    def test_collapse_matches_manual_projection(self):
+        rng = np.random.default_rng(11)
+        vec = random_state(4, rng)
+        sv = StateVector(4, vec)
+        prob = sv.collapse(2, 1)
+        projected = vec.copy()
+        mask = np.array([(i >> 2) & 1 == 0 for i in range(16)])
+        projected[mask] = 0.0
+        want_prob = float(np.sum(np.abs(vec[~mask]) ** 2))
+        assert prob == pytest.approx(want_prob, abs=1e-12)
+        np.testing.assert_allclose(
+            sv.data, projected / np.sqrt(want_prob), atol=1e-12
+        )
+
+    def test_sample_bits_match_per_column_extraction(self):
+        """The shift-and-mask grid equals the seed's per-column loop."""
+        sv = simulate_statevector(random_circuit(4, 25, seed=3, measure=False))
+        qs = [3, 0, 2]
+        got = sv.sample(500, rng=np.random.default_rng(21), qubits=qs)
+        # replicate the seed implementation with the identical RNG stream
+        r = np.random.default_rng(21)
+        probs = sv.probabilities()
+        probs = probs / probs.sum()
+        outcomes = r.choice(probs.size, size=500, p=probs)
+        want = np.empty((500, len(qs)), dtype=np.uint8)
+        for col, q in enumerate(qs):
+            want[:, col] = (outcomes >> q) & 1
+        np.testing.assert_array_equal(got, want)
+
+
+class TestDiagonalExpectation:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_z_strings_match_apply_and_overlap(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 6))
+        k = int(rng.integers(1, n + 1))
+        qs = [int(q) for q in rng.choice(n, size=k, replace=False)]
+        labels = "".join(rng.choice(list("IZ"), size=k))
+        sv = StateVector(n, random_state(n, rng))
+        fast = sv.expectation_pauli(labels, qs)
+        work = sv.copy()
+        work.apply_pauli(labels, qs)
+        slow = float(np.real(np.vdot(sv.data, work.data)))
+        assert fast == pytest.approx(slow, abs=1e-12)
+
+    def test_expectation_statevector_matches_dense_matrix(self):
+        for ham in (h2_hamiltonian(), transverse_field_ising(4)):
+            qc = random_circuit(
+                max(2, ham.num_qubits), 30, seed=13, measure=False
+            )
+            sv = simulate_statevector(qc)
+            dense = ham.matrix()
+            want = float(np.real(np.vdot(sv.data, dense @ sv.data)))
+            assert expectation_statevector(ham, sv) == pytest.approx(
+                want, abs=1e-10
+            )
+
+    def test_expectation_statevector_leaves_state_intact(self):
+        sv = simulate_statevector(ghz_circuit(3, measure=False))
+        before = sv.data.copy()
+        expectation_statevector(transverse_field_ising(3), sv)
+        np.testing.assert_array_equal(sv.data, before)
+
+
+class TestCopyFastPath:
+    def test_copy_is_deep_and_exact(self):
+        sv = simulate_statevector(random_circuit(3, 20, seed=7, measure=False))
+        dup = sv.copy()
+        np.testing.assert_array_equal(dup.data, sv.data)
+        dup.apply_gate("x", [0])
+        assert not np.array_equal(dup.data, sv.data)
+
+    def test_copy_single_allocation(self):
+        """copy() must hand the clone a fresh buffer, not a double copy —
+        the clone's base is its own array, unshared with the source."""
+        sv = StateVector(5)
+        dup = sv.copy()
+        assert dup.data is not sv.data
+        assert not np.shares_memory(dup.data, sv.data)
+
+
+class TestPrefixSharingSampler:
+    def _noise(self) -> NoiseModel:
+        nm = NoiseModel()
+        nm.add_gate_error(depolarizing_error(0.03, 2), "cx")
+        nm.add_gate_error(depolarizing_error(0.02, 1), "h")
+        return nm
+
+    def test_deterministic_pattern_bit_identical_to_baseline(self):
+        """With a single certain error event there is exactly one group,
+        so prefix-sharing consumes the RNG identically to the baseline."""
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.measure_all()
+        nm = NoiseModel()
+        nm.add_gate_error(pauli_error([("XI", 1.0)]), "cx")
+        rng_a = np.random.default_rng(42)
+        rng_b = np.random.default_rng(42)
+        fast = _sample_grouped(qc, 200, nm, rng_a, {})
+        slow = _sample_grouped_baseline(qc, 200, nm, rng_b, {})
+        np.testing.assert_array_equal(fast, slow)
+
+    def test_replayed_trajectory_state_matches_from_scratch(self):
+        """Each pattern's replayed suffix must equal a from-|0⟩ run."""
+        qc = ghz_circuit(5)
+        nm = self._noise()
+        rng = np.random.default_rng(0)
+        noisy = sampler_mod._noisy_ops(qc, nm, {})
+        errors = dict(noisy)
+        # a few representative patterns: early, late, and multi-site
+        first_idx = noisy[0][0]
+        last_idx = noisy[-1][0]
+        patterns = [
+            {first_idx: 0},
+            {last_idx: 0},
+            {first_idx: 1, last_idx: 2},
+        ]
+        for pattern in patterns:
+            want, _ = _run_trajectory(qc, pattern, errors)
+            instructions = list(qc)
+            first = min(pattern)
+            state = StateVector(qc.num_qubits)
+            sampler_mod._advance_clean(state, instructions, 0, first + 1)
+            for idx in range(first, len(instructions)):
+                if idx > first:
+                    sampler_mod._advance_clean(state, instructions, idx, idx + 1)
+                if idx in pattern:
+                    sampler_mod._inject(
+                        state, instructions[idx], errors[idx], pattern[idx]
+                    )
+            np.testing.assert_allclose(state.data, want.data, atol=1e-12)
+
+    def test_distribution_matches_baseline(self):
+        """Grouped prefix-sharing and the baseline agree statistically."""
+        qc = ghz_circuit(4)
+        nm = self._noise()
+        fast = sample_counts(qc, 30_000, noise=nm, rng=1)
+        sampler_mod.USE_PREFIX_SHARING = False
+        try:
+            slow = sample_counts(qc, 30_000, noise=nm, rng=2)
+        finally:
+            sampler_mod.USE_PREFIX_SHARING = True
+        assert fast.total_variation_distance(slow) < 0.02
+
+    def test_seeded_rng_reproducible(self):
+        qc = ghz_circuit(4)
+        nm = self._noise()
+        a = sample_counts(qc, 500, noise=nm, rng=123)
+        b = sample_counts(qc, 500, noise=nm, rng=123)
+        assert a.to_dict() == b.to_dict()
+
+    def test_noiseless_single_group_unchanged(self):
+        """Without noise there is one clean group: the fast path and the
+        baseline draw identical RNG streams and identical counts."""
+        qc = ghz_circuit(6)
+        a = sample_counts(qc, 1000, rng=9)
+        sampler_mod.USE_PREFIX_SHARING = False
+        try:
+            b = sample_counts(qc, 1000, rng=9)
+        finally:
+            sampler_mod.USE_PREFIX_SHARING = True
+        assert a.to_dict() == b.to_dict()
+
+
+class TestMatrixCaching:
+    def test_parameterless_matrices_shared_and_frozen(self):
+        a = spec("h").matrix()
+        b = spec("h").matrix()
+        assert a is b
+        assert not a.flags.writeable
+
+    def test_parameterized_matrices_cached_per_angle(self):
+        a = spec("rz").matrix([0.25])
+        b = spec("rz").matrix([0.25])
+        c = spec("rz").matrix([0.26])
+        assert a is b
+        assert a is not c
+        np.testing.assert_allclose(a, rz_matrix(0.25), atol=1e-15)
+
+    def test_instruction_matrix_memoized(self):
+        qc = QuantumCircuit(1)
+        qc.prx(0.3, 0.1, 0)
+        inst = qc[0]
+        assert inst.matrix() is inst.matrix()
+        np.testing.assert_allclose(inst.matrix(), prx_matrix(0.3, 0.1), atol=1e-15)
+
+    def test_cached_matrices_still_correct_in_simulation(self):
+        sv = simulate_statevector(ghz_circuit(3, measure=False))
+        assert abs(sv.data[0]) == pytest.approx(1 / np.sqrt(2))
+        assert abs(sv.data[7]) == pytest.approx(1 / np.sqrt(2))
