@@ -2,8 +2,12 @@
 
 Complements ``scripts/bench.py`` (the standalone harness that emits
 ``BENCH_simulator.json``): these run inside the benchmark suite at small,
-CI-friendly sizes and persist a table to ``benchmarks/out/`` so the perf
-trajectory is visible next to the paper-reproduction artifacts.  The
+CI-friendly sizes and persist a table to ``benchmarks/out/`` for local
+inspection.  Unlike the paper-reproduction artifacts, these timing
+tables are machine- and load-dependent, so ``benchmarks/out/perf_*.txt``
+is gitignored — the authoritative before/after numbers live in
+``BENCH_simulator.json``, which records the machine that produced them.
+The
 assertions are deliberately loose sanity floors — exact numbers belong
 to the harness — but they do pin the engine's ordering: fast kernels
 must not be slower than the generic path, and prefix-sharing must not be
@@ -11,15 +15,18 @@ slower than from-scratch trajectory groups.
 """
 
 import time
-from contextlib import contextmanager
 
 import numpy as np
 
 from benchmarks.conftest import report
 from repro.circuits import ghz_circuit
 from repro.circuits.gates import cx_matrix, rz_matrix, spec
-from repro.simulator import NoiseModel, depolarizing_error, sample_counts
-from repro.simulator import sampler as sampler_mod
+from repro.simulator import (
+    NoiseModel,
+    depolarizing_error,
+    engine_mode as _engine,
+    sample_counts,
+)
 from repro.simulator.statevector import StateVector
 
 NUM_QUBITS = 14
@@ -27,20 +34,6 @@ GATE_REPS = 40
 
 #: Wall-clock assertions tolerate this much CI noise before going red.
 TIMING_SLACK = 1.5
-
-
-@contextmanager
-def _engine(fast):
-    """Select the fast or seed engine, restoring the previous state."""
-    prev_kernels = StateVector.use_fast_kernels
-    prev_prefix = sampler_mod.USE_PREFIX_SHARING
-    StateVector.use_fast_kernels = fast
-    sampler_mod.USE_PREFIX_SHARING = fast
-    try:
-        yield
-    finally:
-        StateVector.use_fast_kernels = prev_kernels
-        sampler_mod.USE_PREFIX_SHARING = prev_prefix
 
 
 def _best_of(fn, repeats=3):

@@ -26,10 +26,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
+import platform
 import sys
 import time
-from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional
 
 _REPO = pathlib.Path(__file__).resolve().parents[1]
@@ -46,25 +47,11 @@ from repro.simulator import (  # noqa: E402
     depolarizing_error,
     sample_counts,
 )
-from repro.simulator import sampler as sampler_mod  # noqa: E402
 from repro.simulator.sampler import _sample_per_shot  # noqa: E402
+from repro.simulator.sampler import engine_mode as engine  # noqa: E402
 from repro.simulator.statevector import StateVector  # noqa: E402
 
 SCHEMA = "repro.bench.simulator/v1"
-
-
-@contextmanager
-def engine(fast: bool):
-    """Select the fast or the seed-equivalent baseline engine."""
-    prev_kernels = StateVector.use_fast_kernels
-    prev_prefix = sampler_mod.USE_PREFIX_SHARING
-    StateVector.use_fast_kernels = fast
-    sampler_mod.USE_PREFIX_SHARING = fast
-    try:
-        yield
-    finally:
-        StateVector.use_fast_kernels = prev_kernels
-        sampler_mod.USE_PREFIX_SHARING = prev_prefix
 
 
 def _timed(fn: Callable[[], object], repeats: int) -> float:
@@ -155,15 +142,15 @@ def _ghz_noise() -> NoiseModel:
     return nm
 
 
-def bench_ghz_sampling(num_qubits: int, shots: int) -> Dict[str, object]:
+def bench_ghz_sampling(num_qubits: int, shots: int, repeats: int) -> Dict[str, object]:
     """The acceptance benchmark: GHZ shot sampling, grouped path, under
     depolarizing noise — seed engine vs fast engine."""
     circuit = ghz_circuit(num_qubits)
     noise = _ghz_noise()
     with engine(fast=False):
-        base = _timed(lambda: sample_counts(circuit, shots, noise=noise, rng=7), 1)
+        base = _timed(lambda: sample_counts(circuit, shots, noise=noise, rng=7), repeats)
     with engine(fast=True):
-        fast = _timed(lambda: sample_counts(circuit, shots, noise=noise, rng=7), 1)
+        fast = _timed(lambda: sample_counts(circuit, shots, noise=noise, rng=7), repeats)
     return _entry(
         "ghz_shot_sampling_grouped",
         {"num_qubits": num_qubits, "shots": shots, "noise": "depolarizing"},
@@ -174,7 +161,9 @@ def bench_ghz_sampling(num_qubits: int, shots: int) -> Dict[str, object]:
     )
 
 
-def bench_grouped_vs_per_shot(num_qubits: int, shots: int) -> Dict[str, object]:
+def bench_grouped_vs_per_shot(
+    num_qubits: int, shots: int, repeats: int
+) -> Dict[str, object]:
     """Shots/sec of the grouped path vs the per-shot path (fast engine
     in both lanes; this isolates the trajectory-grouping win)."""
     circuit = ghz_circuit(num_qubits)
@@ -184,9 +173,11 @@ def bench_grouped_vs_per_shot(num_qubits: int, shots: int) -> Dict[str, object]:
             lambda: _sample_per_shot(
                 circuit, shots, noise, np.random.default_rng(7), {}
             ),
-            1,
+            repeats,
         )
-        grouped = _timed(lambda: sample_counts(circuit, shots, noise=noise, rng=7), 1)
+        grouped = _timed(
+            lambda: sample_counts(circuit, shots, noise=noise, rng=7), repeats
+        )
     return _entry(
         "grouped_vs_per_shot",
         {"num_qubits": num_qubits, "shots": shots, "noise": "depolarizing"},
@@ -201,19 +192,26 @@ def bench_vqe_iteration(shots: int, repeats: int) -> List[Dict[str, object]]:
     """Latency of one VQE energy evaluation (the tight-loop unit of work):
     the sampled estimator and the exact state-vector path."""
     ham = h2_hamiltonian()
-    rng = np.random.default_rng(5)
-    runner = lambda qc, s: sample_counts(qc, s, rng=rng)  # noqa: E731
-    vqe = VQE(ham, runner, depth=2, shots=shots)
-    values = np.linspace(-0.4, 0.4, len(vqe.parameters))
+
+    def make_vqe():
+        # Fresh seeded RNG per lane: both lanes must consume identical
+        # shot-noise streams, otherwise they time different workloads.
+        rng = np.random.default_rng(5)
+        runner = lambda qc, s: sample_counts(qc, s, rng=rng)  # noqa: E731
+        return VQE(ham, runner, depth=2, shots=shots)
+
+    values = np.linspace(-0.4, 0.4, len(make_vqe().parameters))
     out = []
-    for name, call in (
-        ("vqe_iteration_sampled", lambda: vqe.energy(values)),
-        ("vqe_iteration_exact", lambda: vqe.energy_exact(values)),
+    for name, method in (
+        ("vqe_iteration_sampled", "energy"),
+        ("vqe_iteration_exact", "energy_exact"),
     ):
         with engine(fast=False):
-            base = _timed(call, repeats)
+            vqe = make_vqe()
+            base = _timed(lambda: getattr(vqe, method)(values), repeats)
         with engine(fast=True):
-            fast = _timed(call, repeats)
+            vqe = make_vqe()
+            fast = _timed(lambda: getattr(vqe, method)(values), repeats)
         out.append(
             _entry(
                 name,
@@ -257,10 +255,12 @@ def run(quick: bool) -> Dict[str, object]:
         repeats = 2
     benchmarks: List[Dict[str, object]] = []
     benchmarks += bench_gate_apply(config["gate_qubits"], config["gate_reps"], repeats)
-    benchmarks.append(bench_ghz_sampling(config["ghz_qubits"], config["ghz_shots"]))
+    benchmarks.append(
+        bench_ghz_sampling(config["ghz_qubits"], config["ghz_shots"], repeats)
+    )
     benchmarks.append(
         bench_grouped_vs_per_shot(
-            config["per_shot_qubits"], config["per_shot_shots"]
+            config["per_shot_qubits"], config["per_shot_shots"], repeats
         )
     )
     benchmarks += bench_vqe_iteration(config["vqe_shots"], repeats)
@@ -268,6 +268,15 @@ def run(quick: bool) -> Dict[str, object]:
         "schema": SCHEMA,
         "quick": quick,
         "config": config,
+        # Wall-clock numbers are only comparable on the machine that
+        # produced them; record it so the reference is stated in-band.
+        "machine": {
+            "platform": platform.platform(),
+            "processor": platform.processor() or platform.machine(),
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
         "benchmarks": benchmarks,
     }
 

@@ -84,8 +84,10 @@ class SurveyReport:
             f"{'Measurement':24s} {'Measured':>14s} {'Limit':>22s} {'Result':>8s}"
         )
         for r in self.rows:
+            # Fixed precision (not %g) so regenerated tables diff cleanly:
+            # digit count must not change with the value's magnitude.
             lines.append(
-                f"{r.measurement:24s} {r.measured:>10.4g} {r.unit:3s} "
+                f"{r.measurement:24s} {r.measured:>10.3f} {r.unit:3s} "
                 f"{r.limit:>22s} {'PASS' if r.passed else 'FAIL':>8s}"
             )
         lines.append(f"{'OVERALL':24s} {'':>14s} {'':>22s} "

@@ -23,7 +23,7 @@ from repro.simulator.noise import (
     pauli_error,
     thermal_relaxation_error,
 )
-from repro.simulator.sampler import ideal_probabilities, sample_counts
+from repro.simulator.sampler import engine_mode, ideal_probabilities, sample_counts
 from repro.simulator.statevector import (
     StateVector,
     circuit_unitary,
@@ -52,6 +52,7 @@ __all__ = [
     "depolarizing_error",
     "pauli_error",
     "thermal_relaxation_error",
+    "engine_mode",
     "ideal_probabilities",
     "sample_counts",
     "StateVector",

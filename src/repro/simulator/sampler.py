@@ -32,7 +32,8 @@ path, since their collapse randomness de-groups trajectories.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -194,7 +195,30 @@ def _run_trajectory(
 
 #: Engine toggle used by the perf harness (``scripts/bench.py``) to time
 #: the seed-equivalent baseline; production code leaves it ``True``.
+#: Toggle via :func:`engine_mode` rather than assigning directly.
 USE_PREFIX_SHARING = True
+
+
+@contextmanager
+def engine_mode(fast: bool) -> Iterator[None]:
+    """Select the fast engine (the default) or the seed-equivalent baseline.
+
+    Flips both process-global engine knobs together —
+    :attr:`StateVector.use_fast_kernels` and :data:`USE_PREFIX_SHARING` —
+    and restores their previous values on exit.  The perf harness,
+    microbenchmarks and equivalence suite all go through this one
+    canonical toggle so the knobs cannot drift apart across callers.
+    """
+    global USE_PREFIX_SHARING
+    prev_kernels = StateVector.use_fast_kernels
+    prev_prefix = USE_PREFIX_SHARING
+    StateVector.use_fast_kernels = fast
+    USE_PREFIX_SHARING = fast
+    try:
+        yield
+    finally:
+        StateVector.use_fast_kernels = prev_kernels
+        USE_PREFIX_SHARING = prev_prefix
 
 
 def _group_realizations(

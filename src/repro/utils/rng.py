@@ -12,6 +12,7 @@ debuggable.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional, Union
 
 import numpy as np
@@ -32,6 +33,12 @@ def as_rng(seed: RandomState = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def _stable_hash(part: object) -> int:
+    """64-bit process-independent hash of *part*'s string form."""
+    digest = hashlib.sha256(str(part).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
 def child_rng(parent: RandomState, *key: object) -> np.random.Generator:
     """Derive an independent child generator from *parent* and a *key*.
 
@@ -43,13 +50,15 @@ def child_rng(parent: RandomState, *key: object) -> np.random.Generator:
         # Spawn from the generator's own state; unique per call order.
         return parent.spawn(1)[0]
     base = 0 if parent is None else int(parent)
-    mix = np.uint64(base & 0xFFFFFFFFFFFFFFFF)
+    mix = base & 0xFFFFFFFFFFFFFFFF
     for part in key:
-        h = np.uint64(abs(hash(str(part))) & 0xFFFFFFFFFFFFFFFF)
+        # Builtin hash() is salted per process (PYTHONHASHSEED), which
+        # would break cross-run reproducibility — use a stable digest.
+        h = _stable_hash(part)
         # splitmix64-style mixing keeps children decorrelated.
-        mix = np.uint64((int(mix) ^ int(h)) * 0x9E3779B97F4A7C15 & 0xFFFFFFFFFFFFFFFF)
-        mix = np.uint64((int(mix) ^ (int(mix) >> 31)) & 0xFFFFFFFFFFFFFFFF)
-    return np.random.default_rng(int(mix))
+        mix = (mix ^ h) * 0x9E3779B97F4A7C15 & 0xFFFFFFFFFFFFFFFF
+        mix = (mix ^ (mix >> 31)) & 0xFFFFFFFFFFFFFFFF
+    return np.random.default_rng(mix)
 
 
 def spawn_many(parent: RandomState, prefix: str, n: int) -> list[np.random.Generator]:

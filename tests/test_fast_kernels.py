@@ -34,6 +34,7 @@ from repro.simulator.sampler import (
     _run_trajectory,
     _sample_grouped,
     _sample_grouped_baseline,
+    engine_mode,
     sample_counts,
 )
 from repro.simulator.statevector import StateVector, simulate_statevector
@@ -126,11 +127,8 @@ class TestCircuitLevelEquivalence:
     def test_random_circuits_match_generic_engine(self, seed):
         qc = random_circuit(5, 40, seed=seed, measure=False)
         fast = simulate_statevector(qc)
-        StateVector.use_fast_kernels = False
-        try:
+        with engine_mode(fast=False):
             slow = simulate_statevector(qc)
-        finally:
-            StateVector.use_fast_kernels = True
         np.testing.assert_allclose(fast.data, slow.data, atol=1e-12)
 
     def test_three_qubit_operator_uses_generic_path(self):
@@ -293,11 +291,8 @@ class TestPrefixSharingSampler:
         qc = ghz_circuit(4)
         nm = self._noise()
         fast = sample_counts(qc, 30_000, noise=nm, rng=1)
-        sampler_mod.USE_PREFIX_SHARING = False
-        try:
+        with engine_mode(fast=False):
             slow = sample_counts(qc, 30_000, noise=nm, rng=2)
-        finally:
-            sampler_mod.USE_PREFIX_SHARING = True
         assert fast.total_variation_distance(slow) < 0.02
 
     def test_seeded_rng_reproducible(self):
@@ -312,11 +307,8 @@ class TestPrefixSharingSampler:
         baseline draw identical RNG streams and identical counts."""
         qc = ghz_circuit(6)
         a = sample_counts(qc, 1000, rng=9)
-        sampler_mod.USE_PREFIX_SHARING = False
-        try:
+        with engine_mode(fast=False):
             b = sample_counts(qc, 1000, rng=9)
-        finally:
-            sampler_mod.USE_PREFIX_SHARING = True
         assert a.to_dict() == b.to_dict()
 
 
