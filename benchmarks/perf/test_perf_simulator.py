@@ -108,6 +108,44 @@ def test_perf_prefix_sharing_sampler():
     )
 
 
+def test_perf_stabilizer_vs_dense():
+    """The tableau backend must beat the fast dense engine on Clifford
+    grouped sampling, and stay interactive at widths the dense engine
+    cannot represent at all."""
+    circuit = ghz_circuit(12)
+    noise = NoiseModel()
+    noise.add_gate_error(depolarizing_error(0.01, 2), "cx")
+    noise.add_gate_error(depolarizing_error(0.005, 1), "h")
+    shots = 256
+
+    def run():
+        sample_counts(circuit, shots, noise=noise, rng=7)
+
+    with _engine("fast"):
+        dense = _best_of(run, repeats=2)
+    with _engine("stabilizer"):
+        stab = _best_of(run, repeats=2)
+
+    wide = ghz_circuit(64)
+    with _engine("stabilizer"):
+        start = time.perf_counter()
+        sample_counts(wide, shots, noise=noise, rng=7)
+        wide_seconds = time.perf_counter() - start
+
+    lines = [
+        f"GHZ-12, {shots} shots, depolarizing noise, grouped path",
+        f"dense fast : {dense * 1e3:8.2f} ms   ({shots / dense:8.0f} shots/s)",
+        f"stabilizer : {stab * 1e3:8.2f} ms   ({shots / stab:8.0f} shots/s)",
+        f"speedup    : {dense / stab:8.2f} x",
+        f"GHZ-64 (beyond dense limit): {wide_seconds * 1e3:8.2f} ms",
+    ]
+    report("perf_stabilizer_engine", "\n".join(lines))
+    assert stab <= dense * TIMING_SLACK, (
+        "stabilizer engine slower than dense fast engine on Clifford sampling"
+    )
+    assert wide_seconds < 30.0, "wide Clifford sampling left the interactive regime"
+
+
 def test_perf_sample_bit_extraction():
     """Vectorized shift-and-mask shot extraction stays sub-millisecond
     per 10k shots at device width."""

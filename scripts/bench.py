@@ -1,21 +1,26 @@
 #!/usr/bin/env python
-"""Simulator perf harness: before/after numbers for the fast-kernel engine.
+"""Simulator perf harness: before/after numbers for the simulation engines.
 
 Measures the hot paths every workload in the stack bottoms out in —
-gate application, noisy shot sampling, VQE iteration latency — in two
-lanes:
+gate application, noisy shot sampling, VQE iteration latency — across
+the engine lanes :func:`repro.simulator.engine_mode` exposes:
 
 * **baseline** — the seed engine: generic ``moveaxis`` gate application
   (``StateVector.use_fast_kernels = False``) and from-scratch trajectory
   groups (``sampler.USE_PREFIX_SHARING = False``);
 * **fast** — the default dispatch: specialized 1q/2q kernels plus
-  trajectory prefix-sharing.
+  trajectory prefix-sharing;
+* **stabilizer** — the Aaronson–Gottesman tableau backend for
+  Clifford-only circuits (``ghz_sampling_stabilizer`` pits it against
+  the fast dense engine at device scale; ``stabilizer_scaling_ghz``
+  lanes run widths no dense engine can represent, so they record a
+  single ``seconds`` lane instead of a before/after pair).
 
 Results are printed as a table and written to ``BENCH_simulator.json``
-(schema ``repro.bench.simulator/v1``) so later PRs have a perf
+(schema ``repro.bench.simulator/v2``) so later PRs have a perf
 trajectory to beat.  ``--quick`` shrinks sizes to fit the tier-1 CI
 budget; the default configuration runs the paper-scale 20-qubit GHZ
-shot-sampling benchmark whose speedup this PR's acceptance gate checks.
+shot-sampling benchmarks whose speedups the acceptance gates check.
 
 Usage::
 
@@ -31,7 +36,7 @@ import pathlib
 import platform
 import sys
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 _REPO = pathlib.Path(__file__).resolve().parents[1]
 if str(_REPO / "src") not in sys.path:
@@ -51,7 +56,7 @@ from repro.simulator.sampler import _sample_per_shot  # noqa: E402
 from repro.simulator.sampler import engine_mode as engine  # noqa: E402
 from repro.simulator.statevector import StateVector  # noqa: E402
 
-SCHEMA = "repro.bench.simulator/v1"
+SCHEMA = "repro.bench.simulator/v2"
 
 
 def _timed(fn: Callable[[], object], repeats: int) -> float:
@@ -188,6 +193,59 @@ def bench_grouped_vs_per_shot(
     )
 
 
+def bench_stabilizer_ghz(num_qubits: int, shots: int, repeats: int) -> Dict[str, object]:
+    """Tableau engine vs the fast dense engine on Clifford grouped
+    sampling — the stabilizer acceptance benchmark (≥10× at 20 qubits)."""
+    circuit = ghz_circuit(num_qubits)
+    noise = _ghz_noise()
+    with engine("fast"):
+        dense = _timed(lambda: sample_counts(circuit, shots, noise=noise, rng=7), repeats)
+    with engine("stabilizer"):
+        stab = _timed(lambda: sample_counts(circuit, shots, noise=noise, rng=7), repeats)
+    entry = _entry(
+        "ghz_sampling_stabilizer",
+        {"num_qubits": num_qubits, "shots": shots, "noise": "depolarizing"},
+        dense,
+        stab,
+        throughput_unit="shots_per_sec",
+        work_items=shots,
+    )
+    entry["lanes"] = {"baseline": "statevector-fast", "fast": "stabilizer"}
+    return entry
+
+
+def bench_stabilizer_scaling(
+    sizes: Sequence[int], shots: int, repeats: int
+) -> List[Dict[str, object]]:
+    """Stabilizer-only lanes at widths the dense engine cannot represent.
+
+    Single-lane entries (``seconds`` instead of a before/after pair):
+    there is no dense baseline beyond 26 qubits, which is the point.
+    """
+    out: List[Dict[str, object]] = []
+    for num_qubits in sizes:
+        circuit = ghz_circuit(num_qubits)
+        noise = _ghz_noise()
+        with engine("stabilizer"):
+            seconds = _timed(
+                lambda: sample_counts(circuit, shots, noise=noise, rng=7), repeats
+            )
+        out.append(
+            {
+                "name": "stabilizer_scaling_ghz",
+                "params": {
+                    "num_qubits": num_qubits,
+                    "shots": shots,
+                    "noise": "depolarizing",
+                },
+                "seconds": seconds,
+                "throughput_unit": "shots_per_sec",
+                "throughput": shots / seconds,
+            }
+        )
+    return out
+
+
 def bench_vqe_iteration(shots: int, repeats: int) -> List[Dict[str, object]]:
     """Latency of one VQE energy evaluation (the tight-loop unit of work):
     the sampled estimator and the exact state-vector path."""
@@ -240,6 +298,10 @@ def run(quick: bool) -> Dict[str, object]:
             "per_shot_qubits": 8,
             "per_shot_shots": 64,
             "vqe_shots": 128,
+            "stabilizer_qubits": 12,
+            "stabilizer_shots": 256,
+            "stabilizer_scaling_sizes": [40],
+            "stabilizer_scaling_shots": 128,
         }
         repeats = 1
     else:
@@ -251,6 +313,10 @@ def run(quick: bool) -> Dict[str, object]:
             "per_shot_qubits": 10,
             "per_shot_shots": 200,
             "vqe_shots": 512,
+            "stabilizer_qubits": 20,
+            "stabilizer_shots": 512,
+            "stabilizer_scaling_sizes": [50, 100],
+            "stabilizer_scaling_shots": 512,
         }
         repeats = 2
     benchmarks: List[Dict[str, object]] = []
@@ -262,6 +328,14 @@ def run(quick: bool) -> Dict[str, object]:
         bench_grouped_vs_per_shot(
             config["per_shot_qubits"], config["per_shot_shots"], repeats
         )
+    )
+    benchmarks.append(
+        bench_stabilizer_ghz(
+            config["stabilizer_qubits"], config["stabilizer_shots"], repeats
+        )
+    )
+    benchmarks += bench_stabilizer_scaling(
+        config["stabilizer_scaling_sizes"], config["stabilizer_scaling_shots"], repeats
     )
     benchmarks += bench_vqe_iteration(config["vqe_shots"], repeats)
     return {
@@ -287,10 +361,14 @@ def render(result: Dict[str, object]) -> str:
         "-" * 60,
     ]
     for b in result["benchmarks"]:
-        lines.append(
-            f"{b['name']:<28s} {b['baseline_seconds']:>9.4f}s "
-            f"{b['fast_seconds']:>9.4f}s {b['speedup']:>7.2f}x"
-        )
+        if "seconds" in b:  # single-lane entry (no dense baseline exists)
+            label = f"{b['name']} (n={b['params']['num_qubits']})"
+            lines.append(f"{label:<28s} {'—':>10s} {b['seconds']:>9.4f}s {'—':>8s}")
+        else:
+            lines.append(
+                f"{b['name']:<28s} {b['baseline_seconds']:>9.4f}s "
+                f"{b['fast_seconds']:>9.4f}s {b['speedup']:>7.2f}x"
+            )
     return "\n".join(lines)
 
 

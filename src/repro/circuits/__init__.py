@@ -7,11 +7,19 @@ from repro.circuits.circuit import (
     ghz_circuit,
     random_circuit,
 )
-from repro.circuits.dag import CircuitDag, layers
+from repro.circuits.dag import (
+    CircuitDag,
+    clifford_segments,
+    is_clifford_circuit,
+    layers,
+)
 from repro.circuits.gates import (
+    CLIFFORD_GATES,
     GATES,
     NATIVE_GATES,
     GateSpec,
+    clifford_primitives,
+    is_clifford,
     is_native,
     prx_matrix,
     prx_pair_for_unitary,
@@ -33,10 +41,15 @@ __all__ = [
     "ghz_circuit",
     "random_circuit",
     "CircuitDag",
+    "clifford_segments",
+    "is_clifford_circuit",
     "layers",
+    "CLIFFORD_GATES",
     "GATES",
     "NATIVE_GATES",
     "GateSpec",
+    "clifford_primitives",
+    "is_clifford",
     "is_native",
     "prx_matrix",
     "prx_pair_for_unitary",

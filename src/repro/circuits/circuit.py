@@ -66,22 +66,27 @@ class Instruction:
 
     @property
     def spec(self) -> gate_lib.GateSpec:
+        """The registered :class:`~repro.circuits.gates.GateSpec` of this gate."""
         return gate_lib.spec(self.name)
 
     @property
     def is_directive(self) -> bool:
+        """Whether this is a non-unitary directive (measure/reset/barrier/delay)."""
         return self.spec.directive
 
     @property
     def is_measurement(self) -> bool:
+        """Whether this instruction is a measurement."""
         return self.name == "measure"
 
     @property
     def is_two_qubit(self) -> bool:
+        """Whether this is a two-qubit *gate* (directives excluded)."""
         return len(self.qubits) == 2 and not self.is_directive
 
     @property
     def free_parameters(self) -> frozenset[Parameter]:
+        """Unbound symbolic parameters appearing in this instruction."""
         out: set[Parameter] = set()
         for p in self.params:
             out |= parameters_of(p)
@@ -99,6 +104,28 @@ class Instruction:
         if cached is None:
             cached = self.spec.matrix([numeric_value(p) for p in self.params])
             object.__setattr__(self, "_matrix", cached)
+        return cached
+
+    def clifford_primitives(self):
+        """Memoized tableau-primitive decomposition of this instruction.
+
+        ``None`` when the instruction is not a Clifford unitary — a
+        directive, a gate with unbound parameters, or a genuinely
+        non-Clifford gate (see
+        :func:`repro.circuits.gates.clifford_primitives`).  Memoized per
+        instance like :meth:`matrix`, so the stabilizer engine's
+        trajectory replays and the sampler's dispatch predicate resolve
+        each decomposition once.
+        """
+        cached = self.__dict__.get("_clifford", False)  # None is a valid value
+        if cached is False:
+            if self.free_parameters:
+                cached = None
+            else:
+                cached = gate_lib.clifford_primitives(
+                    self.name, [numeric_value(p) for p in self.params]
+                )
+            object.__setattr__(self, "_clifford", cached)
         return cached
 
     def bound(self, binding: Mapping[Parameter, float]) -> "Instruction":
@@ -175,6 +202,7 @@ class QuantumCircuit:
 
     @property
     def instructions(self) -> Tuple[Instruction, ...]:
+        """The instruction sequence as an immutable tuple."""
         return tuple(self._instructions)
 
     # -- construction -----------------------------------------------------------
@@ -205,45 +233,59 @@ class QuantumCircuit:
     # one method per library gate — the adapter-facing sugar ------------------
 
     def id(self, q: int) -> "QuantumCircuit":
+        """Identity (explicit idle marker)."""
         return self.append("id", [q])
 
     def x(self, q: int) -> "QuantumCircuit":
+        """Pauli-X."""
         return self.append("x", [q])
 
     def y(self, q: int) -> "QuantumCircuit":
+        """Pauli-Y."""
         return self.append("y", [q])
 
     def z(self, q: int) -> "QuantumCircuit":
+        """Pauli-Z."""
         return self.append("z", [q])
 
     def h(self, q: int) -> "QuantumCircuit":
+        """Hadamard."""
         return self.append("h", [q])
 
     def s(self, q: int) -> "QuantumCircuit":
+        """Phase gate S = √Z."""
         return self.append("s", [q])
 
     def sdg(self, q: int) -> "QuantumCircuit":
+        """Inverse phase gate S†."""
         return self.append("sdg", [q])
 
     def t(self, q: int) -> "QuantumCircuit":
+        """T = √S."""
         return self.append("t", [q])
 
     def tdg(self, q: int) -> "QuantumCircuit":
+        """Inverse T gate."""
         return self.append("tdg", [q])
 
     def sx(self, q: int) -> "QuantumCircuit":
+        """√X."""
         return self.append("sx", [q])
 
     def rx(self, theta: ParameterValue, q: int) -> "QuantumCircuit":
+        """X rotation by *theta*."""
         return self.append("rx", [q], [theta])
 
     def ry(self, theta: ParameterValue, q: int) -> "QuantumCircuit":
+        """Y rotation by *theta*."""
         return self.append("ry", [q], [theta])
 
     def rz(self, phi: ParameterValue, q: int) -> "QuantumCircuit":
+        """Z rotation by *phi* (virtual on phased-RX hardware)."""
         return self.append("rz", [q], [phi])
 
     def prx(self, theta: ParameterValue, phi: ParameterValue, q: int) -> "QuantumCircuit":
+        """Phased-RX — the native 1q gate of the modeled QPU."""
         return self.append("prx", [q], [theta, phi])
 
     def u(
@@ -253,30 +295,39 @@ class QuantumCircuit:
         lam: ParameterValue,
         q: int,
     ) -> "QuantumCircuit":
+        """Generic single-qubit unitary (OpenQASM ``U`` convention)."""
         return self.append("u", [q], [theta, phi, lam])
 
     def p(self, lam: ParameterValue, q: int) -> "QuantumCircuit":
+        """Diagonal phase gate ``diag(1, e^{iλ})``."""
         return self.append("p", [q], [lam])
 
     def cz(self, q0: int, q1: int) -> "QuantumCircuit":
+        """Controlled-Z — the native 2q gate of the modeled QPU."""
         return self.append("cz", [q0, q1])
 
     def cx(self, control: int, target: int) -> "QuantumCircuit":
+        """CNOT with explicit control/target order."""
         return self.append("cx", [control, target])
 
     def swap(self, q0: int, q1: int) -> "QuantumCircuit":
+        """SWAP the two qubits."""
         return self.append("swap", [q0, q1])
 
     def iswap(self, q0: int, q1: int) -> "QuantumCircuit":
+        """iSWAP (swap plus an i phase on the exchanged states)."""
         return self.append("iswap", [q0, q1])
 
     def cp(self, lam: ParameterValue, q0: int, q1: int) -> "QuantumCircuit":
+        """Controlled-phase by *lam*; symmetric in its operands."""
         return self.append("cp", [q0, q1], [lam])
 
     def rzz(self, theta: ParameterValue, q0: int, q1: int) -> "QuantumCircuit":
+        """Two-qubit ZZ interaction ``exp(-i θ Z⊗Z / 2)``."""
         return self.append("rzz", [q0, q1], [theta])
 
     def measure(self, qubit: int, clbit: Optional[int] = None) -> "QuantumCircuit":
+        """Measure *qubit* into *clbit* (defaults to the same index)."""
         return self.append("measure", [qubit], clbits=[qubit if clbit is None else clbit])
 
     def measure_all(self) -> "QuantumCircuit":
@@ -286,9 +337,11 @@ class QuantumCircuit:
         return self
 
     def reset(self, q: int) -> "QuantumCircuit":
+        """Actively reset *q* to ``|0⟩`` (measure-and-flip semantics)."""
         return self.append("reset", [q])
 
     def barrier(self, *qubits: int) -> "QuantumCircuit":
+        """Synchronization barrier across *qubits* (default: all qubits)."""
         # barrier takes a variable operand list; spec arity 0 means "any".
         qs = tuple(int(q) for q in qubits) or tuple(range(self.num_qubits))
         for q in qs:
@@ -326,6 +379,7 @@ class QuantumCircuit:
         return self
 
     def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        """An independent copy (optionally renamed); metadata is copied too."""
         qc = QuantumCircuit(self.num_qubits, self.num_clbits, name or self.name)
         qc._instructions = list(self._instructions)
         qc.metadata = dict(self.metadata)
@@ -412,6 +466,7 @@ class QuantumCircuit:
         return out
 
     def num_two_qubit_gates(self) -> int:
+        """Number of two-qubit gates (the dominant error/duration source)."""
         return sum(1 for inst in self._instructions if inst.is_two_qubit)
 
     def depth(self, *, count_directives: bool = True) -> int:
@@ -435,6 +490,7 @@ class QuantumCircuit:
         return max(level, default=0)
 
     def qubits_used(self) -> frozenset[int]:
+        """Indices of qubits touched by at least one instruction."""
         used: set[int] = set()
         for inst in self._instructions:
             used.update(inst.qubits)
@@ -450,6 +506,7 @@ class QuantumCircuit:
         return out
 
     def has_measurements(self) -> bool:
+        """Whether any instruction is a measurement."""
         return any(inst.is_measurement for inst in self._instructions)
 
     def is_native(self) -> bool:

@@ -105,4 +105,73 @@ def layers(circuit: QuantumCircuit) -> List[List[Instruction]]:
     ]
 
 
-__all__ = ["CircuitDag", "DagNode", "layers"]
+# ---------------------------------------------------------------------------
+# Clifford structure analysis
+# ---------------------------------------------------------------------------
+
+
+def instruction_is_clifford(instruction: Instruction) -> bool:
+    """Whether one instruction is simulable on a stabilizer tableau.
+
+    Directives (measure/reset/barrier/delay) count as Clifford-compatible:
+    the tableau engine implements all of them natively.  Gates qualify
+    through the :func:`repro.circuits.gates.is_clifford` registry
+    (memoized per instruction); gates with unbound symbolic parameters
+    never qualify.
+    """
+    if instruction.is_directive:
+        return True
+    return instruction.clifford_primitives() is not None
+
+
+def is_clifford_circuit(circuit: QuantumCircuit) -> bool:
+    """True when every instruction of *circuit* is Clifford-compatible.
+
+    This is the dispatch predicate of the sampler: circuits passing it can
+    be routed through the polynomial-cost stabilizer backend
+    (:mod:`repro.simulator.stabilizer`) instead of the dense ``2^n``
+    state-vector engine.
+    """
+    return all(instruction_is_clifford(inst) for inst in circuit)
+
+
+def clifford_segments(circuit: QuantumCircuit) -> List[Tuple[int, int, bool]]:
+    """Maximal Clifford / non-Clifford runs of *circuit*.
+
+    Walks the instructions in program order (always a valid linear
+    extension of the dependency DAG) and returns half-open index runs
+    ``(start, stop, is_clifford)`` covering every instruction.
+    Directives are engine-neutral and attach to whichever run is open —
+    leading directives join the first gate's run — so a lone barrier
+    never splits a segment; a circuit of only directives is one Clifford
+    run.  The whole-circuit dispatch uses :func:`is_clifford_circuit`;
+    the segment view exists for diagnostics and for future mixed-engine
+    execution.
+    """
+    out: List[Tuple[int, int, bool]] = []
+    for index, inst in enumerate(circuit):
+        if inst.is_directive:
+            if out:
+                start, _, flag = out[-1]
+                out[-1] = (start, index + 1, flag)
+            continue
+        flag = instruction_is_clifford(inst)
+        if out and out[-1][2] == flag:
+            start, _, _ = out[-1]
+            out[-1] = (start, index + 1, flag)
+        else:
+            # the first run absorbs any leading directives (start at 0)
+            out.append((0 if not out else index, index + 1, flag))
+    if not out and len(circuit):
+        out.append((0, len(circuit), True))
+    return out
+
+
+__all__ = [
+    "CircuitDag",
+    "DagNode",
+    "layers",
+    "instruction_is_clifford",
+    "is_clifford_circuit",
+    "clifford_segments",
+]

@@ -247,6 +247,13 @@ NATIVE_GATES: frozenset = frozenset(
 #: Gates with nonzero physical duration / error on the modeled QPU.
 PHYSICAL_NATIVE_GATES: frozenset = frozenset({"prx", "cz", "measure", "reset"})
 
+#: Instructions the simulation engines skip while advancing *unitary*
+#: state: barriers/delays/identity have no state action at all, and
+#: measurement collapse is handled by the samplers, never by the
+#: unitary-advance loops.  Every engine shares this one list so the
+#: skip sets cannot drift apart.
+UNITARY_NOOPS: frozenset = frozenset({"barrier", "delay", "measure", "id"})
+
 
 def spec(name: str) -> GateSpec:
     """Look up a gate spec by mnemonic, raising :class:`GateError` if absent."""
@@ -259,6 +266,161 @@ def spec(name: str) -> GateSpec:
 def is_native(name: str) -> bool:
     """Whether *name* is accepted directly by the modeled QPU."""
     return name in NATIVE_GATES
+
+
+# ---------------------------------------------------------------------------
+# Clifford registry
+# ---------------------------------------------------------------------------
+#
+# The stabilizer engine (:mod:`repro.simulator.stabilizer`) can simulate
+# any circuit built from Clifford gates in polynomial time.  The registry
+# below answers two questions: *is this instruction Clifford?* and *which
+# sequence of tableau primitives implements its conjugation action?*
+# Primitives are the gates the tableau updates natively:
+# ``h s sdg x y z cx cz swap``.  Every entry is a tuple of
+# ``(primitive_name, operand_slots)`` pairs, earliest applied first, where
+# the slot indices select from the instruction's own operand list.
+
+_HALF_PI = math.pi / 2.0
+
+_FIXED_CLIFFORD_PRIMS: Dict[str, Tuple[Tuple[str, Tuple[int, ...]], ...]] = {
+    "id": (),
+    "x": (("x", (0,)),),
+    "y": (("y", (0,)),),
+    "z": (("z", (0,)),),
+    "h": (("h", (0,)),),
+    "s": (("s", (0,)),),
+    "sdg": (("sdg", (0,)),),
+    # SX = H·S·H exactly, so its conjugation action is that composition.
+    "sx": (("h", (0,)), ("s", (0,)), ("h", (0,))),
+    "cx": (("cx", (0, 1)),),
+    "cz": (("cz", (0, 1)),),
+    "swap": (("swap", (0, 1)),),
+    # iSWAP = SWAP · CZ · (S ⊗ S)  (applied right-to-left in circuit order).
+    "iswap": (("s", (0,)), ("s", (1,)), ("cz", (0, 1)), ("swap", (0, 1))),
+}
+
+#: Parameter-free gates that are Clifford for every invocation — derived
+#: from the decomposition table so the two can never drift apart.
+CLIFFORD_GATES: frozenset = frozenset(_FIXED_CLIFFORD_PRIMS)
+
+#: Conjugation action of RZ(k·π/2) on operand slot 0 (global phase dropped).
+_RZ_QUARTER_PRIMS: Tuple[Tuple[Tuple[str, Tuple[int, ...]], ...], ...] = (
+    (),
+    (("s", (0,)),),
+    (("z", (0,)),),
+    (("sdg", (0,)),),
+)
+
+
+def _quarter_turns(angle: float, tol: float) -> Optional[int]:
+    """``k`` with ``angle ≡ k·π/2 (mod 2π)`` within *tol*, else ``None``."""
+    k = round(float(angle) / _HALF_PI)
+    if abs(float(angle) - k * _HALF_PI) > tol:
+        return None
+    return int(k) % 4
+
+
+def _rx_quarter_prims(k: int) -> Tuple[Tuple[str, Tuple[int, ...]], ...]:
+    """RX(k·π/2) conjugation: ``H · RZ(k·π/2) · H`` (up to global phase)."""
+    if k == 0:
+        return ()
+    return (("h", (0,)), *_RZ_QUARTER_PRIMS[k], ("h", (0,)))
+
+
+def _ry_quarter_prims(k: int) -> Tuple[Tuple[str, Tuple[int, ...]], ...]:
+    """RY(k·π/2) conjugation via ``RY(θ) = S · RX(θ) · S†``."""
+    if k == 0:
+        return ()
+    return (("sdg", (0,)), *_rx_quarter_prims(k), ("s", (0,)))
+
+
+def clifford_primitives(
+    name: str, params: Sequence[float] = (), *, tol: float = 1e-9
+) -> Optional[Tuple[Tuple[str, Tuple[int, ...]], ...]]:
+    """Tableau-primitive decomposition of a gate, or ``None`` if not Clifford.
+
+    Parameter-free Clifford gates always decompose; rotation gates
+    (``rx ry rz p prx u cp rzz``) decompose exactly when every angle is a
+    multiple of π/2 within *tol* (the angles are snapped, so e.g.
+    ``rz(π/2)`` maps to the S primitive).  Directives, genuinely
+    non-Clifford gates (T, arbitrary rotations), and malformed calls
+    (wrong parameter count) return ``None``.
+    """
+    registered = GATES.get(name)
+    if (
+        registered is None
+        or registered.directive
+        or len(params) != registered.num_params
+    ):
+        return None
+    fixed = _FIXED_CLIFFORD_PRIMS.get(name)
+    if fixed is not None:
+        return fixed
+    if name in ("rz", "p"):
+        k = _quarter_turns(params[0], tol)
+        return None if k is None else _RZ_QUARTER_PRIMS[k]
+    if name == "rx":
+        k = _quarter_turns(params[0], tol)
+        return None if k is None else _rx_quarter_prims(k)
+    if name == "ry":
+        k = _quarter_turns(params[0], tol)
+        return None if k is None else _ry_quarter_prims(k)
+    if name == "prx":
+        # PRX(θ, φ) = RZ(φ) · RX(θ) · RZ(−φ)
+        kt = _quarter_turns(params[0], tol)
+        kp = _quarter_turns(params[1], tol)
+        if kt is None or kp is None:
+            return None
+        if kt == 0:
+            return ()
+        return (
+            *_RZ_QUARTER_PRIMS[(4 - kp) % 4],
+            *_rx_quarter_prims(kt),
+            *_RZ_QUARTER_PRIMS[kp],
+        )
+    if name == "u":
+        # U(θ, φ, λ) ≐ RZ(φ) · RY(θ) · RZ(λ)
+        kt = _quarter_turns(params[0], tol)
+        kp = _quarter_turns(params[1], tol)
+        kl = _quarter_turns(params[2], tol)
+        if kt is None or kp is None or kl is None:
+            return None
+        return (
+            *_RZ_QUARTER_PRIMS[kl],
+            *_ry_quarter_prims(kt),
+            *_RZ_QUARTER_PRIMS[kp],
+        )
+    if name == "cp":
+        k = _quarter_turns(params[0], tol)
+        if k == 0:
+            return ()
+        if k == 2:  # CP(π) = CZ; CP(±π/2) is controlled-S — not Clifford
+            return (("cz", (0, 1)),)
+        return None
+    if name == "rzz":
+        # RZZ(k·π/2) ∝ CZ·(S⊗S) for k=1, Z⊗Z for k=2, CZ·(S†⊗S†) for k=3.
+        k = _quarter_turns(params[0], tol)
+        if k is None:
+            return None
+        return (
+            (),
+            (("s", (0,)), ("s", (1,)), ("cz", (0, 1))),
+            (("z", (0,)), ("z", (1,))),
+            (("sdg", (0,)), ("sdg", (1,)), ("cz", (0, 1))),
+        )[k]
+    return None
+
+
+def is_clifford(name: str, params: Sequence[float] = (), *, tol: float = 1e-9) -> bool:
+    """Whether this gate invocation is a Clifford unitary.
+
+    Directives (measure/reset/barrier/delay) are *not* gates and return
+    ``False`` here; circuit-level Clifford analysis
+    (:func:`repro.circuits.dag.is_clifford_circuit`) treats them as
+    engine-neutral instead.
+    """
+    return clifford_primitives(name, params, tol=tol) is not None
 
 
 # ---------------------------------------------------------------------------
@@ -362,8 +524,12 @@ __all__ = [
     "GATES",
     "NATIVE_GATES",
     "PHYSICAL_NATIVE_GATES",
+    "UNITARY_NOOPS",
+    "CLIFFORD_GATES",
     "spec",
     "is_native",
+    "is_clifford",
+    "clifford_primitives",
     "rx_matrix",
     "ry_matrix",
     "rz_matrix",

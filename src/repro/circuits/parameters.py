@@ -47,6 +47,7 @@ class ParameterExpression:
 
     @property
     def offset(self) -> float:
+        """The additive constant of this affine expression."""
         return self._offset
 
     def coefficient(self, param: "Parameter") -> float:
@@ -54,6 +55,7 @@ class ParameterExpression:
         return self._terms.get(param, 0.0)
 
     def is_numeric(self) -> bool:
+        """True when no free parameters remain (the value is a number)."""
         return not self._terms
 
     # -- evaluation ---------------------------------------------------------
@@ -173,6 +175,7 @@ class Parameter(ParameterExpression):
 
     @property
     def name(self) -> str:
+        """The parameter's display name (uniqueness comes from identity)."""
         return self._name
 
     def __eq__(self, other: object) -> bool:

@@ -4,6 +4,8 @@ from repro.hybrid.observables import (
     PauliSum,
     PauliTerm,
     estimate_expectation,
+    exact_expectation,
+    expectation_stabilizer,
     expectation_statevector,
     h2_hamiltonian,
     transverse_field_ising,
@@ -35,6 +37,8 @@ __all__ = [
     "PauliSum",
     "PauliTerm",
     "estimate_expectation",
+    "exact_expectation",
+    "expectation_stabilizer",
     "expectation_statevector",
     "h2_hamiltonian",
     "transverse_field_ising",

@@ -198,6 +198,39 @@ def expectation_statevector(hamiltonian: PauliSum, state) -> float:
     return float(total)
 
 
+def expectation_stabilizer(hamiltonian: PauliSum, tableau) -> float:
+    """Exact ``⟨H⟩`` on a prepared :class:`~repro.simulator.stabilizer.Tableau`.
+
+    Every Pauli term of a stabilizer state evaluates to exactly ``−1``,
+    ``0`` or ``+1`` (zero whenever the term anticommutes with any
+    stabilizer generator), so the contraction is a per-term ``O(n²)``
+    bit computation with no state copies at all — hundreds of qubits are
+    fine.  This is the Z-basis expectation path the hybrid layer uses
+    for Clifford ansätze and calibration-style circuits.
+    """
+    total = hamiltonian.identity_offset
+    for term in hamiltonian.measured_terms():
+        labels = "".join(label for _, label in term.paulis)
+        total += term.coefficient * tableau.expectation_pauli(labels, term.qubits)
+    return float(total)
+
+
+def exact_expectation(hamiltonian: PauliSum, circuit: QuantumCircuit) -> float:
+    """Exact ``⟨H⟩`` on the state prepared by *circuit*, engine-dispatched.
+
+    Clifford-only circuits evaluate on a stabilizer tableau
+    (polynomial, exact ±1/0 term values); everything else goes through
+    the dense state vector via :func:`expectation_statevector`.
+    """
+    from repro.circuits.dag import is_clifford_circuit
+    from repro.simulator.stabilizer import simulate_tableau
+    from repro.simulator.statevector import simulate_statevector
+
+    if is_clifford_circuit(circuit):
+        return expectation_stabilizer(hamiltonian, simulate_tableau(circuit))
+    return expectation_statevector(hamiltonian, simulate_statevector(circuit))
+
+
 def estimate_expectation(
     hamiltonian: PauliSum,
     run_circuit,
@@ -286,6 +319,8 @@ __all__ = [
     "PauliTerm",
     "PauliSum",
     "estimate_expectation",
+    "exact_expectation",
+    "expectation_stabilizer",
     "expectation_statevector",
     "h2_hamiltonian",
     "transverse_field_ising",

@@ -1,4 +1,14 @@
-"""Quantum state simulation: state vectors, channels, noise, sampling."""
+"""Quantum state simulation: state vectors, stabilizer tableaux, channels,
+noise, sampling.
+
+Two computational substrates live here — the dense
+:class:`~repro.simulator.statevector.StateVector` engine (exact, any
+gate, exponential in qubits) and the
+:class:`~repro.simulator.stabilizer.Tableau` engine (Clifford-only,
+polynomial, hundreds of qubits).  The shot sampler dispatches between
+them; :func:`~repro.simulator.sampler.engine_mode` is the canonical
+switch.  See ``docs/architecture.md`` for the full engine-mode contract.
+"""
 
 from repro.simulator.channels import (
     KrausChannel,
@@ -24,6 +34,12 @@ from repro.simulator.noise import (
     thermal_relaxation_error,
 )
 from repro.simulator.sampler import engine_mode, ideal_probabilities, sample_counts
+from repro.simulator.stabilizer import (
+    CosetSupport,
+    Tableau,
+    ghz_tableau,
+    simulate_tableau,
+)
 from repro.simulator.statevector import (
     StateVector,
     circuit_unitary,
@@ -55,6 +71,10 @@ __all__ = [
     "engine_mode",
     "ideal_probabilities",
     "sample_counts",
+    "CosetSupport",
+    "Tableau",
+    "ghz_tableau",
+    "simulate_tableau",
     "StateVector",
     "circuit_unitary",
     "ghz_state",

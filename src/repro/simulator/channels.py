@@ -57,6 +57,7 @@ class KrausChannel:
 
     @property
     def num_qubits(self) -> int:
+        """Qubit arity of the channel's Kraus operators."""
         return int(round(math.log2(self.operators[0].shape[0])))
 
     def apply_to_density(self, rho: np.ndarray) -> np.ndarray:

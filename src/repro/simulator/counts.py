@@ -45,19 +45,34 @@ class Counts(Mapping[str, int]):
     @classmethod
     def from_bit_array(cls, bits: np.ndarray) -> "Counts":
         """Build from an ``(shots, num_bits)`` 0/1 array where column *j*
-        is classical bit *j* (displayed rightmost-first)."""
+        is classical bit *j* (displayed rightmost-first).
+
+        Registers up to 62 bits histogram through a packed-integer
+        ``np.unique``; wider registers (the stabilizer engine samples
+        hundreds of qubits) fall back to row-wise uniquing so the bit
+        weights never overflow int64.
+        """
         bits = np.asarray(bits)
         if bits.ndim != 2:
             raise SimulationError("bit array must be 2-D (shots, bits)")
         shots, width = bits.shape
         if width == 0:
             raise SimulationError("bit array needs at least one bit column")
-        weights = (1 << np.arange(width)).astype(np.int64)
-        values = bits.astype(np.int64) @ weights
-        uniq, cnt = np.unique(values, return_counts=True)
-        data = {
-            format(int(v), f"0{width}b"): int(c) for v, c in zip(uniq, cnt)
-        }
+        if width <= 62:
+            weights = (1 << np.arange(width)).astype(np.int64)
+            values = bits.astype(np.int64) @ weights
+            uniq, cnt = np.unique(values, return_counts=True)
+            data = {
+                format(int(v), f"0{width}b"): int(c) for v, c in zip(uniq, cnt)
+            }
+        else:
+            rows, cnt = np.unique(
+                np.ascontiguousarray(bits, dtype=np.uint8), axis=0, return_counts=True
+            )
+            data = {
+                "".join("1" if b else "0" for b in row[::-1]): int(c)
+                for row, c in zip(rows, cnt)
+            }
         return cls(data, num_bits=width)
 
     @classmethod
@@ -96,15 +111,18 @@ class Counts(Mapping[str, int]):
 
     @property
     def shots(self) -> int:
+        """Total number of recorded shots (sum of all counts)."""
         return sum(self._data.values())
 
     def probabilities(self) -> Dict[str, float]:
+        """The empirical outcome distribution (counts normalized by shots)."""
         total = self.shots
         if total == 0:
             return {}
         return {k: v / total for k, v in self._data.items()}
 
     def most_frequent(self) -> str:
+        """The modal bitstring (ties break toward the larger key)."""
         if not self._data:
             raise SimulationError("no outcomes recorded")
         return max(self._data.items(), key=lambda kv: (kv[1], kv[0]))[0]
@@ -176,6 +194,7 @@ class Counts(Mapping[str, int]):
         return probs.get(zeros, 0.0) + probs.get(ones, 0.0)
 
     def to_dict(self) -> Dict[str, int]:
+        """A plain ``{bitstring: count}`` dict (zero entries dropped)."""
         return dict(self._data)
 
 

@@ -43,25 +43,31 @@ class DensityMatrix:
 
     @classmethod
     def from_statevector(cls, state: StateVector) -> "DensityMatrix":
+        """The pure-state density matrix ``|ψ⟩⟨ψ|``."""
         vec = state.data
         return cls(state.num_qubits, np.outer(vec, vec.conj()))
 
     @property
     def data(self) -> np.ndarray:
+        """The density matrix (a live view; mutate with care)."""
         return self._data
 
     def trace(self) -> float:
+        """``Tr ρ`` (1 for a normalized state)."""
         return float(np.real(np.trace(self._data)))
 
     def purity(self) -> float:
+        """``Tr ρ²`` — 1 for pure states, ``1/2^n`` for the maximally mixed."""
         return float(np.real(np.trace(self._data @ self._data)))
 
     def apply_unitary(self, matrix: np.ndarray, qubits: Sequence[int]) -> "DensityMatrix":
+        """Conjugate by a k-qubit unitary: ``ρ ← U ρ U†``."""
         full = _embed(np.asarray(matrix, dtype=complex), qubits, self.num_qubits)
         self._data = full @ self._data @ full.conj().T
         return self
 
     def apply_channel(self, channel: KrausChannel, qubits: Sequence[int]) -> "DensityMatrix":
+        """Apply a CPTP channel: ``ρ ← Σ_k K_k ρ K_k†``."""
         out = np.zeros_like(self._data)
         for k in channel.operators:
             full = _embed(k, qubits, self.num_qubits)
@@ -70,6 +76,7 @@ class DensityMatrix:
         return self
 
     def probabilities(self) -> np.ndarray:
+        """Computational-basis probabilities (the clipped diagonal)."""
         return np.real(np.diag(self._data)).clip(min=0.0)
 
     def fidelity_pure(self, state: StateVector) -> float:
@@ -78,6 +85,7 @@ class DensityMatrix:
         return float(np.real(vec.conj() @ (self._data @ vec)))
 
     def expectation(self, operator: np.ndarray) -> float:
+        """``Tr(ρ A)`` for a dense operator *A*."""
         return float(np.real(np.trace(self._data @ operator)))
 
     def __repr__(self) -> str:

@@ -227,6 +227,7 @@ class NoiseModel:
         return self
 
     def add_readout_error(self, error: ReadoutError, qubit: int) -> "NoiseModel":
+        """Attach a readout confusion matrix to *qubit* (replaces any prior)."""
         self._readout[int(qubit)] = error
         return self
 
@@ -247,14 +248,17 @@ class NoiseModel:
         return self._default.get(gate_name)
 
     def readout_for(self, qubit: int) -> Optional[ReadoutError]:
+        """The readout error registered for *qubit*, if any."""
         return self._readout.get(int(qubit))
 
     @property
     def noisy_gates(self) -> frozenset:
+        """Gate mnemonics that carry at least one registered error."""
         names = {g for g, _ in self._local} | set(self._default)
         return frozenset(names)
 
     def is_trivial(self) -> bool:
+        """True when the model contains no errors at all (ideal device)."""
         return not (self._local or self._default or self._readout)
 
     def __repr__(self) -> str:

@@ -28,6 +28,30 @@ harness and the equivalence suite).
 
 Circuits with mid-circuit measurement or reset fall back to a per-shot
 path, since their collapse randomness de-groups trajectories.
+
+Engine dispatch
+---------------
+Three engines can serve a sampling request (selected via
+:func:`engine_mode`, see its docstring for the mode table):
+
+* the **fast** state-vector engine (specialized kernels + prefix
+  sharing) — the default for anything the dense representation fits;
+* the **baseline** seed engine — generic kernels, from-scratch groups —
+  kept for the perf harness;
+* the **stabilizer** tableau engine
+  (:mod:`repro.simulator.stabilizer`) — polynomial cost, used for
+  Clifford-only circuits (detected via
+  :func:`repro.circuits.dag.is_clifford_circuit`).  In the default mode
+  it engages automatically when the circuit is Clifford *and* too wide
+  for the dense state; forcing ``engine_mode("stabilizer")`` routes
+  every Clifford circuit through it (non-Clifford circuits always fall
+  back to the state vector).
+
+Both grouped samplers consume the RNG stream identically (realization
+draws, then per-group outcome draws in first-error-site order, then
+readout), and the tableau's coset sampler inverts the same CDF the dense
+``rng.choice`` does — so seeded Clifford runs produce bit-identical
+counts regardless of which engine served them.
 """
 
 from __future__ import annotations
@@ -38,10 +62,13 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.dag import is_clifford_circuit
+from repro.circuits.gates import UNITARY_NOOPS
 from repro.errors import SimulationError
 from repro.simulator.counts import Counts
 from repro.simulator.noise import NoiseModel, QuantumError
-from repro.simulator.statevector import StateVector
+from repro.simulator.stabilizer import CosetSupport, Tableau
+from repro.simulator.statevector import DENSE_QUBIT_LIMIT, StateVector
 from repro.utils.rng import RandomState, as_rng
 
 _PAULI = {
@@ -77,8 +104,14 @@ def sample_counts(
         )
     r = as_rng(rng)
     extra = dict(instruction_errors or {})
+    stabilizer = _route_to_stabilizer(circuit)
     if _needs_per_shot(circuit):
-        bits = _sample_per_shot(circuit, int(shots), noise, r, extra)
+        if stabilizer:
+            bits = _sample_per_shot_stabilizer(circuit, int(shots), noise, r, extra)
+        else:
+            bits = _sample_per_shot(circuit, int(shots), noise, r, extra)
+    elif stabilizer:
+        bits = _sample_grouped_stabilizer(circuit, int(shots), noise, r, extra)
     else:
         bits = _sample_grouped(circuit, int(shots), noise, r, extra)
     bits = _apply_readout(circuit, bits, noise, r)
@@ -155,7 +188,13 @@ def _noisy_ops(
     return out
 
 
-def _inject(state: StateVector, inst: Instruction, err: QuantumError, term_idx: int) -> None:
+def _inject(state: StateVector, inst: Instruction, err: QuantumError, term_idx: int) -> bool:
+    """Apply error term *term_idx* to the dense state.
+
+    Returns ``True`` always — the "did this preserve shareable state
+    structure" contract exists for the tableau engine's benefit
+    (:func:`_inject_tableau`), and dense states share nothing.
+    """
     term = err.terms[term_idx]
     if term.kind == "pauli":
         for offset, label in enumerate(term.pauli.upper()):
@@ -172,6 +211,7 @@ def _inject(state: StateVector, inst: Instruction, err: QuantumError, term_idx: 
             state.apply_matrix(_PAULI["X"], [q])
         elif p1 > 1e-12:
             state.collapse(q, 0)
+    return True
 
 
 def _run_trajectory(
@@ -184,7 +224,7 @@ def _run_trajectory(
     for idx, inst in enumerate(circuit):
         if inst.name == "measure":
             mapping[inst.qubits[0]] = inst.clbits[0]
-        elif inst.name in ("barrier", "delay", "id"):
+        elif inst.name in UNITARY_NOOPS:
             pass
         else:
             state.apply_matrix(inst.matrix(), inst.qubits)
@@ -198,27 +238,70 @@ def _run_trajectory(
 #: Toggle via :func:`engine_mode` rather than assigning directly.
 USE_PREFIX_SHARING = True
 
+#: Current engine mode; one of :data:`ENGINE_MODES`.  Set via
+#: :func:`engine_mode` rather than assigning directly.
+ENGINE = "fast"
+
+#: The recognized engine modes (see :func:`engine_mode`).
+ENGINE_MODES = ("baseline", "fast", "stabilizer")
+
+
 
 @contextmanager
-def engine_mode(fast: bool) -> Iterator[None]:
-    """Select the fast engine (the default) or the seed-equivalent baseline.
+def engine_mode(mode: Optional[str] = None, *, fast: Optional[bool] = None) -> Iterator[None]:
+    """Select the simulation engine for the dynamic extent of the block.
 
-    Flips both process-global engine knobs together —
-    :attr:`StateVector.use_fast_kernels` and :data:`USE_PREFIX_SHARING` —
-    and restores their previous values on exit.  The perf harness,
-    microbenchmarks and equivalence suite all go through this one
-    canonical toggle so the knobs cannot drift apart across callers.
+    The one canonical switch for every process-global engine knob
+    (:attr:`StateVector.use_fast_kernels`, :data:`USE_PREFIX_SHARING`,
+    :data:`ENGINE`); previous values are restored on exit.  Modes:
+
+    ``"fast"`` (the default)
+        Specialized state-vector kernels + trajectory prefix-sharing.
+        Clifford circuits wider than the dense limit (26 qubits) route
+        through the stabilizer tableau automatically.
+    ``"baseline"``
+        The seed engine: generic ``moveaxis`` kernels, from-scratch
+        trajectory groups, no stabilizer dispatch.  The "before" lane of
+        the perf harness.
+    ``"stabilizer"``
+        Route every Clifford-only circuit through the tableau backend
+        (:mod:`repro.simulator.stabilizer`) regardless of width;
+        non-Clifford circuits fall back to the fast state-vector path.
+
+    The boolean keyword form ``engine_mode(fast=True/False)`` is the
+    pre-stabilizer spelling and maps to ``"fast"`` / ``"baseline"``.
     """
-    global USE_PREFIX_SHARING
+    if fast is not None:
+        if mode is not None:
+            raise SimulationError("pass either mode or fast=, not both")
+        mode = "fast" if fast else "baseline"
+    if mode not in ENGINE_MODES:
+        raise SimulationError(
+            f"unknown engine mode {mode!r}; expected one of {ENGINE_MODES}"
+        )
+    global USE_PREFIX_SHARING, ENGINE
+    prev_engine = ENGINE
     prev_kernels = StateVector.use_fast_kernels
     prev_prefix = USE_PREFIX_SHARING
-    StateVector.use_fast_kernels = fast
-    USE_PREFIX_SHARING = fast
+    accelerated = mode != "baseline"
+    ENGINE = mode
+    StateVector.use_fast_kernels = accelerated
+    USE_PREFIX_SHARING = accelerated
     try:
         yield
     finally:
+        ENGINE = prev_engine
         StateVector.use_fast_kernels = prev_kernels
         USE_PREFIX_SHARING = prev_prefix
+
+
+def _route_to_stabilizer(circuit: QuantumCircuit) -> bool:
+    """Dispatch predicate: serve this request from the tableau engine?"""
+    if ENGINE == "baseline":
+        return False
+    if ENGINE == "stabilizer":
+        return is_clifford_circuit(circuit)
+    return circuit.num_qubits > DENSE_QUBIT_LIMIT and is_clifford_circuit(circuit)
 
 
 def _group_realizations(
@@ -256,9 +339,78 @@ def _advance_clean(
     """Apply the unitary part of ``instructions[start:stop]`` in place."""
     for idx in range(start, stop):
         inst = instructions[idx]
-        if inst.name in ("barrier", "delay", "measure", "id"):
+        if inst.name in UNITARY_NOOPS:
             continue
         state.apply_matrix(inst.matrix(), inst.qubits)
+
+
+def _sample_grouped_engine(
+    circuit: QuantumCircuit,
+    shots: int,
+    noise: Optional[NoiseModel],
+    rng: np.random.Generator,
+    extra: Mapping[int, QuantumError],
+    *,
+    make_state,
+    advance,
+    inject,
+    sample_group,
+) -> np.ndarray:
+    """One prefix-sharing grouped walk shared by both engines.
+
+    Steps 3-4 of the sampler: one trajectory per distinct error
+    realization, sharing the clean prefix — groups are visited in order
+    of first error site so a single clean state advances monotonically
+    and each group replays only the suffix after its first injection
+    (the error fires *after* its instruction; the clean group sorts
+    last, so the shared prefix *is* its state).
+
+    The dense and tableau grouped paths must consume the RNG stream in
+    lock-step (realization draws, then per-group outcome draws in this
+    exact visit order) for seeded Clifford runs to stay bit-identical
+    across engines — so there is exactly one copy of the walk,
+    parameterized over the state factory, the clean-advance/injection
+    helpers, and the per-group sampling hook.  *inject* returns whether
+    the injection preserved shareable state structure;
+    ``sample_group(state, group_shots, shares_structure, qubits)``
+    returns the sampled bit columns.
+    """
+    noisy = _noisy_ops(circuit, noise, extra)
+    errors = dict(noisy)
+    groups = _group_realizations(noisy, shots, rng)
+    instructions = list(circuit)
+    end = len(instructions)
+    mapping = _measurement_map(circuit)
+    qubits = sorted(mapping)
+    width = circuit.num_clbits
+    ordered = sorted(groups.items(), key=lambda kv: kv[0][0][0] if kv[0] else end)
+    prefix = make_state()
+    prefix_pos = 0
+    chunks: List[np.ndarray] = []
+    for key, group_shots in ordered:
+        first = key[0][0] if key else end
+        fork = min(first + 1, end)
+        advance(prefix, instructions, prefix_pos, fork)
+        prefix_pos = fork
+        shares_structure = True
+        if key:
+            pattern = dict(key)
+            state = prefix.copy()
+            for idx in range(first, end):
+                if idx > first:
+                    advance(state, instructions, idx, idx + 1)
+                if idx in pattern:
+                    shares_structure &= inject(
+                        state, instructions[idx], errors[idx], pattern[idx]
+                    )
+        else:
+            state = prefix
+        sampled = sample_group(state, group_shots, shares_structure, qubits)
+        bits = np.zeros((group_shots, width), dtype=np.uint8)
+        for col, q in enumerate(qubits):
+            bits[:, mapping[q]] = sampled[:, col]
+        chunks.append(bits)
+    return np.concatenate(chunks, axis=0)
 
 
 def _sample_grouped(
@@ -270,44 +422,116 @@ def _sample_grouped(
 ) -> np.ndarray:
     if not USE_PREFIX_SHARING:
         return _sample_grouped_baseline(circuit, shots, noise, rng, extra)
-    noisy = _noisy_ops(circuit, noise, extra)
-    errors = dict(noisy)
-    groups = _group_realizations(noisy, shots, rng)
-    # 3-4. one trajectory per distinct realization, sharing the clean
-    # prefix: groups are visited in order of first error site so a single
-    # clean state advances monotonically and each group replays only the
-    # suffix after its first injection.
-    instructions = list(circuit)
-    end = len(instructions)
-    mapping = _measurement_map(circuit)
-    qubits = sorted(mapping)
-    width = circuit.num_clbits
-    ordered = sorted(groups.items(), key=lambda kv: kv[0][0][0] if kv[0] else end)
-    prefix = StateVector(circuit.num_qubits)
-    prefix_pos = 0
-    chunks: List[np.ndarray] = []
-    for key, group_shots in ordered:
-        first = key[0][0] if key else end
-        fork = min(first + 1, end)  # the error fires *after* its instruction
-        _advance_clean(prefix, instructions, prefix_pos, fork)
-        prefix_pos = fork
-        if key:
-            pattern = dict(key)
-            state = prefix.copy()
-            for idx in range(first, end):
-                if idx > first:
-                    _advance_clean(state, instructions, idx, idx + 1)
-                if idx in pattern:
-                    _inject(state, instructions[idx], errors[idx], pattern[idx])
-        else:
-            # The clean group sorts last; the shared prefix *is* its state.
-            state = prefix
-        sampled = state.sample(group_shots, rng, qubits=qubits)
-        bits = np.zeros((group_shots, width), dtype=np.uint8)
-        for col, q in enumerate(qubits):
-            bits[:, mapping[q]] = sampled[:, col]
-        chunks.append(bits)
-    return np.concatenate(chunks, axis=0)
+    return _sample_grouped_engine(
+        circuit,
+        shots,
+        noise,
+        rng,
+        extra,
+        make_state=lambda: StateVector(circuit.num_qubits),
+        advance=_advance_clean,
+        inject=_inject,
+        sample_group=lambda state, n, shares, qubits: state.sample(
+            n, rng, qubits=qubits
+        ),
+    )
+
+
+def _advance_clean_tableau(
+    state: Tableau, instructions: Sequence[Instruction], start: int, stop: int
+) -> None:
+    """Apply the Clifford part of ``instructions[start:stop]`` in place."""
+    for idx in range(start, stop):
+        inst = instructions[idx]
+        if inst.name in UNITARY_NOOPS:
+            continue
+        state.apply_instruction(inst)
+
+
+def _inject_tableau(
+    state: Tableau, inst: Instruction, err: QuantumError, term_idx: int
+) -> bool:
+    """Tableau counterpart of :func:`_inject`.
+
+    Returns ``True`` when the injection preserved the tableau's X/Z
+    structure (every Pauli term, and the deterministic branches of a
+    reset) so the caller can keep sharing one :class:`CosetSupport`
+    across trajectories; a genuine collapse returns ``False``.
+    """
+    term = err.terms[term_idx]
+    if term.kind == "pauli":
+        state.apply_pauli(term.pauli, inst.qubits[: len(term.pauli)])
+        return True
+    q = inst.qubits[term.reset_operand]
+    # Same dominant-branch semantics as the dense engine: |1⟩ flips,
+    # a superposed qubit collapses onto |0⟩, |0⟩ is left alone.
+    p1 = state.marginal_probability_one(q)
+    if p1 == 1.0:
+        state.apply_pauli("X", [q])
+        return True
+    if p1 == 0.5:
+        state.collapse(q, 0)
+        return False
+    return True
+
+
+def _sample_grouped_stabilizer(
+    circuit: QuantumCircuit,
+    shots: int,
+    noise: Optional[NoiseModel],
+    rng: np.random.Generator,
+    extra: Mapping[int, QuantumError],
+) -> np.ndarray:
+    """The grouped sampler on the stabilizer tableau backend.
+
+    Same walk as :func:`_sample_grouped` (one shared copy:
+    :func:`_sample_grouped_engine`), with two tableau-specific wins:
+    trajectory forks copy ``O(n²)`` bits instead of ``2^n`` amplitudes,
+    and because Pauli injection only flips tableau signs, every
+    Pauli-only trajectory shares a single :class:`CosetSupport`
+    factorization of the outcome coset (groups that collapse a qubit via
+    a reset error recompute their own).
+    """
+    shared: List[CosetSupport] = []
+
+    def sample_group(state, group_shots, shares_structure, qubits):
+        if not shares_structure:
+            return state.sample(group_shots, rng, qubits=qubits)
+        if not shared:
+            shared.append(CosetSupport(state))
+        return state.sample(group_shots, rng, qubits=qubits, support=shared[0])
+
+    return _sample_grouped_engine(
+        circuit,
+        shots,
+        noise,
+        rng,
+        extra,
+        make_state=lambda: Tableau(circuit.num_qubits),
+        advance=_advance_clean_tableau,
+        inject=_inject_tableau,
+        sample_group=sample_group,
+    )
+
+
+def _sample_per_shot_stabilizer(
+    circuit: QuantumCircuit,
+    shots: int,
+    noise: Optional[NoiseModel],
+    rng: np.random.Generator,
+    extra: Mapping[int, QuantumError],
+) -> np.ndarray:
+    """Per-shot path (mid-circuit measurement/reset) on the tableau."""
+    return _sample_per_shot_engine(
+        circuit,
+        shots,
+        noise,
+        rng,
+        extra,
+        make_state=lambda: Tableau(circuit.num_qubits),
+        apply_gate=lambda state, inst: state.apply_instruction(inst),
+        inject=_inject_tableau,
+    )
 
 
 def _sample_grouped_baseline(
@@ -338,6 +562,47 @@ def _sample_grouped_baseline(
     return np.concatenate(chunks, axis=0)
 
 
+def _sample_per_shot_engine(
+    circuit: QuantumCircuit,
+    shots: int,
+    noise: Optional[NoiseModel],
+    rng: np.random.Generator,
+    extra: Mapping[int, QuantumError],
+    *,
+    make_state,
+    apply_gate,
+    inject,
+) -> np.ndarray:
+    """One per-shot loop shared by both engines.
+
+    The dense and tableau per-shot paths must consume the RNG stream in
+    lock-step (one draw per measurement/reset, one realization draw per
+    noisy op) for seeded runs to stay aligned across engines — so there
+    is exactly one copy of the walk, parameterized over the state
+    factory, the gate applicator, and the error injector.
+    """
+    noisy = dict(_noisy_ops(circuit, noise, extra))
+    width = circuit.num_clbits
+    bits = np.zeros((shots, width), dtype=np.uint8)
+    for s in range(shots):
+        state = make_state()
+        for idx, inst in enumerate(circuit):
+            if inst.name == "measure":
+                bits[s, inst.clbits[0]] = state.measure(inst.qubits[0], rng)
+            elif inst.name == "reset":
+                state.reset(inst.qubits[0], rng)
+            elif inst.name in UNITARY_NOOPS:
+                pass
+            else:
+                apply_gate(state, inst)
+            err = noisy.get(idx)
+            if err is not None:
+                draw = int(err.sample_many(1, rng)[0])
+                if draw >= 0:
+                    inject(state, inst, err, draw)
+    return bits
+
+
 def _sample_per_shot(
     circuit: QuantumCircuit,
     shots: int,
@@ -345,27 +610,16 @@ def _sample_per_shot(
     rng: np.random.Generator,
     extra: Mapping[int, QuantumError],
 ) -> np.ndarray:
-    noisy = dict(_noisy_ops(circuit, noise, extra))
-    width = circuit.num_clbits
-    bits = np.zeros((shots, width), dtype=np.uint8)
-    for s in range(shots):
-        state = StateVector(circuit.num_qubits)
-        for idx, inst in enumerate(circuit):
-            if inst.name == "measure":
-                outcome = state.measure(inst.qubits[0], rng)
-                bits[s, inst.clbits[0]] = outcome
-            elif inst.name == "reset":
-                state.reset(inst.qubits[0], rng)
-            elif inst.name in ("barrier", "delay", "id"):
-                pass
-            else:
-                state.apply_matrix(inst.matrix(), inst.qubits)
-            err = noisy.get(idx)
-            if err is not None:
-                draw = int(err.sample_many(1, rng)[0])
-                if draw >= 0:
-                    _inject(state, inst, err, draw)
-    return bits
+    return _sample_per_shot_engine(
+        circuit,
+        shots,
+        noise,
+        rng,
+        extra,
+        make_state=lambda: StateVector(circuit.num_qubits),
+        apply_gate=lambda state, inst: state.apply_matrix(inst.matrix(), inst.qubits),
+        inject=_inject,
+    )
 
 
 def _apply_readout(

@@ -1,0 +1,605 @@
+"""Stabilizer tableau engine for Clifford circuits (Aaronson–Gottesman).
+
+The dense state-vector engine caps out at 26 qubits (a 1 GiB state), yet
+the paper's flagship workloads — GHZ calibration circuits, readout
+checks, and the grouped noisy sampling behind the 146-day operations run
+— are Clifford circuits under Pauli noise.  Those are exactly the
+circuits the Gottesman–Knill theorem makes polynomial: an n-qubit
+stabilizer state is ``2n`` Pauli rows of ``2n`` bits each, and every
+Clifford gate, Pauli error injection, and computational-basis
+measurement is an ``O(n)``–``O(n²)`` bit-matrix update.
+
+Representation
+--------------
+:class:`Tableau` stores the phase-tracked binary tableau of
+Aaronson & Gottesman (PRA 70, 052328): rows ``0..n-1`` are destabilizer
+generators, rows ``n..2n-1`` stabilizer generators.  Row *i* encodes the
+Pauli ``(−1)^{r_i} · Π_q P_q`` with ``P_q ∈ {I, X, Z, Y}`` for
+``(x_q, z_q) ∈ {(0,0), (1,0), (0,1), (1,1)}``.  Gate conjugations update
+whole bit-columns with vectorized numpy ops; row products use the
+``rowsum`` phase bookkeeping (the mod-4 ``g`` function) from the paper.
+
+Sampling
+--------
+Measurement outcomes of a stabilizer state in the computational basis
+are uniform over a coset ``c ⊕ span(B)`` of a binary subspace.
+:class:`CosetSupport` extracts that coset once per circuit *structure*
+by Gaussian elimination (the X-block reduction that isolates the Z-only
+stabilizer subgroup, then an F₂ solve), tracking the phase bits
+*symbolically* so that trajectories differing only by injected Pauli
+errors — which flip signs but never change the X/Z structure — reuse one
+factorization and solve their own offset in ``O(n²)`` bit-ops.
+:meth:`Tableau.sample` then maps uniform draws through the sorted coset,
+reproducing bit-for-bit what the dense engine's CDF inversion produces
+on the same seeded RNG (see the method docstring for the contract).
+
+Everything here is pure numpy on uint8 bit-matrices; no new
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits import gates as gate_lib
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.errors import SimulationError
+from repro.utils.rng import RandomState, as_rng
+
+#: Coset dimensions up to this bound sample through a single uniform draw
+#: per shot (bit-compatible with the dense engine's CDF inversion);
+#: larger cosets draw one uniform per free bit instead.  48 keeps the
+#: ``u · 2^k`` index computation exact in double precision.
+_EXACT_COSET_BITS = 48
+
+
+def _g4(x1: np.ndarray, z1: np.ndarray, x2: np.ndarray, z2: np.ndarray) -> np.ndarray:
+    """Aaronson–Gottesman ``g`` exponent, elementwise.
+
+    The power of ``i`` produced when multiplying the single-qubit Pauli
+    ``(x1, z1)`` by ``(x2, z2)``; values in ``{−1, 0, +1}``.  Inputs are
+    0/1 arrays broadcast against each other.
+    """
+    x1 = x1.astype(np.int64)
+    z1 = z1.astype(np.int64)
+    x2 = x2.astype(np.int64)
+    z2 = z2.astype(np.int64)
+    return (
+        x1 * z1 * (z2 - x2)
+        + x1 * (1 - z1) * z2 * (2 * x2 - 1)
+        + (1 - x1) * z1 * x2 * (1 - 2 * z2)
+    )
+
+
+class Tableau:
+    """A mutable n-qubit stabilizer state in phase-tracked tableau form.
+
+    Created in ``|0…0⟩`` (destabilizers ``X_i``, stabilizers ``Z_i``).
+    Gate application goes through :meth:`apply` / :meth:`apply_instruction`;
+    the supported primitives are ``h s sdg x y z cx cz swap`` — every
+    library Clifford gate reaches them via
+    :func:`repro.circuits.gates.clifford_primitives`.
+    """
+
+    def __init__(self, num_qubits: int) -> None:
+        if num_qubits < 1:
+            raise SimulationError("tableau needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        n = self.num_qubits
+        self.x = np.zeros((2 * n, n), dtype=np.uint8)
+        self.z = np.zeros((2 * n, n), dtype=np.uint8)
+        self.r = np.zeros(2 * n, dtype=np.uint8)
+        self.x[np.arange(n), np.arange(n)] = 1            # destabilizers X_i
+        self.z[n + np.arange(n), np.arange(n)] = 1        # stabilizers Z_i
+
+    def copy(self) -> "Tableau":
+        """An independent deep copy (``O(n²)`` bits — cheap)."""
+        dup = Tableau.__new__(Tableau)
+        dup.num_qubits = self.num_qubits
+        dup.x = self.x.copy()
+        dup.z = self.z.copy()
+        dup.r = self.r.copy()
+        return dup
+
+    def _check_qubit(self, qubit: int) -> int:
+        if not 0 <= qubit < self.num_qubits:
+            raise SimulationError(
+                f"qubit {qubit} out of range for {self.num_qubits}-qubit tableau"
+            )
+        return int(qubit)
+
+    # -- gate conjugations (vectorized over all 2n rows) -----------------------
+
+    def _h(self, q: int) -> None:
+        xq = self.x[:, q].copy()
+        self.r ^= xq & self.z[:, q]
+        self.x[:, q] = self.z[:, q]
+        self.z[:, q] = xq
+
+    def _s(self, q: int) -> None:
+        self.r ^= self.x[:, q] & self.z[:, q]
+        self.z[:, q] ^= self.x[:, q]
+
+    def _sdg(self, q: int) -> None:
+        self.r ^= self.x[:, q] & (self.z[:, q] ^ 1)
+        self.z[:, q] ^= self.x[:, q]
+
+    def _x(self, q: int) -> None:
+        self.r ^= self.z[:, q]
+
+    def _y(self, q: int) -> None:
+        self.r ^= self.x[:, q] ^ self.z[:, q]
+
+    def _z(self, q: int) -> None:
+        self.r ^= self.x[:, q]
+
+    def _cx(self, control: int, target: int) -> None:
+        xc, zc = self.x[:, control], self.z[:, control]
+        xt, zt = self.x[:, target], self.z[:, target]
+        self.r ^= xc & zt & (xt ^ zc ^ 1)
+        self.x[:, target] = xt ^ xc
+        self.z[:, control] = zc ^ zt
+
+    def _cz(self, a: int, b: int) -> None:
+        # Direct conjugation: X_a → X_a Z_b, X_b → Z_a X_b, Z's fixed;
+        # the sign flips exactly when both X bits are set and the Z bits
+        # differ (e.g. CZ·X_aY_b·CZ = −Y_aX_b).  One pass, no copies —
+        # CZ is the native 2q gate of the modeled QPU, so this is the
+        # hottest tableau update.
+        xa, xb = self.x[:, a], self.x[:, b]
+        self.r ^= xa & xb & (self.z[:, a] ^ self.z[:, b])
+        self.z[:, a] ^= xb
+        self.z[:, b] ^= xa
+
+    def _swap(self, a: int, b: int) -> None:
+        self.x[:, [a, b]] = self.x[:, [b, a]]
+        self.z[:, [a, b]] = self.z[:, [b, a]]
+
+    _PRIMITIVES = {
+        "h": _h,
+        "s": _s,
+        "sdg": _sdg,
+        "x": _x,
+        "y": _y,
+        "z": _z,
+        "cx": _cx,
+        "cz": _cz,
+        "swap": _swap,
+    }
+
+    def apply(
+        self, name: str, qubits: Sequence[int], params: Sequence[float] = ()
+    ) -> "Tableau":
+        """Apply a library gate by mnemonic (must be Clifford; rotation
+        gates qualify at multiples of π/2)."""
+        prims = gate_lib.clifford_primitives(name, params)
+        if prims is None:
+            raise SimulationError(
+                f"gate {name!r} with params {tuple(params)} is not Clifford; "
+                "the tableau engine cannot apply it"
+            )
+        qs = [self._check_qubit(q) for q in qubits]
+        for prim, slots in prims:
+            Tableau._PRIMITIVES[prim](self, *(qs[i] for i in slots))
+        return self
+
+    def apply_instruction(self, instruction: Instruction) -> "Tableau":
+        """Apply one circuit instruction (unitary Clifford gates only).
+
+        Uses the instruction's memoized primitive decomposition
+        (:meth:`~repro.circuits.circuit.Instruction.clifford_primitives`),
+        so trajectory replays never re-snap angles or re-resolve the
+        registry.
+        """
+        prims = instruction.clifford_primitives()
+        if prims is None:
+            raise SimulationError(
+                f"instruction {instruction!r} is not Clifford; "
+                "route this circuit through the state-vector engine"
+            )
+        qs = [self._check_qubit(q) for q in instruction.qubits]
+        for prim, slots in prims:
+            Tableau._PRIMITIVES[prim](self, *(qs[i] for i in slots))
+        return self
+
+    def apply_pauli(self, pauli: str, qubits: Sequence[int]) -> "Tableau":
+        """Inject a Pauli string (string index *i* acts on ``qubits[i]``).
+
+        Pauli conjugation only flips row phases — the X/Z structure of
+        the tableau is untouched, which is what lets error trajectories
+        share one :class:`CosetSupport`.
+        """
+        if len(pauli) != len(qubits):
+            raise SimulationError("pauli string and qubit list lengths differ")
+        for label, q in zip(pauli.upper(), qubits):
+            if label == "I":
+                continue
+            if label not in "XYZ":
+                raise SimulationError(f"unknown Pauli label {label!r}")
+            Tableau._PRIMITIVES[label.lower()](self, self._check_qubit(q))
+        return self
+
+    # -- row products ----------------------------------------------------------
+
+    def _rowsum_many(self, rows: np.ndarray, src: int) -> None:
+        """``row_h ← row_src · row_h`` for every *h* in *rows* (vectorized)."""
+        g = _g4(self.x[src][None, :], self.z[src][None, :],
+                self.x[rows], self.z[rows]).sum(axis=1)
+        phase = (2 * self.r[rows].astype(np.int64) + 2 * int(self.r[src]) + g) % 4
+        self.r[rows] = (phase >> 1).astype(np.uint8)
+        self.x[rows] ^= self.x[src]
+        self.z[rows] ^= self.z[src]
+
+    def _accumulate(
+        self, sx: np.ndarray, sz: np.ndarray, phase4: int, src: int
+    ) -> int:
+        """Multiply scratch row ``(sx, sz, i^phase4)`` by tableau row *src*.
+
+        Mutates *sx*/*sz* in place and returns the new mod-4 phase
+        exponent (kept mod 4 because intermediate products may pass
+        through ``±i`` even when the final result is Hermitian).
+        """
+        g = int(_g4(self.x[src], self.z[src], sx, sz).sum())
+        phase4 = (phase4 + 2 * int(self.r[src]) + g) % 4
+        sx ^= self.x[src]
+        sz ^= self.z[src]
+        return phase4
+
+    # -- measurement -----------------------------------------------------------
+
+    def _deterministic_outcome(self, qubit: int) -> int:
+        """Outcome of measuring *qubit* when no stabilizer anticommutes
+        with ``Z_qubit`` (the Aaronson–Gottesman scratch-row reduction)."""
+        n = self.num_qubits
+        sx = np.zeros(n, dtype=np.uint8)
+        sz = np.zeros(n, dtype=np.uint8)
+        phase4 = 0
+        for i in np.nonzero(self.x[:n, qubit])[0]:
+            phase4 = self._accumulate(sx, sz, phase4, n + int(i))
+        if phase4 not in (0, 2):
+            raise SimulationError("tableau corrupted: non-Hermitian Z product")
+        return phase4 >> 1
+
+    def marginal_probability_one(self, qubit: int) -> float:
+        """``P(qubit = 1)`` — exactly ``0.0``, ``0.5`` or ``1.0`` for a
+        stabilizer state."""
+        q = self._check_qubit(qubit)
+        n = self.num_qubits
+        if self.x[n:, q].any():
+            return 0.5
+        return float(self._deterministic_outcome(q))
+
+    def _collapse_random(self, qubit: int, outcome: int) -> None:
+        """Measurement update for the random-outcome case."""
+        n = self.num_qubits
+        p = n + int(np.nonzero(self.x[n:, qubit])[0][0])
+        others = np.nonzero(self.x[:, qubit])[0]
+        others = others[others != p]
+        if others.size:
+            self._rowsum_many(others, p)
+        self.x[p - n] = self.x[p]
+        self.z[p - n] = self.z[p]
+        self.r[p - n] = self.r[p]
+        self.x[p] = 0
+        self.z[p] = 0
+        self.z[p, qubit] = 1
+        self.r[p] = np.uint8(outcome)
+
+    def collapse(self, qubit: int, outcome: int) -> float:
+        """Project *qubit* onto *outcome*; returns the pre-collapse
+        probability of that outcome (raises if it is zero)."""
+        q = self._check_qubit(qubit)
+        n = self.num_qubits
+        if self.x[n:, q].any():
+            self._collapse_random(q, int(outcome))
+            return 0.5
+        det = self._deterministic_outcome(q)
+        if det != int(outcome):
+            raise SimulationError(
+                f"cannot collapse qubit {qubit} onto impossible outcome {outcome}"
+            )
+        return 1.0
+
+    def measure(self, qubit: int, rng: RandomState = None) -> int:
+        """Projectively measure one qubit, collapsing the tableau.
+
+        Always consumes exactly one uniform draw from *rng* — also for
+        deterministic outcomes — mirroring the dense engine's
+        :meth:`~repro.simulator.statevector.StateVector.measure`
+        (``outcome = u < P(1)``), so seeded per-shot runs stay aligned
+        between the two engines.
+        """
+        q = self._check_qubit(qubit)
+        u = as_rng(rng).random()
+        n = self.num_qubits
+        if self.x[n:, q].any():
+            outcome = 1 if u < 0.5 else 0
+            self._collapse_random(q, outcome)
+            return outcome
+        return self._deterministic_outcome(q)
+
+    def reset(self, qubit: int, rng: RandomState = None) -> "Tableau":
+        """Measure-and-flip reset of one qubit to ``|0⟩``."""
+        if self.measure(qubit, rng):
+            self._x(self._check_qubit(qubit))
+        return self
+
+    # -- observables -----------------------------------------------------------
+
+    def expectation_pauli(self, pauli: str, qubits: Sequence[int]) -> float:
+        """``⟨ψ| P |ψ⟩`` for a Pauli string — exactly ``−1.0``, ``0.0`` or
+        ``+1.0`` on a stabilizer state.
+
+        Zero when *P* anticommutes with any stabilizer generator;
+        otherwise *P* is (up to sign) an element of the stabilizer group
+        and the sign falls out of the destabilizer-indexed product, the
+        same scratch-row reduction as a deterministic measurement.
+        """
+        if len(pauli) != len(qubits):
+            raise SimulationError("pauli string and qubit list lengths differ")
+        n = self.num_qubits
+        px = np.zeros(n, dtype=np.uint8)
+        pz = np.zeros(n, dtype=np.uint8)
+        for label, q in zip(pauli.upper(), qubits):
+            qi = self._check_qubit(q)
+            if label == "I":
+                continue
+            if label == "X":
+                px[qi] ^= 1
+            elif label == "Y":
+                px[qi] ^= 1
+                pz[qi] ^= 1
+            elif label == "Z":
+                pz[qi] ^= 1
+            else:
+                raise SimulationError(f"unknown Pauli label {label!r}")
+        if not (px.any() or pz.any()):
+            return 1.0
+        anti_stab = ((self.x[n:] & pz) ^ (self.z[n:] & px)).sum(axis=1) % 2
+        if anti_stab.any():
+            return 0.0
+        anti_destab = ((self.x[:n] & pz) ^ (self.z[:n] & px)).sum(axis=1) % 2
+        sx = np.zeros(n, dtype=np.uint8)
+        sz = np.zeros(n, dtype=np.uint8)
+        phase4 = 0
+        for i in np.nonzero(anti_destab)[0]:
+            phase4 = self._accumulate(sx, sz, phase4, n + int(i))
+        if not (np.array_equal(sx, px) and np.array_equal(sz, pz)):
+            raise SimulationError("tableau corrupted: Pauli reconstruction failed")
+        if phase4 not in (0, 2):
+            raise SimulationError("tableau corrupted: non-Hermitian stabilizer")
+        return 1.0 if phase4 == 0 else -1.0
+
+    def expectation_z(self, qubits: Sequence[int]) -> float:
+        """Expectation of ``Z⊗…⊗Z`` on the listed qubits (the estimator
+        the hybrid layer contracts Hamiltonian terms through)."""
+        return self.expectation_pauli("Z" * len(qubits), qubits)
+
+    # -- sampling --------------------------------------------------------------
+
+    def sample(
+        self,
+        shots: int,
+        rng: RandomState = None,
+        qubits: Optional[Sequence[int]] = None,
+        *,
+        support: Optional["CosetSupport"] = None,
+    ) -> np.ndarray:
+        """Draw *shots* computational-basis samples without collapsing.
+
+        Returns an ``(shots, k)`` uint8 array, column *j* being qubit
+        ``qubits[j]`` (default all qubits in index order) — the same
+        contract as :meth:`StateVector.sample`.
+
+        The outcome set of a stabilizer state is a coset ``c ⊕ span(B)``
+        with uniform weights.  When the coset dimension fits in
+        ``_EXACT_COSET_BITS``, each shot consumes one uniform draw ``u``
+        and selects the ``⌊u·2^k⌋``-th smallest coset element — exactly
+        the index the dense engine's ``rng.choice`` CDF inversion picks
+        from the equal-weight probability vector, so seeded runs produce
+        identical bits across engines.  Beyond that, each shot draws one
+        uniform per free bit instead (the dense engine cannot represent
+        such states anyway).
+
+        Pass a precomputed *support* (from :class:`CosetSupport`) to skip
+        the ``O(n³)`` factorization when many tableaux share one X/Z
+        structure — the grouped noise sampler's common case.
+        """
+        r = as_rng(rng)
+        n = self.num_qubits
+        if support is None:
+            support = CosetSupport(self)
+        c = support.offset(self.r[n:])
+        k = support.dimension
+        shots = int(shots)
+        if k == 0:
+            # Deterministic outcome — but the dense engine's CDF inversion
+            # draws one uniform per shot even then, so consume (and
+            # discard) the same amount to keep seeded streams aligned.
+            r.random(shots)
+            bits = np.tile(c, (shots, 1))
+        else:
+            if k <= _EXACT_COSET_BITS:
+                u = r.random(shots)
+                j = np.minimum((u * float(1 << k)).astype(np.int64), (1 << k) - 1)
+                shifts = np.arange(k - 1, -1, -1, dtype=np.int64)
+                lam = ((j[:, None] >> shifts[None, :]) & 1).astype(np.uint8)
+            else:
+                lam = (r.random((shots, k)) < 0.5).astype(np.uint8)
+            mixed = (lam.astype(np.int64) @ support.basis.astype(np.int64)) & 1
+            bits = c[None, :] ^ mixed.astype(np.uint8)
+        qs = (
+            np.arange(n, dtype=np.int64)
+            if qubits is None
+            else np.asarray(list(qubits), dtype=np.int64)
+        )
+        return bits[:, qs]
+
+    def probabilities(self) -> np.ndarray:
+        """Dense ``2^n`` probability vector (validation only, n ≤ 16)."""
+        n = self.num_qubits
+        if n > 16:
+            raise SimulationError("dense probabilities limited to 16 qubits")
+        support = CosetSupport(self)
+        c = support.offset(self.r[n:])
+        k = support.dimension
+        weights = np.arange(n, dtype=np.int64)
+        out = np.zeros(1 << n, dtype=float)
+        lam_grid = np.arange(1 << k, dtype=np.int64)
+        members = np.full(1 << k, int((c.astype(np.int64) << weights).sum()))
+        for i in range(k):
+            vec = int((support.basis[i].astype(np.int64) << weights).sum())
+            on = (lam_grid >> (k - 1 - i)) & 1
+            members ^= np.where(on == 1, vec, 0)
+        out[members] = 1.0 / (1 << k)
+        return out
+
+    def __repr__(self) -> str:
+        return f"<Tableau {self.num_qubits} qubits>"
+
+
+class CosetSupport:
+    """The computational-basis outcome coset of a tableau's X/Z structure.
+
+    Factorizes the stabilizer block once: Gaussian elimination over the
+    X-block isolates the Z-only stabilizer subgroup, whose sign bits pin
+    the outcome set to a coset ``c ⊕ span(B)`` of ``F₂^n``.  Phases are
+    tracked *symbolically* during elimination (each working row carries
+    the set of original stabilizer rows multiplied into it plus the
+    accumulated mod-4 ``g``-phase), so the factorization depends only on
+    the X/Z bits.  :meth:`offset` then resolves the coset representative
+    for any concrete stabilizer sign vector in ``O(n²)`` bit-ops —
+    trajectories that differ only by injected Pauli errors share one
+    instance.
+
+    The basis is fully reduced with pivots in descending bit order, so
+    the map ``λ ↦ c ⊕ λ·B`` enumerates coset elements in increasing
+    integer order — the property :meth:`Tableau.sample` relies on for
+    dense-engine-compatible CDF inversion.
+    """
+
+    def __init__(self, tableau: Tableau) -> None:
+        n = tableau.num_qubits
+        self.num_qubits = n
+        sx = tableau.x[n:].copy()
+        sz = tableau.z[n:].copy()
+        hist = np.eye(n, dtype=np.uint8)           # which original rows multiply in
+        g4 = np.zeros(n, dtype=np.int64)           # accumulated g-phase, mod 4
+        used = np.zeros(n, dtype=bool)
+        for col in range(n):
+            cand = np.nonzero(sx[:, col] & ~used)[0]
+            if cand.size == 0:
+                continue
+            p = int(cand[0])
+            used[p] = True
+            rows = cand[1:]
+            if rows.size:
+                g = _g4(sx[p][None, :], sz[p][None, :], sx[rows], sz[rows]).sum(axis=1)
+                g4[rows] = (g4[rows] + g4[p] + g) % 4
+                hist[rows] ^= hist[p]
+                sx[rows] ^= sx[p]
+                sz[rows] ^= sz[p]
+        zonly = np.nonzero(~used)[0]
+        if (g4[zonly] % 2).any():
+            raise SimulationError("tableau corrupted: odd phase on Z-only row")
+        # Z-only rows impose  A·x = b0 ⊕ H·r  on outcome bitstrings x,
+        # where r is the tableau's stabilizer sign vector.
+        A = sz[zonly].copy()
+        b0 = ((g4[zonly] >> 1) % 2).astype(np.uint8)
+        H = hist[zonly].copy()
+        m = A.shape[0]
+        pivots: List[int] = []
+        row = 0
+        for col in range(n):
+            if row == m:
+                break
+            sub = np.nonzero(A[row:, col])[0]
+            if sub.size == 0:
+                continue
+            pr = row + int(sub[0])
+            if pr != row:
+                A[[row, pr]] = A[[pr, row]]
+                b0[[row, pr]] = b0[[pr, row]]
+                H[[row, pr]] = H[[pr, row]]
+            others = np.nonzero(A[:, col])[0]
+            others = others[others != row]
+            if others.size:
+                A[others] ^= A[row]
+                b0[others] ^= b0[row]
+                H[others] ^= H[row]
+            pivots.append(col)
+            row += 1
+        if row != m:
+            raise SimulationError("tableau corrupted: dependent stabilizers")
+        self._pivot_cols = np.asarray(pivots, dtype=np.int64)
+        self._b0 = b0
+        self._H = H
+        free_cols = sorted(set(range(n)) - set(pivots))
+        k = len(free_cols)
+        # Nullspace vector for free column f: 1 at f plus ``A[i, f]`` at
+        # each pivot column p_i.  Echelon structure zeroes every row left
+        # of its pivot, so ``A[i, f] = 0`` whenever ``p_i > f`` — each
+        # vector's top bit *is* its free column, pivot positions are
+        # mutually clear, and listing free columns in descending order
+        # already yields the reduced descending-pivot basis the
+        # sorted-coset sampler needs.
+        basis = np.zeros((k, n), dtype=np.uint8)
+        for j, f in enumerate(reversed(free_cols)):
+            basis[j, f] = 1
+            if m:
+                basis[j, self._pivot_cols] = A[:, f]
+        self.basis = basis
+        self._basis_pivots = np.asarray(free_cols[::-1], dtype=np.int64)
+        self.dimension = k
+
+    def offset(self, signs: np.ndarray) -> np.ndarray:
+        """Reduced coset representative for stabilizer sign bits *signs*.
+
+        Returns the smallest-integer outcome as an ``(n,)`` bit vector:
+        the particular solution of the Z-only constraint system.  Its
+        support lies in the constraint pivot columns — disjoint from the
+        basis pivots (the free columns) — so it is already the reduced
+        representative and ``λ ↦ c ⊕ λ·B`` walks the coset in increasing
+        integer order.
+        """
+        c = np.zeros(self.num_qubits, dtype=np.uint8)
+        if self._pivot_cols.size:
+            b = self._b0 ^ ((self._H & signs[None, :]).sum(axis=1) % 2).astype(np.uint8)
+            c[self._pivot_cols] = b
+        return c
+
+
+def simulate_tableau(
+    circuit: QuantumCircuit, *, rng: RandomState = None
+) -> Tableau:
+    """Run *circuit*'s Clifford part, returning the final tableau.
+
+    The stabilizer analogue of :func:`~repro.simulator.statevector.simulate_statevector`:
+    measurements are skipped (sampling is the sampler's job), resets
+    collapse stochastically using *rng*, barriers and delays are no-ops.
+    Raises :class:`SimulationError` on any non-Clifford instruction.
+    """
+    tab = Tableau(circuit.num_qubits)
+    r = as_rng(rng)
+    for inst in circuit:
+        if inst.name in gate_lib.UNITARY_NOOPS:
+            continue
+        if inst.name == "reset":
+            tab.reset(inst.qubits[0], r)
+            continue
+        tab.apply_instruction(inst)
+    return tab
+
+
+def ghz_tableau(num_qubits: int) -> Tableau:
+    """The ``(|0…0⟩ + |1…1⟩)/√2`` state as a tableau, at any width."""
+    tab = Tableau(num_qubits)
+    tab.apply("h", [0])
+    for q in range(num_qubits - 1):
+        tab.apply("cx", [q, q + 1])
+    return tab
+
+
+__all__ = ["Tableau", "CosetSupport", "simulate_tableau", "ghz_tableau"]

@@ -50,6 +50,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import UNITARY_NOOPS
 from repro.errors import SimulationError
 from repro.utils.rng import RandomState, as_rng
 
@@ -59,6 +60,11 @@ _PAULIS: Dict[str, np.ndarray] = {
     "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
     "Z": np.array([[1, 0], [0, -1]], dtype=complex),
 }
+
+#: Widest state the dense engine will allocate (a 1 GiB amplitude
+#: vector).  The sampler's automatic stabilizer routing keys off this
+#: same constant, so raising it moves both limits together.
+DENSE_QUBIT_LIMIT = 26
 
 
 class StateVector:
@@ -70,9 +76,10 @@ class StateVector:
     def __init__(self, num_qubits: int, data: Optional[np.ndarray] = None) -> None:
         if num_qubits < 1:
             raise SimulationError("state needs at least one qubit")
-        if num_qubits > 26:
+        if num_qubits > DENSE_QUBIT_LIMIT:
             raise SimulationError(
-                f"{num_qubits} qubits exceeds the dense-state limit (26)"
+                f"{num_qubits} qubits exceeds the dense-state limit "
+                f"({DENSE_QUBIT_LIMIT})"
             )
         self.num_qubits = int(num_qubits)
         dim = 1 << self.num_qubits
@@ -97,9 +104,11 @@ class StateVector:
 
     @property
     def dim(self) -> int:
+        """Hilbert-space dimension ``2^n``."""
         return self._data.size
 
     def copy(self) -> "StateVector":
+        """An independent deep copy of the state."""
         # Fast path: a single allocation.  Routing through __init__ would
         # copy the amplitude array twice (once here, once in the ``data``
         # validation branch).
@@ -109,9 +118,11 @@ class StateVector:
         return dup
 
     def norm(self) -> float:
+        """Euclidean norm of the amplitude vector (1 for a valid state)."""
         return float(np.linalg.norm(self._data))
 
     def normalize(self) -> "StateVector":
+        """Rescale to unit norm in place; raises on a numerically zero state."""
         n = self.norm()
         if n < 1e-300:
             raise SimulationError("cannot normalize a zero state")
@@ -421,7 +432,7 @@ def simulate_statevector(
         raise SimulationError("initial state size does not match circuit")
     r = as_rng(rng)
     for inst in circuit:
-        if inst.name in ("barrier", "delay", "measure", "id"):
+        if inst.name in UNITARY_NOOPS:
             continue
         if inst.name == "reset":
             state.reset(inst.qubits[0], r)

@@ -1,6 +1,13 @@
 """Smoke test for the perf harness: ``scripts/bench.py --quick`` must run
 inside the tier-1 time budget and emit a schema-valid
-``BENCH_simulator.json``."""
+``BENCH_simulator.json``.
+
+Schema ``repro.bench.simulator/v2`` has two entry shapes: paired lanes
+(``baseline_seconds`` / ``fast_seconds`` / ``speedup``) for benchmarks
+with a before/after comparison, and single-lane entries (``seconds``)
+for the stabilizer scaling runs at widths no dense engine can
+represent.
+"""
 
 import json
 import os
@@ -10,13 +17,15 @@ import sys
 
 REPO = pathlib.Path(__file__).resolve().parents[1]
 
-REQUIRED_ENTRY_KEYS = {
+PAIRED_ENTRY_KEYS = {
     "name",
     "params",
     "baseline_seconds",
     "fast_seconds",
     "speedup",
 }
+
+SINGLE_LANE_KEYS = {"name", "params", "seconds"}
 
 
 def test_bench_quick_emits_valid_schema(tmp_path):
@@ -32,17 +41,23 @@ def test_bench_quick_emits_valid_schema(tmp_path):
     )
     assert proc.returncode == 0, proc.stderr
     payload = json.loads(out.read_text())
-    assert payload["schema"] == "repro.bench.simulator/v1"
+    assert payload["schema"] == "repro.bench.simulator/v2"
     assert payload["quick"] is True
     assert isinstance(payload["config"], dict)
     names = set()
     for entry in payload["benchmarks"]:
-        assert REQUIRED_ENTRY_KEYS <= set(entry), entry
-        assert entry["baseline_seconds"] > 0
-        assert entry["fast_seconds"] > 0
-        assert entry["speedup"] == entry["baseline_seconds"] / entry["fast_seconds"]
+        if "seconds" in entry:
+            assert SINGLE_LANE_KEYS <= set(entry), entry
+            assert entry["seconds"] > 0
+        else:
+            assert PAIRED_ENTRY_KEYS <= set(entry), entry
+            assert entry["baseline_seconds"] > 0
+            assert entry["fast_seconds"] > 0
+            assert entry["speedup"] == entry["baseline_seconds"] / entry["fast_seconds"]
         names.add(entry["name"])
-    # the acceptance-gate benchmark and the two workload lenses must exist
+    # the acceptance-gate benchmarks and the workload lenses must exist
     assert "ghz_shot_sampling_grouped" in names
     assert "grouped_vs_per_shot" in names
     assert "vqe_iteration_sampled" in names
+    assert "ghz_sampling_stabilizer" in names
+    assert "stabilizer_scaling_ghz" in names

@@ -1,0 +1,75 @@
+"""Documentation smoke checks.
+
+The repo's docs are part of its contract: a top-level README that names
+the tier-1 verification command verbatim, an architecture document for
+the simulator engine modes, and a non-empty package docstring on every
+``src/repro/*`` package so the subsystem map stays self-describing.
+These checks parse files statically (no imports), so they cannot be
+skewed by interpreter state.
+"""
+
+import ast
+import pathlib
+import re
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+README = REPO / "README.md"
+ROADMAP = REPO / "ROADMAP.md"
+ARCHITECTURE = REPO / "docs" / "architecture.md"
+SRC = REPO / "src" / "repro"
+
+
+def _tier1_command() -> str:
+    """The authoritative tier-1 command, parsed from ROADMAP.md."""
+    match = re.search(r"\*\*Tier-1 verify:\*\*\s*`([^`]+)`", ROADMAP.read_text())
+    assert match, "ROADMAP.md no longer states the tier-1 command"
+    return match.group(1)
+
+
+def test_readme_exists_and_names_tier1_command():
+    assert README.is_file(), "top-level README.md is missing"
+    text = README.read_text()
+    assert _tier1_command() in text, (
+        "README.md must quote the tier-1 test command verbatim "
+        f"({_tier1_command()!r})"
+    )
+
+
+def test_readme_documents_bench_workflow():
+    text = README.read_text()
+    assert "scripts/bench.py" in text
+    assert "BENCH_simulator.json" in text
+
+
+def test_readme_maps_every_package():
+    """The subsystem map must mention every src/repro/* package."""
+    text = README.read_text()
+    packages = sorted(
+        p.name for p in SRC.iterdir() if p.is_dir() and (p / "__init__.py").is_file()
+    )
+    missing = [name for name in packages if f"src/repro/{name}" not in text]
+    assert not missing, f"README subsystem map is missing packages: {missing}"
+
+
+def test_architecture_doc_covers_engine_contract():
+    assert ARCHITECTURE.is_file(), "docs/architecture.md is missing"
+    text = ARCHITECTURE.read_text()
+    for needle in (
+        "engine_mode",
+        "stabilizer",
+        "baseline",
+        "BENCH_simulator.json",
+        "repro.bench.simulator/v2",
+    ):
+        assert needle in text, f"architecture doc lost the {needle!r} section"
+
+
+def test_every_package_has_init_docstring():
+    inits = sorted(SRC.rglob("__init__.py")) + [SRC / "__init__.py"]
+    bad = []
+    for init in inits:
+        tree = ast.parse(init.read_text())
+        doc = ast.get_docstring(tree)
+        if not doc or not doc.strip():
+            bad.append(str(init.relative_to(REPO)))
+    assert not bad, f"packages without an __init__ docstring: {bad}"
