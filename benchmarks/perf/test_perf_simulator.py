@@ -67,9 +67,9 @@ def test_perf_gate_kernels():
     lines = [f"{'kernel':<16s} {'generic':>10s} {'fast':>10s} {'speedup':>8s}"]
     for label, matrix, arity in cases:
         run = _gate_loop(matrix, arity)
-        with _engine(fast=False):
+        with _engine("baseline"):
             generic = _best_of(run)
-        with _engine(fast=True):
+        with _engine("fast"):
             fast = _best_of(run)
         lines.append(
             f"{label:<16s} {generic * 1e3:>8.2f}ms {fast * 1e3:>8.2f}ms "
@@ -91,9 +91,9 @@ def test_perf_prefix_sharing_sampler():
     def run():
         sample_counts(circuit, shots, noise=noise, rng=7)
 
-    with _engine(fast=False):
+    with _engine("baseline"):
         baseline = _best_of(run, repeats=2)
-    with _engine(fast=True):
+    with _engine("fast"):
         fast = _best_of(run, repeats=2)
     lines = [
         f"GHZ-12, {shots} shots, depolarizing noise, grouped path",
@@ -144,6 +144,55 @@ def test_perf_stabilizer_vs_dense():
         "stabilizer engine slower than dense fast engine on Clifford sampling"
     )
     assert wide_seconds < 30.0, "wide Clifford sampling left the interactive regime"
+
+
+def test_perf_hybrid_segment():
+    """Segment-granular mixed execution must beat the fast dense engine
+    on Clifford-prefix + non-Clifford-tail grouped sampling, and stay
+    interactive at widths the dense engine cannot represent at all.
+
+    14 qubits is past the hybrid/dense crossover (per-group tableau
+    conversion overhead loses to `2^n` forks from ~13 qubits up), so the
+    ordering assertion holds with real margin at CI-friendly cost."""
+    num_qubits = 14
+    circuit = ghz_circuit(num_qubits, measure=False)
+    for q in range(num_qubits):
+        circuit.t(q)
+    circuit.measure_all()
+    noise = NoiseModel()
+    noise.add_gate_error(depolarizing_error(0.01, 2), "cx")
+    noise.add_gate_error(depolarizing_error(0.005, 1), "h")
+    shots = 256
+
+    def run():
+        sample_counts(circuit, shots, noise=noise, rng=7)
+
+    with _engine("fast"):
+        dense = _best_of(run, repeats=2)
+    with _engine("hybrid"):
+        hybrid = _best_of(run, repeats=2)
+
+    wide = ghz_circuit(40, measure=False)
+    for q in range(40):
+        wide.t(q)
+    wide.measure_all()
+    with _engine("hybrid"):
+        start = time.perf_counter()
+        sample_counts(wide, shots, noise=noise, rng=7)
+        wide_seconds = time.perf_counter() - start
+
+    lines = [
+        f"GHZ-{num_qubits} + T layer, {shots} shots, depolarizing noise, grouped path",
+        f"dense fast : {dense * 1e3:8.2f} ms   ({shots / dense:8.0f} shots/s)",
+        f"hybrid     : {hybrid * 1e3:8.2f} ms   ({shots / hybrid:8.0f} shots/s)",
+        f"speedup    : {dense / hybrid:8.2f} x",
+        f"GHZ-40 + T layer (beyond dense limit): {wide_seconds * 1e3:8.2f} ms",
+    ]
+    report("perf_hybrid_segment", "\n".join(lines))
+    assert hybrid <= dense * TIMING_SLACK, (
+        "hybrid segment engine slower than dense fast engine on GHZ+T sampling"
+    )
+    assert wide_seconds < 30.0, "wide hybrid sampling left the interactive regime"
 
 
 def test_perf_sample_bit_extraction():

@@ -14,10 +14,15 @@ the engine lanes :func:`repro.simulator.engine_mode` exposes:
   Clifford-only circuits (``ghz_sampling_stabilizer`` pits it against
   the fast dense engine at device scale; ``stabilizer_scaling_ghz``
   lanes run widths no dense engine can represent, so they record a
-  single ``seconds`` lane instead of a before/after pair).
+  single ``seconds`` lane instead of a before/after pair);
+* **hybrid** — segment-granular mixed (tableau→dense) execution
+  (``hybrid_segment_ghz_t`` runs a GHZ Clifford prefix followed by a
+  T-gate layer: the hybrid engine forks and replays trajectory groups
+  on the tableau and converts each group's boundary state to sparse
+  amplitudes, against the fast dense engine paying full ``2^n`` forks).
 
 Results are printed as a table and written to ``BENCH_simulator.json``
-(schema ``repro.bench.simulator/v2``) so later PRs have a perf
+(schema ``repro.bench.simulator/v3``) so later PRs have a perf
 trajectory to beat.  ``--quick`` shrinks sizes to fit the tier-1 CI
 budget; the default configuration runs the paper-scale 20-qubit GHZ
 shot-sampling benchmarks whose speedups the acceptance gates check.
@@ -52,11 +57,12 @@ from repro.simulator import (  # noqa: E402
     depolarizing_error,
     sample_counts,
 )
+from repro.simulator.engines import DenseEngine  # noqa: E402
 from repro.simulator.sampler import _sample_per_shot  # noqa: E402
 from repro.simulator.sampler import engine_mode as engine  # noqa: E402
 from repro.simulator.statevector import StateVector  # noqa: E402
 
-SCHEMA = "repro.bench.simulator/v2"
+SCHEMA = "repro.bench.simulator/v3"
 
 
 def _timed(fn: Callable[[], object], repeats: int) -> float:
@@ -123,9 +129,9 @@ def bench_gate_apply(num_qubits: int, reps: int, repeats: int) -> List[Dict[str,
             for i in range(reps):
                 sv.apply_matrix(matrix, operands(i))
 
-        with engine(fast=False):
+        with engine("baseline"):
             base = _timed(run, repeats)
-        with engine(fast=True):
+        with engine("fast"):
             fast = _timed(run, repeats)
         out.append(
             _entry(
@@ -152,9 +158,9 @@ def bench_ghz_sampling(num_qubits: int, shots: int, repeats: int) -> Dict[str, o
     depolarizing noise — seed engine vs fast engine."""
     circuit = ghz_circuit(num_qubits)
     noise = _ghz_noise()
-    with engine(fast=False):
+    with engine("baseline"):
         base = _timed(lambda: sample_counts(circuit, shots, noise=noise, rng=7), repeats)
-    with engine(fast=True):
+    with engine("fast"):
         fast = _timed(lambda: sample_counts(circuit, shots, noise=noise, rng=7), repeats)
     return _entry(
         "ghz_shot_sampling_grouped",
@@ -173,10 +179,10 @@ def bench_grouped_vs_per_shot(
     in both lanes; this isolates the trajectory-grouping win)."""
     circuit = ghz_circuit(num_qubits)
     noise = _ghz_noise()
-    with engine(fast=True):
+    with engine("fast"):
         per_shot = _timed(
             lambda: _sample_per_shot(
-                circuit, shots, noise, np.random.default_rng(7), {}
+                circuit, shots, noise, np.random.default_rng(7), {}, DenseEngine
             ),
             repeats,
         )
@@ -246,6 +252,40 @@ def bench_stabilizer_scaling(
     return out
 
 
+def _ghz_t_circuit(num_qubits: int):
+    """GHZ Clifford prefix + one T-gate layer + terminal measurement —
+    the canonical Clifford-prefix / non-Clifford-tail workload."""
+    circuit = ghz_circuit(num_qubits, measure=False, name=f"ghz{num_qubits}+t")
+    for q in range(num_qubits):
+        circuit.t(q)
+    circuit.measure_all()
+    return circuit
+
+
+def bench_hybrid_segment(num_qubits: int, shots: int, repeats: int) -> Dict[str, object]:
+    """Hybrid segment engine vs the fast dense engine on a GHZ-prefix +
+    T-layer grouped-sampling workload — the mixed-execution acceptance
+    benchmark (≥3× at 24 qubits; in practice orders of magnitude,
+    because every trajectory group forks on the tableau and converts a
+    two-element coset instead of copying a ``2^n`` amplitude vector)."""
+    circuit = _ghz_t_circuit(num_qubits)
+    noise = _ghz_noise()
+    with engine("fast"):
+        dense = _timed(lambda: sample_counts(circuit, shots, noise=noise, rng=7), repeats)
+    with engine("hybrid"):
+        hybrid = _timed(lambda: sample_counts(circuit, shots, noise=noise, rng=7), repeats)
+    entry = _entry(
+        "hybrid_segment_ghz_t",
+        {"num_qubits": num_qubits, "shots": shots, "noise": "depolarizing"},
+        dense,
+        hybrid,
+        throughput_unit="shots_per_sec",
+        work_items=shots,
+    )
+    entry["lanes"] = {"baseline": "statevector-fast", "fast": "hybrid-segment"}
+    return entry
+
+
 def bench_vqe_iteration(shots: int, repeats: int) -> List[Dict[str, object]]:
     """Latency of one VQE energy evaluation (the tight-loop unit of work):
     the sampled estimator and the exact state-vector path."""
@@ -264,10 +304,10 @@ def bench_vqe_iteration(shots: int, repeats: int) -> List[Dict[str, object]]:
         ("vqe_iteration_sampled", "energy"),
         ("vqe_iteration_exact", "energy_exact"),
     ):
-        with engine(fast=False):
+        with engine("baseline"):
             vqe = make_vqe()
             base = _timed(lambda: getattr(vqe, method)(values), repeats)
-        with engine(fast=True):
+        with engine("fast"):
             vqe = make_vqe()
             fast = _timed(lambda: getattr(vqe, method)(values), repeats)
         out.append(
@@ -302,6 +342,8 @@ def run(quick: bool) -> Dict[str, object]:
             "stabilizer_shots": 256,
             "stabilizer_scaling_sizes": [40],
             "stabilizer_scaling_shots": 128,
+            "hybrid_qubits": 16,
+            "hybrid_shots": 192,
         }
         repeats = 1
     else:
@@ -317,6 +359,8 @@ def run(quick: bool) -> Dict[str, object]:
             "stabilizer_shots": 512,
             "stabilizer_scaling_sizes": [50, 100],
             "stabilizer_scaling_shots": 512,
+            "hybrid_qubits": 24,
+            "hybrid_shots": 160,
         }
         repeats = 2
     benchmarks: List[Dict[str, object]] = []
@@ -336,6 +380,9 @@ def run(quick: bool) -> Dict[str, object]:
     )
     benchmarks += bench_stabilizer_scaling(
         config["stabilizer_scaling_sizes"], config["stabilizer_scaling_shots"], repeats
+    )
+    benchmarks.append(
+        bench_hybrid_segment(config["hybrid_qubits"], config["hybrid_shots"], repeats)
     )
     benchmarks += bench_vqe_iteration(config["vqe_shots"], repeats)
     return {

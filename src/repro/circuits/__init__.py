@@ -9,9 +9,11 @@ from repro.circuits.circuit import (
 )
 from repro.circuits.dag import (
     CircuitDag,
+    CliffordSegment,
     clifford_segments,
     is_clifford_circuit,
     layers,
+    segment_summary,
 )
 from repro.circuits.gates import (
     CLIFFORD_GATES,
@@ -41,9 +43,11 @@ __all__ = [
     "ghz_circuit",
     "random_circuit",
     "CircuitDag",
+    "CliffordSegment",
     "clifford_segments",
     "is_clifford_circuit",
     "layers",
+    "segment_summary",
     "CLIFFORD_GATES",
     "GATES",
     "NATIVE_GATES",

@@ -11,7 +11,7 @@ duration is the max of its member gate durations).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, NamedTuple, Sequence, Tuple
 
 from repro.circuits.circuit import Instruction, QuantumCircuit
 
@@ -135,43 +135,96 @@ def is_clifford_circuit(circuit: QuantumCircuit) -> bool:
     return all(instruction_is_clifford(inst) for inst in circuit)
 
 
-def clifford_segments(circuit: QuantumCircuit) -> List[Tuple[int, int, bool]]:
+class CliffordSegment(NamedTuple):
+    """One maximal Clifford / non-Clifford run of a circuit.
+
+    A half-open instruction-index window ``[start, stop)`` plus its
+    engine class.  Tuple-compatible with the historical
+    ``(start, stop, is_clifford)`` triples, so existing consumers keep
+    working; the extra surface below is the segment metadata the
+    execution-engine router and diagnostics consume.
+    """
+
+    start: int
+    stop: int
+    is_clifford: bool
+
+    @property
+    def size(self) -> int:
+        """Number of instructions covered (directives included)."""
+        return self.stop - self.start
+
+    def instructions(self, circuit: QuantumCircuit) -> Tuple[Instruction, ...]:
+        """The covered instruction window of *circuit*."""
+        return circuit.instructions[self.start : self.stop]
+
+    def metadata(self, circuit: QuantumCircuit) -> Dict[str, object]:
+        """Routing-relevant summary of this segment within *circuit*:
+        gate/entangler counts and the qubits touched — what an engine
+        router needs to judge whether a tableau prefix pays off."""
+        gates = two_qubit = 0
+        qubits: set[int] = set()
+        for inst in self.instructions(circuit):
+            qubits.update(inst.qubits)
+            if inst.is_directive:
+                continue
+            gates += 1
+            two_qubit += len(inst.qubits) == 2
+        return {
+            "start": self.start,
+            "stop": self.stop,
+            "is_clifford": self.is_clifford,
+            "num_instructions": self.size,
+            "num_gates": gates,
+            "num_two_qubit_gates": two_qubit,
+            "qubits": tuple(sorted(qubits)),
+        }
+
+
+def clifford_segments(circuit: QuantumCircuit) -> List[CliffordSegment]:
     """Maximal Clifford / non-Clifford runs of *circuit*.
 
     Walks the instructions in program order (always a valid linear
-    extension of the dependency DAG) and returns half-open index runs
-    ``(start, stop, is_clifford)`` covering every instruction.
+    extension of the dependency DAG) and returns half-open
+    :class:`CliffordSegment` runs covering every instruction.
     Directives are engine-neutral and attach to whichever run is open —
     leading directives join the first gate's run — so a lone barrier
     never splits a segment; a circuit of only directives is one Clifford
     run.  The whole-circuit dispatch uses :func:`is_clifford_circuit`;
-    the segment view exists for diagnostics and for future mixed-engine
-    execution.
+    the first segment is the maximal Clifford prefix the hybrid
+    execution engine (:mod:`repro.simulator.engines`) runs on a
+    stabilizer tableau before crossing to dense amplitudes.
     """
-    out: List[Tuple[int, int, bool]] = []
+    out: List[CliffordSegment] = []
     for index, inst in enumerate(circuit):
         if inst.is_directive:
             if out:
-                start, _, flag = out[-1]
-                out[-1] = (start, index + 1, flag)
+                out[-1] = out[-1]._replace(stop=index + 1)
             continue
         flag = instruction_is_clifford(inst)
-        if out and out[-1][2] == flag:
-            start, _, _ = out[-1]
-            out[-1] = (start, index + 1, flag)
+        if out and out[-1].is_clifford == flag:
+            out[-1] = out[-1]._replace(stop=index + 1)
         else:
             # the first run absorbs any leading directives (start at 0)
-            out.append((0 if not out else index, index + 1, flag))
+            out.append(CliffordSegment(0 if not out else index, index + 1, flag))
     if not out and len(circuit):
-        out.append((0, len(circuit), True))
+        out.append(CliffordSegment(0, len(circuit), True))
     return out
+
+
+def segment_summary(circuit: QuantumCircuit) -> List[Dict[str, object]]:
+    """Per-segment metadata for every run of :func:`clifford_segments` —
+    the diagnostic view of how the hybrid engine would slice *circuit*."""
+    return [seg.metadata(circuit) for seg in clifford_segments(circuit)]
 
 
 __all__ = [
     "CircuitDag",
+    "CliffordSegment",
     "DagNode",
     "layers",
     "instruction_is_clifford",
     "is_clifford_circuit",
     "clifford_segments",
+    "segment_summary",
 ]

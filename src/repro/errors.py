@@ -48,6 +48,14 @@ class NoiseModelError(SimulationError):
     """Malformed noise channel (non-CPTP Kraus set, bad probability)."""
 
 
+class EngineModeError(SimulationError, ValueError):
+    """Unknown or conflicting simulation-engine mode selection.
+
+    Doubles as a :class:`ValueError` so callers validating configuration
+    strings can catch it without importing the simulation layer.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Device / QPU layer
 # ---------------------------------------------------------------------------

@@ -5,6 +5,7 @@ from repro.hybrid.observables import (
     PauliTerm,
     estimate_expectation,
     exact_expectation,
+    expectation_sparse,
     expectation_stabilizer,
     expectation_statevector,
     h2_hamiltonian,
@@ -38,6 +39,7 @@ __all__ = [
     "PauliTerm",
     "estimate_expectation",
     "exact_expectation",
+    "expectation_sparse",
     "expectation_stabilizer",
     "expectation_statevector",
     "h2_hamiltonian",

@@ -215,20 +215,46 @@ def expectation_stabilizer(hamiltonian: PauliSum, tableau) -> float:
     return float(total)
 
 
+def expectation_sparse(hamiltonian: PauliSum, sparse) -> float:
+    """Exact ``⟨H⟩`` on a prepared
+    :class:`~repro.simulator.engines.sparse.SparseAmplitudes` state.
+
+    Each Pauli term contracts over the stored support only (``O(nnz)``
+    per term), so Clifford-prefix + sparse-tail states — including
+    widths beyond the dense limit — evaluate without ever materializing
+    ``2^n`` amplitudes.  This is the expectation path of the hybrid
+    segment engine while its tail stays sparse.
+    """
+    total = hamiltonian.identity_offset
+    for term in hamiltonian.measured_terms():
+        labels = "".join(label for _, label in term.paulis)
+        total += term.coefficient * sparse.expectation_pauli(labels, term.qubits)
+    return float(total)
+
+
 def exact_expectation(hamiltonian: PauliSum, circuit: QuantumCircuit) -> float:
     """Exact ``⟨H⟩`` on the state prepared by *circuit*, engine-dispatched.
 
-    Clifford-only circuits evaluate on a stabilizer tableau
-    (polynomial, exact ±1/0 term values); everything else goes through
-    the dense state vector via :func:`expectation_statevector`.
+    Routed through the execution-engine registry
+    (:func:`repro.simulator.engines.prepare_engine`): Clifford-only
+    circuits evaluate on a stabilizer tableau (polynomial, exact ±1/0
+    term values), circuits with an entangling Clifford prefix on the
+    hybrid segment engine (whichever representation the tail ended in),
+    and dense states through the grouped
+    :func:`expectation_statevector` contraction.  Expectations carry no
+    RNG stream, so the default ``"fast"`` sampling mode upgrades to the
+    ``"auto"`` routing here, and ``"baseline"`` keeps its historical
+    Clifford-to-tableau dispatch (the seed lane's generic kernels still
+    serve every dense contraction); forcing ``"stabilizer"`` /
+    ``"hybrid"`` / ``"auto"`` is honoured as-is.
     """
-    from repro.circuits.dag import is_clifford_circuit
-    from repro.simulator.stabilizer import simulate_tableau
-    from repro.simulator.statevector import simulate_statevector
+    from repro.simulator import sampler
+    from repro.simulator.engines import prepare_engine
 
-    if is_clifford_circuit(circuit):
-        return expectation_stabilizer(hamiltonian, simulate_tableau(circuit))
-    return expectation_statevector(hamiltonian, simulate_statevector(circuit))
+    mode = {"fast": "auto", "baseline": "stabilizer"}.get(
+        sampler.ENGINE, sampler.ENGINE
+    )
+    return prepare_engine(circuit, mode).expectation(hamiltonian)
 
 
 def estimate_expectation(
@@ -320,6 +346,7 @@ __all__ = [
     "PauliSum",
     "estimate_expectation",
     "exact_expectation",
+    "expectation_sparse",
     "expectation_stabilizer",
     "expectation_statevector",
     "h2_hamiltonian",

@@ -1,13 +1,17 @@
 """Quantum state simulation: state vectors, stabilizer tableaux, channels,
-noise, sampling.
+noise, sampling, and the pluggable execution-engine registry.
 
-Two computational substrates live here — the dense
+Three computational substrates live here — the dense
 :class:`~repro.simulator.statevector.StateVector` engine (exact, any
-gate, exponential in qubits) and the
+gate, exponential in qubits), the
 :class:`~repro.simulator.stabilizer.Tableau` engine (Clifford-only,
-polynomial, hundreds of qubits).  The shot sampler dispatches between
-them; :func:`~repro.simulator.sampler.engine_mode` is the canonical
-switch.  See ``docs/architecture.md`` for the full engine-mode contract.
+polynomial, hundreds of qubits), and the segment-granular hybrid
+(tableau→dense) engine that runs a circuit's maximal Clifford prefix on
+a tableau before crossing to amplitudes.  All of them sit behind the
+:mod:`repro.simulator.engines` registry; the shot sampler routes per
+circuit and :func:`~repro.simulator.sampler.engine_mode` is the
+canonical switch.  See ``docs/architecture.md`` for the full engine
+registry and mode contract.
 """
 
 from repro.simulator.channels import (
@@ -24,6 +28,18 @@ from repro.simulator.channels import (
 )
 from repro.simulator.counts import Counts
 from repro.simulator.density import DensityMatrix, simulate_density
+from repro.simulator.engines import (
+    DenseEngine,
+    ExecutionEngine,
+    HybridSegmentEngine,
+    SparseAmplitudes,
+    TableauEngine,
+    engine_registry,
+    get_engine,
+    prepare_engine,
+    register_engine,
+    select_engine,
+)
 from repro.simulator.noise import (
     ErrorTerm,
     NoiseModel,
@@ -71,6 +87,16 @@ __all__ = [
     "engine_mode",
     "ideal_probabilities",
     "sample_counts",
+    "ExecutionEngine",
+    "DenseEngine",
+    "TableauEngine",
+    "HybridSegmentEngine",
+    "SparseAmplitudes",
+    "engine_registry",
+    "get_engine",
+    "prepare_engine",
+    "register_engine",
+    "select_engine",
     "CosetSupport",
     "Tableau",
     "ghz_tableau",

@@ -1,0 +1,160 @@
+"""Pluggable execution-engine registry and mode routing.
+
+This subpackage is the simulator's dispatch layer: every backend lives
+behind the :class:`~repro.simulator.engines.base.ExecutionEngine`
+protocol, registers itself by name, and is *routed to* per circuit by
+:func:`select_engine` according to the active engine mode
+(:func:`repro.simulator.engine_mode` is the user-facing switch).
+
+Backends
+--------
+``dense``
+    :class:`DenseEngine` — the ``2^n`` amplitude vector (exact, any
+    gate; fast or baseline kernels per the global kernel switch).
+``tableau``
+    :class:`TableauEngine` — the Aaronson–Gottesman stabilizer tableau
+    (Clifford-only, polynomial, hundreds of qubits).
+``hybrid``
+    :class:`HybridSegmentEngine` — segment-granular mixed execution:
+    the maximal Clifford prefix runs on a tableau, the state crosses to
+    (sparse, then dense) amplitudes at the first non-Clifford gate.
+
+Routing
+-------
+:func:`select_engine` maps ``(mode, circuit) → engine class``; the
+mode-string table lives in :func:`repro.simulator.engine_mode`'s
+docstring and ``docs/architecture.md``.  :func:`prepare_engine` is the
+expectation-path helper: route, instantiate, advance through the
+circuit's unitary part, return the prepared engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import clifford_segments, is_clifford_circuit
+from repro.errors import EngineModeError
+from repro.simulator.engines.base import (
+    ExecutionEngine,
+    engine_registry,
+    get_engine,
+    register_engine,
+)
+from repro.simulator.engines.dense import DenseEngine, inject_into_dense
+from repro.simulator.engines.hybrid import HybridSegmentEngine
+from repro.simulator.engines.sparse import SparseAmplitudes
+from repro.simulator.engines.tableau import TableauEngine, inject_into_tableau
+from repro.simulator.statevector import DENSE_QUBIT_LIMIT
+from repro.utils.rng import RandomState, as_rng
+
+
+def _clifford_prefix_has_gates(circuit: QuantumCircuit, *, two_qubit: bool) -> bool:
+    """Whether the maximal Clifford prefix contains any unitary gate
+    (*two_qubit*: any entangling gate) worth running on a tableau."""
+    segments = clifford_segments(circuit)
+    if not segments or not segments[0].is_clifford:
+        return False
+    for inst in circuit.instructions[segments[0].start : segments[0].stop]:
+        if inst.is_directive:
+            continue
+        if not two_qubit or len(inst.qubits) == 2:
+            return True
+    return False
+
+
+def select_engine(mode: str, circuit: QuantumCircuit) -> Type[ExecutionEngine]:
+    """Route one circuit to an engine class under *mode*.
+
+    The mode-string semantics (see also ``docs/architecture.md``):
+
+    ``baseline`` / ``fast``
+        Dense engine; ``fast`` auto-routes Clifford circuits *wider than
+        the dense limit* to the tableau (historical ≤26-qubit streams
+        stay on the dense engine, unchanged).
+    ``stabilizer``
+        Tableau for every Clifford circuit, dense fallback otherwise.
+    ``hybrid``
+        Tableau for Clifford circuits; segment-granular mixed execution
+        whenever the circuit has any Clifford prefix; dense otherwise.
+    ``auto``
+        Best-known routing: tableau for Clifford circuits, hybrid when
+        the Clifford prefix contains entangling structure (or the
+        circuit is too wide for dense anyway), dense for the rest.
+    """
+    # Resolve through the registry (not the imported classes) so that
+    # re-registering a name really does swap the backend dispatch serves.
+    dense = get_engine(DenseEngine.name)
+    tableau = get_engine(TableauEngine.name)
+    hybrid = get_engine(HybridSegmentEngine.name)
+    if mode == "baseline":
+        return dense
+    if mode == "fast":
+        if circuit.num_qubits > DENSE_QUBIT_LIMIT and is_clifford_circuit(circuit):
+            return tableau
+        return dense
+    if mode == "stabilizer":
+        return tableau if is_clifford_circuit(circuit) else dense
+    if mode == "hybrid":
+        if is_clifford_circuit(circuit):
+            return tableau
+        if _clifford_prefix_has_gates(circuit, two_qubit=False):
+            return hybrid
+        return dense
+    if mode == "auto":
+        if is_clifford_circuit(circuit):
+            return tableau
+        if circuit.num_qubits > DENSE_QUBIT_LIMIT:
+            return hybrid  # dense cannot represent it at all
+        if _clifford_prefix_has_gates(circuit, two_qubit=True):
+            return hybrid
+        return dense
+    raise EngineModeError(
+        f"unknown engine mode {mode!r}; cannot route circuit {circuit.name!r}"
+    )
+
+
+def prepare_engine(
+    circuit: QuantumCircuit,
+    mode: Optional[str] = None,
+    *,
+    rng: RandomState = None,
+) -> ExecutionEngine:
+    """Run *circuit*'s unitary part on the engine *mode* routes it to.
+
+    The registry-facing analogue of ``simulate_statevector`` /
+    ``simulate_tableau``: measurements are skipped (sampling is the
+    sampler's job), resets collapse stochastically using *rng*, barriers
+    and delays are no-ops.  *mode* defaults to the active
+    :func:`repro.simulator.engine_mode` selection.
+    """
+    if mode is None:
+        from repro.simulator import sampler
+
+        mode = sampler.ENGINE
+    engine = select_engine(mode, circuit)(circuit)
+    r = as_rng(rng)
+    for inst in circuit:
+        if inst.name == "measure":
+            continue
+        if inst.name == "reset":
+            engine.reset(inst.qubits[0], r)
+            continue
+        engine.advance((inst,))
+    return engine
+
+
+__all__ = [
+    "ExecutionEngine",
+    "DenseEngine",
+    "TableauEngine",
+    "HybridSegmentEngine",
+    "SparseAmplitudes",
+    "register_engine",
+    "get_engine",
+    "engine_registry",
+    "select_engine",
+    "prepare_engine",
+    "inject_into_dense",
+    "inject_into_tableau",
+]

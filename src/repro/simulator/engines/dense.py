@@ -1,0 +1,114 @@
+"""Dense state-vector execution engine.
+
+Wraps :class:`~repro.simulator.statevector.StateVector` behind the
+:class:`~repro.simulator.engines.base.ExecutionEngine` protocol.  Kernel
+selection (specialized fast kernels vs the generic ``moveaxis``
+baseline) stays on :attr:`StateVector.use_fast_kernels`, toggled by
+:func:`repro.simulator.engine_mode` — the engine object is the *walk*
+abstraction, not the kernel switch, so the ``"fast"`` and ``"baseline"``
+modes share this one class.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.gates import UNITARY_NOOPS
+from repro.simulator.channels import PAULI_MATRICES as _PAULI
+from repro.simulator.engines.base import ExecutionEngine, register_engine
+from repro.simulator.noise import QuantumError
+from repro.simulator.statevector import StateVector
+
+
+def inject_into_dense(
+    state, instruction: Instruction, error: QuantumError, term_index: int
+) -> bool:
+    """Apply error term *term_index* to a dense-semantics state.
+
+    *state* needs ``apply_matrix`` / ``marginal_probability_one`` /
+    ``collapse`` — both :class:`StateVector` and
+    :class:`~repro.simulator.engines.sparse.SparseAmplitudes` qualify,
+    which is how the hybrid engine reuses these exact semantics after
+    the segment boundary.  Returns ``True`` always: the "did this
+    preserve shareable structure" contract exists for the tableau's
+    benefit (:func:`~repro.simulator.engines.tableau.inject_into_tableau`),
+    and amplitude states share nothing.
+    """
+    term = error.terms[term_index]
+    if term.kind == "pauli":
+        for offset, label in enumerate(term.pauli.upper()):
+            if label == "I":
+                continue
+            state.apply_matrix(_PAULI[label], [instruction.qubits[offset]])
+    else:
+        q = instruction.qubits[term.reset_operand]
+        # Stochastic-event reset: project to |0⟩ deterministically by
+        # collapsing on the dominant branch; exact behaviour of the
+        # twirled thermal channel (population transfer to ground).
+        p1 = state.marginal_probability_one(q)
+        if p1 > 1.0 - 1e-12:
+            state.apply_matrix(_PAULI["X"], [q])
+        elif p1 > 1e-12:
+            state.collapse(q, 0)
+    return True
+
+
+@register_engine
+class DenseEngine(ExecutionEngine):
+    """The ``2^n`` amplitude-vector backend (exact, any gate)."""
+
+    name = "dense"
+
+    def prepare(self, circuit: QuantumCircuit) -> None:
+        self._state = StateVector(circuit.num_qubits)
+
+    def fork(self) -> "DenseEngine":
+        # type(self), not DenseEngine: subclassed backends must survive
+        # the trajectory fork.
+        cls = type(self)
+        dup = cls.__new__(cls)
+        dup.circuit = self.circuit
+        dup._state = self._state.copy()
+        return dup
+
+    def advance(self, ops: Sequence[Instruction]) -> None:
+        state = self._state
+        for inst in ops:
+            if inst.name in UNITARY_NOOPS:
+                continue
+            state.apply_matrix(inst.matrix(), inst.qubits)
+
+    def inject(
+        self, instruction: Instruction, error: QuantumError, term_index: int
+    ) -> bool:
+        return inject_into_dense(self._state, instruction, error, term_index)
+
+    def sample(
+        self,
+        shots: int,
+        rng: np.random.Generator,
+        qubits: Optional[Sequence[int]] = None,
+        *,
+        shares_structure: bool = True,
+    ) -> np.ndarray:
+        return self._state.sample(shots, rng, qubits=qubits)
+
+    def measure(self, qubit: int, rng: np.random.Generator) -> int:
+        return self._state.measure(qubit, rng)
+
+    def reset(self, qubit: int, rng: np.random.Generator) -> None:
+        self._state.reset(qubit, rng)
+
+    def to_dense(self) -> StateVector:
+        return self._state
+
+    def expectation(self, hamiltonian) -> float:
+        from repro.hybrid.observables import expectation_statevector
+
+        return expectation_statevector(hamiltonian, self._state)
+
+
+__all__ = ["DenseEngine", "inject_into_dense"]

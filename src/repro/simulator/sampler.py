@@ -1,4 +1,4 @@
-"""Shot sampler with trajectory grouping and prefix-sharing.
+"""Shot sampler: trajectory grouping, prefix-sharing, engine dispatch.
 
 Sampling a noisy 20-qubit circuit shot-by-shot would re-simulate the
 full state vector thousands of times.  Because every executor error is a
@@ -31,51 +31,44 @@ path, since their collapse randomness de-groups trajectories.
 
 Engine dispatch
 ---------------
-Three engines can serve a sampling request (selected via
-:func:`engine_mode`, see its docstring for the mode table):
+There is exactly **one** grouped walk (:func:`_sample_grouped`) and
+**one** per-shot walk (:func:`_sample_per_shot`), both parameterized
+over an :class:`~repro.simulator.engines.base.ExecutionEngine` class
+from the engine registry (:mod:`repro.simulator.engines`).  Which
+backend serves a request is decided per circuit by
+:func:`repro.simulator.engines.select_engine` under the mode string
+:func:`engine_mode` installs — dense state vector, stabilizer tableau,
+or the segment-granular hybrid (tableau→dense) engine.
 
-* the **fast** state-vector engine (specialized kernels + prefix
-  sharing) — the default for anything the dense representation fits;
-* the **baseline** seed engine — generic kernels, from-scratch groups —
-  kept for the perf harness;
-* the **stabilizer** tableau engine
-  (:mod:`repro.simulator.stabilizer`) — polynomial cost, used for
-  Clifford-only circuits (detected via
-  :func:`repro.circuits.dag.is_clifford_circuit`).  In the default mode
-  it engages automatically when the circuit is Clifford *and* too wide
-  for the dense state; forcing ``engine_mode("stabilizer")`` routes
-  every Clifford circuit through it (non-Clifford circuits always fall
-  back to the state vector).
-
-Both grouped samplers consume the RNG stream identically (realization
-draws, then per-group outcome draws in first-error-site order, then
-readout), and the tableau's coset sampler inverts the same CDF the dense
+All engines consume the RNG stream in lock-step (realization draws,
+then per-group outcome draws in first-error-site order, then readout),
+and every backend inverts the same outcome CDF the dense engine's
 ``rng.choice`` does — so seeded Clifford runs produce bit-identical
-counts regardless of which engine served them.
+counts regardless of which engine served them, and seeded hybrid runs
+match the dense engine to float precision.
 """
 
 from __future__ import annotations
 
+import warnings
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
 from repro.circuits.circuit import Instruction, QuantumCircuit
-from repro.circuits.dag import is_clifford_circuit
 from repro.circuits.gates import UNITARY_NOOPS
-from repro.errors import SimulationError
+from repro.errors import EngineModeError, SimulationError
 from repro.simulator.counts import Counts
+from repro.simulator.engines import (
+    ExecutionEngine,
+    TableauEngine,
+    inject_into_dense,
+    select_engine,
+)
 from repro.simulator.noise import NoiseModel, QuantumError
-from repro.simulator.stabilizer import CosetSupport, Tableau
-from repro.simulator.statevector import DENSE_QUBIT_LIMIT, StateVector
+from repro.simulator.statevector import StateVector
 from repro.utils.rng import RandomState, as_rng
-
-_PAULI = {
-    "X": np.array([[0, 1], [1, 0]], dtype=complex),
-    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
-    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
-}
 
 
 def sample_counts(
@@ -104,16 +97,13 @@ def sample_counts(
         )
     r = as_rng(rng)
     extra = dict(instruction_errors or {})
-    stabilizer = _route_to_stabilizer(circuit)
+    engine_cls = select_engine(ENGINE, circuit)
     if _needs_per_shot(circuit):
-        if stabilizer:
-            bits = _sample_per_shot_stabilizer(circuit, int(shots), noise, r, extra)
-        else:
-            bits = _sample_per_shot(circuit, int(shots), noise, r, extra)
-    elif stabilizer:
-        bits = _sample_grouped_stabilizer(circuit, int(shots), noise, r, extra)
+        bits = _sample_per_shot(circuit, int(shots), noise, r, extra, engine_cls)
+    elif not USE_PREFIX_SHARING:
+        bits = _sample_grouped_baseline(circuit, int(shots), noise, r, extra)
     else:
-        bits = _sample_grouped(circuit, int(shots), noise, r, extra)
+        bits = _sample_grouped(circuit, int(shots), noise, r, extra, engine_cls)
     bits = _apply_readout(circuit, bits, noise, r)
     return Counts.from_bit_array(bits)
 
@@ -136,6 +126,111 @@ def ideal_probabilities(circuit: QuantumCircuit) -> Dict[str, float]:
         key = "".join(bits)
         out[key] = out.get(key, 0.0) + float(p)
     return out
+
+
+# ---------------------------------------------------------------------------
+# engine-mode facade
+# ---------------------------------------------------------------------------
+
+
+#: Engine toggle used by the perf harness (``scripts/bench.py``) to time
+#: the seed-equivalent baseline; production code leaves it ``True``.
+#: Toggle via :func:`engine_mode` rather than assigning directly.
+USE_PREFIX_SHARING = True
+
+#: Current engine mode; one of :data:`ENGINE_MODES`.  Set via
+#: :func:`engine_mode` rather than assigning directly.
+ENGINE = "fast"
+
+#: The recognized engine modes (see :func:`engine_mode`).
+ENGINE_MODES = ("baseline", "fast", "stabilizer", "hybrid", "auto")
+
+#: One-shot latch for the ``engine_mode(fast=...)`` deprecation warning.
+_FAST_KEYWORD_WARNED = False
+
+
+@contextmanager
+def engine_mode(mode: Optional[str] = None, *, fast: Optional[bool] = None) -> Iterator[None]:
+    """Select the simulation engine for the dynamic extent of the block.
+
+    A thin facade over the execution-engine registry
+    (:mod:`repro.simulator.engines`): the mode string is stored in the
+    process-global knobs (:attr:`StateVector.use_fast_kernels`,
+    :data:`USE_PREFIX_SHARING`, :data:`ENGINE`) that
+    :func:`~repro.simulator.engines.select_engine` routes from, and all
+    previous values are restored on exit.  Modes:
+
+    ``"fast"`` (the default)
+        Specialized state-vector kernels + trajectory prefix-sharing.
+        Clifford circuits wider than the dense limit (26 qubits) route
+        through the stabilizer tableau automatically.
+    ``"baseline"``
+        The seed engine: generic ``moveaxis`` kernels, from-scratch
+        trajectory groups, no stabilizer dispatch.  The "before" lane of
+        the perf harness.
+    ``"stabilizer"``
+        Route every Clifford-only circuit through the tableau backend
+        (:mod:`repro.simulator.stabilizer`) regardless of width;
+        non-Clifford circuits fall back to the fast state-vector path.
+    ``"hybrid"``
+        Segment-granular mixed execution
+        (:class:`~repro.simulator.engines.hybrid.HybridSegmentEngine`):
+        the maximal Clifford prefix runs on a tableau and hands off to
+        (sparse, then dense) amplitudes at the first non-Clifford gate.
+        Clifford circuits route to the tableau, circuits with no
+        Clifford prefix to the dense engine.
+    ``"auto"``
+        Best-known routing per circuit: tableau for Clifford circuits,
+        hybrid when the Clifford prefix contains entangling structure
+        (or the circuit is too wide for dense), dense otherwise.
+
+    An invalid *mode* raises :class:`~repro.errors.EngineModeError`
+    (a :class:`ValueError`) **before** any global state is touched, so a
+    failed call can never leave the knobs partially set.
+
+    The boolean keyword form ``engine_mode(fast=True/False)`` is the
+    pre-stabilizer spelling, maps to ``"fast"`` / ``"baseline"``, and is
+    deprecated (one :class:`DeprecationWarning` per process).
+    """
+    global _FAST_KEYWORD_WARNED
+    if fast is not None:
+        if mode is not None:
+            raise EngineModeError("pass either mode or fast=, not both")
+        if not _FAST_KEYWORD_WARNED:
+            warnings.warn(
+                "engine_mode(fast=...) is deprecated; pass a mode string "
+                "('fast' / 'baseline') instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            _FAST_KEYWORD_WARNED = True
+        mode = "fast" if fast else "baseline"
+    if mode not in ENGINE_MODES:
+        raise EngineModeError(
+            f"unknown engine mode {mode!r}; expected one of {ENGINE_MODES}"
+        )
+    # Validation is complete — only now may globals be mutated.
+    global USE_PREFIX_SHARING, ENGINE
+    prev_engine = ENGINE
+    prev_kernels = StateVector.use_fast_kernels
+    prev_prefix = USE_PREFIX_SHARING
+    accelerated = mode != "baseline"
+    ENGINE = mode
+    StateVector.use_fast_kernels = accelerated
+    USE_PREFIX_SHARING = accelerated
+    try:
+        yield
+    finally:
+        ENGINE = prev_engine
+        StateVector.use_fast_kernels = prev_kernels
+        USE_PREFIX_SHARING = prev_prefix
+
+
+def _route_to_stabilizer(circuit: QuantumCircuit) -> bool:
+    """Dispatch predicate: does the active mode route this circuit to
+    the pure-tableau backend?  (Kept for the dispatch test suite; the
+    sampler itself asks :func:`select_engine` directly.)"""
+    return select_engine(ENGINE, circuit) is TableauEngine
 
 
 # ---------------------------------------------------------------------------
@@ -188,122 +283,6 @@ def _noisy_ops(
     return out
 
 
-def _inject(state: StateVector, inst: Instruction, err: QuantumError, term_idx: int) -> bool:
-    """Apply error term *term_idx* to the dense state.
-
-    Returns ``True`` always — the "did this preserve shareable state
-    structure" contract exists for the tableau engine's benefit
-    (:func:`_inject_tableau`), and dense states share nothing.
-    """
-    term = err.terms[term_idx]
-    if term.kind == "pauli":
-        for offset, label in enumerate(term.pauli.upper()):
-            if label == "I":
-                continue
-            state.apply_matrix(_PAULI[label], [inst.qubits[offset]])
-    else:
-        q = inst.qubits[term.reset_operand]
-        # Stochastic-event reset: project to |0⟩ deterministically by
-        # collapsing on the dominant branch; exact behaviour of the
-        # twirled thermal channel (population transfer to ground).
-        p1 = state.marginal_probability_one(q)
-        if p1 > 1.0 - 1e-12:
-            state.apply_matrix(_PAULI["X"], [q])
-        elif p1 > 1e-12:
-            state.collapse(q, 0)
-    return True
-
-
-def _run_trajectory(
-    circuit: QuantumCircuit,
-    pattern: Dict[int, int],
-    errors: Dict[int, QuantumError],
-) -> Tuple[StateVector, Dict[int, int]]:
-    state = StateVector(circuit.num_qubits)
-    mapping: Dict[int, int] = {}
-    for idx, inst in enumerate(circuit):
-        if inst.name == "measure":
-            mapping[inst.qubits[0]] = inst.clbits[0]
-        elif inst.name in UNITARY_NOOPS:
-            pass
-        else:
-            state.apply_matrix(inst.matrix(), inst.qubits)
-        if idx in pattern:
-            _inject(state, inst, errors[idx], pattern[idx])
-    return state, mapping
-
-
-#: Engine toggle used by the perf harness (``scripts/bench.py``) to time
-#: the seed-equivalent baseline; production code leaves it ``True``.
-#: Toggle via :func:`engine_mode` rather than assigning directly.
-USE_PREFIX_SHARING = True
-
-#: Current engine mode; one of :data:`ENGINE_MODES`.  Set via
-#: :func:`engine_mode` rather than assigning directly.
-ENGINE = "fast"
-
-#: The recognized engine modes (see :func:`engine_mode`).
-ENGINE_MODES = ("baseline", "fast", "stabilizer")
-
-
-
-@contextmanager
-def engine_mode(mode: Optional[str] = None, *, fast: Optional[bool] = None) -> Iterator[None]:
-    """Select the simulation engine for the dynamic extent of the block.
-
-    The one canonical switch for every process-global engine knob
-    (:attr:`StateVector.use_fast_kernels`, :data:`USE_PREFIX_SHARING`,
-    :data:`ENGINE`); previous values are restored on exit.  Modes:
-
-    ``"fast"`` (the default)
-        Specialized state-vector kernels + trajectory prefix-sharing.
-        Clifford circuits wider than the dense limit (26 qubits) route
-        through the stabilizer tableau automatically.
-    ``"baseline"``
-        The seed engine: generic ``moveaxis`` kernels, from-scratch
-        trajectory groups, no stabilizer dispatch.  The "before" lane of
-        the perf harness.
-    ``"stabilizer"``
-        Route every Clifford-only circuit through the tableau backend
-        (:mod:`repro.simulator.stabilizer`) regardless of width;
-        non-Clifford circuits fall back to the fast state-vector path.
-
-    The boolean keyword form ``engine_mode(fast=True/False)`` is the
-    pre-stabilizer spelling and maps to ``"fast"`` / ``"baseline"``.
-    """
-    if fast is not None:
-        if mode is not None:
-            raise SimulationError("pass either mode or fast=, not both")
-        mode = "fast" if fast else "baseline"
-    if mode not in ENGINE_MODES:
-        raise SimulationError(
-            f"unknown engine mode {mode!r}; expected one of {ENGINE_MODES}"
-        )
-    global USE_PREFIX_SHARING, ENGINE
-    prev_engine = ENGINE
-    prev_kernels = StateVector.use_fast_kernels
-    prev_prefix = USE_PREFIX_SHARING
-    accelerated = mode != "baseline"
-    ENGINE = mode
-    StateVector.use_fast_kernels = accelerated
-    USE_PREFIX_SHARING = accelerated
-    try:
-        yield
-    finally:
-        ENGINE = prev_engine
-        StateVector.use_fast_kernels = prev_kernels
-        USE_PREFIX_SHARING = prev_prefix
-
-
-def _route_to_stabilizer(circuit: QuantumCircuit) -> bool:
-    """Dispatch predicate: serve this request from the tableau engine?"""
-    if ENGINE == "baseline":
-        return False
-    if ENGINE == "stabilizer":
-        return is_clifford_circuit(circuit)
-    return circuit.num_qubits > DENSE_QUBIT_LIMIT and is_clifford_circuit(circuit)
-
-
 def _group_realizations(
     noisy: List[Tuple[int, QuantumError]], shots: int, rng: np.random.Generator
 ) -> Dict[Tuple[Tuple[int, int], ...], int]:
@@ -333,48 +312,35 @@ def _group_realizations(
     return groups
 
 
-def _advance_clean(
-    state: StateVector, instructions: Sequence[Instruction], start: int, stop: int
-) -> None:
-    """Apply the unitary part of ``instructions[start:stop]`` in place."""
-    for idx in range(start, stop):
-        inst = instructions[idx]
-        if inst.name in UNITARY_NOOPS:
-            continue
-        state.apply_matrix(inst.matrix(), inst.qubits)
-
-
-def _sample_grouped_engine(
+def _sample_grouped(
     circuit: QuantumCircuit,
     shots: int,
     noise: Optional[NoiseModel],
     rng: np.random.Generator,
     extra: Mapping[int, QuantumError],
-    *,
-    make_state,
-    advance,
-    inject,
-    sample_group,
+    engine_cls: Optional[Type[ExecutionEngine]] = None,
 ) -> np.ndarray:
-    """One prefix-sharing grouped walk shared by both engines.
+    """The one prefix-sharing grouped walk, shared by every engine.
 
     Steps 3-4 of the sampler: one trajectory per distinct error
     realization, sharing the clean prefix — groups are visited in order
-    of first error site so a single clean state advances monotonically
+    of first error site so a single clean engine advances monotonically
     and each group replays only the suffix after its first injection
     (the error fires *after* its instruction; the clean group sorts
     last, so the shared prefix *is* its state).
 
-    The dense and tableau grouped paths must consume the RNG stream in
-    lock-step (realization draws, then per-group outcome draws in this
-    exact visit order) for seeded Clifford runs to stay bit-identical
-    across engines — so there is exactly one copy of the walk,
-    parameterized over the state factory, the clean-advance/injection
-    helpers, and the per-group sampling hook.  *inject* returns whether
-    the injection preserved shareable state structure;
-    ``sample_group(state, group_shots, shares_structure, qubits)``
-    returns the sampled bit columns.
+    Every backend must consume the RNG stream in lock-step (realization
+    draws, then per-group outcome draws in this exact visit order) for
+    seeded runs to stay aligned across engines — so there is exactly one
+    copy of the walk, parameterized over the
+    :class:`~repro.simulator.engines.base.ExecutionEngine` class.
+    ``engine.inject`` reports whether the injection preserved shareable
+    state structure; the flag reaches ``engine.sample`` so
+    structure-keyed caches (the tableau's shared coset factorization)
+    apply exactly where they are valid.
     """
+    if engine_cls is None:
+        engine_cls = select_engine(ENGINE, circuit)
     noisy = _noisy_ops(circuit, noise, extra)
     errors = dict(noisy)
     groups = _group_realizations(noisy, shots, rng)
@@ -384,28 +350,30 @@ def _sample_grouped_engine(
     qubits = sorted(mapping)
     width = circuit.num_clbits
     ordered = sorted(groups.items(), key=lambda kv: kv[0][0][0] if kv[0] else end)
-    prefix = make_state()
+    prefix = engine_cls(circuit)
     prefix_pos = 0
     chunks: List[np.ndarray] = []
     for key, group_shots in ordered:
         first = key[0][0] if key else end
         fork = min(first + 1, end)
-        advance(prefix, instructions, prefix_pos, fork)
+        prefix.advance(instructions[prefix_pos:fork])
         prefix_pos = fork
         shares_structure = True
         if key:
             pattern = dict(key)
-            state = prefix.copy()
+            state = prefix.fork()
             for idx in range(first, end):
                 if idx > first:
-                    advance(state, instructions, idx, idx + 1)
+                    state.advance(instructions[idx : idx + 1])
                 if idx in pattern:
-                    shares_structure &= inject(
-                        state, instructions[idx], errors[idx], pattern[idx]
+                    shares_structure &= state.inject(
+                        instructions[idx], errors[idx], pattern[idx]
                     )
         else:
             state = prefix
-        sampled = sample_group(state, group_shots, shares_structure, qubits)
+        sampled = state.sample(
+            group_shots, rng, qubits, shares_structure=shares_structure
+        )
         bits = np.zeros((group_shots, width), dtype=np.uint8)
         for col, q in enumerate(qubits):
             bits[:, mapping[q]] = sampled[:, col]
@@ -413,125 +381,87 @@ def _sample_grouped_engine(
     return np.concatenate(chunks, axis=0)
 
 
-def _sample_grouped(
+def _sample_per_shot(
     circuit: QuantumCircuit,
     shots: int,
     noise: Optional[NoiseModel],
     rng: np.random.Generator,
     extra: Mapping[int, QuantumError],
+    engine_cls: Optional[Type[ExecutionEngine]] = None,
 ) -> np.ndarray:
-    if not USE_PREFIX_SHARING:
-        return _sample_grouped_baseline(circuit, shots, noise, rng, extra)
-    return _sample_grouped_engine(
-        circuit,
-        shots,
-        noise,
-        rng,
-        extra,
-        make_state=lambda: StateVector(circuit.num_qubits),
-        advance=_advance_clean,
-        inject=_inject,
-        sample_group=lambda state, n, shares, qubits: state.sample(
-            n, rng, qubits=qubits
-        ),
-    )
+    """The one per-shot walk (mid-circuit measurement/reset), shared by
+    every engine.
+
+    Each backend must consume the RNG stream in lock-step (one draw per
+    measurement/reset, one realization draw per noisy op) for seeded
+    runs to stay aligned across engines — so there is exactly one copy
+    of the walk, parameterized over the engine class; a fresh engine
+    instance is one trajectory.
+    """
+    if engine_cls is None:
+        engine_cls = select_engine(ENGINE, circuit)
+    noisy = dict(_noisy_ops(circuit, noise, extra))
+    width = circuit.num_clbits
+    bits = np.zeros((shots, width), dtype=np.uint8)
+    for s in range(shots):
+        engine = engine_cls(circuit)
+        for idx, inst in enumerate(circuit):
+            if inst.name == "measure":
+                bits[s, inst.clbits[0]] = engine.measure(inst.qubits[0], rng)
+            elif inst.name == "reset":
+                engine.reset(inst.qubits[0], rng)
+            elif inst.name in UNITARY_NOOPS:
+                pass
+            else:
+                engine.advance((inst,))
+            err = noisy.get(idx)
+            if err is not None:
+                draw = int(err.sample_many(1, rng)[0])
+                if draw >= 0:
+                    engine.inject(inst, err, draw)
+    return bits
 
 
-def _advance_clean_tableau(
-    state: Tableau, instructions: Sequence[Instruction], start: int, stop: int
+# ---------------------------------------------------------------------------
+# seed-engine reference paths (kept verbatim for the perf harness and the
+# equivalence suite)
+# ---------------------------------------------------------------------------
+
+
+#: Dense error injection, re-exported under its historical sampler name
+#: (the baseline trajectory path and the equivalence suite use it).
+_inject = inject_into_dense
+
+
+def _advance_clean(
+    state: StateVector, instructions: Sequence[Instruction], start: int, stop: int
 ) -> None:
-    """Apply the Clifford part of ``instructions[start:stop]`` in place."""
+    """Apply the unitary part of ``instructions[start:stop]`` in place
+    (the raw-:class:`StateVector` helper behind the baseline path)."""
     for idx in range(start, stop):
         inst = instructions[idx]
         if inst.name in UNITARY_NOOPS:
             continue
-        state.apply_instruction(inst)
+        state.apply_matrix(inst.matrix(), inst.qubits)
 
 
-def _inject_tableau(
-    state: Tableau, inst: Instruction, err: QuantumError, term_idx: int
-) -> bool:
-    """Tableau counterpart of :func:`_inject`.
-
-    Returns ``True`` when the injection preserved the tableau's X/Z
-    structure (every Pauli term, and the deterministic branches of a
-    reset) so the caller can keep sharing one :class:`CosetSupport`
-    across trajectories; a genuine collapse returns ``False``.
-    """
-    term = err.terms[term_idx]
-    if term.kind == "pauli":
-        state.apply_pauli(term.pauli, inst.qubits[: len(term.pauli)])
-        return True
-    q = inst.qubits[term.reset_operand]
-    # Same dominant-branch semantics as the dense engine: |1⟩ flips,
-    # a superposed qubit collapses onto |0⟩, |0⟩ is left alone.
-    p1 = state.marginal_probability_one(q)
-    if p1 == 1.0:
-        state.apply_pauli("X", [q])
-        return True
-    if p1 == 0.5:
-        state.collapse(q, 0)
-        return False
-    return True
-
-
-def _sample_grouped_stabilizer(
+def _run_trajectory(
     circuit: QuantumCircuit,
-    shots: int,
-    noise: Optional[NoiseModel],
-    rng: np.random.Generator,
-    extra: Mapping[int, QuantumError],
-) -> np.ndarray:
-    """The grouped sampler on the stabilizer tableau backend.
-
-    Same walk as :func:`_sample_grouped` (one shared copy:
-    :func:`_sample_grouped_engine`), with two tableau-specific wins:
-    trajectory forks copy ``O(n²)`` bits instead of ``2^n`` amplitudes,
-    and because Pauli injection only flips tableau signs, every
-    Pauli-only trajectory shares a single :class:`CosetSupport`
-    factorization of the outcome coset (groups that collapse a qubit via
-    a reset error recompute their own).
-    """
-    shared: List[CosetSupport] = []
-
-    def sample_group(state, group_shots, shares_structure, qubits):
-        if not shares_structure:
-            return state.sample(group_shots, rng, qubits=qubits)
-        if not shared:
-            shared.append(CosetSupport(state))
-        return state.sample(group_shots, rng, qubits=qubits, support=shared[0])
-
-    return _sample_grouped_engine(
-        circuit,
-        shots,
-        noise,
-        rng,
-        extra,
-        make_state=lambda: Tableau(circuit.num_qubits),
-        advance=_advance_clean_tableau,
-        inject=_inject_tableau,
-        sample_group=sample_group,
-    )
-
-
-def _sample_per_shot_stabilizer(
-    circuit: QuantumCircuit,
-    shots: int,
-    noise: Optional[NoiseModel],
-    rng: np.random.Generator,
-    extra: Mapping[int, QuantumError],
-) -> np.ndarray:
-    """Per-shot path (mid-circuit measurement/reset) on the tableau."""
-    return _sample_per_shot_engine(
-        circuit,
-        shots,
-        noise,
-        rng,
-        extra,
-        make_state=lambda: Tableau(circuit.num_qubits),
-        apply_gate=lambda state, inst: state.apply_instruction(inst),
-        inject=_inject_tableau,
-    )
+    pattern: Dict[int, int],
+    errors: Dict[int, QuantumError],
+) -> Tuple[StateVector, Dict[int, int]]:
+    state = StateVector(circuit.num_qubits)
+    mapping: Dict[int, int] = {}
+    for idx, inst in enumerate(circuit):
+        if inst.name == "measure":
+            mapping[inst.qubits[0]] = inst.clbits[0]
+        elif inst.name in UNITARY_NOOPS:
+            pass
+        else:
+            state.apply_matrix(inst.matrix(), inst.qubits)
+        if idx in pattern:
+            _inject(state, inst, errors[idx], pattern[idx])
+    return state, mapping
 
 
 def _sample_grouped_baseline(
@@ -562,66 +492,6 @@ def _sample_grouped_baseline(
     return np.concatenate(chunks, axis=0)
 
 
-def _sample_per_shot_engine(
-    circuit: QuantumCircuit,
-    shots: int,
-    noise: Optional[NoiseModel],
-    rng: np.random.Generator,
-    extra: Mapping[int, QuantumError],
-    *,
-    make_state,
-    apply_gate,
-    inject,
-) -> np.ndarray:
-    """One per-shot loop shared by both engines.
-
-    The dense and tableau per-shot paths must consume the RNG stream in
-    lock-step (one draw per measurement/reset, one realization draw per
-    noisy op) for seeded runs to stay aligned across engines — so there
-    is exactly one copy of the walk, parameterized over the state
-    factory, the gate applicator, and the error injector.
-    """
-    noisy = dict(_noisy_ops(circuit, noise, extra))
-    width = circuit.num_clbits
-    bits = np.zeros((shots, width), dtype=np.uint8)
-    for s in range(shots):
-        state = make_state()
-        for idx, inst in enumerate(circuit):
-            if inst.name == "measure":
-                bits[s, inst.clbits[0]] = state.measure(inst.qubits[0], rng)
-            elif inst.name == "reset":
-                state.reset(inst.qubits[0], rng)
-            elif inst.name in UNITARY_NOOPS:
-                pass
-            else:
-                apply_gate(state, inst)
-            err = noisy.get(idx)
-            if err is not None:
-                draw = int(err.sample_many(1, rng)[0])
-                if draw >= 0:
-                    inject(state, inst, err, draw)
-    return bits
-
-
-def _sample_per_shot(
-    circuit: QuantumCircuit,
-    shots: int,
-    noise: Optional[NoiseModel],
-    rng: np.random.Generator,
-    extra: Mapping[int, QuantumError],
-) -> np.ndarray:
-    return _sample_per_shot_engine(
-        circuit,
-        shots,
-        noise,
-        rng,
-        extra,
-        make_state=lambda: StateVector(circuit.num_qubits),
-        apply_gate=lambda state, inst: state.apply_matrix(inst.matrix(), inst.qubits),
-        inject=_inject,
-    )
-
-
 def _apply_readout(
     circuit: QuantumCircuit,
     bits: np.ndarray,
@@ -639,4 +509,4 @@ def _apply_readout(
     return out
 
 
-__all__ = ["sample_counts", "ideal_probabilities"]
+__all__ = ["sample_counts", "ideal_probabilities", "engine_mode", "ENGINE_MODES"]

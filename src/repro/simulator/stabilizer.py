@@ -39,7 +39,7 @@ dependencies.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -47,6 +47,9 @@ from repro.circuits import gates as gate_lib
 from repro.circuits.circuit import Instruction, QuantumCircuit
 from repro.errors import SimulationError
 from repro.utils.rng import RandomState, as_rng
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.simulator.statevector import StateVector
 
 #: Coset dimensions up to this bound sample through a single uniform draw
 #: per shot (bit-compatible with the dense engine's CDF inversion);
@@ -436,6 +439,108 @@ class Tableau:
             else np.asarray(list(qubits), dtype=np.int64)
         )
         return bits[:, qs]
+
+    # -- dense conversion ------------------------------------------------------
+
+    def coset_amplitudes(
+        self, support: Optional["CosetSupport"] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sparse amplitude map of this state: ``(indices, amplitudes)``.
+
+        A stabilizer state is a uniform-magnitude superposition over the
+        outcome coset ``c ⊕ span(B)`` with per-element phases in
+        ``{±1, ±i}``.  This computes all ``2^k`` nonzero amplitudes in
+        ``O(2^k · k)`` vectorized work (plus one ``O(n³)`` bit-matrix
+        factorization), so sparse states — a GHZ state has two nonzero
+        amplitudes at any width — convert in microseconds.
+
+        Method: Gaussian elimination over the stabilizer X-block yields
+        ``k`` independent group elements ``g_j = i^{u_j} X^{a_j} Z^{z_j}``
+        whose X-parts span the coset.  ``g|ψ⟩ = |ψ⟩`` pins every relative
+        phase: ``ψ(x ⊕ a) = i^u (−1)^{z·x} ψ(x)``, so iterative doubling
+        from the coset offset ``c`` (chosen real positive — global phase
+        is a gauge) enumerates the full support.  Phases multiply
+        consistently along any path because the stabilizer group is
+        abelian *including* its phases.
+
+        Pass a precomputed *support* to skip rebuilding the coset
+        constraint system (one of the two ``O(n³)`` bit-matrix passes)
+        when many sign-only-different tableaux convert — the hybrid
+        engine's trajectory groups.  The group-element elimination for
+        the phases is still performed per call: its row operations are
+        structure-determined, but the accumulated phases depend on this
+        tableau's own signs.  This is the conversion boundary of
+        segment-granular mixed execution: the downstream dense/sparse
+        engine starts from exactly these amplitudes.
+        """
+        n = self.num_qubits
+        if n > 62:
+            raise SimulationError(
+                "coset_amplitudes packs basis indices into int64 words; "
+                f"{n} qubits exceeds the 62-qubit packing limit"
+            )
+        sx = self.x[n:].copy()
+        sz = self.z[n:].copy()
+        # Canonical form i^u · X^x Z^z: each Y contributes one factor of
+        # i (Y = iXZ), the tableau sign contributes (−1)^r = i^{2r}.
+        u4 = (2 * self.r[n:].astype(np.int64) + (sx & sz).sum(axis=1)) % 4
+        used = np.zeros(n, dtype=bool)
+        pivot_rows: List[int] = []
+        for col in range(n):
+            cand = np.nonzero(sx[:, col] & ~used)[0]
+            if cand.size == 0:
+                continue
+            p = int(cand[0])
+            used[p] = True
+            pivot_rows.append(p)
+            rows = cand[1:]
+            if rows.size:
+                # (i^u1 X^x1 Z^z1)(i^u2 X^x2 Z^z2)
+                #   = i^{u1+u2} (−1)^{z1·x2} X^{x1⊕x2} Z^{z1⊕z2}
+                cross = (sz[p][None, :] & sx[rows]).sum(axis=1)
+                u4[rows] = (u4[rows] + u4[p] + 2 * cross) % 4
+                sx[rows] ^= sx[p]
+                sz[rows] ^= sz[p]
+        if support is None:
+            support = CosetSupport(self)
+        c = support.offset(self.r[n:])
+        weights = np.int64(1) << np.arange(n, dtype=np.int64)
+        indices = np.array([int((c.astype(np.int64) * weights).sum())], dtype=np.int64)
+        amps = np.array([2.0 ** (-0.5 * len(pivot_rows))], dtype=complex)
+        i_pow = np.array([1.0, 1.0j, -1.0, -1.0j])
+        for p in pivot_rows:
+            a_int = np.int64((sx[p].astype(np.int64) * weights).sum())
+            z_int = np.int64((sz[p].astype(np.int64) * weights).sum())
+            parity = indices & z_int
+            for shift in (32, 16, 8, 4, 2, 1):
+                parity ^= parity >> shift
+            signs = 1.0 - 2.0 * (parity & 1)
+            new_amps = amps * (i_pow[int(u4[p])] * signs)
+            indices = np.concatenate([indices, indices ^ a_int])
+            amps = np.concatenate([amps, new_amps])
+        return indices, amps
+
+    def to_statevector(self) -> "StateVector":
+        """This state as a dense :class:`~repro.simulator.statevector.StateVector`.
+
+        The conversion boundary of hybrid (tableau→dense) execution:
+        amplitudes come from :meth:`coset_amplitudes`, the global phase is
+        gauged so the smallest-index support element is real positive.
+        Raises beyond the dense qubit limit *before* allocating anything
+        — use the sparse amplitude form (:meth:`coset_amplitudes`) at
+        larger widths.
+        """
+        from repro.simulator.statevector import DENSE_QUBIT_LIMIT, StateVector
+
+        if self.num_qubits > DENSE_QUBIT_LIMIT:
+            raise SimulationError(
+                f"cannot densify a {self.num_qubits}-qubit tableau: "
+                f"the dense engine caps at {DENSE_QUBIT_LIMIT} qubits"
+            )
+        indices, amps = self.coset_amplitudes()
+        data = np.zeros(1 << self.num_qubits, dtype=complex)
+        data[indices] = amps
+        return StateVector(self.num_qubits, data=data)
 
     def probabilities(self) -> np.ndarray:
         """Dense ``2^n`` probability vector (validation only, n ≤ 16)."""

@@ -364,12 +364,29 @@ class StateVector:
 
         Returns an ``(shots, k)`` uint8 array of bits, column *j* being
         qubit ``qubits[j]`` (default: all qubits in index order).
+
+        The fast engine builds the outcome CDF once and inverts it for
+        all shots in one vectorized ``searchsorted`` — skipping the
+        re-validation and re-accumulation ``rng.choice`` performs on
+        every call, which the grouped sampler would otherwise pay once
+        per trajectory group.  The inversion applies the exact
+        floating-point pipeline ``rng.choice`` uses internally
+        (normalize, ``cumsum``, divide by the last entry, search with
+        ``side="right"``) after drawing the same ``shots`` uniforms, so
+        outcomes *and* the consumed stream are bit-identical to the
+        baseline engine's ``rng.choice`` path.
         """
         r = as_rng(rng)
         probs = self.probabilities()
         # Guard against drift from accumulated float error.
         probs = probs / probs.sum()
-        outcomes = r.choice(probs.size, size=int(shots), p=probs)
+        if self.use_fast_kernels:
+            cdf = np.cumsum(probs)
+            cdf /= cdf[-1]
+            u = r.random(int(shots))
+            outcomes = np.searchsorted(cdf, u, side="right")
+        else:
+            outcomes = r.choice(probs.size, size=int(shots), p=probs)
         qs = (
             np.arange(self.num_qubits, dtype=np.int64)
             if qubits is None

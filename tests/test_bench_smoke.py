@@ -2,11 +2,12 @@
 inside the tier-1 time budget and emit a schema-valid
 ``BENCH_simulator.json``.
 
-Schema ``repro.bench.simulator/v2`` has two entry shapes: paired lanes
+Schema ``repro.bench.simulator/v3`` has two entry shapes: paired lanes
 (``baseline_seconds`` / ``fast_seconds`` / ``speedup``) for benchmarks
 with a before/after comparison, and single-lane entries (``seconds``)
 for the stabilizer scaling runs at widths no dense engine can
-represent.
+represent.  v3 adds the ``hybrid_segment_ghz_t`` lane (segment-granular
+tableau→dense execution vs the fast dense engine).
 """
 
 import json
@@ -41,7 +42,7 @@ def test_bench_quick_emits_valid_schema(tmp_path):
     )
     assert proc.returncode == 0, proc.stderr
     payload = json.loads(out.read_text())
-    assert payload["schema"] == "repro.bench.simulator/v2"
+    assert payload["schema"] == "repro.bench.simulator/v3"
     assert payload["quick"] is True
     assert isinstance(payload["config"], dict)
     names = set()
@@ -61,3 +62,4 @@ def test_bench_quick_emits_valid_schema(tmp_path):
     assert "vqe_iteration_sampled" in names
     assert "ghz_sampling_stabilizer" in names
     assert "stabilizer_scaling_ghz" in names
+    assert "hybrid_segment_ghz_t" in names

@@ -59,9 +59,35 @@ def test_architecture_doc_covers_engine_contract():
         "stabilizer",
         "baseline",
         "BENCH_simulator.json",
-        "repro.bench.simulator/v2",
+        "repro.bench.simulator/v3",
     ):
         assert needle in text, f"architecture doc lost the {needle!r} section"
+
+
+def test_architecture_doc_covers_engine_registry():
+    """The registry section must name the protocol surface, the
+    registration hook, every mode string, and the conversion boundary."""
+    text = ARCHITECTURE.read_text()
+    for needle in (
+        "Engine registry",
+        "ExecutionEngine",
+        "repro.simulator.engines",
+        "register_engine",
+        "select_engine",
+        '"hybrid"',
+        '"auto"',
+        "to_statevector",
+        "coset_amplitudes",
+        "hybrid_segment_ghz_t",
+    ):
+        assert needle in text, f"architecture doc lost the {needle!r} section"
+
+
+def test_readme_points_at_engine_registry():
+    text = README.read_text()
+    assert "src/repro/simulator/engines" in text, (
+        "README subsystem map must point at the execution-engine registry"
+    )
 
 
 def test_every_package_has_init_docstring():
