@@ -210,3 +210,87 @@ def test_perf_sample_bit_extraction():
         "perf_sample_extraction",
         f"10k shots x 20 qubits sampled+extracted in {elapsed * 1e3:.2f} ms",
     )
+
+
+def test_perf_packed_vs_uint8_tableau():
+    """The bit-packed word-parallel tableau must not be slower than the
+    uint8 tableau on wide Clifford grouped sampling, and must keep
+    1024-qubit GHZ sampling interactive (the dense engine caps at 26)."""
+    circuit = ghz_circuit(100)
+    noise = NoiseModel()
+    noise.add_gate_error(depolarizing_error(0.01, 2), "cx")
+    noise.add_gate_error(depolarizing_error(0.005, 1), "h")
+    shots = 256
+
+    def run():
+        sample_counts(circuit, shots, noise=noise, rng=7)
+
+    with _engine("stabilizer", tableau_impl="unpacked"):
+        uint8 = _best_of(run, repeats=2)
+    with _engine("stabilizer", tableau_impl="packed"):
+        packed = _best_of(run, repeats=2)
+
+    wide = ghz_circuit(1024)
+    with _engine("stabilizer"):  # auto policy: packed at this width
+        start = time.perf_counter()
+        sample_counts(wide, shots, noise=noise, rng=7)
+        wide_seconds = time.perf_counter() - start
+
+    lines = [
+        f"GHZ-100, {shots} shots, depolarizing noise, grouped path",
+        f"uint8 tableau  : {uint8 * 1e3:8.2f} ms   ({shots / uint8:8.0f} shots/s)",
+        f"packed tableau : {packed * 1e3:8.2f} ms   ({shots / packed:8.0f} shots/s)",
+        f"speedup        : {uint8 / packed:8.2f} x",
+        f"GHZ-1024 (packed, auto policy): {wide_seconds * 1e3:8.2f} ms",
+    ]
+    report("perf_packed_tableau", "\n".join(lines))
+    assert packed <= uint8 * TIMING_SLACK, (
+        "packed tableau slower than uint8 tableau on wide Clifford sampling"
+    )
+    assert wide_seconds < 30.0, "1024-qubit sampling left the interactive regime"
+
+
+def test_perf_diagonal_run_fusion():
+    """Fused diagonal runs must not be slower than per-gate application
+    in the dense engine's advance path."""
+    from repro.circuits import QuantumCircuit
+    from repro.simulator.engines import DenseEngine
+    from repro.simulator.engines import dense as dense_mod
+
+    n = 14
+    circuit = QuantumCircuit(n, name="diagruns-perf")
+    circuit.h(0)
+    for q in range(n - 1):
+        circuit.cx(q, q + 1)
+    for _ in range(6):
+        for q in range(n):
+            circuit.t(q)
+        for q in range(n - 1):
+            circuit.cp(0.31, q, q + 1)
+        for q in range(n):
+            circuit.rz(0.7, q)
+    ops = list(circuit)
+
+    def run():
+        DenseEngine(circuit).advance(ops)
+
+    with _engine("fast"):
+        prev = dense_mod.FUSE_DIAGONAL_RUNS
+        try:
+            dense_mod.FUSE_DIAGONAL_RUNS = False
+            unfused = _best_of(run, repeats=2)
+            dense_mod.FUSE_DIAGONAL_RUNS = True
+            fused = _best_of(run, repeats=2)
+        finally:
+            dense_mod.FUSE_DIAGONAL_RUNS = prev
+
+    lines = [
+        f"{n}-qubit T/CP/RZ runs, dense advance path",
+        f"unfused : {unfused * 1e3:8.2f} ms",
+        f"fused   : {fused * 1e3:8.2f} ms",
+        f"speedup : {unfused / fused:8.2f} x",
+    ]
+    report("perf_diagonal_fusion", "\n".join(lines))
+    assert fused <= unfused * TIMING_SLACK, (
+        "diagonal-run fusion slower than per-gate application"
+    )

@@ -19,17 +19,29 @@ the engine lanes :func:`repro.simulator.engine_mode` exposes:
   (``hybrid_segment_ghz_t`` runs a GHZ Clifford prefix followed by a
   T-gate layer: the hybrid engine forks and replays trajectory groups
   on the tableau and converts each group's boundary state to sparse
-  amplitudes, against the fast dense engine paying full ``2^n`` forks).
+  amplitudes, against the fast dense engine paying full ``2^n`` forks);
+* **packed tableau** — the bit-packed word-parallel tableau
+  (``stabilizer_packed_ghz`` pits it against the uint8 tableau on
+  100-qubit GHZ grouped sampling; the ``stabilizer_scaling_ghz`` lanes
+  now reach 256/512/1024 qubits on the packed representation);
+* **diagonal-run fusion** — ``diagonal_fusion_dense`` toggles the dense
+  engine's diagonal-run kernel fusion on a T/RZ/CP-heavy sampling
+  workload (fast kernels in both lanes; this isolates the fusion win).
 
 Results are printed as a table and written to ``BENCH_simulator.json``
-(schema ``repro.bench.simulator/v3``) so later PRs have a perf
-trajectory to beat.  ``--quick`` shrinks sizes to fit the tier-1 CI
+(schema ``repro.bench.simulator/v4``) so later PRs have a perf
+trajectory to beat.  Acceptance-gate lanes carry a ``floor`` — the
+minimum speedup later runs must preserve; ``--check`` runs the quick
+configuration and exits nonzero if any fresh speedup drops below the
+floor recorded in the committed reference artifact (the tier-1 bench
+regression guard).  ``--quick`` shrinks sizes to fit the tier-1 CI
 budget; the default configuration runs the paper-scale 20-qubit GHZ
 shot-sampling benchmarks whose speedups the acceptance gates check.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench.py [--quick] [--out PATH]
+    PYTHONPATH=src python scripts/bench.py --check [--reference PATH]
 """
 
 from __future__ import annotations
@@ -62,7 +74,20 @@ from repro.simulator.sampler import _sample_per_shot  # noqa: E402
 from repro.simulator.sampler import engine_mode as engine  # noqa: E402
 from repro.simulator.statevector import StateVector  # noqa: E402
 
-SCHEMA = "repro.bench.simulator/v3"
+SCHEMA = "repro.bench.simulator/v4"
+
+#: Speedup floors for the acceptance-gate lanes, recorded into the
+#: artifact (``floor`` field) and enforced by ``--check``.  Values are
+#: conservative enough to hold at the ``--quick`` sizes on a noisy CI
+#: machine while still catching a genuine engine regression.
+FLOORS: Dict[str, float] = {
+    "ghz_shot_sampling_grouped": 1.5,
+    "grouped_vs_per_shot": 2.0,
+    "ghz_sampling_stabilizer": 1.5,
+    "hybrid_segment_ghz_t": 2.0,
+    "stabilizer_packed_ghz": 2.5,
+    "diagonal_fusion_dense": 1.3,
+}
 
 
 def _timed(fn: Callable[[], object], repeats: int) -> float:
@@ -94,6 +119,9 @@ def _entry(
         entry["throughput_unit"] = throughput_unit
         entry["baseline_throughput"] = work_items / baseline_seconds
         entry["fast_throughput"] = work_items / fast_seconds
+    floor = FLOORS.get(name)
+    if floor is not None:
+        entry["floor"] = floor
     return entry
 
 
@@ -252,6 +280,89 @@ def bench_stabilizer_scaling(
     return out
 
 
+def bench_packed_tableau(num_qubits: int, shots: int, repeats: int) -> Dict[str, object]:
+    """Bit-packed word-parallel tableau vs the uint8 tableau on wide GHZ
+    grouped sampling — the packed-engine acceptance benchmark (≥5× at
+    100 qubits on the full configuration; both lanes are bit-identical
+    in sampled counts, so this measures representation speed alone)."""
+    circuit = ghz_circuit(num_qubits)
+    noise = _ghz_noise()
+    with engine("stabilizer", tableau_impl="unpacked"):
+        unpacked = _timed(
+            lambda: sample_counts(circuit, shots, noise=noise, rng=7), repeats
+        )
+    with engine("stabilizer", tableau_impl="packed"):
+        packed = _timed(
+            lambda: sample_counts(circuit, shots, noise=noise, rng=7), repeats
+        )
+    entry = _entry(
+        "stabilizer_packed_ghz",
+        {"num_qubits": num_qubits, "shots": shots, "noise": "depolarizing"},
+        unpacked,
+        packed,
+        throughput_unit="shots_per_sec",
+        work_items=shots,
+    )
+    entry["lanes"] = {"baseline": "tableau-uint8", "fast": "tableau-packed"}
+    return entry
+
+
+def _diagonal_heavy_circuit(num_qubits: int, layers: int):
+    """QAOA-style workload: T/CP/RZ cost runs with an H mixer wall every
+    fourth layer — each run between walls is one fusible diagonal block."""
+    from repro.circuits.circuit import QuantumCircuit
+
+    qc = QuantumCircuit(num_qubits, name=f"diagruns{num_qubits}")
+    qc.h(0)
+    for q in range(num_qubits - 1):
+        qc.cx(q, q + 1)
+    for layer in range(layers):
+        for q in range(num_qubits):
+            qc.t(q)
+        for q in range(num_qubits - 1):
+            qc.cp(0.31, q, q + 1)
+        for q in range(num_qubits):
+            qc.rz(0.7, q)
+        if layer % 4 == 3:
+            for q in range(num_qubits):
+                qc.h(q)
+    return qc
+
+
+def bench_diag_fusion(num_qubits: int, layers: int, repeats: int) -> Dict[str, object]:
+    """Dense-engine window advance with diagonal-run kernel fusion off
+    vs on (fast kernels in both lanes) over a T/CP/RZ-heavy circuit —
+    isolates the satellite fusion win: each diagonal run costs one
+    elementwise pass instead of one full-state traversal per gate."""
+    from repro.simulator.engines import dense as dense_mod
+
+    circuit = _diagonal_heavy_circuit(num_qubits, layers)
+    ops = list(circuit)
+
+    def advance_once():
+        DenseEngine(circuit).advance(ops)
+
+    with engine("fast"):
+        prev = dense_mod.FUSE_DIAGONAL_RUNS
+        try:
+            dense_mod.FUSE_DIAGONAL_RUNS = False
+            unfused = _timed(advance_once, repeats)
+            dense_mod.FUSE_DIAGONAL_RUNS = True
+            fused = _timed(advance_once, repeats)
+        finally:
+            dense_mod.FUSE_DIAGONAL_RUNS = prev
+    entry = _entry(
+        "diagonal_fusion_dense",
+        {"num_qubits": num_qubits, "layers": layers, "gates": len(ops)},
+        unfused,
+        fused,
+        throughput_unit="gates_per_sec",
+        work_items=len(ops),
+    )
+    entry["lanes"] = {"baseline": "dense-fast-unfused", "fast": "dense-fast-fused"}
+    return entry
+
+
 def _ghz_t_circuit(num_qubits: int):
     """GHZ Clifford prefix + one T-gate layer + terminal measurement —
     the canonical Clifford-prefix / non-Clifford-tail workload."""
@@ -340,10 +451,14 @@ def run(quick: bool) -> Dict[str, object]:
             "vqe_shots": 128,
             "stabilizer_qubits": 12,
             "stabilizer_shots": 256,
-            "stabilizer_scaling_sizes": [40],
+            "stabilizer_scaling_sizes": [40, 256],
             "stabilizer_scaling_shots": 128,
             "hybrid_qubits": 16,
             "hybrid_shots": 192,
+            "packed_qubits": 100,
+            "packed_shots": 512,
+            "diag_fusion_qubits": 16,
+            "diag_fusion_layers": 4,
         }
         repeats = 1
     else:
@@ -357,10 +472,14 @@ def run(quick: bool) -> Dict[str, object]:
             "vqe_shots": 512,
             "stabilizer_qubits": 20,
             "stabilizer_shots": 512,
-            "stabilizer_scaling_sizes": [50, 100],
+            "stabilizer_scaling_sizes": [50, 100, 256, 512, 1024],
             "stabilizer_scaling_shots": 512,
             "hybrid_qubits": 24,
             "hybrid_shots": 160,
+            "packed_qubits": 100,
+            "packed_shots": 1024,
+            "diag_fusion_qubits": 20,
+            "diag_fusion_layers": 8,
         }
         repeats = 2
     benchmarks: List[Dict[str, object]] = []
@@ -383,6 +502,14 @@ def run(quick: bool) -> Dict[str, object]:
     )
     benchmarks.append(
         bench_hybrid_segment(config["hybrid_qubits"], config["hybrid_shots"], repeats)
+    )
+    benchmarks.append(
+        bench_packed_tableau(config["packed_qubits"], config["packed_shots"], repeats)
+    )
+    benchmarks.append(
+        bench_diag_fusion(
+            config["diag_fusion_qubits"], config["diag_fusion_layers"], repeats
+        )
     )
     benchmarks += bench_vqe_iteration(config["vqe_shots"], repeats)
     return {
@@ -419,6 +546,41 @@ def render(result: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def check_against_reference(
+    result: Dict[str, object], reference: Dict[str, object]
+) -> List[str]:
+    """Regression report: fresh speedups vs the reference's floors.
+
+    Every reference entry carrying a ``floor`` must (a) still exist in
+    the fresh run and (b) meet that floor there.  Returns a list of
+    human-readable failure lines (empty = no regression).  Floors, not
+    raw speedups, are compared: wall-clock ratios drift with machine
+    load, so the committed artifact states the minimum each lane must
+    preserve rather than the number it happened to record.
+    """
+    floors = {
+        e["name"]: e["floor"]
+        for e in reference.get("benchmarks", [])
+        if "floor" in e
+    }
+    fresh = {
+        e["name"]: e
+        for e in result.get("benchmarks", [])
+        if "speedup" in e
+    }
+    failures: List[str] = []
+    for name, floor in sorted(floors.items()):
+        entry = fresh.get(name)
+        if entry is None:
+            failures.append(f"{name}: lane missing from fresh run (floor {floor}x)")
+            continue
+        if entry["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {entry['speedup']:.2f}x below floor {floor}x"
+            )
+    return failures
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -427,17 +589,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="small sizes fitting the tier-1 CI time budget",
     )
     parser.add_argument(
-        "--out",
+        "--check",
+        action="store_true",
+        help="regression guard: run the quick configuration and exit "
+        "nonzero if any speedup drops below the floors recorded in the "
+        "reference artifact",
+    )
+    parser.add_argument(
+        "--reference",
         type=pathlib.Path,
         default=_REPO / "BENCH_simulator.json",
-        help="output JSON path (default: repo-root BENCH_simulator.json)",
+        help="committed artifact whose floors --check enforces",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="output JSON path (default: repo-root BENCH_simulator.json; "
+        "under --check nothing is written unless --out is given)",
     )
     args = parser.parse_args(argv)
-    args.out.parent.mkdir(parents=True, exist_ok=True)
-    result = run(quick=args.quick)
+    if args.out is None and not args.check:
+        args.out = _REPO / "BENCH_simulator.json"
+    if args.check and not args.reference.is_file():
+        # Fail before the benchmark run, not after tens of seconds of it.
+        print(f"--check: reference artifact {args.reference} not found")
+        return 2
+    result = run(quick=args.quick or args.check)
     print(render(result))
-    args.out.write_text(json.dumps(result, indent=2) + "\n")
-    print(f"\nwrote {args.out}")
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"\nwrote {args.out}")
+    if args.check:
+        reference = json.loads(args.reference.read_text())
+        failures = check_against_reference(result, reference)
+        if failures:
+            print("\n--check FAILED:")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print("\n--check passed: all floors held")
     return 0
 
 

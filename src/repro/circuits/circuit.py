@@ -128,6 +128,24 @@ class Instruction:
             object.__setattr__(self, "_clifford", cached)
         return cached
 
+    def is_diagonal(self) -> bool:
+        """Memoized: whether this instruction's unitary is diagonal in
+        the computational basis (see
+        :func:`repro.circuits.gates.is_diagonal_gate`).  Directives and
+        unbound-parameter gates are never diagonal.  The dense engine's
+        diagonal-run fusion keys off this predicate.
+        """
+        cached = self.__dict__.get("_diagonal")
+        if cached is None:
+            if self.free_parameters:
+                cached = False
+            else:
+                cached = gate_lib.is_diagonal_gate(
+                    self.name, [numeric_value(p) for p in self.params]
+                )
+            object.__setattr__(self, "_diagonal", cached)
+        return cached
+
     def bound(self, binding: Mapping[Parameter, float]) -> "Instruction":
         """A copy with *binding* substituted into the parameters."""
         if not self.free_parameters:

@@ -212,6 +212,64 @@ def clifford_segments(circuit: QuantumCircuit) -> List[CliffordSegment]:
     return out
 
 
+def scan_diagonal_runs(instructions: Sequence[Instruction]) -> List[List[int]]:
+    """Maximal fusible runs of diagonal gates in an instruction window.
+
+    Two diagonal gates belong to one run when the later one can commute
+    back to the earlier one through the dependency structure — i.e. no
+    *non-diagonal* instruction touching any of its qubits appears after
+    the run opened (diagonal gates all commute with each other, so
+    interleaved diagonal gates never block).  This is the DAG
+    commutation analysis specialized to the diagonal case: a run member
+    either has no path to the run head, or every instruction on such a
+    path is itself diagonal.  Barriers close runs (they are optimization
+    fences); measurements and resets block their qubits.
+
+    Returns position lists (ascending, possibly non-contiguous) for
+    every run with at least two members — the fusion candidates the
+    dense engine collapses into single elementwise multiplies.
+    """
+    runs: List[List[int]] = []
+    current: List[int] = []
+    blocked: set[int] = set()
+    for pos, inst in enumerate(instructions):
+        if inst.name == "barrier":
+            if current:
+                runs.append(current)
+                current = []
+            continue
+        if instruction_is_diagonal(inst):
+            if current and blocked.intersection(inst.qubits):
+                runs.append(current)
+                current = []
+            if not current:
+                blocked = set()
+            current.append(pos)
+        elif inst.name != "delay":
+            # Gates, measurements and resets all act on their qubits;
+            # delays have no state action in the noiseless engine.
+            blocked.update(inst.qubits)
+    if current:
+        runs.append(current)
+    return [run for run in runs if len(run) >= 2]
+
+
+def instruction_is_diagonal(instruction: Instruction) -> bool:
+    """Whether one instruction is a diagonal unitary (memoized — see
+    :meth:`repro.circuits.circuit.Instruction.is_diagonal`)."""
+    return instruction.is_diagonal()
+
+
+def diagonal_runs(circuit: QuantumCircuit) -> List[List[int]]:
+    """Fusible diagonal runs of a whole circuit (instruction indices).
+
+    The circuit-level view of :func:`scan_diagonal_runs` — what the
+    dense engine's kernel fusion would collapse, exposed for
+    diagnostics and tests.
+    """
+    return scan_diagonal_runs(circuit.instructions)
+
+
 def segment_summary(circuit: QuantumCircuit) -> List[Dict[str, object]]:
     """Per-segment metadata for every run of :func:`clifford_segments` —
     the diagnostic view of how the hybrid engine would slice *circuit*."""
@@ -224,7 +282,10 @@ __all__ = [
     "DagNode",
     "layers",
     "instruction_is_clifford",
+    "instruction_is_diagonal",
     "is_clifford_circuit",
     "clifford_segments",
+    "scan_diagonal_runs",
+    "diagonal_runs",
     "segment_summary",
 ]

@@ -412,6 +412,27 @@ def clifford_primitives(
     return None
 
 
+def is_diagonal_gate(name: str, params: Sequence[float] = ()) -> bool:
+    """Whether this gate invocation is diagonal in the computational basis.
+
+    Decided from the (cached) matrix itself rather than a name list, so
+    any registered gate qualifies exactly when its unitary is diagonal —
+    Z, S, SDG, T, TDG, RZ, P, CZ, CP, RZZ, and e.g. ``u(0, φ, λ)``.
+    Directives and malformed calls return ``False``.  Diagonal gates all
+    commute, which is what lets the dense engine fuse adjacent runs of
+    them into one elementwise multiply.
+    """
+    registered = GATES.get(name)
+    if (
+        registered is None
+        or registered.directive
+        or len(params) != registered.num_params
+    ):
+        return False
+    matrix = registered.matrix(params)
+    return not np.any(matrix[~np.eye(matrix.shape[0], dtype=bool)])
+
+
 def is_clifford(name: str, params: Sequence[float] = (), *, tol: float = 1e-9) -> bool:
     """Whether this gate invocation is a Clifford unitary.
 
@@ -529,6 +550,7 @@ __all__ = [
     "spec",
     "is_native",
     "is_clifford",
+    "is_diagonal_gate",
     "clifford_primitives",
     "rx_matrix",
     "ry_matrix",

@@ -54,7 +54,13 @@ from repro.simulator.stabilizer import (
     CosetSupport,
     Tableau,
     ghz_tableau,
+    make_tableau,
     simulate_tableau,
+)
+from repro.simulator.stabilizer_packed import (
+    PackedCosetSupport,
+    PackedTableau,
+    pack_tableau,
 )
 from repro.simulator.statevector import (
     StateVector,
@@ -99,6 +105,10 @@ __all__ = [
     "select_engine",
     "CosetSupport",
     "Tableau",
+    "PackedCosetSupport",
+    "PackedTableau",
+    "make_tableau",
+    "pack_tableau",
     "ghz_tableau",
     "simulate_tableau",
     "StateVector",

@@ -16,11 +16,110 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.dag import scan_diagonal_runs
 from repro.circuits.gates import UNITARY_NOOPS
 from repro.simulator.channels import PAULI_MATRICES as _PAULI
 from repro.simulator.engines.base import ExecutionEngine, register_engine
 from repro.simulator.noise import QuantumError
 from repro.simulator.statevector import StateVector
+
+#: Diagonal-run kernel fusion switch (active only under the fast
+#: kernels): adjacent diagonal 1q/2q gates in an advance window collapse
+#: into one precomputed elementwise multiply.  The perf harness toggles
+#: this to isolate the fusion win; production code leaves it ``True``.
+FUSE_DIAGONAL_RUNS = True
+
+#: Cap on the fused operand set: a run whose qubit union exceeds this is
+#: split greedily, keeping every phase table at most ``2^cap`` entries.
+_FUSION_MAX_QUBITS = 10
+
+
+def _fused_diagonal(instructions) -> tuple:
+    """One ``(diagonal, qubits)`` table for a list of diagonal gates.
+
+    The table is indexed little-endian over the *sorted* qubit union.
+    Gates are first combined per operand set (all 1q diagonals on one
+    qubit multiply into a single 2-vector, all 2q diagonals on one pair
+    into a 4-vector), then the combined factors expand into the table —
+    the expansion work scales with distinct operand sets, not run
+    length.
+    """
+    qs = sorted({q for inst in instructions for q in inst.qubits})
+    k = len(qs)
+    pos = {q: i for i, q in enumerate(qs)}
+    ones2 = np.ones(2, dtype=complex)
+    one_q: dict = {}
+    two_q: dict = {}
+    for inst in instructions:
+        d = np.diagonal(inst.matrix())
+        if len(inst.qubits) == 1:
+            q = inst.qubits[0]
+            prev = one_q.get(q)
+            one_q[q] = d if prev is None else prev * d
+        else:
+            a, b = inst.qubits
+            if a > b:
+                # Swap operand bits so the 4-vector is indexed with the
+                # smaller qubit as bit 0.
+                a, b = b, a
+                d = d[[0, 2, 1, 3]]
+            prev = two_q.get((a, b))
+            two_q[(a, b)] = d if prev is None else prev * d
+    # Tensor the 1q factors together, smallest qubit as the lowest bit.
+    diag = np.ones(1, dtype=complex)
+    for q in qs:
+        vec = one_q.get(q, ones2)
+        diag = (vec[:, None] * diag[None, :]).reshape(-1)
+    if two_q:
+        idx = np.arange(1 << k)
+        for (a, b), d4 in two_q.items():
+            sub = ((idx >> pos[a]) & 1) | (((idx >> pos[b]) & 1) << 1)
+            diag = diag * d4[sub]
+    return diag, qs
+
+
+def _fused_items(instructions):
+    """Fused ``(diagonal, qubits)`` items for one run, split greedily so
+    no table spans more than :data:`_FUSION_MAX_QUBITS` qubits."""
+    out = []
+    chunk: list = []
+    chunk_qubits: set = set()
+    for inst in instructions:
+        union = chunk_qubits | set(inst.qubits)
+        if chunk and len(union) > _FUSION_MAX_QUBITS:
+            out.append(_fused_diagonal(chunk) if len(chunk) > 1 else chunk[0])
+            chunk = [inst]
+            chunk_qubits = set(inst.qubits)
+        else:
+            chunk.append(inst)
+            chunk_qubits = union
+    if chunk:
+        out.append(_fused_diagonal(chunk) if len(chunk) > 1 else chunk[0])
+    return out
+
+
+def plan_diagonal_fusion(ops):
+    """Fusion plan for an advance window, or ``None`` when nothing fuses.
+
+    Runs come from the DAG commutation scan
+    (:func:`repro.circuits.dag.scan_diagonal_runs`); each run is
+    replaced — at its head position, which is exact because every later
+    member commutes back past the interleaved gates — by one or more
+    ``(diagonal, qubits)`` tables.  All other instructions pass through
+    unchanged in program order.
+    """
+    runs = scan_diagonal_runs(ops)
+    if not runs:
+        return None
+    head = {run[0]: run for run in runs}
+    member = {p for run in runs for p in run}
+    plan = []
+    for p, inst in enumerate(ops):
+        if p in head:
+            plan.extend(_fused_items([ops[i] for i in head[p]]))
+        elif p not in member:
+            plan.append(inst)
+    return plan
 
 
 def inject_into_dense(
@@ -76,6 +175,17 @@ class DenseEngine(ExecutionEngine):
 
     def advance(self, ops: Sequence[Instruction]) -> None:
         state = self._state
+        if FUSE_DIAGONAL_RUNS and state.use_fast_kernels and len(ops) > 1:
+            plan = plan_diagonal_fusion(ops)
+            if plan is not None:
+                for item in plan:
+                    if isinstance(item, Instruction):
+                        if item.name not in UNITARY_NOOPS:
+                            state.apply_matrix(item.matrix(), item.qubits)
+                    else:
+                        diag, qs = item
+                        state.apply_diagonal(diag, qs)
+                return
         for inst in ops:
             if inst.name in UNITARY_NOOPS:
                 continue
@@ -111,4 +221,9 @@ class DenseEngine(ExecutionEngine):
         return expectation_statevector(hamiltonian, self._state)
 
 
-__all__ = ["DenseEngine", "inject_into_dense"]
+__all__ = [
+    "DenseEngine",
+    "inject_into_dense",
+    "plan_diagonal_fusion",
+    "FUSE_DIAGONAL_RUNS",
+]

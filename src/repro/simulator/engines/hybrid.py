@@ -138,7 +138,7 @@ class HybridSegmentEngine(ExecutionEngine):
         if self._structure_shared and self._shared_support:
             support = self._shared_support[0]
         if support is None:
-            support = CosetSupport(self._tab)
+            support = self._tab.coset_support()
             if self._structure_shared:
                 self._shared_support.append(support)
         if (1 << min(support.dimension, 63)) > max(self._sparse_cap(), 1):

@@ -18,10 +18,9 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.circuits.circuit import Instruction, QuantumCircuit
-from repro.circuits.gates import UNITARY_NOOPS
 from repro.simulator.engines.base import ExecutionEngine, register_engine
 from repro.simulator.noise import QuantumError
-from repro.simulator.stabilizer import CosetSupport, Tableau
+from repro.simulator.stabilizer import CosetSupport, Tableau, make_tableau
 from repro.simulator.statevector import StateVector
 
 
@@ -70,11 +69,13 @@ def sample_tableau_shared(
     Structure-breaking trajectories (``shares_structure=False``) pay a
     fresh factorization.  One copy of this discipline serves both the
     tableau engine and the hybrid engine's all-Clifford degenerate case.
+    The factorization is built through ``tableau.coset_support()``, so
+    the packed and uint8 tableaux each share their own support type.
     """
     if not shares_structure:
         return tableau.sample(shots, rng, qubits=qubits)
     if not shared_support:
-        shared_support.append(CosetSupport(tableau))
+        shared_support.append(tableau.coset_support())
     return tableau.sample(shots, rng, qubits=qubits, support=shared_support[0])
 
 
@@ -85,7 +86,12 @@ class TableauEngine(ExecutionEngine):
     name = "tableau"
 
     def prepare(self, circuit: QuantumCircuit) -> None:
-        self._tab = Tableau(circuit.num_qubits)
+        # The implementation (uint8 vs bit-packed word-parallel) is a
+        # policy decision owned by the stabilizer module: packed at and
+        # above the width threshold, forceable via
+        # ``engine_mode(..., tableau_impl=...)``.  Both are bit-identical
+        # in behaviour, so everything below this line is agnostic.
+        self._tab = make_tableau(circuit.num_qubits)
         # One factorization per sampling request, shared across forks by
         # reference — see sample()'s shares_structure contract.
         self._shared_support: List[CosetSupport] = []
@@ -101,11 +107,7 @@ class TableauEngine(ExecutionEngine):
         return dup
 
     def advance(self, ops: Sequence[Instruction]) -> None:
-        tab = self._tab
-        for inst in ops:
-            if inst.name in UNITARY_NOOPS:
-                continue
-            tab.apply_instruction(inst)
+        self._tab.apply_instructions(ops)
 
     def inject(
         self, instruction: Instruction, error: QuantumError, term_index: int

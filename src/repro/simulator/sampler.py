@@ -68,6 +68,7 @@ from repro.simulator.engines import (
 )
 from repro.simulator.noise import NoiseModel, QuantumError
 from repro.simulator.statevector import StateVector
+from repro.simulator import stabilizer as _stabilizer
 from repro.utils.rng import RandomState, as_rng
 
 
@@ -150,7 +151,12 @@ _FAST_KEYWORD_WARNED = False
 
 
 @contextmanager
-def engine_mode(mode: Optional[str] = None, *, fast: Optional[bool] = None) -> Iterator[None]:
+def engine_mode(
+    mode: Optional[str] = None,
+    *,
+    fast: Optional[bool] = None,
+    tableau_impl: Optional[str] = None,
+) -> Iterator[None]:
     """Select the simulation engine for the dynamic extent of the block.
 
     A thin facade over the execution-engine registry
@@ -184,9 +190,19 @@ def engine_mode(mode: Optional[str] = None, *, fast: Optional[bool] = None) -> I
         hybrid when the Clifford prefix contains entangling structure
         (or the circuit is too wide for dense), dense otherwise.
 
-    An invalid *mode* raises :class:`~repro.errors.EngineModeError`
-    (a :class:`ValueError`) **before** any global state is touched, so a
-    failed call can never leave the knobs partially set.
+    The keyword-only *tableau_impl* sub-option selects the stabilizer
+    tableau implementation for the block: ``"auto"`` (the default
+    policy — bit-packed at and above
+    :data:`repro.simulator.stabilizer.PACKED_TABLEAU_THRESHOLD` qubits),
+    ``"packed"``, or ``"unpacked"``.  Both implementations are
+    bit-identical in behaviour (same seeded counts, same RNG streams),
+    so this is a performance policy, not a semantics switch; the perf
+    harness uses it to pit the two against each other.
+
+    An invalid *mode* (or *tableau_impl*) raises
+    :class:`~repro.errors.EngineModeError` (a :class:`ValueError`)
+    **before** any global state is touched, so a failed call can never
+    leave the knobs partially set.
 
     The boolean keyword form ``engine_mode(fast=True/False)`` is the
     pre-stabilizer spelling, maps to ``"fast"`` / ``"baseline"``, and is
@@ -209,21 +225,30 @@ def engine_mode(mode: Optional[str] = None, *, fast: Optional[bool] = None) -> I
         raise EngineModeError(
             f"unknown engine mode {mode!r}; expected one of {ENGINE_MODES}"
         )
+    if tableau_impl is not None and tableau_impl not in _stabilizer.TABLEAU_IMPLS:
+        raise EngineModeError(
+            f"unknown tableau implementation {tableau_impl!r}; expected one "
+            f"of {_stabilizer.TABLEAU_IMPLS}"
+        )
     # Validation is complete — only now may globals be mutated.
     global USE_PREFIX_SHARING, ENGINE
     prev_engine = ENGINE
     prev_kernels = StateVector.use_fast_kernels
     prev_prefix = USE_PREFIX_SHARING
+    prev_impl = _stabilizer.TABLEAU_IMPL
     accelerated = mode != "baseline"
     ENGINE = mode
     StateVector.use_fast_kernels = accelerated
     USE_PREFIX_SHARING = accelerated
+    if tableau_impl is not None:
+        _stabilizer.TABLEAU_IMPL = tableau_impl
     try:
         yield
     finally:
         ENGINE = prev_engine
         StateVector.use_fast_kernels = prev_kernels
         USE_PREFIX_SHARING = prev_prefix
+        _stabilizer.TABLEAU_IMPL = prev_impl
 
 
 def _route_to_stabilizer(circuit: QuantumCircuit) -> bool:
@@ -352,7 +377,15 @@ def _sample_grouped(
     ordered = sorted(groups.items(), key=lambda kv: kv[0][0][0] if kv[0] else end)
     prefix = engine_cls(circuit)
     prefix_pos = 0
-    chunks: List[np.ndarray] = []
+    clbit_cols = np.asarray([mapping[q] for q in qubits], dtype=np.int64)
+    # Engines treat qubits=None as "full register in index order" — the
+    # same bits, minus a per-group column-selection copy in every engine.
+    sample_qubits = None if qubits == list(range(circuit.num_qubits)) else qubits
+    # One preallocated output filled in visit order — row order (and
+    # therefore the readout-noise RNG pairing downstream) is identical
+    # to concatenating per-group chunks.
+    out = np.zeros((shots, width), dtype=np.uint8)
+    row = 0
     for key, group_shots in ordered:
         first = key[0][0] if key else end
         fork = min(first + 1, end)
@@ -360,25 +393,34 @@ def _sample_grouped(
         prefix_pos = fork
         shares_structure = True
         if key:
-            pattern = dict(key)
+            # Replay the suffix in whole windows between error sites
+            # (identical operation order and RNG stream to a
+            # per-instruction walk — inject/advance never draw): the
+            # engine's bulk `advance` gets one call per window instead
+            # of one Python frame + list slice per instruction, which is
+            # where replay-bound engines (the packed tableau) spend
+            # their time, and gives the dense engine fusible windows.
             state = prefix.fork()
-            for idx in range(first, end):
-                if idx > first:
-                    state.advance(instructions[idx : idx + 1])
-                if idx in pattern:
-                    shares_structure &= state.inject(
-                        instructions[idx], errors[idx], pattern[idx]
-                    )
+            prev = first
+            shares_structure &= state.inject(
+                instructions[first], errors[first], key[0][1]
+            )
+            for site, term in key[1:]:
+                state.advance(instructions[prev + 1 : site + 1])
+                shares_structure &= state.inject(
+                    instructions[site], errors[site], term
+                )
+                prev = site
+            state.advance(instructions[prev + 1 : end])
         else:
             state = prefix
         sampled = state.sample(
-            group_shots, rng, qubits, shares_structure=shares_structure
+            group_shots, rng, sample_qubits, shares_structure=shares_structure
         )
-        bits = np.zeros((group_shots, width), dtype=np.uint8)
-        for col, q in enumerate(qubits):
-            bits[:, mapping[q]] = sampled[:, col]
-        chunks.append(bits)
-    return np.concatenate(chunks, axis=0)
+        if clbit_cols.size:
+            out[row : row + group_shots, clbit_cols] = sampled
+        row += group_shots
+    return out
 
 
 def _sample_per_shot(

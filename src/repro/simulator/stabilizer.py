@@ -34,7 +34,11 @@ reproducing bit-for-bit what the dense engine's CDF inversion produces
 on the same seeded RNG (see the method docstring for the contract).
 
 Everything here is pure numpy on uint8 bit-matrices; no new
-dependencies.
+dependencies.  At :data:`PACKED_TABLEAU_THRESHOLD` qubits and beyond,
+:func:`make_tableau` swaps in the bit-packed word-parallel
+representation (:mod:`repro.simulator.stabilizer_packed`), which is
+bit-identical in behaviour and scales Clifford sampling past 1000
+qubits.
 """
 
 from __future__ import annotations
@@ -56,6 +60,49 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 #: larger cosets draw one uniform per free bit instead.  48 keeps the
 #: ``u · 2^k`` index computation exact in double precision.
 _EXACT_COSET_BITS = 48
+
+#: Width at which :func:`make_tableau` switches from the uint8 tableau to
+#: the bit-packed word-parallel one under the ``"auto"`` policy.  Below
+#: it the two implementations are within noise of each other (numpy
+#: dispatch overhead dominates either way); above it the packed
+#: representation's O(1) big-int conjugations and word-wide coset
+#: elimination win by growing margins — see ``docs/architecture.md``.
+PACKED_TABLEAU_THRESHOLD = 64
+
+#: Process-global tableau implementation policy: ``"auto"`` (packed at
+#: and above :data:`PACKED_TABLEAU_THRESHOLD`), ``"packed"``, or
+#: ``"unpacked"``.  Toggle via ``engine_mode(..., tableau_impl=...)``
+#: rather than assigning directly.
+TABLEAU_IMPL = "auto"
+
+#: The recognized tableau implementation policies.
+TABLEAU_IMPLS = ("auto", "packed", "unpacked")
+
+
+def make_tableau(num_qubits: int, impl: Optional[str] = None):
+    """Construct a fresh ``|0…0⟩`` tableau under the active implementation
+    policy.
+
+    The factory behind :class:`~repro.simulator.engines.tableau.TableauEngine`:
+    returns a :class:`Tableau` or a
+    :class:`~repro.simulator.stabilizer_packed.PackedTableau` depending on
+    *impl* (default: the process-global :data:`TABLEAU_IMPL`).  Both
+    implementations are bit-identical in behaviour, so the choice is purely
+    a performance policy.
+    """
+    if impl is None:
+        impl = TABLEAU_IMPL
+    if impl not in TABLEAU_IMPLS:
+        raise SimulationError(
+            f"unknown tableau implementation {impl!r}; expected one of {TABLEAU_IMPLS}"
+        )
+    if impl == "packed" or (
+        impl == "auto" and num_qubits >= PACKED_TABLEAU_THRESHOLD
+    ):
+        from repro.simulator.stabilizer_packed import PackedTableau
+
+        return PackedTableau(num_qubits)
+    return Tableau(num_qubits)
 
 
 def _g4(x1: np.ndarray, z1: np.ndarray, x2: np.ndarray, z2: np.ndarray) -> np.ndarray:
@@ -207,6 +254,16 @@ class Tableau:
             Tableau._PRIMITIVES[prim](self, *(qs[i] for i in slots))
         return self
 
+    def apply_instructions(self, instructions: Sequence[Instruction]) -> "Tableau":
+        """Apply a window of instructions (unitary no-ops skipped) — the
+        bulk form the engine layer drives replay through, shared with
+        the packed tableau."""
+        for inst in instructions:
+            if inst.name in gate_lib.UNITARY_NOOPS:
+                continue
+            self.apply_instruction(inst)
+        return self
+
     def apply_pauli(self, pauli: str, qubits: Sequence[int]) -> "Tableau":
         """Inject a Pauli string (string index *i* acts on ``qubits[i]``).
 
@@ -250,14 +307,36 @@ class Tableau:
         sz ^= self.z[src]
         return phase4
 
+    def _scratch_pair(self, slot: str) -> Tuple[np.ndarray, np.ndarray]:
+        """A zeroed instance-level ``(sx, sz)`` scratch-row pair.
+
+        The scratch-row reductions (:meth:`_deterministic_outcome`,
+        :meth:`expectation_pauli`) run once per measurement or Pauli
+        term, so allocating fresh ``np.zeros`` buffers every call showed
+        up in the per-shot and expectation profiles; the buffers are
+        kept on the instance (lazily, keyed by *slot* so reductions
+        needing two independent pairs never alias) and zero-filled on
+        reuse.
+        """
+        pair = self.__dict__.get(slot)
+        if pair is None or pair[0].shape[0] != self.num_qubits:
+            pair = (
+                np.zeros(self.num_qubits, dtype=np.uint8),
+                np.zeros(self.num_qubits, dtype=np.uint8),
+            )
+            self.__dict__[slot] = pair
+        else:
+            pair[0].fill(0)
+            pair[1].fill(0)
+        return pair
+
     # -- measurement -----------------------------------------------------------
 
     def _deterministic_outcome(self, qubit: int) -> int:
         """Outcome of measuring *qubit* when no stabilizer anticommutes
         with ``Z_qubit`` (the Aaronson–Gottesman scratch-row reduction)."""
         n = self.num_qubits
-        sx = np.zeros(n, dtype=np.uint8)
-        sz = np.zeros(n, dtype=np.uint8)
+        sx, sz = self._scratch_pair("_scratch_det")
         phase4 = 0
         for i in np.nonzero(self.x[:n, qubit])[0]:
             phase4 = self._accumulate(sx, sz, phase4, n + int(i))
@@ -343,8 +422,7 @@ class Tableau:
         if len(pauli) != len(qubits):
             raise SimulationError("pauli string and qubit list lengths differ")
         n = self.num_qubits
-        px = np.zeros(n, dtype=np.uint8)
-        pz = np.zeros(n, dtype=np.uint8)
+        px, pz = self._scratch_pair("_scratch_pauli")
         for label, q in zip(pauli.upper(), qubits):
             qi = self._check_qubit(q)
             if label == "I":
@@ -364,8 +442,7 @@ class Tableau:
         if anti_stab.any():
             return 0.0
         anti_destab = ((self.x[:n] & pz) ^ (self.z[:n] & px)).sum(axis=1) % 2
-        sx = np.zeros(n, dtype=np.uint8)
-        sz = np.zeros(n, dtype=np.uint8)
+        sx, sz = self._scratch_pair("_scratch_det")
         phase4 = 0
         for i in np.nonzero(anti_destab)[0]:
             phase4 = self._accumulate(sx, sz, phase4, n + int(i))
@@ -381,6 +458,12 @@ class Tableau:
         return self.expectation_pauli("Z" * len(qubits), qubits)
 
     # -- sampling --------------------------------------------------------------
+
+    def coset_support(self) -> "CosetSupport":
+        """The coset factorization of this tableau's X/Z structure (the
+        polymorphic hook shared with the packed tableau, whose
+        factorization type differs)."""
+        return CosetSupport(self)
 
     def sample(
         self,
@@ -707,4 +790,12 @@ def ghz_tableau(num_qubits: int) -> Tableau:
     return tab
 
 
-__all__ = ["Tableau", "CosetSupport", "simulate_tableau", "ghz_tableau"]
+__all__ = [
+    "Tableau",
+    "CosetSupport",
+    "make_tableau",
+    "simulate_tableau",
+    "ghz_tableau",
+    "PACKED_TABLEAU_THRESHOLD",
+    "TABLEAU_IMPLS",
+]

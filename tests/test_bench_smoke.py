@@ -1,15 +1,21 @@
-"""Smoke test for the perf harness: ``scripts/bench.py --quick`` must run
-inside the tier-1 time budget and emit a schema-valid
-``BENCH_simulator.json``.
+"""Smoke test for the perf harness: ``scripts/bench.py --quick --check``
+must run inside the tier-1 time budget, emit a schema-valid
+``BENCH_simulator.json``, and hold every speedup floor recorded in the
+committed reference artifact.
 
-Schema ``repro.bench.simulator/v3`` has two entry shapes: paired lanes
-(``baseline_seconds`` / ``fast_seconds`` / ``speedup``) for benchmarks
-with a before/after comparison, and single-lane entries (``seconds``)
-for the stabilizer scaling runs at widths no dense engine can
-represent.  v3 adds the ``hybrid_segment_ghz_t`` lane (segment-granular
-tableau→dense execution vs the fast dense engine).
+Schema ``repro.bench.simulator/v4`` has two entry shapes: paired lanes
+(``baseline_seconds`` / ``fast_seconds`` / ``speedup``, optionally a
+``floor``) for benchmarks with a before/after comparison, and
+single-lane entries (``seconds``) for the stabilizer scaling runs at
+widths no dense engine can represent.  v4 adds the
+``stabilizer_packed_ghz`` lane (bit-packed word-parallel tableau vs the
+uint8 tableau), the ``diagonal_fusion_dense`` lane (diagonal-run kernel
+fusion off vs on), 256/512/1024-qubit ``stabilizer_scaling_ghz`` lanes,
+and per-lane speedup ``floor`` fields enforced by ``--check`` — the
+bench regression guard this suite keeps wired into tier-1.
 """
 
+import importlib.util
 import json
 import os
 import pathlib
@@ -29,20 +35,40 @@ PAIRED_ENTRY_KEYS = {
 SINGLE_LANE_KEYS = {"name", "params", "seconds"}
 
 
-def test_bench_quick_emits_valid_schema(tmp_path):
+def _load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_under_test", REPO / "scripts" / "bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_quick_check_emits_valid_schema_and_holds_floors(tmp_path):
+    """One quick run doubles as schema validation and regression guard:
+    ``--check`` exits nonzero if any lane drops below its committed
+    floor, which would fail this tier-1 test."""
     out = tmp_path / "BENCH_simulator.json"
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.run(
-        [sys.executable, str(REPO / "scripts" / "bench.py"), "--quick", "--out", str(out)],
+        [
+            sys.executable,
+            str(REPO / "scripts" / "bench.py"),
+            "--quick",
+            "--check",
+            "--out",
+            str(out),
+        ],
         capture_output=True,
         text=True,
         env=env,
         timeout=300,
     )
-    assert proc.returncode == 0, proc.stderr
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "--check passed" in proc.stdout
     payload = json.loads(out.read_text())
-    assert payload["schema"] == "repro.bench.simulator/v3"
+    assert payload["schema"] == "repro.bench.simulator/v4"
     assert payload["quick"] is True
     assert isinstance(payload["config"], dict)
     names = set()
@@ -55,6 +81,8 @@ def test_bench_quick_emits_valid_schema(tmp_path):
             assert entry["baseline_seconds"] > 0
             assert entry["fast_seconds"] > 0
             assert entry["speedup"] == entry["baseline_seconds"] / entry["fast_seconds"]
+            if "floor" in entry:
+                assert entry["floor"] > 0
         names.add(entry["name"])
     # the acceptance-gate benchmarks and the workload lenses must exist
     assert "ghz_shot_sampling_grouped" in names
@@ -63,3 +91,50 @@ def test_bench_quick_emits_valid_schema(tmp_path):
     assert "ghz_sampling_stabilizer" in names
     assert "stabilizer_scaling_ghz" in names
     assert "hybrid_segment_ghz_t" in names
+    assert "stabilizer_packed_ghz" in names
+    assert "diagonal_fusion_dense" in names
+
+
+def test_committed_artifact_is_v4_with_floors_and_wide_scaling():
+    """The committed reference must carry the v4 surface --check relies
+    on: floors on the acceptance lanes and the 256/512/1024-qubit
+    packed scaling lanes."""
+    payload = json.loads((REPO / "BENCH_simulator.json").read_text())
+    assert payload["schema"] == "repro.bench.simulator/v4"
+    floors = {e["name"] for e in payload["benchmarks"] if "floor" in e}
+    assert "stabilizer_packed_ghz" in floors
+    assert "diagonal_fusion_dense" in floors
+    assert "ghz_shot_sampling_grouped" in floors
+    scaling_sizes = {
+        e["params"]["num_qubits"]
+        for e in payload["benchmarks"]
+        if e["name"] == "stabilizer_scaling_ghz"
+    }
+    assert {256, 512, 1024} <= scaling_sizes
+    packed = [
+        e for e in payload["benchmarks"] if e["name"] == "stabilizer_packed_ghz"
+    ]
+    assert packed and packed[0]["params"]["num_qubits"] == 100
+    # the packed-tableau acceptance gate: ≥5× over the uint8 tableau
+    assert packed[0]["speedup"] >= 5.0
+
+
+def test_check_against_reference_logic():
+    """Unit-level regression-guard check (no bench run): floors compare
+    against fresh speedups, missing lanes fail."""
+    bench = _load_bench_module()
+    reference = {
+        "benchmarks": [
+            {"name": "a", "speedup": 4.0, "floor": 2.0},
+            {"name": "b", "speedup": 3.0, "floor": 1.5},
+            {"name": "c", "speedup": 9.9},  # no floor: never enforced
+        ]
+    }
+    ok = {"benchmarks": [{"name": "a", "speedup": 2.5}, {"name": "b", "speedup": 1.6}]}
+    assert bench.check_against_reference(ok, reference) == []
+    slow = {"benchmarks": [{"name": "a", "speedup": 1.9}, {"name": "b", "speedup": 1.6}]}
+    failures = bench.check_against_reference(slow, reference)
+    assert len(failures) == 1 and "a" in failures[0]
+    missing = {"benchmarks": [{"name": "a", "speedup": 2.5}]}
+    failures = bench.check_against_reference(missing, reference)
+    assert len(failures) == 1 and "b" in failures[0]

@@ -59,7 +59,7 @@ def test_architecture_doc_covers_engine_contract():
         "stabilizer",
         "baseline",
         "BENCH_simulator.json",
-        "repro.bench.simulator/v3",
+        "repro.bench.simulator/v4",
     ):
         assert needle in text, f"architecture doc lost the {needle!r} section"
 
@@ -81,6 +81,48 @@ def test_architecture_doc_covers_engine_registry():
         "hybrid_segment_ghz_t",
     ):
         assert needle in text, f"architecture doc lost the {needle!r} section"
+
+
+def test_architecture_doc_covers_packed_tableau():
+    """The packed-tableau section must name the word layout, the
+    popcount phase walk, the selection threshold/policy, and the new
+    bench surface (lanes, floors, --check)."""
+    text = ARCHITECTURE.read_text()
+    for needle in (
+        "Packed tableau",
+        "PackedTableau",
+        "PACKED_TABLEAU_THRESHOLD",
+        "np.uint64",
+        "ceil(n/64)",
+        "np.bitwise_count",
+        "PackedCosetSupport",
+        "tableau_impl",
+        "stabilizer_packed_ghz",
+        "diagonal_fusion_dense",
+        "floor",
+        "--check",
+    ):
+        assert needle in text, f"architecture doc lost the {needle!r} section"
+
+
+def test_architecture_doc_covers_diagonal_fusion():
+    text = ARCHITECTURE.read_text()
+    for needle in (
+        "Diagonal-run kernel fusion",
+        "apply_diagonal",
+        "scan_diagonal_runs",
+        "FUSE_DIAGONAL_RUNS",
+    ):
+        assert needle in text, f"architecture doc lost the {needle!r} section"
+
+
+def test_readme_scaling_table_reaches_1024_qubits():
+    """The README scaling table must cover the packed-tableau widths and
+    point at the lanes that record the authoritative numbers."""
+    text = README.read_text()
+    for needle in ("| 256 |", "| 512 |", "| 1024 |", "stabilizer_packed_ghz"):
+        assert needle in text, f"README scaling table lost {needle!r}"
+    assert "--check" in text, "README must document the bench regression guard"
 
 
 def test_readme_points_at_engine_registry():

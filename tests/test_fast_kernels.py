@@ -338,3 +338,130 @@ class TestMatrixCaching:
         sv = simulate_statevector(ghz_circuit(3, measure=False))
         assert abs(sv.data[0]) == pytest.approx(1 / np.sqrt(2))
         assert abs(sv.data[7]) == pytest.approx(1 / np.sqrt(2))
+
+
+class TestDiagonalRunFusion:
+    """Diagonal-run kernel fusion: adjacent diagonal 1q/2q gates collapse
+    into one precomputed elementwise multiply in the dense engine's
+    advance path, pinned against unfused application at 1e-12."""
+
+    @staticmethod
+    def _random_diag_heavy_circuit(num_qubits, depth, rng):
+        qc = QuantumCircuit(num_qubits, name=f"diag{num_qubits}x{depth}")
+        for _ in range(depth):
+            roll = rng.random()
+            if roll < 0.25:
+                qc.rz(float(rng.uniform(0, 2 * np.pi)), int(rng.integers(num_qubits)))
+            elif roll < 0.4:
+                qc.t(int(rng.integers(num_qubits)))
+            elif roll < 0.5:
+                qc.append("sdg", [int(rng.integers(num_qubits))])
+            elif num_qubits >= 2 and roll < 0.62:
+                a = int(rng.integers(num_qubits))
+                b = int(rng.integers(num_qubits - 1))
+                b += b >= a
+                qc.cz(a, b)
+            elif num_qubits >= 2 and roll < 0.74:
+                a = int(rng.integers(num_qubits))
+                b = int(rng.integers(num_qubits - 1))
+                b += b >= a
+                qc.rzz(float(rng.uniform(0, 2 * np.pi)), a, b)
+            elif roll < 0.88:
+                qc.h(int(rng.integers(num_qubits)))
+            else:
+                a = int(rng.integers(num_qubits))
+                b = int(rng.integers(num_qubits - 1))
+                b += b >= a
+                qc.cx(a, b)
+        return qc
+
+    def test_fused_advance_matches_unfused_1e12(self):
+        from repro.simulator.engines import DenseEngine
+        from repro.simulator.engines import dense as dense_mod
+
+        rng = np.random.default_rng(61)
+        for trial in range(12):
+            n = int(rng.integers(2, 9))
+            qc = self._random_diag_heavy_circuit(n, 60, rng)
+            ops = list(qc)
+            with engine_mode("fast"):
+                fused = DenseEngine(qc)
+                fused.advance(ops)
+                prev = dense_mod.FUSE_DIAGONAL_RUNS
+                try:
+                    dense_mod.FUSE_DIAGONAL_RUNS = False
+                    unfused = DenseEngine(qc)
+                    unfused.advance(ops)
+                finally:
+                    dense_mod.FUSE_DIAGONAL_RUNS = prev
+            np.testing.assert_allclose(
+                fused.to_dense().data, unfused.to_dense().data, atol=1e-12
+            )
+
+    def test_fusion_matches_generic_reference_1e12(self):
+        """Fused fast path vs the baseline generic contraction."""
+        rng = np.random.default_rng(67)
+        for trial in range(6):
+            n = int(rng.integers(2, 8))
+            qc = self._random_diag_heavy_circuit(n, 50, rng)
+            with engine_mode("fast"):
+                fast = simulate_statevector(qc)
+                from repro.simulator.engines import DenseEngine
+
+                eng = DenseEngine(qc)
+                eng.advance(list(qc))
+            with engine_mode("baseline"):
+                ref = simulate_statevector(qc)
+            np.testing.assert_allclose(eng.to_dense().data, ref.data, atol=1e-12)
+            np.testing.assert_allclose(fast.data, ref.data, atol=1e-12)
+
+    def test_run_detection_respects_blockers_and_barriers(self):
+        from repro.circuits.dag import diagonal_runs
+
+        qc = QuantumCircuit(3)
+        qc.t(0)
+        qc.h(1)        # disjoint non-diagonal: does not split the run
+        qc.rz(0.3, 2)
+        qc.cz(0, 2)
+        qc.h(0)        # blocks qubit 0
+        qc.t(0)        # must start a new run
+        qc.t(1)
+        runs = diagonal_runs(qc)
+        assert runs == [[0, 2, 3], [5, 6]]
+        qc2 = QuantumCircuit(2)
+        qc2.t(0)
+        qc2.barrier()
+        qc2.t(0)
+        assert diagonal_runs(qc2) == []  # barrier splits; singletons drop
+
+    def test_apply_diagonal_operand_order_convention(self):
+        """diag is indexed little-endian over the operand list, matching
+        apply_matrix — including reversed operand order."""
+        rng = np.random.default_rng(71)
+        vec = random_state(4, rng)
+        diag4 = np.exp(1j * rng.uniform(0, 2 * np.pi, 4))
+        matrix = np.diag(diag4)
+        for qubits in ([1, 3], [3, 1], [2, 0]):
+            a = StateVector(4, vec).apply_diagonal(diag4, qubits)
+            b = StateVector(4, vec).apply_matrix_generic(matrix, qubits)
+            np.testing.assert_allclose(a.data, b.data, atol=1e-12)
+
+    def test_fusion_in_grouped_sampling_is_invisible(self):
+        """Seeded grouped sampling with fusion on vs off: identical
+        counts (the fused phases differ only at float rounding)."""
+        from repro.simulator.engines import dense as dense_mod
+
+        rng = np.random.default_rng(73)
+        qc = self._random_diag_heavy_circuit(6, 40, rng)
+        qc.measure_all()
+        nm = NoiseModel()
+        nm.add_gate_error(depolarizing_error(0.03, 1), "h")
+        with engine_mode("fast"):
+            on = sample_counts(qc, 256, noise=nm, rng=11)
+            prev = dense_mod.FUSE_DIAGONAL_RUNS
+            try:
+                dense_mod.FUSE_DIAGONAL_RUNS = False
+                off = sample_counts(qc, 256, noise=nm, rng=11)
+            finally:
+                dense_mod.FUSE_DIAGONAL_RUNS = prev
+        assert on.to_dict() == off.to_dict()

@@ -1,0 +1,398 @@
+"""Bit-packed word-parallel tableau: parity with the uint8 tableau.
+
+The packed engine's contract is *bit-identity*, not approximation: the
+same gate sequence produces the same tableau (after unpacking), the same
+measurement outcomes from the same RNG stream, the same coset
+factorization (pivots, basis order, offsets), and therefore the same
+seeded sampled counts — at 12, 100, and 512 qubits, and against the
+dense engine wherever it can represent the state.  These tests pin all
+of that, plus the popcount phase kernel against the scalar ``_g4`` and
+the ``engine_mode(tableau_impl=...)`` policy plumbing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, ghz_circuit
+from repro.errors import EngineModeError, SimulationError
+from repro.simulator import (
+    NoiseModel,
+    Tableau,
+    depolarizing_error,
+    engine_mode,
+    sample_counts,
+)
+from repro.simulator import stabilizer as stabilizer_mod
+from repro.simulator.engines import TableauEngine
+from repro.simulator.noise import thermal_relaxation_error
+from repro.simulator.stabilizer import (
+    PACKED_TABLEAU_THRESHOLD,
+    CosetSupport,
+    _g4,
+    make_tableau,
+)
+from repro.simulator.stabilizer_packed import (
+    PackedCosetSupport,
+    PackedTableau,
+    g4_words,
+    pack_bit_matrix,
+    pack_tableau,
+    unpack_bit_matrix,
+)
+from tests.test_stabilizer import random_clifford_circuit
+
+
+def assert_same_state(uint8_tab: Tableau, packed_tab: PackedTableau, msg=None):
+    """The packed tableau unpacks to exactly the uint8 one."""
+    u = packed_tab.unpack()
+    assert np.array_equal(uint8_tab.x, u.x), msg
+    assert np.array_equal(uint8_tab.z, u.z), msg
+    assert np.array_equal(uint8_tab.r, u.r), msg
+
+
+def _ghz_noise():
+    nm = NoiseModel()
+    nm.add_gate_error(depolarizing_error(0.01, 2), "cx")
+    nm.add_gate_error(depolarizing_error(0.005, 1), "h")
+    return nm
+
+
+# ---------------------------------------------------------------------------
+# popcount phase kernel
+# ---------------------------------------------------------------------------
+
+
+class TestG4Words:
+    def test_exhaustive_single_position(self):
+        """All 16 single-qubit Pauli pairs match the scalar g function."""
+        for case in range(16):
+            x1, z1, x2, z2 = (case >> 3) & 1, (case >> 2) & 1, (case >> 1) & 1, case & 1
+            want = int(
+                _g4(*(np.array([v]) for v in (x1, z1, x2, z2)))[0]
+            ) % 4
+            got = int(
+                g4_words(*(np.array([v], dtype="<u8") for v in (x1, z1, x2, z2)))
+            )
+            assert want == got, case
+
+    def test_random_vectors_across_word_boundaries(self):
+        rng = np.random.default_rng(0)
+        for n in (1, 7, 63, 64, 65, 127, 128, 200):
+            for _ in range(10):
+                x1, z1, x2, z2 = rng.integers(0, 2, (4, n)).astype(np.uint8)
+                want = int(_g4(x1, z1, x2, z2).sum()) % 4
+                got = int(
+                    g4_words(
+                        *(pack_bit_matrix(v[None, :])[0] for v in (x1, z1, x2, z2))
+                    )
+                )
+                assert want == got, n
+
+    def test_pack_unpack_roundtrip(self):
+        rng = np.random.default_rng(1)
+        for k in (1, 63, 64, 65, 130):
+            bits = rng.integers(0, 2, (5, k)).astype(np.uint8)
+            assert np.array_equal(unpack_bit_matrix(pack_bit_matrix(bits), k), bits)
+
+    def test_popcount_lut_fallback_matches_active_kernel(self):
+        """The byte-LUT popcount (the NumPy<2.0 fallback) agrees with
+        whichever kernel the module selected at import."""
+        from repro.simulator.stabilizer_packed import (
+            _popcount_last_axis,
+            _popcount_last_axis_lut,
+        )
+
+        rng = np.random.default_rng(3)
+        for shape in ((4,), (3, 7), (5, 2)):
+            words = rng.integers(0, 1 << 63, size=shape, dtype=np.uint64).astype("<u8")
+            assert np.array_equal(
+                _popcount_last_axis(words), _popcount_last_axis_lut(words)
+            ), shape
+
+
+# ---------------------------------------------------------------------------
+# tableau-level parity
+# ---------------------------------------------------------------------------
+
+
+class TestPackedTableauParity:
+    def test_initial_state_and_adapters(self):
+        for n in (1, 5, 64, 130):
+            t, p = Tableau(n), PackedTableau(n)
+            assert_same_state(t, p)
+            assert_same_state(t, pack_tableau(t))
+
+    def test_random_clifford_circuits_identical_tableaux(self):
+        rng = np.random.default_rng(11)
+        for trial in range(10):
+            n = int(rng.integers(2, 9))
+            qc = random_clifford_circuit(n, 40, rng)
+            t, p = Tableau(n), PackedTableau(n)
+            for inst in qc:
+                t.apply_instruction(inst)
+                p.apply_instruction(inst)
+            assert_same_state(t, p, trial)
+
+    def test_gate_parity_across_word_boundary(self):
+        """Widths straddling the 64-bit word boundary keep exact parity."""
+        rng = np.random.default_rng(13)
+        for n in (63, 64, 65):
+            qc = random_clifford_circuit(n, 120, rng)
+            t, p = Tableau(n), PackedTableau(n)
+            for inst in qc:
+                t.apply_instruction(inst)
+                p.apply_instruction(inst)
+            assert_same_state(t, p, n)
+
+    def test_pauli_injection_parity(self):
+        rng = np.random.default_rng(17)
+        qc = random_clifford_circuit(6, 30, rng)
+        t, p = Tableau(6), PackedTableau(6)
+        for inst in qc:
+            t.apply_instruction(inst)
+            p.apply_instruction(inst)
+        for pauli, qs in (("X", [0]), ("ZZ", [1, 4]), ("IXYZ", [0, 2, 3, 5])):
+            t.apply_pauli(pauli, qs)
+            p.apply_pauli(pauli, qs)
+            assert_same_state(t, p, pauli)
+
+    def test_measure_reset_collapse_parity(self):
+        """Seeded measurement/reset sequences: same outcomes, same RNG
+        consumption, same post-collapse tableaux."""
+        rng = np.random.default_rng(23)
+        for trial in range(12):
+            n = int(rng.integers(2, 7))
+            qc = random_clifford_circuit(n, 3 * n, rng)
+            t = Tableau(n)
+            for inst in qc:
+                t.apply_instruction(inst)
+            p = pack_tableau(t)
+            r1 = np.random.default_rng(trial)
+            r2 = np.random.default_rng(trial)
+            for q in range(n):
+                assert t.measure(q, r1) == p.measure(q, r2), (trial, q)
+                assert_same_state(t, p, (trial, q))
+            t.reset(0, r1)
+            p.reset(0, r2)
+            assert_same_state(t, p, trial)
+            # both consumed the same number of draws
+            assert r1.random() == r2.random()
+
+    def test_error_injection_through_engine_protocol(self):
+        """inject() on the tableau engine behaves identically for both
+        implementations, including the thermal-reset collapse branch."""
+        from repro.simulator.engines.tableau import inject_into_tableau
+
+        err = thermal_relaxation_error(30e-6, 20e-6, 5e-6).compose(
+            depolarizing_error(0.3, 1)
+        )
+        qc = ghz_circuit(5, measure=False)
+        inst = qc.instructions[0]  # h on qubit 0
+        for term_index in range(len(err.terms)):
+            t = Tableau(5).apply("h", [0]).apply("cx", [0, 1])
+            p = pack_tableau(t)
+            st = inject_into_tableau(t, inst, err, term_index)
+            sp = inject_into_tableau(p, inst, err, term_index)
+            assert st == sp, term_index
+            assert_same_state(t, p, term_index)
+
+    def test_expectation_parity(self):
+        rng = np.random.default_rng(29)
+        for trial in range(6):
+            n = int(rng.integers(2, 8))
+            qc = random_clifford_circuit(n, 4 * n, rng)
+            t = Tableau(n)
+            for inst in qc:
+                t.apply_instruction(inst)
+            p = pack_tableau(t)
+            for _ in range(20):
+                pauli = "".join(rng.choice(list("IXYZ"), n))
+                assert t.expectation_pauli(pauli, range(n)) == p.expectation_pauli(
+                    pauli, range(n)
+                ), (trial, pauli)
+            assert t.expectation_z(range(n)) == p.expectation_z(range(n))
+
+    def test_conversion_adapters_match_unpacked(self):
+        t = Tableau(4).apply("h", [0]).apply("cx", [0, 1]).apply("s", [2])
+        p = pack_tableau(t)
+        ti, ta = t.coset_amplitudes()
+        pi, pa = p.coset_amplitudes()
+        assert np.array_equal(ti, pi)
+        assert np.allclose(ta, pa)
+        assert np.allclose(t.to_statevector().data, p.to_statevector().data)
+        assert np.allclose(t.probabilities(), p.probabilities())
+
+    def test_validation_errors(self):
+        p = PackedTableau(3)
+        with pytest.raises(SimulationError):
+            p.apply("t", [0])
+        with pytest.raises(SimulationError):
+            p.apply("h", [7])
+        with pytest.raises(SimulationError):
+            p.apply_pauli("Q", [0])
+        with pytest.raises(SimulationError):
+            PackedTableau(0)
+
+
+# ---------------------------------------------------------------------------
+# coset factorization parity
+# ---------------------------------------------------------------------------
+
+
+class TestPackedCosetSupport:
+    def test_factorization_matches_unpacked(self):
+        rng = np.random.default_rng(31)
+        for n in (3, 12, 63, 65, 100):
+            qc = random_clifford_circuit(n, 3 * n, rng)
+            t = Tableau(n)
+            for inst in qc:
+                t.apply_instruction(inst)
+            p = pack_tableau(t)
+            su, sp = CosetSupport(t), PackedCosetSupport(p)
+            assert su.dimension == sp.dimension, n
+            if sp.dimension:
+                assert np.array_equal(
+                    su.basis, unpack_bit_matrix(sp.basis_words, n)
+                ), n
+            want = su.offset(t.r[n:])
+            got = unpack_bit_matrix(
+                sp.offset_words(p._signs_words())[None, :], n
+            )[0]
+            assert np.array_equal(want, got), n
+
+    def test_sample_bits_identical(self):
+        rng = np.random.default_rng(37)
+        for n in (3, 12, 65):
+            qc = random_clifford_circuit(n, 3 * n, rng)
+            t = Tableau(n)
+            for inst in qc:
+                t.apply_instruction(inst)
+            p = pack_tableau(t)
+            bu = t.sample(96, np.random.default_rng(5), support=CosetSupport(t))
+            bp = p.sample(96, np.random.default_rng(5), support=PackedCosetSupport(p))
+            assert np.array_equal(bu, bp), n
+            # qubit selection applies the same column contract
+            qs = [n - 1, 0]
+            bu = t.sample(17, np.random.default_rng(8), qubits=qs)
+            bp = p.sample(17, np.random.default_rng(8), qubits=qs)
+            assert np.array_equal(bu, bp), n
+
+
+# ---------------------------------------------------------------------------
+# end-to-end seeded counts
+# ---------------------------------------------------------------------------
+
+
+class TestSeededCountsBitExact:
+    @pytest.mark.parametrize("num_qubits,shots", [(12, 256), (100, 512), (512, 96)])
+    def test_ghz_counts_identical_both_impls(self, num_qubits, shots):
+        qc = ghz_circuit(num_qubits)
+        with engine_mode("stabilizer", tableau_impl="unpacked"):
+            a = sample_counts(qc, shots, noise=_ghz_noise(), rng=7)
+        with engine_mode("stabilizer", tableau_impl="packed"):
+            b = sample_counts(qc, shots, noise=_ghz_noise(), rng=7)
+        assert a.to_dict() == b.to_dict()
+
+    def test_random_clifford_counts_identical_both_impls(self):
+        rng = np.random.default_rng(43)
+        nm = NoiseModel()
+        nm.add_gate_error(depolarizing_error(0.02, 1), "h")
+        nm.add_gate_error(depolarizing_error(0.02, 2), "cx")
+        for trial in range(6):
+            n = int(rng.integers(2, 8))
+            qc = random_clifford_circuit(n, 25, rng, measure=True)
+            seed = int(rng.integers(1 << 30))
+            with engine_mode("stabilizer", tableau_impl="unpacked"):
+                a = sample_counts(qc, 192, noise=nm, rng=seed)
+            with engine_mode("stabilizer", tableau_impl="packed"):
+                b = sample_counts(qc, 192, noise=nm, rng=seed)
+            assert a.to_dict() == b.to_dict(), trial
+
+    def test_thermal_reset_noise_identical_both_impls(self):
+        nm = NoiseModel()
+        nm.add_gate_error(thermal_relaxation_error(30e-6, 20e-6, 5e-6), "h")
+        nm.add_gate_error(
+            thermal_relaxation_error(30e-6, 20e-6, 5e-6, operand=1).compose(
+                depolarizing_error(0.02, 2)
+            ),
+            "cx",
+        )
+        qc = ghz_circuit(8)
+        for seed in (1, 5):
+            with engine_mode("stabilizer", tableau_impl="unpacked"):
+                a = sample_counts(qc, 256, noise=nm, rng=seed)
+            with engine_mode("stabilizer", tableau_impl="packed"):
+                b = sample_counts(qc, 256, noise=nm, rng=seed)
+            assert a.to_dict() == b.to_dict(), seed
+
+    def test_per_shot_path_identical_both_impls(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.measure(0)
+        qc.x(0)
+        qc.reset(2)
+        qc.h(2)
+        qc.cx(1, 2)
+        qc.measure_all()
+        nm = NoiseModel()
+        nm.add_gate_error(depolarizing_error(0.05, 1), "h")
+        for seed in (0, 42):
+            with engine_mode("stabilizer", tableau_impl="unpacked"):
+                a = sample_counts(qc, 192, noise=nm, rng=seed)
+            with engine_mode("stabilizer", tableau_impl="packed"):
+                b = sample_counts(qc, 192, noise=nm, rng=seed)
+            assert a.to_dict() == b.to_dict(), seed
+
+    def test_packed_matches_dense_engine_exactly(self):
+        """The full PR-2 contract transfers to the packed tableau: seeded
+        Clifford counts are bit-identical to the dense engine."""
+        qc = ghz_circuit(12)
+        with engine_mode("fast"):
+            dense = sample_counts(qc, 384, noise=_ghz_noise(), rng=9)
+        with engine_mode("stabilizer", tableau_impl="packed"):
+            packed = sample_counts(qc, 384, noise=_ghz_noise(), rng=9)
+        assert dense.to_dict() == packed.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# policy plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestImplementationPolicy:
+    def test_factory_threshold(self):
+        assert isinstance(make_tableau(PACKED_TABLEAU_THRESHOLD - 1), Tableau)
+        assert isinstance(make_tableau(PACKED_TABLEAU_THRESHOLD), PackedTableau)
+        assert isinstance(make_tableau(2, impl="packed"), PackedTableau)
+        assert isinstance(make_tableau(500, impl="unpacked"), Tableau)
+        with pytest.raises(SimulationError):
+            make_tableau(2, impl="no-such-impl")
+
+    def test_engine_mode_sets_and_restores_policy(self):
+        assert stabilizer_mod.TABLEAU_IMPL == "auto"
+        with engine_mode("stabilizer", tableau_impl="packed"):
+            assert stabilizer_mod.TABLEAU_IMPL == "packed"
+            eng = TableauEngine(ghz_circuit(3, measure=False))
+            assert isinstance(eng._tab, PackedTableau)
+        assert stabilizer_mod.TABLEAU_IMPL == "auto"
+
+    def test_engine_mode_rejects_bad_impl_before_mutation(self):
+        with pytest.raises(EngineModeError):
+            with engine_mode("stabilizer", tableau_impl="bogus"):
+                pass  # pragma: no cover
+        assert stabilizer_mod.TABLEAU_IMPL == "auto"
+
+    def test_auto_policy_picks_packed_above_threshold(self):
+        eng = TableauEngine(ghz_circuit(PACKED_TABLEAU_THRESHOLD + 1, measure=False))
+        assert isinstance(eng._tab, PackedTableau)
+        eng = TableauEngine(ghz_circuit(8, measure=False))
+        assert isinstance(eng._tab, Tableau)
+
+    def test_fork_preserves_packed_independence(self):
+        eng = TableauEngine(ghz_circuit(70, measure=False))
+        eng.advance(list(ghz_circuit(70, measure=False)))
+        fork = eng.fork()
+        fork._tab.apply_pauli("X", [0])
+        assert eng._tab._r != fork._tab._r
+        assert eng._tab._xc == fork._tab._xc  # structure shared by value
