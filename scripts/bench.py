@@ -26,17 +26,25 @@ the engine lanes :func:`repro.simulator.engine_mode` exposes:
   now reach 256/512/1024 qubits on the packed representation);
 * **diagonal-run fusion** — ``diagonal_fusion_dense`` toggles the dense
   engine's diagonal-run kernel fusion on a T/RZ/CP-heavy sampling
-  workload (fast kernels in both lanes; this isolates the fusion win).
+  workload (fast kernels in both lanes; this isolates the fusion win);
+* **mps** — the bounded-bond matrix-product-state engine
+  (``mps_brickwork`` pits it against the fast dense engine on a shallow
+  brickwork circuit at dense-representable width; ``mps_qaoa_wide``
+  runs a QAOA-style chain at widths no other non-Clifford path can
+  represent — a single-lane entry carrying a ``max_seconds``
+  feasibility ceiling plus the engine's reported truncation error).
 
 Results are printed as a table and written to ``BENCH_simulator.json``
-(schema ``repro.bench.simulator/v4``) so later PRs have a perf
+(schema ``repro.bench.simulator/v5``) so later PRs have a perf
 trajectory to beat.  Acceptance-gate lanes carry a ``floor`` — the
-minimum speedup later runs must preserve; ``--check`` runs the quick
-configuration and exits nonzero if any fresh speedup drops below the
-floor recorded in the committed reference artifact (the tier-1 bench
-regression guard).  ``--quick`` shrinks sizes to fit the tier-1 CI
-budget; the default configuration runs the paper-scale 20-qubit GHZ
-shot-sampling benchmarks whose speedups the acceptance gates check.
+minimum speedup later runs must preserve — and wide single-lane entries
+may carry a ``max_seconds`` feasibility ceiling; ``--check`` runs the
+quick configuration and exits nonzero if any fresh speedup drops below
+the floor (or any ceiling-carrying lane exceeds its ceiling) recorded
+in the committed reference artifact (the tier-1 bench regression
+guard).  ``--quick`` shrinks sizes to fit the tier-1 CI budget; the
+default configuration runs the paper-scale 20-qubit GHZ shot-sampling
+benchmarks whose speedups the acceptance gates check.
 
 Usage::
 
@@ -61,7 +69,7 @@ if str(_REPO / "src") not in sys.path:
 
 import numpy as np  # noqa: E402
 
-from repro.circuits import ghz_circuit  # noqa: E402
+from repro.circuits import brickwork_circuit, ghz_circuit  # noqa: E402
 from repro.circuits.gates import cx_matrix, rz_matrix, spec  # noqa: E402
 from repro.hybrid import VQE, h2_hamiltonian  # noqa: E402
 from repro.simulator import (  # noqa: E402
@@ -74,7 +82,7 @@ from repro.simulator.sampler import _sample_per_shot  # noqa: E402
 from repro.simulator.sampler import engine_mode as engine  # noqa: E402
 from repro.simulator.statevector import StateVector  # noqa: E402
 
-SCHEMA = "repro.bench.simulator/v4"
+SCHEMA = "repro.bench.simulator/v5"
 
 #: Speedup floors for the acceptance-gate lanes, recorded into the
 #: artifact (``floor`` field) and enforced by ``--check``.  Values are
@@ -87,6 +95,15 @@ FLOORS: Dict[str, float] = {
     "hybrid_segment_ghz_t": 2.0,
     "stabilizer_packed_ghz": 2.5,
     "diagonal_fusion_dense": 1.3,
+    "mps_brickwork": 1.2,
+}
+
+#: Wall-clock feasibility ceilings (seconds) for single-lane entries at
+#: widths no other engine can represent — the "this workload is
+#: runnable at all, interactively" gates.  Deliberately generous: a
+#: regression that matters here is an order of magnitude, not noise.
+CEILINGS: Dict[str, float] = {
+    "mps_qaoa_wide": 60.0,
 }
 
 
@@ -397,6 +414,95 @@ def bench_hybrid_segment(num_qubits: int, shots: int, repeats: int) -> Dict[str,
     return entry
 
 
+def _brickwork_noise() -> NoiseModel:
+    nm = NoiseModel()
+    nm.add_gate_error(depolarizing_error(0.002, 2), "cz")
+    nm.add_gate_error(depolarizing_error(0.001, 1), "ry")
+    return nm
+
+
+def bench_mps_brickwork(
+    num_qubits: int, depth: int, shots: int, repeats: int
+) -> Dict[str, object]:
+    """MPS engine vs the fast dense engine on shallow-brickwork grouped
+    sampling at a dense-representable width — the MPS acceptance
+    benchmark.  Per trajectory group the dense engine copies and
+    replays a ``2^n`` amplitude vector; the MPS engine forks ``O(n ·
+    chi²)`` tensors, replays cheap local contractions, and only pays a
+    single exact contraction at sampling time (which is also what keeps
+    its seeded counts bit-comparable to the dense engine's)."""
+    circuit = brickwork_circuit(num_qubits, depth)
+    noise = _brickwork_noise()
+    with engine("fast"):
+        dense = _timed(lambda: sample_counts(circuit, shots, noise=noise, rng=7), repeats)
+    with engine("mps"):
+        mps = _timed(lambda: sample_counts(circuit, shots, noise=noise, rng=7), repeats)
+    entry = _entry(
+        "mps_brickwork",
+        {
+            "num_qubits": num_qubits,
+            "depth": depth,
+            "shots": shots,
+            "noise": "depolarizing",
+        },
+        dense,
+        mps,
+        throughput_unit="shots_per_sec",
+        work_items=shots,
+    )
+    entry["lanes"] = {"baseline": "statevector-fast", "fast": "mps"}
+    return entry
+
+
+def bench_mps_qaoa_wide(
+    num_qubits: int, layers: int, shots: int, repeats: int
+) -> Dict[str, object]:
+    """MPS-only lane: a QAOA-style chain (H wall, RZZ cost layers, RX
+    mixers) at a width where *every* other non-Clifford path is
+    infeasible — the RX mixer branches, so the hybrid engine's sparse
+    tail blows up, and the dense engine cannot represent the state at
+    all.  Single-lane entry with a ``max_seconds`` feasibility ceiling;
+    the engine's reported cumulative truncation error and peak bond
+    dimension are recorded alongside the timing."""
+    from repro.circuits.circuit import QuantumCircuit
+    from repro.simulator.engines import prepare_engine
+
+    qc = QuantumCircuit(num_qubits, name=f"qaoa{num_qubits}")
+    for q in range(num_qubits):
+        qc.h(q)
+    for _ in range(layers):
+        for q in range(num_qubits - 1):
+            qc.rzz(0.4, q, q + 1)
+        for q in range(num_qubits):
+            qc.rx(0.9, q)
+    qc.measure_all()
+    noise = _ghz_noise()  # h-gate depolarizing reaches the H wall
+    with engine("mps"):
+        seconds = _timed(
+            lambda: sample_counts(qc, shots, noise=noise, rng=7), repeats
+        )
+        state = prepare_engine(qc, "mps")
+    entry: Dict[str, object] = {
+        "name": "mps_qaoa_wide",
+        "params": {
+            "num_qubits": num_qubits,
+            "layers": layers,
+            "shots": shots,
+            "noise": "depolarizing",
+            "chi": state.chi,
+        },
+        "seconds": seconds,
+        "throughput_unit": "shots_per_sec",
+        "throughput": shots / seconds,
+        "truncation_error": state.truncation_error,
+        "max_bond_dimension": state.max_bond_dimension,
+    }
+    ceiling = CEILINGS.get("mps_qaoa_wide")
+    if ceiling is not None:
+        entry["max_seconds"] = ceiling
+    return entry
+
+
 def bench_vqe_iteration(shots: int, repeats: int) -> List[Dict[str, object]]:
     """Latency of one VQE energy evaluation (the tight-loop unit of work):
     the sampled estimator and the exact state-vector path."""
@@ -459,6 +565,12 @@ def run(quick: bool) -> Dict[str, object]:
             "packed_shots": 512,
             "diag_fusion_qubits": 16,
             "diag_fusion_layers": 4,
+            "mps_brickwork_qubits": 16,
+            "mps_brickwork_depth": 4,
+            "mps_brickwork_shots": 256,
+            "mps_qaoa_qubits": 40,
+            "mps_qaoa_layers": 2,
+            "mps_qaoa_shots": 256,
         }
         repeats = 1
     else:
@@ -480,6 +592,12 @@ def run(quick: bool) -> Dict[str, object]:
             "packed_shots": 1024,
             "diag_fusion_qubits": 20,
             "diag_fusion_layers": 8,
+            "mps_brickwork_qubits": 20,
+            "mps_brickwork_depth": 4,
+            "mps_brickwork_shots": 256,
+            "mps_qaoa_qubits": 64,
+            "mps_qaoa_layers": 2,
+            "mps_qaoa_shots": 512,
         }
         repeats = 2
     benchmarks: List[Dict[str, object]] = []
@@ -509,6 +627,22 @@ def run(quick: bool) -> Dict[str, object]:
     benchmarks.append(
         bench_diag_fusion(
             config["diag_fusion_qubits"], config["diag_fusion_layers"], repeats
+        )
+    )
+    benchmarks.append(
+        bench_mps_brickwork(
+            config["mps_brickwork_qubits"],
+            config["mps_brickwork_depth"],
+            config["mps_brickwork_shots"],
+            repeats,
+        )
+    )
+    benchmarks.append(
+        bench_mps_qaoa_wide(
+            config["mps_qaoa_qubits"],
+            config["mps_qaoa_layers"],
+            config["mps_qaoa_shots"],
+            repeats,
         )
     )
     benchmarks += bench_vqe_iteration(config["vqe_shots"], repeats)
@@ -549,25 +683,39 @@ def render(result: Dict[str, object]) -> str:
 def check_against_reference(
     result: Dict[str, object], reference: Dict[str, object]
 ) -> List[str]:
-    """Regression report: fresh speedups vs the reference's floors.
+    """Regression report: fresh speedups vs the reference's floors, and
+    fresh single-lane timings vs the reference's feasibility ceilings.
 
     Every reference entry carrying a ``floor`` must (a) still exist in
-    the fresh run and (b) meet that floor there.  Returns a list of
-    human-readable failure lines (empty = no regression).  Floors, not
-    raw speedups, are compared: wall-clock ratios drift with machine
-    load, so the committed artifact states the minimum each lane must
-    preserve rather than the number it happened to record.
+    the fresh run and (b) meet that floor there; every entry carrying a
+    ``max_seconds`` ceiling must exist and stay below it.  Returns a
+    list of human-readable failure lines (empty = no regression).
+    Floors/ceilings, not raw numbers, are compared: wall-clock drifts
+    with machine load, so the committed artifact states the bound each
+    lane must preserve rather than the number it happened to record.
     """
     floors = {
         e["name"]: e["floor"]
         for e in reference.get("benchmarks", [])
         if "floor" in e
     }
+    ceilings = {
+        e["name"]: e["max_seconds"]
+        for e in reference.get("benchmarks", [])
+        if "max_seconds" in e
+    }
     fresh = {
         e["name"]: e
         for e in result.get("benchmarks", [])
         if "speedup" in e
     }
+    fresh_seconds: Dict[str, float] = {}
+    for e in result.get("benchmarks", []):
+        if "seconds" in e:
+            # several entries may share a name (scaling lanes); the
+            # slowest one must clear the ceiling
+            name = e["name"]
+            fresh_seconds[name] = max(fresh_seconds.get(name, 0.0), e["seconds"])
     failures: List[str] = []
     for name, floor in sorted(floors.items()):
         entry = fresh.get(name)
@@ -577,6 +725,17 @@ def check_against_reference(
         if entry["speedup"] < floor:
             failures.append(
                 f"{name}: speedup {entry['speedup']:.2f}x below floor {floor}x"
+            )
+    for name, ceiling in sorted(ceilings.items()):
+        seconds = fresh_seconds.get(name)
+        if seconds is None:
+            failures.append(
+                f"{name}: lane missing from fresh run (ceiling {ceiling}s)"
+            )
+            continue
+        if seconds > ceiling:
+            failures.append(
+                f"{name}: {seconds:.2f}s exceeds feasibility ceiling {ceiling}s"
             )
     return failures
 

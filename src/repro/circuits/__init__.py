@@ -4,6 +4,7 @@ from repro.circuits.circuit import (
     Instruction,
     QuantumCircuit,
     bell_circuit,
+    brickwork_circuit,
     ghz_circuit,
     random_circuit,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "Instruction",
     "QuantumCircuit",
     "bell_circuit",
+    "brickwork_circuit",
     "ghz_circuit",
     "random_circuit",
     "CircuitDag",

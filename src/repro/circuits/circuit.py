@@ -615,6 +615,35 @@ def bell_circuit(*, measure: bool = True) -> QuantumCircuit:
     return qc
 
 
+def brickwork_circuit(
+    num_qubits: int,
+    depth: int,
+    *,
+    seed: object = 0,
+    measure: bool = True,
+    name: Optional[str] = None,
+) -> QuantumCircuit:
+    """Shallow brickwork: RY layers + even/odd CZ brick pattern.
+
+    The canonical bounded-entanglement workload (branching, non-Clifford,
+    line-like) the MPS engine targets — one builder shared by the perf
+    harness, the microbenchmarks, and the test suites so the lanes and
+    the pins can never drift apart.
+    """
+    from repro.utils.rng import as_rng
+
+    rng = as_rng(seed)  # type: ignore[arg-type]
+    qc = QuantumCircuit(num_qubits, name=name or f"brickwork{num_qubits}x{depth}")
+    for layer in range(depth):
+        for q in range(num_qubits):
+            qc.ry(float(rng.uniform(-np.pi, np.pi)), q)
+        for q in range(layer % 2, num_qubits - 1, 2):
+            qc.cz(q, q + 1)
+    if measure:
+        qc.measure_all()
+    return qc
+
+
 def random_circuit(
     num_qubits: int,
     depth: int,
@@ -654,5 +683,6 @@ __all__ = [
     "QuantumCircuit",
     "ghz_circuit",
     "bell_circuit",
+    "brickwork_circuit",
     "random_circuit",
 ]

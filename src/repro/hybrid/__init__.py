@@ -5,6 +5,7 @@ from repro.hybrid.observables import (
     PauliTerm,
     estimate_expectation,
     exact_expectation,
+    expectation_mps,
     expectation_sparse,
     expectation_stabilizer,
     expectation_statevector,
@@ -39,6 +40,7 @@ __all__ = [
     "PauliTerm",
     "estimate_expectation",
     "exact_expectation",
+    "expectation_mps",
     "expectation_sparse",
     "expectation_stabilizer",
     "expectation_statevector",

@@ -232,6 +232,26 @@ def expectation_sparse(hamiltonian: PauliSum, sparse) -> float:
     return float(total)
 
 
+def expectation_mps(hamiltonian: PauliSum, mps) -> float:
+    """Exact ``⟨H⟩`` on a prepared
+    :class:`~repro.simulator.engines.mps.MPSState`.
+
+    Each Pauli term runs the MPO-free local transfer-matrix sweep
+    (:meth:`~repro.simulator.engines.mps.MPSState.expectation_pauli`):
+    with the canonical center inside the term's site span, only the
+    spanned sites contract — ``O(span · chi³)`` per term, independent
+    of the total qubit count, so 50–100+ qubit low-entanglement ansätze
+    evaluate without ever materializing ``2^n`` amplitudes.  "Exact"
+    means exact on the (possibly truncated) MPS; the state's cumulative
+    ``truncation_error`` bounds the representation loss.
+    """
+    total = hamiltonian.identity_offset
+    for term in hamiltonian.measured_terms():
+        labels = "".join(label for _, label in term.paulis)
+        total += term.coefficient * mps.expectation_pauli(labels, term.qubits)
+    return float(total)
+
+
 def exact_expectation(hamiltonian: PauliSum, circuit: QuantumCircuit) -> float:
     """Exact ``⟨H⟩`` on the state prepared by *circuit*, engine-dispatched.
 
@@ -346,6 +366,7 @@ __all__ = [
     "PauliSum",
     "estimate_expectation",
     "exact_expectation",
+    "expectation_mps",
     "expectation_sparse",
     "expectation_stabilizer",
     "expectation_statevector",

@@ -1,13 +1,16 @@
 """Quantum state simulation: state vectors, stabilizer tableaux, channels,
 noise, sampling, and the pluggable execution-engine registry.
 
-Three computational substrates live here — the dense
+Four computational substrates live here — the dense
 :class:`~repro.simulator.statevector.StateVector` engine (exact, any
 gate, exponential in qubits), the
 :class:`~repro.simulator.stabilizer.Tableau` engine (Clifford-only,
-polynomial, hundreds of qubits), and the segment-granular hybrid
+polynomial, hundreds of qubits), the segment-granular hybrid
 (tableau→dense) engine that runs a circuit's maximal Clifford prefix on
-a tableau before crossing to amplitudes.  All of them sit behind the
+a tableau before crossing to amplitudes, and the bounded-bond
+:class:`~repro.simulator.engines.mps.MPSState` tensor-network engine
+for low-entanglement circuits beyond the dense limit.  All of them sit
+behind the
 :mod:`repro.simulator.engines` registry; the shot sampler routes per
 circuit and :func:`~repro.simulator.sampler.engine_mode` is the
 canonical switch.  See ``docs/architecture.md`` for the full engine
@@ -32,6 +35,8 @@ from repro.simulator.engines import (
     DenseEngine,
     ExecutionEngine,
     HybridSegmentEngine,
+    MPSEngine,
+    MPSState,
     SparseAmplitudes,
     TableauEngine,
     engine_registry,
@@ -39,6 +44,7 @@ from repro.simulator.engines import (
     prepare_engine,
     register_engine,
     select_engine,
+    simulate_mps,
 )
 from repro.simulator.noise import (
     ErrorTerm,
@@ -97,6 +103,9 @@ __all__ = [
     "DenseEngine",
     "TableauEngine",
     "HybridSegmentEngine",
+    "MPSEngine",
+    "MPSState",
+    "simulate_mps",
     "SparseAmplitudes",
     "engine_registry",
     "get_engine",

@@ -18,6 +18,10 @@ Backends
     :class:`HybridSegmentEngine` — segment-granular mixed execution:
     the maximal Clifford prefix runs on a tableau, the state crosses to
     (sparse, then dense) amplitudes at the first non-Clifford gate.
+``mps``
+    :class:`MPSEngine` — bounded-bond matrix-product-state execution
+    (any gate, cost polynomial in qubits at fixed bond dimension):
+    low-entanglement circuits run far beyond the dense limit.
 
 Routing
 -------
@@ -32,6 +36,8 @@ from __future__ import annotations
 
 from typing import Optional, Type
 
+import numpy as np
+
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.dag import clifford_segments, is_clifford_circuit
 from repro.errors import EngineModeError
@@ -43,6 +49,7 @@ from repro.simulator.engines.base import (
 )
 from repro.simulator.engines.dense import DenseEngine, inject_into_dense
 from repro.simulator.engines.hybrid import HybridSegmentEngine
+from repro.simulator.engines.mps import MPSEngine, MPSState, is_line_like, simulate_mps
 from repro.simulator.engines.sparse import SparseAmplitudes
 from repro.simulator.engines.tableau import TableauEngine, inject_into_tableau
 from repro.simulator.statevector import DENSE_QUBIT_LIMIT
@@ -63,6 +70,22 @@ def _clifford_prefix_has_gates(circuit: QuantumCircuit, *, two_qubit: bool) -> b
     return False
 
 
+def _tail_preserves_sparse_support(circuit: QuantumCircuit) -> bool:
+    """Whether every gate after the maximal Clifford prefix is diagonal
+    or a generalized permutation — i.e. the hybrid engine's sparse
+    amplitude support can never grow in the tail, so segment execution
+    is guaranteed to stay cheap at any width."""
+    segments = clifford_segments(circuit)
+    start = segments[0].stop if segments and segments[0].is_clifford else 0
+    for inst in circuit.instructions[start:]:
+        if inst.is_directive or inst.is_diagonal():
+            continue
+        matrix = inst.matrix()
+        if not bool(np.all(np.count_nonzero(matrix, axis=0) == 1)):
+            return False
+    return True
+
+
 def select_engine(mode: str, circuit: QuantumCircuit) -> Type[ExecutionEngine]:
     """Route one circuit to an engine class under *mode*.
 
@@ -77,10 +100,16 @@ def select_engine(mode: str, circuit: QuantumCircuit) -> Type[ExecutionEngine]:
     ``hybrid``
         Tableau for Clifford circuits; segment-granular mixed execution
         whenever the circuit has any Clifford prefix; dense otherwise.
+    ``mps``
+        The matrix-product-state engine for every circuit (the gate
+        library is 1q/2q, which is all an MPS needs).
     ``auto``
-        Best-known routing: tableau for Clifford circuits, hybrid when
-        the Clifford prefix contains entangling structure (or the
-        circuit is too wide for dense anyway), dense for the rest.
+        Best-known routing: tableau for Clifford circuits; beyond the
+        dense limit, hybrid when the post-prefix tail can never grow the
+        sparse support, otherwise MPS for line-like circuits (bounded
+        entanglement growth) and hybrid as the last resort; at dense
+        widths, hybrid when the Clifford prefix contains entangling
+        structure, dense for the rest.
     """
     # Resolve through the registry (not the imported classes) so that
     # re-registering a name really does swap the backend dispatch serves.
@@ -101,11 +130,23 @@ def select_engine(mode: str, circuit: QuantumCircuit) -> Type[ExecutionEngine]:
         if _clifford_prefix_has_gates(circuit, two_qubit=False):
             return hybrid
         return dense
+    if mode == "mps":
+        return get_engine(MPSEngine.name)
     if mode == "auto":
         if is_clifford_circuit(circuit):
             return tableau
         if circuit.num_qubits > DENSE_QUBIT_LIMIT:
-            return hybrid  # dense cannot represent it at all
+            # Dense cannot represent it at all.  Prefer the hybrid
+            # engine when its sparse tail is guaranteed (Clifford prefix
+            # + diagonal/permutation tail); otherwise a line-like
+            # interaction graph means bounded entanglement growth — the
+            # MPS engine's home turf; anything else falls back to
+            # hybrid, the historical wide route.
+            if _tail_preserves_sparse_support(circuit):
+                return hybrid
+            if is_line_like(circuit):
+                return get_engine(MPSEngine.name)
+            return hybrid
         if _clifford_prefix_has_gates(circuit, two_qubit=True):
             return hybrid
         return dense
@@ -149,7 +190,11 @@ __all__ = [
     "DenseEngine",
     "TableauEngine",
     "HybridSegmentEngine",
+    "MPSEngine",
+    "MPSState",
     "SparseAmplitudes",
+    "simulate_mps",
+    "is_line_like",
     "register_engine",
     "get_engine",
     "engine_registry",

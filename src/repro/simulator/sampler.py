@@ -50,6 +50,7 @@ match the dense engine to float precision.
 
 from __future__ import annotations
 
+import numbers
 import warnings
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Type
@@ -66,6 +67,7 @@ from repro.simulator.engines import (
     inject_into_dense,
     select_engine,
 )
+from repro.simulator.engines import mps as _mps
 from repro.simulator.noise import NoiseModel, QuantumError
 from repro.simulator.statevector import StateVector
 from repro.simulator import stabilizer as _stabilizer
@@ -139,12 +141,30 @@ def ideal_probabilities(circuit: QuantumCircuit) -> Dict[str, float]:
 #: Toggle via :func:`engine_mode` rather than assigning directly.
 USE_PREFIX_SHARING = True
 
+#: Suffix-checkpoint reuse between trajectory groups that share more
+#: than the clean prefix (same leading ``(site, term)`` injections):
+#: the shared post-injection state is forked once and reused instead of
+#: replayed.  RNG streams and visit order are untouched, so seeded
+#: counts are bit-identical either way (pinned by
+#: ``tests/test_sampler.py``); the toggle exists for the equivalence
+#: suite and the perf harness.
+USE_SUFFIX_CHECKPOINTS = True
+
 #: Current engine mode; one of :data:`ENGINE_MODES`.  Set via
 #: :func:`engine_mode` rather than assigning directly.
 ENGINE = "fast"
 
 #: The recognized engine modes (see :func:`engine_mode`).
-ENGINE_MODES = ("baseline", "fast", "stabilizer", "hybrid", "auto")
+ENGINE_MODES = ("baseline", "fast", "stabilizer", "hybrid", "mps", "auto")
+
+#: Modes under which the ``tableau_impl`` sub-option is meaningful
+#: (those whose routing can reach a stabilizer tableau).
+_TABLEAU_IMPL_MODES = ("fast", "stabilizer", "hybrid", "auto")
+
+#: Modes under which the MPS sub-options (``chi`` /
+#: ``truncation_threshold``) are meaningful (those whose routing can
+#: reach the MPS engine).
+_MPS_OPTION_MODES = ("mps", "auto")
 
 #: One-shot latch for the ``engine_mode(fast=...)`` deprecation warning.
 _FAST_KEYWORD_WARNED = False
@@ -156,6 +176,9 @@ def engine_mode(
     *,
     fast: Optional[bool] = None,
     tableau_impl: Optional[str] = None,
+    chi: Optional[int] = None,
+    truncation_threshold: Optional[float] = None,
+    **unknown_options: object,
 ) -> Iterator[None]:
     """Select the simulation engine for the dynamic extent of the block.
 
@@ -185,10 +208,16 @@ def engine_mode(
         (sparse, then dense) amplitudes at the first non-Clifford gate.
         Clifford circuits route to the tableau, circuits with no
         Clifford prefix to the dense engine.
+    ``"mps"``
+        The bounded-bond matrix-product-state engine
+        (:class:`~repro.simulator.engines.mps.MPSEngine`) for every
+        circuit: low-entanglement workloads run far beyond the dense
+        limit at ``O(n · chi³)`` per gate.
     ``"auto"``
-        Best-known routing per circuit: tableau for Clifford circuits,
-        hybrid when the Clifford prefix contains entangling structure
-        (or the circuit is too wide for dense), dense otherwise.
+        Best-known routing per circuit: tableau for Clifford circuits;
+        beyond the dense limit, hybrid for guaranteed-sparse tails and
+        MPS for line-like circuits; at dense widths, hybrid when the
+        Clifford prefix contains entangling structure, dense otherwise.
 
     The keyword-only *tableau_impl* sub-option selects the stabilizer
     tableau implementation for the block: ``"auto"`` (the default
@@ -199,7 +228,22 @@ def engine_mode(
     so this is a performance policy, not a semantics switch; the perf
     harness uses it to pit the two against each other.
 
-    An invalid *mode* (or *tableau_impl*) raises
+    The keyword-only *chi* and *truncation_threshold* sub-options scope
+    the MPS engine's truncation contract for the block
+    (:data:`repro.simulator.engines.mps.CHI` — the bond-dimension cap —
+    and :data:`~repro.simulator.engines.mps.TRUNCATION_THRESHOLD` — the
+    maximum relative weight one SVD may drop beyond the cap).  Unlike
+    ``tableau_impl`` these *do* change semantics: a saturated cap
+    truncates the state, with the discarded weight reported on the
+    engine (``MPSEngine.truncation_error``).
+
+    Every sub-option is validated **for the selected mode**: a
+    sub-option that the mode's routing can never consume
+    (``tableau_impl`` outside tableau-capable modes, ``chi`` /
+    ``truncation_threshold`` outside ``"mps"`` / ``"auto"``) is rejected
+    rather than silently ignored, as is any unrecognized keyword.
+
+    An invalid *mode* or sub-option raises
     :class:`~repro.errors.EngineModeError` (a :class:`ValueError`)
     **before** any global state is touched, so a failed call can never
     leave the knobs partially set.
@@ -209,6 +253,15 @@ def engine_mode(
     deprecated (one :class:`DeprecationWarning` per process).
     """
     global _FAST_KEYWORD_WARNED
+    if unknown_options:
+        # Hygiene: an unrecognized sub-option must fail loudly instead
+        # of silently configuring nothing (a typo like ``ci=64`` would
+        # otherwise run the whole block on defaults).
+        names = ", ".join(sorted(unknown_options))
+        raise EngineModeError(
+            f"unknown engine_mode sub-option(s): {names}; recognized "
+            "sub-options are tableau_impl, chi, truncation_threshold"
+        )
     if fast is not None:
         if mode is not None:
             raise EngineModeError("pass either mode or fast=, not both")
@@ -225,10 +278,34 @@ def engine_mode(
         raise EngineModeError(
             f"unknown engine mode {mode!r}; expected one of {ENGINE_MODES}"
         )
-    if tableau_impl is not None and tableau_impl not in _stabilizer.TABLEAU_IMPLS:
+    if tableau_impl is not None:
+        if mode not in _TABLEAU_IMPL_MODES:
+            raise EngineModeError(
+                f"tableau_impl is not a sub-option of engine mode {mode!r}; "
+                f"it applies to {_TABLEAU_IMPL_MODES}"
+            )
+        if tableau_impl not in _stabilizer.TABLEAU_IMPLS:
+            raise EngineModeError(
+                f"unknown tableau implementation {tableau_impl!r}; expected "
+                f"one of {_stabilizer.TABLEAU_IMPLS}"
+            )
+    if chi is not None or truncation_threshold is not None:
+        if mode not in _MPS_OPTION_MODES:
+            raise EngineModeError(
+                "chi / truncation_threshold are not sub-options of engine "
+                f"mode {mode!r}; they apply to {_MPS_OPTION_MODES}"
+            )
+    if chi is not None and (
+        isinstance(chi, bool) or not isinstance(chi, numbers.Integral) or chi < 1
+    ):
+        # bool is an int subclass (True would silently mean chi=1), and
+        # numpy integers from sweep/config code are perfectly valid.
+        raise EngineModeError(f"bond cap chi must be an integer >= 1, got {chi!r}")
+    if truncation_threshold is not None and not (
+        0.0 <= float(truncation_threshold) < 1.0
+    ):
         raise EngineModeError(
-            f"unknown tableau implementation {tableau_impl!r}; expected one "
-            f"of {_stabilizer.TABLEAU_IMPLS}"
+            f"truncation_threshold must lie in [0, 1), got {truncation_threshold!r}"
         )
     # Validation is complete — only now may globals be mutated.
     global USE_PREFIX_SHARING, ENGINE
@@ -236,12 +313,18 @@ def engine_mode(
     prev_kernels = StateVector.use_fast_kernels
     prev_prefix = USE_PREFIX_SHARING
     prev_impl = _stabilizer.TABLEAU_IMPL
+    prev_chi = _mps.CHI
+    prev_threshold = _mps.TRUNCATION_THRESHOLD
     accelerated = mode != "baseline"
     ENGINE = mode
     StateVector.use_fast_kernels = accelerated
     USE_PREFIX_SHARING = accelerated
     if tableau_impl is not None:
         _stabilizer.TABLEAU_IMPL = tableau_impl
+    if chi is not None:
+        _mps.CHI = int(chi)
+    if truncation_threshold is not None:
+        _mps.TRUNCATION_THRESHOLD = float(truncation_threshold)
     try:
         yield
     finally:
@@ -249,6 +332,8 @@ def engine_mode(
         StateVector.use_fast_kernels = prev_kernels
         USE_PREFIX_SHARING = prev_prefix
         _stabilizer.TABLEAU_IMPL = prev_impl
+        _mps.CHI = prev_chi
+        _mps.TRUNCATION_THRESHOLD = prev_threshold
 
 
 def _route_to_stabilizer(circuit: QuantumCircuit) -> bool:
@@ -363,6 +448,18 @@ def _sample_grouped(
     state structure; the flag reaches ``engine.sample`` so
     structure-keyed caches (the tableau's shared coset factorization)
     apply exactly where they are valid.
+
+    Beyond the clean prefix, consecutive groups often share *injected*
+    structure too: multi-error realizations drawn from the same early
+    error site agree on their leading ``(site, term)`` pairs.  When
+    :data:`USE_SUFFIX_CHECKPOINTS` is on, the walk forks a checkpoint of
+    the state right after each shared injection (only at depths the
+    *next* visited group actually shares, so single-error groups — the
+    overwhelming majority — pay nothing) and the next group resumes from
+    the deepest matching checkpoint instead of replaying the shared
+    window.  ``inject``/``advance`` never draw from the RNG and the
+    visit order is unchanged, so seeded streams are bit-identical with
+    the optimization on or off.
     """
     if engine_cls is None:
         engine_cls = select_engine(ENGINE, circuit)
@@ -386,7 +483,13 @@ def _sample_grouped(
     # to concatenating per-group chunks.
     out = np.zeros((shots, width), dtype=np.uint8)
     row = 0
-    for key, group_shots in ordered:
+    # Suffix checkpoints: depth d maps to the (never-mutated) state
+    # right after injecting the previous group's leading d error terms,
+    # plus its shares_structure flag.  Entries are only created at
+    # depths the next visited group provably shares, so they always
+    # match the current group's leading injections by construction.
+    ckpts: Dict[int, Tuple[ExecutionEngine, bool]] = {}
+    for index, (key, group_shots) in enumerate(ordered):
         first = key[0][0] if key else end
         fork = min(first + 1, end)
         prefix.advance(instructions[prefix_pos:fork])
@@ -400,20 +503,43 @@ def _sample_grouped(
             # of one Python frame + list slice per instruction, which is
             # where replay-bound engines (the packed tableau) spend
             # their time, and gives the dense engine fusible windows.
-            state = prefix.fork()
-            prev = first
-            shares_structure &= state.inject(
-                instructions[first], errors[first], key[0][1]
-            )
-            for site, term in key[1:]:
+            next_key = ordered[index + 1][0] if index + 1 < len(ordered) else ()
+            new_ckpts: Dict[int, Tuple[ExecutionEngine, bool]] = {}
+            depth = max(ckpts) if ckpts else 0
+            if depth:
+                # Resume from the deepest shared checkpoint instead of
+                # replaying the shared injection window.
+                ckpt_state, shares_structure = ckpts[depth]
+                state = ckpt_state.fork()
+                prev = key[depth - 1][0]
+            else:
+                state = prefix.fork()
+                prev = first
+                shares_structure &= state.inject(
+                    instructions[first], errors[first], key[0][1]
+                )
+                depth = 1
+                if USE_SUFFIX_CHECKPOINTS and next_key[:1] == key[:1]:
+                    new_ckpts[1] = (state.fork(), shares_structure)
+            # Checkpoints shallower than the resume depth stay valid for
+            # the next group iff it still shares that much of this key.
+            for d, entry in ckpts.items():
+                if d <= depth and next_key[:d] == key[:d]:
+                    new_ckpts[d] = entry
+            for site, term in key[depth:]:
                 state.advance(instructions[prev + 1 : site + 1])
                 shares_structure &= state.inject(
                     instructions[site], errors[site], term
                 )
                 prev = site
+                depth += 1
+                if USE_SUFFIX_CHECKPOINTS and next_key[:depth] == key[:depth]:
+                    new_ckpts[depth] = (state.fork(), shares_structure)
             state.advance(instructions[prev + 1 : end])
+            ckpts = new_ckpts
         else:
             state = prefix
+            ckpts = {}
         sampled = state.sample(
             group_shots, rng, sample_qubits, shares_structure=shares_structure
         )

@@ -1,18 +1,19 @@
 """Smoke test for the perf harness: ``scripts/bench.py --quick --check``
 must run inside the tier-1 time budget, emit a schema-valid
-``BENCH_simulator.json``, and hold every speedup floor recorded in the
-committed reference artifact.
+``BENCH_simulator.json``, and hold every speedup floor (and feasibility
+ceiling) recorded in the committed reference artifact.
 
-Schema ``repro.bench.simulator/v4`` has two entry shapes: paired lanes
+Schema ``repro.bench.simulator/v5`` has two entry shapes: paired lanes
 (``baseline_seconds`` / ``fast_seconds`` / ``speedup``, optionally a
 ``floor``) for benchmarks with a before/after comparison, and
-single-lane entries (``seconds``) for the stabilizer scaling runs at
-widths no dense engine can represent.  v4 adds the
-``stabilizer_packed_ghz`` lane (bit-packed word-parallel tableau vs the
-uint8 tableau), the ``diagonal_fusion_dense`` lane (diagonal-run kernel
-fusion off vs on), 256/512/1024-qubit ``stabilizer_scaling_ghz`` lanes,
-and per-lane speedup ``floor`` fields enforced by ``--check`` — the
-bench regression guard this suite keeps wired into tier-1.
+single-lane entries (``seconds``) for workloads no dense baseline can
+represent.  v5 adds the ``mps_brickwork`` lane (matrix-product-state
+engine vs the fast dense engine on shallow brickwork sampling, with a
+speedup floor) and the ``mps_qaoa_wide`` lane (MPS-only QAOA chain at
+widths beyond every other non-Clifford path, carrying a ``max_seconds``
+feasibility ceiling plus the engine's reported ``truncation_error`` and
+peak bond dimension) — both enforced by ``--check``, the bench
+regression guard this suite keeps wired into tier-1.
 """
 
 import importlib.util
@@ -47,7 +48,8 @@ def _load_bench_module():
 def test_bench_quick_check_emits_valid_schema_and_holds_floors(tmp_path):
     """One quick run doubles as schema validation and regression guard:
     ``--check`` exits nonzero if any lane drops below its committed
-    floor, which would fail this tier-1 test."""
+    floor (or above its committed ceiling), which would fail this
+    tier-1 test."""
     out = tmp_path / "BENCH_simulator.json"
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
@@ -68,7 +70,7 @@ def test_bench_quick_check_emits_valid_schema_and_holds_floors(tmp_path):
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert "--check passed" in proc.stdout
     payload = json.loads(out.read_text())
-    assert payload["schema"] == "repro.bench.simulator/v4"
+    assert payload["schema"] == "repro.bench.simulator/v5"
     assert payload["quick"] is True
     assert isinstance(payload["config"], dict)
     names = set()
@@ -76,6 +78,8 @@ def test_bench_quick_check_emits_valid_schema_and_holds_floors(tmp_path):
         if "seconds" in entry:
             assert SINGLE_LANE_KEYS <= set(entry), entry
             assert entry["seconds"] > 0
+            if "max_seconds" in entry:
+                assert entry["max_seconds"] > 0
         else:
             assert PAIRED_ENTRY_KEYS <= set(entry), entry
             assert entry["baseline_seconds"] > 0
@@ -93,18 +97,22 @@ def test_bench_quick_check_emits_valid_schema_and_holds_floors(tmp_path):
     assert "hybrid_segment_ghz_t" in names
     assert "stabilizer_packed_ghz" in names
     assert "diagonal_fusion_dense" in names
+    assert "mps_brickwork" in names
+    assert "mps_qaoa_wide" in names
 
 
-def test_committed_artifact_is_v4_with_floors_and_wide_scaling():
-    """The committed reference must carry the v4 surface --check relies
-    on: floors on the acceptance lanes and the 256/512/1024-qubit
-    packed scaling lanes."""
+def test_committed_artifact_is_v5_with_floors_and_wide_scaling():
+    """The committed reference must carry the v5 surface --check relies
+    on: floors on the acceptance lanes (now including mps_brickwork),
+    the 256/512/1024-qubit packed scaling lanes, and the mps_qaoa_wide
+    feasibility lane with its ceiling and truncation report."""
     payload = json.loads((REPO / "BENCH_simulator.json").read_text())
-    assert payload["schema"] == "repro.bench.simulator/v4"
+    assert payload["schema"] == "repro.bench.simulator/v5"
     floors = {e["name"] for e in payload["benchmarks"] if "floor" in e}
     assert "stabilizer_packed_ghz" in floors
     assert "diagonal_fusion_dense" in floors
     assert "ghz_shot_sampling_grouped" in floors
+    assert "mps_brickwork" in floors
     scaling_sizes = {
         e["params"]["num_qubits"]
         for e in payload["benchmarks"]
@@ -117,24 +125,65 @@ def test_committed_artifact_is_v4_with_floors_and_wide_scaling():
     assert packed and packed[0]["params"]["num_qubits"] == 100
     # the packed-tableau acceptance gate: ≥5× over the uint8 tableau
     assert packed[0]["speedup"] >= 5.0
+    wide = [e for e in payload["benchmarks"] if e["name"] == "mps_qaoa_wide"]
+    assert wide, "committed artifact lost the mps_qaoa_wide lane"
+    entry = wide[0]
+    # the MPS acceptance gate: a 64-qubit branching-tail workload —
+    # infeasible on every other non-Clifford path — sampled in seconds,
+    # with the truncation loss reported and below the recorded budget
+    assert entry["params"]["num_qubits"] >= 64
+    assert "max_seconds" in entry and entry["seconds"] <= entry["max_seconds"]
+    assert "truncation_error" in entry
+    assert entry["truncation_error"] <= 1e-9
+    assert entry["max_bond_dimension"] >= 1
 
 
 def test_check_against_reference_logic():
     """Unit-level regression-guard check (no bench run): floors compare
-    against fresh speedups, missing lanes fail."""
+    against fresh speedups, ceilings against fresh single-lane seconds,
+    and missing lanes fail."""
     bench = _load_bench_module()
     reference = {
         "benchmarks": [
             {"name": "a", "speedup": 4.0, "floor": 2.0},
             {"name": "b", "speedup": 3.0, "floor": 1.5},
             {"name": "c", "speedup": 9.9},  # no floor: never enforced
+            {"name": "w", "seconds": 5.0, "max_seconds": 60.0},
         ]
     }
-    ok = {"benchmarks": [{"name": "a", "speedup": 2.5}, {"name": "b", "speedup": 1.6}]}
+    ok = {
+        "benchmarks": [
+            {"name": "a", "speedup": 2.5},
+            {"name": "b", "speedup": 1.6},
+            {"name": "w", "seconds": 30.0},
+        ]
+    }
     assert bench.check_against_reference(ok, reference) == []
-    slow = {"benchmarks": [{"name": "a", "speedup": 1.9}, {"name": "b", "speedup": 1.6}]}
+    slow = {
+        "benchmarks": [
+            {"name": "a", "speedup": 1.9},
+            {"name": "b", "speedup": 1.6},
+            {"name": "w", "seconds": 30.0},
+        ]
+    }
     failures = bench.check_against_reference(slow, reference)
     assert len(failures) == 1 and "a" in failures[0]
-    missing = {"benchmarks": [{"name": "a", "speedup": 2.5}]}
+    missing = {
+        "benchmarks": [{"name": "a", "speedup": 2.5}, {"name": "w", "seconds": 1.0}]
+    }
     failures = bench.check_against_reference(missing, reference)
     assert len(failures) == 1 and "b" in failures[0]
+    too_slow = {
+        "benchmarks": [
+            {"name": "a", "speedup": 2.5},
+            {"name": "b", "speedup": 1.6},
+            {"name": "w", "seconds": 61.0},
+        ]
+    }
+    failures = bench.check_against_reference(too_slow, reference)
+    assert len(failures) == 1 and "w" in failures[0]
+    no_wide = {
+        "benchmarks": [{"name": "a", "speedup": 2.5}, {"name": "b", "speedup": 1.6}]
+    }
+    failures = bench.check_against_reference(no_wide, reference)
+    assert len(failures) == 1 and "w" in failures[0]

@@ -59,7 +59,7 @@ def test_architecture_doc_covers_engine_contract():
         "stabilizer",
         "baseline",
         "BENCH_simulator.json",
-        "repro.bench.simulator/v4",
+        "repro.bench.simulator/v5",
     ):
         assert needle in text, f"architecture doc lost the {needle!r} section"
 
@@ -114,6 +114,45 @@ def test_architecture_doc_covers_diagonal_fusion():
         "FUSE_DIAGONAL_RUNS",
     ):
         assert needle in text, f"architecture doc lost the {needle!r} section"
+
+
+def test_architecture_doc_covers_mps_engine():
+    """The MPS section must name the canonical form, the chi/truncation
+    contract, the sampling sweep, the routing heuristic, and the v5
+    bench surface (lanes, ceiling, sub-option hygiene)."""
+    text = ARCHITECTURE.read_text()
+    for needle in (
+        "MPS engine",
+        "MPSEngine",
+        "mixed-canonical",
+        "chi",
+        "truncation_threshold",
+        "truncation_error",
+        "conditional-marginal sweep",
+        "line-like",
+        "LINE_RANGE",
+        '"mps"',
+        "mps_brickwork",
+        "mps_qaoa_wide",
+        "max_seconds",
+        "max_bond_dimension",
+    ):
+        assert needle in text, f"architecture doc lost the {needle!r} section"
+
+
+def test_readme_covers_mps_engine():
+    """The README engine table must carry the MPS row and the scaling
+    claims must point at the recorded lanes."""
+    text = README.read_text()
+    for needle in (
+        "| mps |",
+        "matrix product state",
+        "chi",
+        "mps_brickwork",
+        "mps_qaoa_wide",
+        "conditional-marginal",
+    ):
+        assert needle in text, f"README lost the {needle!r} MPS coverage"
 
 
 def test_readme_scaling_table_reaches_1024_qubits():

@@ -112,10 +112,13 @@ def _noise(with_readout=False, thermal=False):
 
 class TestRegistry:
     def test_builtin_engines_registered(self):
+        from repro.simulator import MPSEngine
+
         registry = engine_registry()
         assert registry["dense"] is DenseEngine
         assert registry["tableau"] is TableauEngine
         assert registry["hybrid"] is HybridSegmentEngine
+        assert registry["mps"] is MPSEngine
 
     def test_get_engine_resolves_and_rejects(self):
         assert get_engine("hybrid") is HybridSegmentEngine
@@ -190,6 +193,35 @@ class TestRouting:
         # ... unless the circuit is too wide for the dense engine anyway
         wide = ghz_t_circuit(DENSE_QUBIT_LIMIT + 4)
         assert select_engine("auto", wide) is HybridSegmentEngine
+
+    def test_auto_mode_routing_table(self):
+        """One row per backend: the documented ``"auto"`` decisions
+        across all five circuit classes."""
+        from repro.circuits import brickwork_circuit
+        from repro.simulator import MPSEngine
+
+        wide = DENSE_QUBIT_LIMIT + 6
+
+        def all_to_all(n):
+            qc = QuantumCircuit(n, name=f"alltoall{n}")
+            for q in range(n):
+                qc.ry(0.4, q)
+            for q in range(n // 2):
+                qc.cx(q, n - 1 - q)  # long-range: not line-like
+            qc.measure_all()
+            return qc
+
+        table = [
+            # (label, circuit, expected engine)
+            ("clifford", ghz_circuit(wide), TableauEngine),
+            ("clifford-prefix", ghz_t_circuit(10), HybridSegmentEngine),
+            ("sparse-tail-wide", ghz_t_circuit(wide), HybridSegmentEngine),
+            ("low-entanglement-line", brickwork_circuit(wide, 3), MPSEngine),
+            ("generic-dense", brickwork_circuit(10, 3), DenseEngine),
+            ("wide-non-line-fallback", all_to_all(wide), HybridSegmentEngine),
+        ]
+        for label, circuit, expected in table:
+            assert select_engine("auto", circuit) is expected, label
 
     def test_unknown_mode_raises(self):
         with pytest.raises(EngineModeError):
@@ -546,6 +578,37 @@ class TestEngineModeFacade:
     def test_conflicting_args_raise_value_error(self):
         with pytest.raises(ValueError):
             with engine_mode("fast", fast=True):
+                pass  # pragma: no cover
+
+    def test_unknown_sub_option_kwargs_rejected(self):
+        """Hygiene: unrecognized sub-option keywords raise
+        EngineModeError before any global mutates (a typo must not run
+        the block on silent defaults)."""
+        from repro.simulator import sampler
+
+        before = (
+            sampler.ENGINE,
+            StateVector.use_fast_kernels,
+            sampler.USE_PREFIX_SHARING,
+        )
+        for kwargs in ({"ci": 64}, {"tablea_impl": "packed"}, {"threshold": 0.1}):
+            with pytest.raises(EngineModeError, match="sub-option"):
+                with engine_mode("fast", **kwargs):
+                    pass  # pragma: no cover
+        assert (
+            sampler.ENGINE,
+            StateVector.use_fast_kernels,
+            sampler.USE_PREFIX_SHARING,
+        ) == before
+
+    def test_sub_options_rejected_for_inapplicable_modes(self):
+        """A sub-option the selected mode's routing can never consume is
+        an error, not a silent no-op."""
+        with pytest.raises(EngineModeError, match="tableau_impl"):
+            with engine_mode("baseline", tableau_impl="packed"):
+                pass  # pragma: no cover
+        with pytest.raises(EngineModeError, match="chi"):
+            with engine_mode("stabilizer", chi=8):
                 pass  # pragma: no cover
 
     def test_new_modes_accepted_and_restored(self):

@@ -165,3 +165,75 @@ class TestNoisySampling:
         g = sample_counts(grouped_qc, 30_000, noise=nm, rng=7)
         p = sample_counts(per_shot_qc, 6000, noise=nm, rng=8).marginal([0])
         assert g.total_variation_distance(p) < 0.02
+
+
+class TestSuffixCheckpoints:
+    """Suffix-checkpoint reuse between trajectory groups that share more
+    than the clean prefix: RNG streams and visit order are untouched, so
+    seeded counts must be bit-identical with the optimization on or off,
+    on every engine."""
+
+    @staticmethod
+    def _heavy_noise():
+        # High rates force many multi-error realizations, which is where
+        # groups share leading (site, term) injections.
+        nm = NoiseModel()
+        nm.add_gate_error(depolarizing_error(0.15, 2), "cx")
+        nm.add_gate_error(depolarizing_error(0.10, 1), "h")
+        nm.add_gate_error(depolarizing_error(0.08, 1), "t")
+        return nm
+
+    def _counts(self, qc, mode, seed, checkpoints):
+        from repro.simulator import engine_mode
+        from repro.simulator import sampler as sampler_mod
+
+        prev = sampler_mod.USE_SUFFIX_CHECKPOINTS
+        try:
+            sampler_mod.USE_SUFFIX_CHECKPOINTS = checkpoints
+            with engine_mode(mode):
+                return sample_counts(qc, 512, noise=self._heavy_noise(), rng=seed)
+        finally:
+            sampler_mod.USE_SUFFIX_CHECKPOINTS = prev
+
+    def test_seeded_counts_identical_across_toggle(self):
+        ghz_t = ghz_circuit(8, measure=False)
+        for q in range(8):
+            ghz_t.t(q)
+        ghz_t.measure_all()
+        cases = [
+            ("fast", ghz_t),
+            ("hybrid", ghz_t),
+            ("stabilizer", ghz_circuit(10)),
+            ("mps", ghz_t),
+        ]
+        for mode, qc in cases:
+            for seed in (0, 7, 123):
+                on = self._counts(qc, mode, seed, True)
+                off = self._counts(qc, mode, seed, False)
+                assert on.to_dict() == off.to_dict(), (mode, seed)
+
+    def test_checkpoints_actually_fire(self):
+        """The workload above must contain consecutive groups sharing a
+        leading injection — otherwise the parity test proves nothing."""
+        from repro.simulator import sampler as sampler_mod
+
+        qc = ghz_circuit(8, measure=False)
+        for q in range(8):
+            qc.t(q)
+        qc.measure_all()
+        noisy = sampler_mod._noisy_ops(qc, self._heavy_noise(), {})
+        groups = sampler_mod._group_realizations(
+            noisy, 512, np.random.default_rng(7)
+        )
+        end = len(list(qc))
+        ordered = sorted(
+            groups.items(), key=lambda kv: kv[0][0][0] if kv[0] else end
+        )
+        shared = sum(
+            1
+            for i in range(len(ordered) - 1)
+            if ordered[i][0]
+            and ordered[i + 1][0]
+            and ordered[i][0][:1] == ordered[i + 1][0][:1]
+        )
+        assert shared >= 5
