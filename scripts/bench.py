@@ -32,10 +32,26 @@ the engine lanes :func:`repro.simulator.engine_mode` exposes:
   brickwork circuit at dense-representable width; ``mps_qaoa_wide``
   runs a QAOA-style chain at widths no other non-Clifford path can
   represent — a single-lane entry carrying a ``max_seconds``
-  feasibility ceiling plus the engine's reported truncation error).
+  feasibility ceiling plus the engine's reported truncation error);
+* **batched** — the batched grouped walk (``batched_ghz_grouped`` pits
+  ``engine_mode("batched")`` against the scalar fast dense walk on
+  noisy GHZ grouped sampling at a cache-resident width: every
+  trajectory group advances in one kernel call per lockstep window,
+  with bit-identical seeded counts in both lanes);
+* **sharded** — the process-pool shot-sharding layer
+  (``sharded_throughput`` runs ``engine_mode(workers=...)`` end to end
+  — block partition, per-block seed-derived streams, clean-prefix
+  sharing, ``Counts.merge`` — as a single-lane feasibility entry with a
+  ``max_seconds`` ceiling; the reference machine is single-core, so the
+  lane records ``workers: 1``, whose counts every pool size reproduces
+  bit for bit by construction).
+
+Every entry's ``params`` records the ``workers`` count it ran with
+(``1`` everywhere except sharded lanes on multi-core machines), so perf
+trajectories across machines stay attributable.
 
 Results are printed as a table and written to ``BENCH_simulator.json``
-(schema ``repro.bench.simulator/v5``) so later PRs have a perf
+(schema ``repro.bench.simulator/v6``) so later PRs have a perf
 trajectory to beat.  Acceptance-gate lanes carry a ``floor`` — the
 minimum speedup later runs must preserve — and wide single-lane entries
 may carry a ``max_seconds`` feasibility ceiling; ``--check`` runs the
@@ -73,6 +89,7 @@ from repro.circuits import brickwork_circuit, ghz_circuit  # noqa: E402
 from repro.circuits.gates import cx_matrix, rz_matrix, spec  # noqa: E402
 from repro.hybrid import VQE, h2_hamiltonian  # noqa: E402
 from repro.simulator import (  # noqa: E402
+    SHARD_BLOCK_SHOTS,
     NoiseModel,
     depolarizing_error,
     sample_counts,
@@ -82,7 +99,7 @@ from repro.simulator.sampler import _sample_per_shot  # noqa: E402
 from repro.simulator.sampler import engine_mode as engine  # noqa: E402
 from repro.simulator.statevector import StateVector  # noqa: E402
 
-SCHEMA = "repro.bench.simulator/v5"
+SCHEMA = "repro.bench.simulator/v6"
 
 #: Speedup floors for the acceptance-gate lanes, recorded into the
 #: artifact (``floor`` field) and enforced by ``--check``.  Values are
@@ -96,6 +113,7 @@ FLOORS: Dict[str, float] = {
     "stabilizer_packed_ghz": 2.5,
     "diagonal_fusion_dense": 1.3,
     "mps_brickwork": 1.2,
+    "batched_ghz_grouped": 1.5,
 }
 
 #: Wall-clock feasibility ceilings (seconds) for single-lane entries at
@@ -104,6 +122,7 @@ FLOORS: Dict[str, float] = {
 #: regression that matters here is an order of magnitude, not noise.
 CEILINGS: Dict[str, float] = {
     "mps_qaoa_wide": 60.0,
+    "sharded_throughput": 30.0,
 }
 
 
@@ -125,6 +144,10 @@ def _entry(
     throughput_unit: Optional[str] = None,
     work_items: Optional[int] = None,
 ) -> Dict[str, object]:
+    # Schema v6: every lane states the worker count it ran with, so
+    # numbers from sharded and unsharded runs never get conflated.
+    params = dict(params)
+    params.setdefault("workers", 1)
     entry: Dict[str, object] = {
         "name": name,
         "params": params,
@@ -288,6 +311,7 @@ def bench_stabilizer_scaling(
                     "num_qubits": num_qubits,
                     "shots": shots,
                     "noise": "depolarizing",
+                    "workers": 1,
                 },
                 "seconds": seconds,
                 "throughput_unit": "shots_per_sec",
@@ -490,6 +514,7 @@ def bench_mps_qaoa_wide(
             "shots": shots,
             "noise": "depolarizing",
             "chi": state.chi,
+            "workers": 1,
         },
         "seconds": seconds,
         "throughput_unit": "shots_per_sec",
@@ -498,6 +523,69 @@ def bench_mps_qaoa_wide(
         "max_bond_dimension": state.max_bond_dimension,
     }
     ceiling = CEILINGS.get("mps_qaoa_wide")
+    if ceiling is not None:
+        entry["max_seconds"] = ceiling
+    return entry
+
+
+def bench_batched_grouped(num_qubits: int, shots: int, repeats: int) -> Dict[str, object]:
+    """Batched grouped walk vs the scalar fast dense walk on noisy GHZ
+    grouped sampling — the batched-execution acceptance benchmark
+    (≥1.5× at a cache-resident width; both lanes draw identical RNG
+    streams, so seeded counts are bit-identical and the entry measures
+    dispatch amortization alone).  The width is deliberately small: the
+    batched walk only engages where a :data:`~repro.simulator.sampler.
+    BATCH_MAX_BYTES` chunk keeps many stacked states cache-resident,
+    and disengages (identical scalar path) beyond it."""
+    circuit = ghz_circuit(num_qubits)
+    noise = _ghz_noise()
+    with engine("fast"):
+        scalar = _timed(lambda: sample_counts(circuit, shots, noise=noise, rng=7), repeats)
+    with engine("batched"):
+        batched = _timed(lambda: sample_counts(circuit, shots, noise=noise, rng=7), repeats)
+    entry = _entry(
+        "batched_ghz_grouped",
+        {"num_qubits": num_qubits, "shots": shots, "noise": "depolarizing"},
+        scalar,
+        batched,
+        throughput_unit="shots_per_sec",
+        work_items=shots,
+    )
+    entry["lanes"] = {"baseline": "statevector-fast", "fast": "batched-dense"}
+    return entry
+
+
+def bench_sharded_throughput(
+    num_qubits: int, shots: int, workers: int, repeats: int
+) -> Dict[str, object]:
+    """Process-pool shot sharding end to end — block partition,
+    per-block seed-derived streams, clean-prefix sharing, and the
+    ``Counts.merge`` fold — as a single-lane feasibility entry with a
+    ``max_seconds`` ceiling.  The reference machine is single-core, so
+    the committed lane records ``workers: 1``; the sharding contract
+    makes every pool size reproduce those counts bit for bit, so the
+    lane gates the *machinery* (a pathological overhead regression),
+    not parallel scaling."""
+    circuit = ghz_circuit(num_qubits)
+    noise = _ghz_noise()
+    with engine("fast", workers=workers):
+        seconds = _timed(
+            lambda: sample_counts(circuit, shots, noise=noise, rng=7), repeats
+        )
+    entry: Dict[str, object] = {
+        "name": "sharded_throughput",
+        "params": {
+            "num_qubits": num_qubits,
+            "shots": shots,
+            "noise": "depolarizing",
+            "workers": workers,
+            "block_shots": SHARD_BLOCK_SHOTS,
+        },
+        "seconds": seconds,
+        "throughput_unit": "shots_per_sec",
+        "throughput": shots / seconds,
+    }
+    ceiling = CEILINGS.get("sharded_throughput")
     if ceiling is not None:
         entry["max_seconds"] = ceiling
     return entry
@@ -571,6 +659,11 @@ def run(quick: bool) -> Dict[str, object]:
             "mps_qaoa_qubits": 40,
             "mps_qaoa_layers": 2,
             "mps_qaoa_shots": 256,
+            "batched_qubits": 10,
+            "batched_shots": 2048,
+            "sharded_qubits": 12,
+            "sharded_shots": 2048,
+            "sharded_workers": 1,
         }
         repeats = 1
     else:
@@ -598,6 +691,11 @@ def run(quick: bool) -> Dict[str, object]:
             "mps_qaoa_qubits": 64,
             "mps_qaoa_layers": 2,
             "mps_qaoa_shots": 512,
+            "batched_qubits": 10,
+            "batched_shots": 4096,
+            "sharded_qubits": 12,
+            "sharded_shots": 8192,
+            "sharded_workers": 1,
         }
         repeats = 2
     benchmarks: List[Dict[str, object]] = []
@@ -642,6 +740,19 @@ def run(quick: bool) -> Dict[str, object]:
             config["mps_qaoa_qubits"],
             config["mps_qaoa_layers"],
             config["mps_qaoa_shots"],
+            repeats,
+        )
+    )
+    benchmarks.append(
+        bench_batched_grouped(
+            config["batched_qubits"], config["batched_shots"], repeats
+        )
+    )
+    benchmarks.append(
+        bench_sharded_throughput(
+            config["sharded_qubits"],
+            config["sharded_shots"],
+            config["sharded_workers"],
             repeats,
         )
     )

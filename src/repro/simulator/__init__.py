@@ -29,9 +29,11 @@ from repro.simulator.channels import (
     thermal_relaxation_kraus,
     thermal_relaxation_twirl,
 )
+from repro.simulator.batched import BatchedStateVector
 from repro.simulator.counts import Counts
 from repro.simulator.density import DensityMatrix, simulate_density
 from repro.simulator.engines import (
+    BatchedDenseEngine,
     DenseEngine,
     ExecutionEngine,
     HybridSegmentEngine,
@@ -56,6 +58,7 @@ from repro.simulator.noise import (
     thermal_relaxation_error,
 )
 from repro.simulator.sampler import engine_mode, ideal_probabilities, sample_counts
+from repro.simulator.sharding import SHARD_BLOCK_SHOTS, sample_counts_sharded
 from repro.simulator.stabilizer import (
     CosetSupport,
     Tableau,
@@ -99,7 +102,11 @@ __all__ = [
     "engine_mode",
     "ideal_probabilities",
     "sample_counts",
+    "sample_counts_sharded",
+    "SHARD_BLOCK_SHOTS",
     "ExecutionEngine",
+    "BatchedDenseEngine",
+    "BatchedStateVector",
     "DenseEngine",
     "TableauEngine",
     "HybridSegmentEngine",

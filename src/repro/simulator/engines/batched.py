@@ -1,0 +1,92 @@
+"""Batched dense execution engine.
+
+:class:`BatchedDenseEngine` is the registry face of the batched
+trajectory walk: for a *single* trajectory it behaves exactly like its
+parent :class:`~repro.simulator.engines.dense.DenseEngine` (same
+kernels, same RNG consumption — per-shot circuits and single-group runs
+are automatically bit-identical), but it carries the
+``supports_batched_groups`` marker that lets the grouped sampler stack
+every trajectory group into one
+:class:`~repro.simulator.batched.BatchedStateVector` and advance them
+all with one kernel call per gate.
+
+:meth:`BatchedDenseEngine.advance_batch` is the batch analogue of
+:meth:`DenseEngine.advance`: the same diagonal-run fusion plan
+(:func:`~repro.simulator.engines.dense.plan_diagonal_fusion`, gated by
+the same :data:`~repro.simulator.engines.dense.FUSE_DIAGONAL_RUNS`
+switch) applied to a row stack instead of a single state.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.circuits.circuit import Instruction
+from repro.circuits.gates import UNITARY_NOOPS
+from repro.simulator.batched import BatchedStateVector
+from repro.simulator.engines import dense as _dense
+from repro.simulator.engines.base import register_engine
+from repro.simulator.engines.dense import DenseEngine, inject_into_dense
+from repro.simulator.noise import QuantumError
+
+
+@register_engine
+class BatchedDenseEngine(DenseEngine):
+    """Dense backend whose grouped walk advances all groups at once."""
+
+    name = "batched"
+
+    #: Grouped-sampler marker: trajectory groups may be stacked into a
+    #: :class:`BatchedStateVector` and advanced in lockstep windows.
+    supports_batched_groups = True
+
+    @classmethod
+    def advance_batch(
+        cls, batch: BatchedStateVector, ops: Sequence[Instruction]
+    ) -> None:
+        """Advance every row of *batch* through *ops*.
+
+        Mirrors :meth:`DenseEngine.advance` — including the diagonal-run
+        fusion plan — with each application hitting the whole row stack
+        in one call.
+        """
+        if (
+            _dense.FUSE_DIAGONAL_RUNS
+            and batch.use_fast_kernels
+            and len(ops) > 1
+        ):
+            plan = _dense.plan_diagonal_fusion(ops)
+            if plan is not None:
+                for item in plan:
+                    if isinstance(item, Instruction):
+                        if item.name not in UNITARY_NOOPS:
+                            batch.apply_matrix(item.matrix(), item.qubits)
+                    else:
+                        diag, qs = item
+                        batch.apply_diagonal(diag, qs)
+                return
+        for inst in ops:
+            if inst.name in UNITARY_NOOPS:
+                continue
+            batch.apply_matrix(inst.matrix(), inst.qubits)
+
+    @staticmethod
+    def inject_row(
+        batch: BatchedStateVector,
+        row: int,
+        instruction: Instruction,
+        error: QuantumError,
+        term_index: int,
+    ) -> None:
+        """Apply one error term to a single row of the batch.
+
+        Error injection is inherently per-trajectory, so it runs the
+        scalar :func:`inject_into_dense` semantics on a zero-copy row
+        alias and writes back if a kernel rebound the buffer.
+        """
+        sv = batch.row_view(row)
+        inject_into_dense(sv, instruction, error, term_index)
+        batch.store_row(row, sv)
+
+
+__all__ = ["BatchedDenseEngine"]

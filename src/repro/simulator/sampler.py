@@ -46,6 +46,15 @@ and every backend inverts the same outcome CDF the dense engine's
 ``rng.choice`` does — so seeded Clifford runs produce bit-identical
 counts regardless of which engine served them, and seeded hybrid runs
 match the dense engine to float precision.
+
+Two scale-out layers ride on the grouped walk: the **batched** walk
+(:func:`_grouped_batched_walk`, modes ``"batched"``/``"auto"``) stacks
+all trajectory groups into one ``(rows, 2^n)`` array and advances them
+in lockstep windows with one kernel call per gate, preserving the RNG
+stream exactly; and **process-pool sharding**
+(:mod:`repro.simulator.sharding`, via ``engine_mode(workers=...)``)
+splits shots into fixed-size blocks with seed-derived streams so any
+worker count reproduces the same counts.
 """
 
 from __future__ import annotations
@@ -62,6 +71,7 @@ from repro.circuits.gates import UNITARY_NOOPS
 from repro.errors import EngineModeError, SimulationError
 from repro.simulator.counts import Counts
 from repro.simulator.engines import (
+    DenseEngine,
     ExecutionEngine,
     TableauEngine,
     inject_into_dense,
@@ -98,15 +108,58 @@ def sample_counts(
         raise SimulationError(
             f"circuit {circuit.name!r} has no measurements; nothing to sample"
         )
-    r = as_rng(rng)
     extra = dict(instruction_errors or {})
+    if WORKERS is not None:
+        # ``engine_mode(workers=...)`` is a documented *semantics*
+        # switch (like the MPS ``chi``): shots are split into fixed-size
+        # blocks, each drawing from a stream derived from the seed, so
+        # counts are identical at every worker count — but differ from
+        # the single-stream driver's stream.
+        from repro.simulator import sharding as _sharding
+
+        if isinstance(rng, np.random.Generator):
+            raise SimulationError(
+                "sharded sampling (engine_mode workers=...) needs an int "
+                "seed or None, not a live Generator: per-block streams are "
+                "derived from the seed so any worker count reproduces the "
+                "same counts"
+            )
+        return _sharding.sample_counts_sharded(
+            circuit,
+            int(shots),
+            noise=noise,
+            seed=rng,
+            workers=WORKERS,
+            instruction_errors=extra,
+        )
+    return _sample_counts_single(circuit, int(shots), noise, as_rng(rng), extra)
+
+
+def _sample_counts_single(
+    circuit: QuantumCircuit,
+    shots: int,
+    noise: Optional[NoiseModel],
+    r: np.random.Generator,
+    extra: Mapping[int, QuantumError],
+    initial: Optional[Tuple[np.ndarray, int]] = None,
+) -> Counts:
+    """The classic single-stream driver behind :func:`sample_counts`.
+
+    The sharding layer calls this per block (bypassing the ``WORKERS``
+    delegation), optionally passing *initial* — a precomputed
+    ``(amplitudes, position)`` clean-prefix state shared read-only
+    across workers — which the grouped walk resumes from instead of
+    re-simulating the prefix.
+    """
     engine_cls = select_engine(ENGINE, circuit)
     if _needs_per_shot(circuit):
-        bits = _sample_per_shot(circuit, int(shots), noise, r, extra, engine_cls)
+        bits = _sample_per_shot(circuit, shots, noise, r, extra, engine_cls)
     elif not USE_PREFIX_SHARING:
-        bits = _sample_grouped_baseline(circuit, int(shots), noise, r, extra)
+        bits = _sample_grouped_baseline(circuit, shots, noise, r, extra)
     else:
-        bits = _sample_grouped(circuit, int(shots), noise, r, extra, engine_cls)
+        bits = _sample_grouped(
+            circuit, shots, noise, r, extra, engine_cls, initial=initial
+        )
     bits = _apply_readout(circuit, bits, noise, r)
     return Counts.from_bit_array(bits)
 
@@ -155,16 +208,61 @@ USE_SUFFIX_CHECKPOINTS = True
 ENGINE = "fast"
 
 #: The recognized engine modes (see :func:`engine_mode`).
-ENGINE_MODES = ("baseline", "fast", "stabilizer", "hybrid", "mps", "auto")
+ENGINE_MODES = ("baseline", "fast", "batched", "stabilizer", "hybrid", "mps", "auto")
 
 #: Modes under which the ``tableau_impl`` sub-option is meaningful
 #: (those whose routing can reach a stabilizer tableau).
-_TABLEAU_IMPL_MODES = ("fast", "stabilizer", "hybrid", "auto")
+_TABLEAU_IMPL_MODES = ("fast", "batched", "stabilizer", "hybrid", "auto")
 
 #: Modes under which the MPS sub-options (``chi`` /
 #: ``truncation_threshold``) are meaningful (those whose routing can
 #: reach the MPS engine).
 _MPS_OPTION_MODES = ("mps", "auto")
+
+#: Modes whose grouped walk may engage the batched dense path
+#: (``batched`` explicitly; ``auto`` opportunistically when the route
+#: lands on a dense-family engine).
+_BATCHED_WALK_MODES = ("batched", "auto")
+
+#: Modes under which the ``batch_min_groups`` sub-option is meaningful.
+_BATCH_OPTION_MODES = ("batched", "auto")
+
+#: Modes under which the ``workers`` sub-option is meaningful (the
+#: sharded driver wraps any accelerated route; the ``baseline`` seed
+#: path is deliberately excluded so its stream stays byte-for-byte
+#: historical).
+_WORKERS_MODES = ("fast", "batched", "stabilizer", "hybrid", "mps", "auto")
+
+#: Minimum trajectory-group count (clean group included) before the
+#: batched grouped walk engages under :data:`_BATCHED_WALK_MODES`; below
+#: it the scalar prefix-sharing walk wins on setup cost.  Set via
+#: ``engine_mode(batch_min_groups=...)``.
+BATCH_MIN_GROUPS = 4
+
+#: Working-set budget for one batched-walk chunk, in bytes of stacked
+#: amplitudes (16 per).  This is a **cache** budget, not a RAM budget:
+#: the batched walk's total element work equals the scalar walk's, so
+#: its entire advantage is amortizing per-gate dispatch — and that only
+#: pays while the chunk stays resident between gates.  Oversized chunks
+#: evict every row on every gate and run DRAM-bound, *slower* than the
+#: scalar walk whose single state sits in L2 (measured 0.2× at 16
+#: qubits with a 512 MiB budget vs 2.3× at 10 qubits with this one).
+BATCH_MAX_BYTES = 2 * 1024 * 1024
+
+#: Minimum rows per chunk for the batched walk to engage.  Fewer stacked
+#: states than this amortize too little dispatch to beat the scalar
+#: walk's cache residency, so wider registers (14+ qubits at the default
+#: budget) keep the scalar prefix-sharing walk.
+_BATCH_MIN_CHUNK_ROWS = 16
+
+#: Process-pool worker count for shot sharding; ``None`` (the default)
+#: keeps the classic single-stream driver.  When set (via
+#: ``engine_mode(workers=...)``), :func:`sample_counts` delegates to
+#: :mod:`repro.simulator.sharding` — a documented semantics switch:
+#: shots split into fixed-size blocks with per-block seed-derived
+#: streams, identical at every worker count (including 1) but distinct
+#: from the single-stream draw order.
+WORKERS: Optional[int] = None
 
 #: One-shot latch for the ``engine_mode(fast=...)`` deprecation warning.
 _FAST_KEYWORD_WARNED = False
@@ -178,6 +276,8 @@ def engine_mode(
     tableau_impl: Optional[str] = None,
     chi: Optional[int] = None,
     truncation_threshold: Optional[float] = None,
+    batch_min_groups: Optional[int] = None,
+    workers: Optional[int] = None,
     **unknown_options: object,
 ) -> Iterator[None]:
     """Select the simulation engine for the dynamic extent of the block.
@@ -197,6 +297,16 @@ def engine_mode(
         The seed engine: generic ``moveaxis`` kernels, from-scratch
         trajectory groups, no stabilizer dispatch.  The "before" lane of
         the perf harness.
+    ``"batched"``
+        The fast dense route with the batched grouped walk: when a run
+        produces at least :data:`BATCH_MIN_GROUPS` trajectory groups,
+        their states are stacked into one ``(rows, 2^n)`` array and
+        every lockstep window advances all of them in a single kernel
+        call per gate (:mod:`repro.simulator.batched`).  RNG draw order
+        is unchanged, so seeded counts match the scalar ``"fast"``
+        engine.  Clifford circuits wider than the dense limit still
+        route to the tableau; per-shot circuits fall back to the scalar
+        path automatically.
     ``"stabilizer"``
         Route every Clifford-only circuit through the tableau backend
         (:mod:`repro.simulator.stabilizer`) regardless of width;
@@ -237,11 +347,29 @@ def engine_mode(
     truncates the state, with the discarded weight reported on the
     engine (``MPSEngine.truncation_error``).
 
+    The keyword-only *batch_min_groups* sub-option tunes the batched
+    walk's engagement threshold (:data:`BATCH_MIN_GROUPS`) for the
+    block; it applies only to the ``"batched"`` / ``"auto"`` modes.
+    Like ``tableau_impl`` it is a performance policy, not a semantics
+    switch: counts are bit-identical above or below the threshold.
+
+    The keyword-only *workers* sub-option (any accelerated mode) routes
+    :func:`sample_counts` through the process-pool sharding layer
+    (:mod:`repro.simulator.sharding`) with that many workers.  Like
+    ``chi`` this **does** change the stream contract: shots are split
+    into fixed-size blocks, each drawing from a stream derived from the
+    seed via the stable SHA-256 ``child_rng``, so counts are identical
+    at every worker count (``workers=1`` included) but differ from the
+    single-stream draw order.  Live generators are rejected under
+    sharding for exactly that reason.
+
     Every sub-option is validated **for the selected mode**: a
     sub-option that the mode's routing can never consume
     (``tableau_impl`` outside tableau-capable modes, ``chi`` /
-    ``truncation_threshold`` outside ``"mps"`` / ``"auto"``) is rejected
-    rather than silently ignored, as is any unrecognized keyword.
+    ``truncation_threshold`` outside ``"mps"`` / ``"auto"``,
+    ``batch_min_groups`` outside ``"batched"`` / ``"auto"``,
+    ``workers`` under ``"baseline"``) is rejected rather than silently
+    ignored, as is any unrecognized keyword.
 
     An invalid *mode* or sub-option raises
     :class:`~repro.errors.EngineModeError` (a :class:`ValueError`)
@@ -260,7 +388,8 @@ def engine_mode(
         names = ", ".join(sorted(unknown_options))
         raise EngineModeError(
             f"unknown engine_mode sub-option(s): {names}; recognized "
-            "sub-options are tableau_impl, chi, truncation_threshold"
+            "sub-options are tableau_impl, chi, truncation_threshold, "
+            "batch_min_groups, workers"
         )
     if fast is not None:
         if mode is not None:
@@ -307,14 +436,44 @@ def engine_mode(
         raise EngineModeError(
             f"truncation_threshold must lie in [0, 1), got {truncation_threshold!r}"
         )
+    if batch_min_groups is not None:
+        if mode not in _BATCH_OPTION_MODES:
+            raise EngineModeError(
+                f"batch_min_groups is not a sub-option of engine mode {mode!r}; "
+                f"it applies to {_BATCH_OPTION_MODES}"
+            )
+        if (
+            isinstance(batch_min_groups, bool)
+            or not isinstance(batch_min_groups, numbers.Integral)
+            or batch_min_groups < 1
+        ):
+            raise EngineModeError(
+                f"batch_min_groups must be an integer >= 1, got {batch_min_groups!r}"
+            )
+    if workers is not None:
+        if mode not in _WORKERS_MODES:
+            raise EngineModeError(
+                f"workers is not a sub-option of engine mode {mode!r}; "
+                f"it applies to {_WORKERS_MODES}"
+            )
+        if (
+            isinstance(workers, bool)
+            or not isinstance(workers, numbers.Integral)
+            or workers < 1
+        ):
+            raise EngineModeError(
+                f"workers must be an integer >= 1, got {workers!r}"
+            )
     # Validation is complete — only now may globals be mutated.
-    global USE_PREFIX_SHARING, ENGINE
+    global USE_PREFIX_SHARING, ENGINE, BATCH_MIN_GROUPS, WORKERS
     prev_engine = ENGINE
     prev_kernels = StateVector.use_fast_kernels
     prev_prefix = USE_PREFIX_SHARING
     prev_impl = _stabilizer.TABLEAU_IMPL
     prev_chi = _mps.CHI
     prev_threshold = _mps.TRUNCATION_THRESHOLD
+    prev_batch_min = BATCH_MIN_GROUPS
+    prev_workers = WORKERS
     accelerated = mode != "baseline"
     ENGINE = mode
     StateVector.use_fast_kernels = accelerated
@@ -325,6 +484,10 @@ def engine_mode(
         _mps.CHI = int(chi)
     if truncation_threshold is not None:
         _mps.TRUNCATION_THRESHOLD = float(truncation_threshold)
+    if batch_min_groups is not None:
+        BATCH_MIN_GROUPS = int(batch_min_groups)
+    if workers is not None:
+        WORKERS = int(workers)
     try:
         yield
     finally:
@@ -334,6 +497,8 @@ def engine_mode(
         _stabilizer.TABLEAU_IMPL = prev_impl
         _mps.CHI = prev_chi
         _mps.TRUNCATION_THRESHOLD = prev_threshold
+        BATCH_MIN_GROUPS = prev_batch_min
+        WORKERS = prev_workers
 
 
 def _route_to_stabilizer(circuit: QuantumCircuit) -> bool:
@@ -429,6 +594,7 @@ def _sample_grouped(
     rng: np.random.Generator,
     extra: Mapping[int, QuantumError],
     engine_cls: Optional[Type[ExecutionEngine]] = None,
+    initial: Optional[Tuple[np.ndarray, int]] = None,
 ) -> np.ndarray:
     """The one prefix-sharing grouped walk, shared by every engine.
 
@@ -474,10 +640,20 @@ def _sample_grouped(
     ordered = sorted(groups.items(), key=lambda kv: kv[0][0][0] if kv[0] else end)
     prefix = engine_cls(circuit)
     prefix_pos = 0
+    if initial is not None and isinstance(prefix, DenseEngine):
+        # Sharded workers resume from the clean-prefix state the parent
+        # computed once and shared read-only (every group's first error
+        # site lies at or beyond this position by construction).
+        prefix.to_dense().data[:] = initial[0]
+        prefix_pos = int(initial[1])
     clbit_cols = np.asarray([mapping[q] for q in qubits], dtype=np.int64)
     # Engines treat qubits=None as "full register in index order" — the
     # same bits, minus a per-group column-selection copy in every engine.
     sample_qubits = None if qubits == list(range(circuit.num_qubits)) else qubits
+    if _use_batched_walk(engine_cls, circuit, len(ordered)):
+        return _grouped_batched_walk(
+            circuit, shots, ordered, errors, rng, prefix, prefix_pos
+        )
     # One preallocated output filled in visit order — row order (and
     # therefore the readout-noise RNG pairing downstream) is identical
     # to concatenating per-group chunks.
@@ -542,6 +718,142 @@ def _sample_grouped(
             ckpts = {}
         sampled = state.sample(
             group_shots, rng, sample_qubits, shares_structure=shares_structure
+        )
+        if clbit_cols.size:
+            out[row : row + group_shots, clbit_cols] = sampled
+        row += group_shots
+    return out
+
+
+def _use_batched_walk(
+    engine_cls: Type[ExecutionEngine], circuit: QuantumCircuit, group_count: int
+) -> bool:
+    """Whether the grouped walk should run batched for this request.
+
+    Requires a batched-capable mode, a dense-family route (the tableau,
+    hybrid and MPS backends keep the scalar walk), enough trajectory
+    groups to amortize the batch setup, and a register narrow enough
+    that :data:`_BATCH_MIN_CHUNK_ROWS` stacked states fit the
+    cache-working-set budget — beyond that width batching loses to the
+    scalar walk's cache residency (see :data:`BATCH_MAX_BYTES`).
+    """
+    return (
+        ENGINE in _BATCHED_WALK_MODES
+        and issubclass(engine_cls, DenseEngine)
+        and StateVector.use_fast_kernels
+        and group_count >= BATCH_MIN_GROUPS
+        and (16 << circuit.num_qubits) * _BATCH_MIN_CHUNK_ROWS <= BATCH_MAX_BYTES
+    )
+
+
+def _grouped_batched_walk(
+    circuit: QuantumCircuit,
+    shots: int,
+    ordered: List[Tuple[Tuple[Tuple[int, int], ...], int]],
+    errors: Dict[int, QuantumError],
+    rng: np.random.Generator,
+    prefix: ExecutionEngine,
+    prefix_pos: int,
+) -> np.ndarray:
+    """The batched grouped walk: every trajectory group in one kernel
+    call per lockstep window.
+
+    Groups arrive in first-error-site order (*ordered*, the same visit
+    order as the scalar walk, clean group last).  Noisy groups are
+    stacked — in visit-order chunks bounded by :data:`BATCH_MAX_BYTES` —
+    into a :class:`~repro.simulator.batched.BatchedStateVector`; within
+    a chunk, the union of the groups' injection sites delimits the
+    lockstep windows.  At each window boundary the active rows advance
+    together (one kernel call per gate, diagonal-run fusion included);
+    groups whose **first** error fires there fork off the clean prefix
+    (which advances lazily, join-to-join) and take their injection on a
+    scalar row view; already-active rows take any later injections of
+    their multi-error keys at the matching sites.  After the last
+    boundary the whole chunk advances to the end of the circuit and each
+    row is sampled in visit order.
+
+    RNG parity: the walk draws nothing during advance/fork/inject, per
+    group sampling draws ``rng.random(group_shots)`` against a CDF built
+    by the scalar pipeline, and the visit order is unchanged — so the
+    consumed stream is identical to the scalar walk's.  Per-row
+    amplitudes may differ from the scalar walk by float rounding
+    (~1e-16) where diagonal-run fusion partitions windows differently;
+    the repo's parity standard (bit-identical *counts* under pinned
+    seeds, as with the hybrid engine) is pinned by
+    ``tests/test_batched.py``.
+    """
+    from repro.simulator.batched import BatchedStateVector
+    from repro.simulator.engines.batched import BatchedDenseEngine
+
+    instructions = list(circuit)
+    end = len(instructions)
+    mapping = _measurement_map(circuit)
+    qubits = sorted(mapping)
+    width = circuit.num_clbits
+    clbit_cols = np.asarray([mapping[q] for q in qubits], dtype=np.int64)
+    sample_qubits = None if qubits == list(range(circuit.num_qubits)) else qubits
+    qs = (
+        np.arange(circuit.num_qubits, dtype=np.int64)
+        if sample_qubits is None
+        else np.asarray(sample_qubits, dtype=np.int64)
+    )
+    out = np.zeros((shots, width), dtype=np.uint8)
+    row = 0
+    noisy_groups = [kv for kv in ordered if kv[0]]
+    n = circuit.num_qubits
+    rows_per_chunk = max(2, BATCH_MAX_BYTES // (16 << n))
+    for start in range(0, len(noisy_groups), rows_per_chunk):
+        chunk = noisy_groups[start : start + rows_per_chunk]
+        batch = BatchedStateVector(n, len(chunk))
+        # Window boundaries: every injection site of every group in the
+        # chunk.  ``joins[site]`` are the rows whose trajectory begins
+        # there (first error), ``later[site]`` the follow-up injections
+        # of multi-error rows already marching with the batch.
+        joins: Dict[int, List[Tuple[int, int]]] = {}
+        later: Dict[int, List[Tuple[int, int]]] = {}
+        for i, (key, _) in enumerate(chunk):
+            joins.setdefault(key[0][0], []).append((i, key[0][1]))
+            for site, term in key[1:]:
+                later.setdefault(site, []).append((i, term))
+        active = 0
+        batch_pos = prefix_pos
+        for site in sorted(set(joins) | set(later)):
+            stop = site + 1
+            if active:
+                BatchedDenseEngine.advance_batch(
+                    batch.narrow(active), instructions[batch_pos:stop]
+                )
+            for i, term in joins.get(site, ()):
+                if prefix_pos < stop:
+                    prefix.advance(instructions[prefix_pos:stop])
+                    prefix_pos = stop
+                batch.set_row(i, prefix.to_dense().data)
+                BatchedDenseEngine.inject_row(
+                    batch, i, instructions[site], errors[site], term
+                )
+                active = i + 1
+            for i, term in later.get(site, ()):
+                BatchedDenseEngine.inject_row(
+                    batch, i, instructions[site], errors[site], term
+                )
+            batch_pos = stop
+        if chunk:
+            BatchedDenseEngine.advance_batch(batch, instructions[batch_pos:end])
+        cdfs = batch.cdfs() if chunk else None
+        for i, (key, group_shots) in enumerate(chunk):
+            u = rng.random(int(group_shots))
+            outcomes = np.searchsorted(cdfs[i], u, side="right")
+            sampled = ((outcomes[:, None] >> qs[None, :]) & 1).astype(np.uint8)
+            if clbit_cols.size:
+                out[row : row + group_shots, clbit_cols] = sampled
+            row += group_shots
+    if ordered and not ordered[-1][0]:
+        # The clean group sorts last and *is* the prefix, exactly as in
+        # the scalar walk.
+        _, group_shots = ordered[-1]
+        prefix.advance(instructions[prefix_pos:end])
+        sampled = prefix.sample(
+            group_shots, rng, sample_qubits, shares_structure=True
         )
         if clbit_cols.size:
             out[row : row + group_shots, clbit_cols] = sampled

@@ -1,0 +1,225 @@
+"""Process-pool shot sharding for the trajectory sampler.
+
+The batched grouped walk removes per-group dispatch overhead inside one
+process; this layer scales *across* processes: a shot request is split
+into fixed-size **blocks**, each block runs the classic sampling driver
+(:func:`repro.simulator.sampler._sample_counts_single`) end to end, and
+the per-block :class:`~repro.simulator.counts.Counts` fold together with
+:meth:`Counts.merge`.
+
+Reproducibility contract
+------------------------
+Block *i* draws from ``child_rng(seed, "shard", i)`` — the stable
+SHA-256 seed derivation from :mod:`repro.utils.rng`, which depends only
+on the seed and the block index, never on which process runs the block
+or in what order blocks finish.  The block partition itself is a
+function of ``(shots, block_shots)`` alone.  Consequently **any worker
+count produces identical counts** — ``workers=4`` reproduces
+``workers=1`` bit for bit — and a failed pool can always be re-run
+inline.  The sharded stream intentionally differs from the
+single-stream driver's draw order (that is what makes it splittable);
+``engine_mode(workers=...)`` is documented as a semantics switch for
+exactly this reason, and live generators are rejected because a shared
+mutable stream cannot be split deterministically.
+
+Clean-prefix sharing
+--------------------
+For dense-family routes the instructions before the first noisy op are
+identical in every block and every trajectory group.  The parent
+simulates that prefix **once**, publishes the amplitudes read-only via
+:class:`multiprocessing.shared_memory.SharedMemory`, and each worker
+resumes its grouped walk from the shared state instead of replaying the
+prefix per block.  The inline (``workers=1``) path uses the same
+precomputed prefix, so pooled and inline runs see bit-identical inputs.
+
+Workers are forked (POSIX), so they inherit the parent's engine-mode
+globals at pool creation; on platforms without ``fork`` the driver
+degrades to the inline path, which is always available and produces the
+same counts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import SimulationError
+from repro.simulator.counts import Counts
+from repro.simulator.engines import DenseEngine, select_engine
+from repro.simulator.noise import NoiseModel, QuantumError
+from repro.simulator.statevector import DENSE_QUBIT_LIMIT
+from repro.utils.rng import child_rng
+
+#: Shots per block.  Independent of the worker count on purpose: the
+#: block partition (and therefore every block's derived stream) must not
+#: change when the pool is resized, or worker counts would stop being
+#: interchangeable.
+SHARD_BLOCK_SHOTS = 256
+
+#: Worker-side clean-prefix state, installed by the pool initializer:
+#: ``(amplitudes, position)`` or ``None``.
+_WORKER_PREFIX: Optional[Tuple[np.ndarray, int]] = None
+
+#: Keeps the worker's shared-memory handle alive for the pool's life.
+_WORKER_SHM = None
+
+
+def _block_sizes(shots: int, block_shots: int) -> List[int]:
+    """Partition *shots* into fixed-size blocks (last one ragged)."""
+    full, rem = divmod(int(shots), int(block_shots))
+    sizes = [int(block_shots)] * full
+    if rem:
+        sizes.append(rem)
+    return sizes
+
+
+def _clean_prefix_state(
+    circuit: QuantumCircuit,
+    noise: Optional[NoiseModel],
+    extra: Mapping[int, QuantumError],
+) -> Optional[Tuple[np.ndarray, int]]:
+    """The shared clean-prefix payload, or ``None`` when inapplicable.
+
+    Applicable exactly when every block would run the grouped walk on a
+    dense-family engine: the instructions before the first noisy op are
+    then identical across blocks and groups, so one simulation serves
+    all workers.  Returns ``(amplitudes, position)`` with *position*
+    the index of the first noisy instruction.
+    """
+    from repro.simulator import sampler
+
+    if not sampler.USE_PREFIX_SHARING or sampler._needs_per_shot(circuit):
+        return None
+    if circuit.num_qubits > DENSE_QUBIT_LIMIT:
+        return None
+    engine_cls = select_engine(sampler.ENGINE, circuit)
+    if not issubclass(engine_cls, DenseEngine):
+        return None
+    noisy = sampler._noisy_ops(circuit, noise, extra)
+    first = noisy[0][0] if noisy else len(list(circuit))
+    if first == 0:
+        return None
+    engine = engine_cls(circuit)
+    engine.advance(list(circuit)[:first])
+    return engine.to_dense().data.copy(), first
+
+
+def _init_worker(shm_name: Optional[str], num_qubits: int, position: int) -> None:
+    """Pool initializer: attach the read-only clean-prefix segment."""
+    global _WORKER_PREFIX, _WORKER_SHM
+    if shm_name is None:
+        _WORKER_PREFIX = None
+        return
+    from multiprocessing import shared_memory
+
+    # Forked workers inherit the parent's resource-tracker pipe, so this
+    # attach re-registers the segment into the tracker's (set-valued)
+    # cache — harmless, and the parent's single unlink unregisters it.
+    # Do NOT unregister here: a second unregister for the same name
+    # races the parent's and KeyErrors inside the tracker process.
+    shm = shared_memory.SharedMemory(name=shm_name)
+    arr = np.ndarray((1 << num_qubits,), dtype=np.complex128, buffer=shm.buf)
+    arr.setflags(write=False)
+    _WORKER_SHM = shm
+    _WORKER_PREFIX = (arr, int(position))
+
+
+def _run_block(task: Tuple) -> Counts:
+    """Sample one block in a worker (or inline) process."""
+    circuit, block_shots, noise, base, index, extra = task
+    from repro.simulator import sampler
+
+    rng = child_rng(base, "shard", index)
+    return sampler._sample_counts_single(
+        circuit, block_shots, noise, rng, extra, initial=_WORKER_PREFIX
+    )
+
+
+def sample_counts_sharded(
+    circuit: QuantumCircuit,
+    shots: int,
+    *,
+    noise: Optional[NoiseModel] = None,
+    seed: Optional[int] = None,
+    workers: int = 1,
+    block_shots: Optional[int] = None,
+    instruction_errors: Optional[Mapping[int, QuantumError]] = None,
+) -> Counts:
+    """Sample *shots* outcomes, sharded into blocks across *workers*.
+
+    The sharded analogue of :func:`repro.simulator.sample_counts`
+    (normally reached through ``engine_mode(workers=...)``): shots are
+    split into :data:`SHARD_BLOCK_SHOTS`-sized blocks, block *i* draws
+    from ``child_rng(seed, "shard", i)``, and the per-block histograms
+    fold with :meth:`Counts.merge`.  Counts are identical for every
+    *workers* value; see the module docstring for the full contract.
+
+    *seed* must be an ``int`` or ``None`` (``None`` draws a fresh base
+    seed once, then shards deterministically from it).
+    """
+    if isinstance(seed, np.random.Generator):
+        raise SimulationError(
+            "sharded sampling needs an int seed or None, not a live "
+            "Generator: per-block streams are derived from the seed"
+        )
+    if isinstance(workers, bool) or workers < 1:
+        raise SimulationError(f"workers must be an integer >= 1, got {workers!r}")
+    if shots < 1:
+        raise SimulationError("shots must be >= 1")
+    if not circuit.has_measurements():
+        raise SimulationError(
+            f"circuit {circuit.name!r} has no measurements; nothing to sample"
+        )
+    extra = dict(instruction_errors or {})
+    bs = int(block_shots) if block_shots is not None else SHARD_BLOCK_SHOTS
+    if bs < 1:
+        raise SimulationError(f"block_shots must be >= 1, got {block_shots!r}")
+    sizes = _block_sizes(shots, bs)
+    base = int(seed) if seed is not None else int(np.random.SeedSequence().entropy)
+    prefix = _clean_prefix_state(circuit, noise, extra)
+    tasks = [
+        (circuit, size, noise, base, index, extra)
+        for index, size in enumerate(sizes)
+    ]
+    effective = min(int(workers), len(sizes))
+    if effective > 1 and "fork" not in multiprocessing.get_all_start_methods():
+        effective = 1  # no fork → inline, same counts by construction
+    if effective <= 1:
+        global _WORKER_PREFIX
+        saved = _WORKER_PREFIX
+        _WORKER_PREFIX = prefix
+        try:
+            parts = [_run_block(task) for task in tasks]
+        finally:
+            _WORKER_PREFIX = saved
+        return Counts.merge(parts)
+    shm = None
+    try:
+        initargs: Tuple = (None, 0, 0)
+        if prefix is not None:
+            from multiprocessing import shared_memory
+
+            state, position = prefix
+            shm = shared_memory.SharedMemory(create=True, size=state.nbytes)
+            np.ndarray(state.shape, dtype=state.dtype, buffer=shm.buf)[:] = state
+            initargs = (shm.name, circuit.num_qubits, position)
+        ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=effective,
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=initargs,
+        ) as pool:
+            parts = list(pool.map(_run_block, tasks))
+    finally:
+        if shm is not None:
+            shm.close()
+            shm.unlink()
+    return Counts.merge(parts)
+
+
+__all__ = ["sample_counts_sharded", "SHARD_BLOCK_SHOTS"]

@@ -67,6 +67,41 @@ _PAULIS: Dict[str, np.ndarray] = {
 DENSE_QUBIT_LIMIT = 26
 
 
+def sorted_diagonal(
+    diagonal: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> Tuple[np.ndarray, List[int]]:
+    """Validate a ``2^k``-entry diagonal table and re-index it so bit
+    *j* of the table index corresponds to the *j*-th smallest operand.
+
+    Returns ``(diag, sorted_qubits)``.  Shared by the scalar
+    :meth:`StateVector.apply_diagonal` kernel and its batched variant
+    (:class:`repro.simulator.batched.BatchedStateVector`), so the two
+    agree on the operand convention by construction.
+    """
+    k = len(qubits)
+    diag = np.asarray(diagonal, dtype=complex).reshape(-1)
+    if diag.shape != (1 << k,):
+        raise SimulationError(
+            f"diagonal length {diag.size} does not match {k} qubits"
+        )
+    if len(set(qubits)) != k:
+        raise SimulationError(f"operands must be distinct, got {tuple(qubits)}")
+    for q in qubits:
+        if not 0 <= q < num_qubits:
+            raise SimulationError(
+                f"qubit {q} out of range for {num_qubits}-qubit state"
+            )
+    order = sorted(range(k), key=lambda j: qubits[j])
+    if order != list(range(k)):
+        # Re-index so bit j corresponds to the j-th smallest operand.
+        idx = np.arange(1 << k)
+        src = np.zeros(1 << k, dtype=np.int64)
+        for new_bit, old_bit in enumerate(order):
+            src |= ((idx >> new_bit) & 1) << old_bit
+        diag = diag[src]
+    return diag, sorted(qubits)
+
+
 class StateVector:
     """A mutable n-qubit pure state.
 
@@ -302,25 +337,7 @@ class StateVector:
         RZZ…) collapses to one precomputed table and a single broadcast
         multiply, instead of one full-state traversal per gate.
         """
-        k = len(qubits)
-        diag = np.asarray(diagonal, dtype=complex).reshape(-1)
-        if diag.shape != (1 << k,):
-            raise SimulationError(
-                f"diagonal length {diag.size} does not match {k} qubits"
-            )
-        if len(set(qubits)) != k:
-            raise SimulationError(f"operands must be distinct, got {tuple(qubits)}")
-        for q in qubits:
-            self._axis(q)  # range check
-        order = sorted(range(k), key=lambda j: qubits[j])
-        if order != list(range(k)):
-            # Re-index so bit j corresponds to the j-th smallest operand.
-            idx = np.arange(1 << k)
-            src = np.zeros(1 << k, dtype=np.int64)
-            for new_bit, old_bit in enumerate(order):
-                src |= ((idx >> new_bit) & 1) << old_bit
-            diag = diag[src]
-        sorted_qs = sorted(qubits)
+        diag, sorted_qs = sorted_diagonal(diagonal, qubits, self.num_qubits)
         # C-order reshape puts the table's most-significant bit (the
         # largest operand qubit) on the leading broadcast axis — which
         # is exactly that qubit's tensor axis, since axis = n-1-q.
@@ -560,4 +577,5 @@ __all__ = [
     "simulate_statevector",
     "circuit_unitary",
     "ghz_state",
+    "sorted_diagonal",
 ]

@@ -3,17 +3,17 @@ must run inside the tier-1 time budget, emit a schema-valid
 ``BENCH_simulator.json``, and hold every speedup floor (and feasibility
 ceiling) recorded in the committed reference artifact.
 
-Schema ``repro.bench.simulator/v5`` has two entry shapes: paired lanes
+Schema ``repro.bench.simulator/v6`` has two entry shapes: paired lanes
 (``baseline_seconds`` / ``fast_seconds`` / ``speedup``, optionally a
 ``floor``) for benchmarks with a before/after comparison, and
 single-lane entries (``seconds``) for workloads no dense baseline can
-represent.  v5 adds the ``mps_brickwork`` lane (matrix-product-state
-engine vs the fast dense engine on shallow brickwork sampling, with a
-speedup floor) and the ``mps_qaoa_wide`` lane (MPS-only QAOA chain at
-widths beyond every other non-Clifford path, carrying a ``max_seconds``
-feasibility ceiling plus the engine's reported ``truncation_error`` and
-peak bond dimension) — both enforced by ``--check``, the bench
-regression guard this suite keeps wired into tier-1.
+represent.  v6 adds the ``batched_ghz_grouped`` lane (batched grouped
+walk vs the scalar fast dense walk, with a speedup floor), the
+``sharded_throughput`` lane (process-pool shot sharding end to end,
+single-lane with a ``max_seconds`` feasibility ceiling), and records
+the ``workers`` count in every entry's params — all enforced by
+``--check``, the bench regression guard this suite keeps wired into
+tier-1.
 """
 
 import importlib.util
@@ -70,7 +70,7 @@ def test_bench_quick_check_emits_valid_schema_and_holds_floors(tmp_path):
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert "--check passed" in proc.stdout
     payload = json.loads(out.read_text())
-    assert payload["schema"] == "repro.bench.simulator/v5"
+    assert payload["schema"] == "repro.bench.simulator/v6"
     assert payload["quick"] is True
     assert isinstance(payload["config"], dict)
     names = set()
@@ -87,6 +87,9 @@ def test_bench_quick_check_emits_valid_schema_and_holds_floors(tmp_path):
             assert entry["speedup"] == entry["baseline_seconds"] / entry["fast_seconds"]
             if "floor" in entry:
                 assert entry["floor"] > 0
+        # v6: every lane states the worker count it ran with
+        assert isinstance(entry["params"]["workers"], int)
+        assert entry["params"]["workers"] >= 1
         names.add(entry["name"])
     # the acceptance-gate benchmarks and the workload lenses must exist
     assert "ghz_shot_sampling_grouped" in names
@@ -99,20 +102,23 @@ def test_bench_quick_check_emits_valid_schema_and_holds_floors(tmp_path):
     assert "diagonal_fusion_dense" in names
     assert "mps_brickwork" in names
     assert "mps_qaoa_wide" in names
+    assert "batched_ghz_grouped" in names
+    assert "sharded_throughput" in names
 
 
-def test_committed_artifact_is_v5_with_floors_and_wide_scaling():
-    """The committed reference must carry the v5 surface --check relies
-    on: floors on the acceptance lanes (now including mps_brickwork),
-    the 256/512/1024-qubit packed scaling lanes, and the mps_qaoa_wide
-    feasibility lane with its ceiling and truncation report."""
+def test_committed_artifact_is_v6_with_floors_and_wide_scaling():
+    """The committed reference must carry the v6 surface --check relies
+    on: floors on the acceptance lanes (now including
+    batched_ghz_grouped), the 256/512/1024-qubit packed scaling lanes,
+    and the feasibility lanes with their ceilings."""
     payload = json.loads((REPO / "BENCH_simulator.json").read_text())
-    assert payload["schema"] == "repro.bench.simulator/v5"
+    assert payload["schema"] == "repro.bench.simulator/v6"
     floors = {e["name"] for e in payload["benchmarks"] if "floor" in e}
     assert "stabilizer_packed_ghz" in floors
     assert "diagonal_fusion_dense" in floors
     assert "ghz_shot_sampling_grouped" in floors
     assert "mps_brickwork" in floors
+    assert "batched_ghz_grouped" in floors
     scaling_sizes = {
         e["params"]["num_qubits"]
         for e in payload["benchmarks"]
@@ -136,6 +142,27 @@ def test_committed_artifact_is_v5_with_floors_and_wide_scaling():
     assert "truncation_error" in entry
     assert entry["truncation_error"] <= 1e-9
     assert entry["max_bond_dimension"] >= 1
+    # the batched-execution acceptance gate: the committed lane must
+    # beat its floor (seeded counts are bit-identical in both lanes, so
+    # the speedup is pure dispatch amortization)
+    batched = [
+        e for e in payload["benchmarks"] if e["name"] == "batched_ghz_grouped"
+    ]
+    assert batched, "committed artifact lost the batched_ghz_grouped lane"
+    assert batched[0]["speedup"] >= batched[0]["floor"] >= 1.5
+    # the sharding feasibility gate: single-lane, records its worker
+    # count and block size, and stays under its ceiling
+    sharded = [
+        e for e in payload["benchmarks"] if e["name"] == "sharded_throughput"
+    ]
+    assert sharded, "committed artifact lost the sharded_throughput lane"
+    assert sharded[0]["seconds"] <= sharded[0]["max_seconds"]
+    assert sharded[0]["params"]["workers"] >= 1
+    assert sharded[0]["params"]["block_shots"] >= 1
+    # v6: every committed entry records its worker count
+    assert all(
+        e["params"].get("workers", 0) >= 1 for e in payload["benchmarks"]
+    )
 
 
 def test_check_against_reference_logic():

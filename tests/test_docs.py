@@ -59,7 +59,7 @@ def test_architecture_doc_covers_engine_contract():
         "stabilizer",
         "baseline",
         "BENCH_simulator.json",
-        "repro.bench.simulator/v5",
+        "repro.bench.simulator/v6",
     ):
         assert needle in text, f"architecture doc lost the {needle!r} section"
 
@@ -138,6 +138,43 @@ def test_architecture_doc_covers_mps_engine():
         "max_bond_dimension",
     ):
         assert needle in text, f"architecture doc lost the {needle!r} section"
+
+
+def test_architecture_doc_covers_batched_and_sharding():
+    """The batched-execution section must name the batch container, the
+    lockstep-window contract, the cache-working-set policy, the RNG
+    parity rules, and the sharding layer's reproducibility contract."""
+    text = ARCHITECTURE.read_text()
+    for needle in (
+        "Batched execution",
+        "BatchedStateVector",
+        "BatchedDenseEngine",
+        "lockstep",
+        "BATCH_MAX_BYTES",
+        "batch_min_groups",
+        '"batched"',
+        "workers",
+        "sample_counts_sharded",
+        "SHARD_BLOCK_SHOTS",
+        "child_rng",
+        "shared_memory",
+        "batched_ghz_grouped",
+        "sharded_throughput",
+    ):
+        assert needle in text, f"architecture doc lost the {needle!r} section"
+
+
+def test_readme_covers_batched_and_sharding():
+    """The README engine table must carry the batched row and the
+    workers workflow must point at the recorded lanes."""
+    text = README.read_text()
+    for needle in (
+        "| batched |",
+        "workers",
+        "batched_ghz_grouped",
+        "sharded_throughput",
+    ):
+        assert needle in text, f"README lost the {needle!r} coverage"
 
 
 def test_readme_covers_mps_engine():
