@@ -38,6 +38,12 @@ the engine lanes :func:`repro.simulator.engine_mode` exposes:
   noisy GHZ grouped sampling at a cache-resident width: every
   trajectory group advances in one kernel call per lockstep window,
   with bit-identical seeded counts in both lanes);
+* **plan cache** — compiled execution plans
+  (``plan_cache_parameterized`` samples N parameter bindings of one
+  ansatz with the cross-request plan cache cleared before every binding
+  vs primed once: the structural hash masks parameter values, so warm
+  bindings reuse the cached fusion partition and every zero-parameter
+  fused table instead of re-planning per request);
 * **sharded** — the process-pool shot-sharding layer
   (``sharded_throughput`` runs ``engine_mode(workers=...)`` end to end
   — block partition, per-block seed-derived streams, clean-prefix
@@ -51,7 +57,7 @@ Every entry's ``params`` records the ``workers`` count it ran with
 trajectories across machines stay attributable.
 
 Results are printed as a table and written to ``BENCH_simulator.json``
-(schema ``repro.bench.simulator/v6``) so later PRs have a perf
+(schema ``repro.bench.simulator/v7``) so later PRs have a perf
 trajectory to beat.  Acceptance-gate lanes carry a ``floor`` — the
 minimum speedup later runs must preserve — and wide single-lane entries
 may carry a ``max_seconds`` feasibility ceiling; ``--check`` runs the
@@ -99,7 +105,7 @@ from repro.simulator.sampler import _sample_per_shot  # noqa: E402
 from repro.simulator.sampler import engine_mode as engine  # noqa: E402
 from repro.simulator.statevector import StateVector  # noqa: E402
 
-SCHEMA = "repro.bench.simulator/v6"
+SCHEMA = "repro.bench.simulator/v7"
 
 #: Speedup floors for the acceptance-gate lanes, recorded into the
 #: artifact (``floor`` field) and enforced by ``--check``.  Values are
@@ -114,6 +120,7 @@ FLOORS: Dict[str, float] = {
     "diagonal_fusion_dense": 1.3,
     "mps_brickwork": 1.2,
     "batched_ghz_grouped": 1.5,
+    "plan_cache_parameterized": 2.0,
 }
 
 #: Wall-clock feasibility ceilings (seconds) for single-lane entries at
@@ -384,14 +391,18 @@ def bench_diag_fusion(num_qubits: int, layers: int, repeats: int) -> Dict[str, o
         DenseEngine(circuit).advance(ops)
 
     with engine("fast"):
-        prev = dense_mod.FUSE_DIAGONAL_RUNS
+        prev = (dense_mod.FUSE_DIAGONAL_RUNS, dense_mod.FUSE_BLOCKS)
         try:
+            # the unfused lane must disable *both* fusion passes, or
+            # block fusion keeps firing and shrinks the measured ratio
             dense_mod.FUSE_DIAGONAL_RUNS = False
+            dense_mod.FUSE_BLOCKS = False
             unfused = _timed(advance_once, repeats)
             dense_mod.FUSE_DIAGONAL_RUNS = True
+            dense_mod.FUSE_BLOCKS = True
             fused = _timed(advance_once, repeats)
         finally:
-            dense_mod.FUSE_DIAGONAL_RUNS = prev
+            dense_mod.FUSE_DIAGONAL_RUNS, dense_mod.FUSE_BLOCKS = prev
     entry = _entry(
         "diagonal_fusion_dense",
         {"num_qubits": num_qubits, "layers": layers, "gates": len(ops)},
@@ -555,6 +566,98 @@ def bench_batched_grouped(num_qubits: int, shots: int, repeats: int) -> Dict[str
     return entry
 
 
+def _plan_cache_ansatz(num_qubits: int, layers: int):
+    """Parameterized hardware-efficient ansatz whose *static* structure
+    is expensive to plan: every layer alternates a parameterized RY wall
+    (rebound per iteration) with long zero-parameter diagonal T/S/Z/CZ
+    runs whose fused ``2^k`` tables the plan caches across bindings.
+    The diagonal gates must be genuinely parameter-free (no numeric
+    angles): the structural hash masks values, so any gate *carrying* a
+    value is rematerialized per binding and would dilute the ratio."""
+    from repro.circuits.circuit import QuantumCircuit
+    from repro.circuits.parameters import Parameter
+
+    qc = QuantumCircuit(num_qubits, name=f"plancache{num_qubits}")
+    for q in range(num_qubits):
+        qc.h(q)
+    for layer in range(layers):
+        # Sparse parameterized walls: rebinding still exercises the
+        # dynamic-window path every iteration, but the workload stays
+        # dominated by the static structure the cache amortizes.  The
+        # non-diagonal RY walls are also the only run separators, so
+        # the T/CZ/S/Z cost layers between them coalesce into long
+        # zero-parameter diagonal runs — one fused table each, built
+        # once per cached plan and reused by every warm binding.
+        if layer % 4 == 0:
+            for q in range(num_qubits):
+                qc.ry(Parameter(f"t{layer}_{q}"), q)
+        for _ in range(2):
+            for q in range(num_qubits):
+                qc.t(q)
+            for q in range(num_qubits - 1):
+                qc.cz(q, q + 1)
+            for q in range(num_qubits):
+                qc.s(q)
+            for q in range(num_qubits):
+                qc.z(q)
+    qc.measure_all()
+    return qc
+
+
+def bench_plan_cache(
+    num_qubits: int, layers: int, bindings: int, shots: int, repeats: int
+) -> Dict[str, object]:
+    """Plan-cache amortization on N parameter bindings of one ansatz —
+    the compiled-execution-plan acceptance benchmark (≥2× warm over
+    cold).  Both lanes sample the same N bound circuits with the same
+    seeds; the cold lane clears the plan cache before every binding
+    (every request re-runs the fusion-partition scan and rebuilds every
+    fused table), the warm lane plans once and rebinds — parameter
+    values are masked out of the structural hash, so all N bindings hit
+    one cached plan and only the parameterized windows rematerialize."""
+    from repro.compiler import plans
+
+    ansatz = _plan_cache_ansatz(num_qubits, layers)
+    rng = np.random.default_rng(11)
+    bound = [
+        ansatz.bind_values(rng.uniform(0.1, 3.0, size=len(ansatz.parameters)))
+        for _ in range(bindings)
+    ]
+
+    def run_cold():
+        for qc in bound:
+            plans.plan_cache_clear()
+            sample_counts(qc, shots, rng=7)
+
+    def run_warm():
+        for qc in bound:
+            sample_counts(qc, shots, rng=7)
+
+    with engine("fast"):
+        cold = _timed(run_cold, repeats)
+        plans.plan_cache_clear()
+        sample_counts(bound[0], shots, rng=7)  # prime the cache
+        warm = _timed(run_warm, repeats)
+    info = plans.plan_cache_info()
+    plans.plan_cache_clear()
+    entry = _entry(
+        "plan_cache_parameterized",
+        {
+            "num_qubits": num_qubits,
+            "layers": layers,
+            "bindings": bindings,
+            "shots": shots,
+        },
+        cold,
+        warm,
+        throughput_unit="bindings_per_sec",
+        work_items=bindings,
+    )
+    entry["lanes"] = {"baseline": "plan-cold", "fast": "plan-warm"}
+    entry["cache_hits"] = info["hits"]
+    return entry
+
+
 def bench_sharded_throughput(
     num_qubits: int, shots: int, workers: int, repeats: int
 ) -> Dict[str, object]:
@@ -661,6 +764,10 @@ def run(quick: bool) -> Dict[str, object]:
             "mps_qaoa_shots": 256,
             "batched_qubits": 10,
             "batched_shots": 2048,
+            "plan_cache_qubits": 10,
+            "plan_cache_layers": 6,
+            "plan_cache_bindings": 8,
+            "plan_cache_shots": 16,
             "sharded_qubits": 12,
             "sharded_shots": 2048,
             "sharded_workers": 1,
@@ -693,6 +800,10 @@ def run(quick: bool) -> Dict[str, object]:
             "mps_qaoa_shots": 512,
             "batched_qubits": 10,
             "batched_shots": 4096,
+            "plan_cache_qubits": 10,
+            "plan_cache_layers": 10,
+            "plan_cache_bindings": 16,
+            "plan_cache_shots": 16,
             "sharded_qubits": 12,
             "sharded_shots": 8192,
             "sharded_workers": 1,
@@ -746,6 +857,15 @@ def run(quick: bool) -> Dict[str, object]:
     benchmarks.append(
         bench_batched_grouped(
             config["batched_qubits"], config["batched_shots"], repeats
+        )
+    )
+    benchmarks.append(
+        bench_plan_cache(
+            config["plan_cache_qubits"],
+            config["plan_cache_layers"],
+            config["plan_cache_bindings"],
+            config["plan_cache_shots"],
+            repeats,
         )
     )
     benchmarks.append(

@@ -215,6 +215,32 @@ def numeric_value(value: ParameterValue) -> float:
     return float(value)
 
 
+def parameter_slots(
+    param_lists: Iterable[Iterable[ParameterValue]],
+) -> Dict[Parameter, int]:
+    """Canonical slot ids for the free parameters of an instruction stream.
+
+    Slots are assigned by first appearance while scanning *param_lists*
+    (one inner iterable per instruction, in program order); parameters
+    inside one expression are visited in ``(name, creation-order)`` order
+    so the result is deterministic.  Structural hashing
+    (:func:`repro.circuits.serialize.structural_hash`) identifies symbolic
+    parameters by slot rather than object identity, so two builds of the
+    same ansatz with fresh :class:`Parameter` objects canonicalize
+    identically — while reusing one parameter across two gates stays
+    distinguishable from using two different parameters.
+    """
+    slots: Dict[Parameter, int] = {}
+    for params in param_lists:
+        for value in params:
+            free = parameters_of(value)
+            if not free:
+                continue
+            for p in sorted(free, key=lambda q: (q.name, q._uid)):
+                slots.setdefault(p, len(slots))
+    return slots
+
+
 def make_binding(
     params: Iterable[Parameter], values: Iterable[float]
 ) -> Dict[Parameter, float]:
@@ -235,5 +261,6 @@ __all__ = [
     "parameters_of",
     "bind_value",
     "numeric_value",
+    "parameter_slots",
     "make_binding",
 ]

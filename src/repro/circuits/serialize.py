@@ -11,14 +11,20 @@ with "large job histories") survive library upgrades.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Dict
 
 from repro.circuits.circuit import Instruction, QuantumCircuit
-from repro.circuits.parameters import parameters_of
+from repro.circuits.parameters import parameter_slots, parameters_of
 from repro.errors import CircuitError, SerializationError
 
 FORMAT_VERSION = 1
+
+#: Version tag mixed into :func:`structural_hash` — bump when the
+#: encoding changes so stale cross-request plan-cache keys can never
+#: alias entries produced by an older layout.
+STRUCTURAL_HASH_VERSION = 1
 
 
 def circuit_to_dict(circuit: QuantumCircuit) -> Dict[str, Any]:
@@ -85,6 +91,56 @@ def circuit_from_dict(payload: Dict[str, Any]) -> QuantumCircuit:
         raise SerializationError(f"malformed circuit payload: {exc}") from exc
 
 
+def structural_hash(circuit: QuantumCircuit) -> str:
+    """SHA-256 hex digest of *circuit*'s structure, parameter values excluded.
+
+    Two circuits share a hash exactly when they have the same qubit/clbit
+    counts and the same instruction sequence up to parameter *values*:
+    gate names, operand wires, parameter arity, and the wiring of symbolic
+    parameters to their slots all participate, but concrete angles do not.
+    This is the cross-request plan-cache key (`repro.compiler.plans`): all
+    numeric bindings of one parameterized ansatz collapse onto one entry.
+
+    Symbolic parameters are canonicalized to slot ids by first appearance,
+    so the hash is independent of `Parameter` identity — rebuilding the
+    same ansatz with fresh `Parameter` objects still hits the cache.
+    Expressions hash the slots they touch (wiring), not their numeric
+    coefficients.
+
+    Each instruction additionally contributes a diagonality bit (from the
+    same memoized `Instruction.is_diagonal()` the dense engine's fusion
+    scan uses).  Numeric values are masked from the hash, but fusion
+    partitions depend on value-edge diagonality (e.g. ``ry(0)`` *is*
+    diagonal), so the bit keeps "same hash" implying "same partition":
+    value-edge variants simply hash to their own cache entry.
+
+    Unlike :func:`circuit_to_dict` this accepts unbound circuits.
+    """
+    # Accumulate one string and hash it once: this runs per sampling
+    # request (it is the cache key), so per-instruction digest updates
+    # would dominate the very cost the plan cache amortizes.
+    slots = parameter_slots(inst.params for inst in circuit)
+    parts = [
+        f"repro.structural/{STRUCTURAL_HASH_VERSION}|"
+        f"{circuit.num_qubits}|{circuit.num_clbits}|"
+    ]
+    append = parts.append
+    for inst in circuit:
+        append(inst.name)
+        append(str(inst.qubits))
+        if inst.clbits:
+            append(f"c{inst.clbits}")
+        for value in inst.params:
+            free = parameters_of(value)
+            if not free:
+                append("#;")  # numeric value: masked
+            else:
+                ids = sorted(slots[p] for p in free)
+                append("$" + ".".join(map(str, ids)) + ";")
+        append("D|" if inst.is_diagonal() else "-|")
+    return hashlib.sha256("".join(parts).encode()).hexdigest()
+
+
 def circuit_to_json(circuit: QuantumCircuit, **json_kwargs: Any) -> str:
     """Serialize to a JSON string (the REST wire format)."""
     return json.dumps(circuit_to_dict(circuit), **json_kwargs)
@@ -103,8 +159,10 @@ def circuit_from_json(text: str) -> QuantumCircuit:
 
 __all__ = [
     "FORMAT_VERSION",
+    "STRUCTURAL_HASH_VERSION",
     "circuit_to_dict",
     "circuit_from_dict",
     "circuit_to_json",
     "circuit_from_json",
+    "structural_hash",
 ]

@@ -14,8 +14,16 @@ from repro.compiler.jit import CompiledProgram, JITCompiler, Program
 from repro.compiler.lowering import (
     circuit_to_qir,
     lower_to_qir,
+    normalize_to_circuit,
     qir_to_circuit,
     register_dialect_conversion,
+)
+from repro.compiler.plans import (
+    BoundPlan,
+    ExecutionPlan,
+    plan_cache_clear,
+    plan_cache_info,
+    plan_for,
 )
 
 __all__ = [
@@ -36,6 +44,12 @@ __all__ = [
     "Program",
     "circuit_to_qir",
     "lower_to_qir",
+    "normalize_to_circuit",
     "qir_to_circuit",
     "register_dialect_conversion",
+    "BoundPlan",
+    "ExecutionPlan",
+    "plan_cache_clear",
+    "plan_cache_info",
+    "plan_for",
 ]

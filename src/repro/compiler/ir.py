@@ -113,6 +113,41 @@ class Module:
             h.update(b"\n")
         return h.hexdigest()
 
+    def structural_fingerprint(self) -> str:
+        """Like :meth:`fingerprint` but with parameter *values* masked.
+
+        Numeric attribute values (floats, and tuples of floats such as
+        ``params``) hash as arity-preserving placeholders, so all
+        bindings of one parameterized kernel share a fingerprint — the
+        IR-level analog of
+        :func:`repro.circuits.serialize.structural_hash`, used to key
+        plan-level caching before lowering.
+        """
+
+        def masked(v: Any) -> str:
+            # Floats are parameter values; ints (qubit/clbit indices)
+            # are wiring and must stay visible.
+            if isinstance(v, float):
+                return "#"
+            if isinstance(v, tuple) and v and all(isinstance(x, float) for x in v):
+                return "(" + ",".join("#" for _ in v) + ")"
+            return repr(v)
+
+        h = hashlib.sha256()
+        h.update(b"structural|")
+        h.update(self.name.encode())
+        for op in self.ops:
+            h.update(op.qualified.encode())
+            h.update(b"|")
+            h.update(",".join(str(v.id) for v in op.operands).encode())
+            h.update(b"|")
+            h.update(",".join(str(v.id) for v in op.results).encode())
+            h.update(b"|")
+            for k in sorted(op.attributes):
+                h.update(f"{k}={masked(op.attributes[k])};".encode())
+            h.update(b"\n")
+        return h.hexdigest()
+
 
 class Builder:
     """Convenience op-builder bound to one module and one dialect."""

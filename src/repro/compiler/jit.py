@@ -149,6 +149,19 @@ class JITCompiler:
         self._cache[key] = artifact
         return artifact
 
+    def execution_plan(self, program: Program):
+        """The engine-agnostic :class:`~repro.compiler.plans.ExecutionPlan`
+        for *program*'s logical circuit, via the cross-request plan cache.
+
+        Unlike :meth:`compile`, plans are device-independent — no QDMI
+        session, no calibration key — so the same compiler instance can
+        serve simulator traffic without touching the device.
+        """
+        from repro.compiler.lowering import normalize_to_circuit
+        from repro.compiler.plans import plan_for
+
+        return plan_for(normalize_to_circuit(program))
+
     def cache_info(self) -> Dict[str, int]:
         return {
             "entries": len(self._cache),

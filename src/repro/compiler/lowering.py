@@ -152,6 +152,26 @@ def qir_to_circuit(module: Module) -> QuantumCircuit:
     return circuit
 
 
+def normalize_to_circuit(program) -> QuantumCircuit:
+    """Normalize a compiler program (Module or QuantumCircuit) to a
+    logical circuit, lowering non-QIR dialects as needed.
+
+    This is the execution-plan front door: :func:`repro.compiler.plans.plan_for`
+    keys on circuit structure, so Modules must reach circuit form before
+    planning.  Circuits pass through untouched (no QIR round-trip).
+    """
+    if isinstance(program, QuantumCircuit):
+        return program
+    if not isinstance(program, Module):
+        raise LoweringError(
+            f"cannot normalize object of type {type(program).__name__}"
+        )
+    module = program
+    if module.dialects_used() != {QIR}:
+        module = lower_to_qir(module)
+    return qir_to_circuit(module)
+
+
 def circuit_to_qir(circuit: QuantumCircuit) -> Module:
     """Inverse direction: lift a logical circuit into the QIR dialect
     (used when a front end hands the client a circuit directly)."""
@@ -181,4 +201,5 @@ __all__ = [
     "lower_to_qir",
     "qir_to_circuit",
     "circuit_to_qir",
+    "normalize_to_circuit",
 ]

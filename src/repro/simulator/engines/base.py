@@ -56,7 +56,7 @@ and :func:`engine_registry` snapshots the table.  Mode-string *routing*
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import ClassVar, Dict, Optional, Sequence, Type
+from typing import ClassVar, Dict, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
@@ -72,9 +72,34 @@ class ExecutionEngine(ABC):
     #: Registry key; concrete subclasses must override.
     name: ClassVar[str] = ""
 
+    #: Names of the :class:`repro.compiler.plans.ExecutionPlan` artifacts
+    #: this backend consumes (empty: plans are accepted but ignored).
+    #: Purely declarative — tests and docs pin each backend's entry.
+    plan_artifacts: ClassVar[Tuple[str, ...]] = ()
+
+    #: Bound execution plan, or ``None`` for the unplanned path.  A class
+    #: attribute (not set in ``__init__``) so engines created through
+    #: ``cls.__new__`` in ``fork()`` implementations inherit the default;
+    #: forks that should keep their parent's plan copy it explicitly.
+    _plan = None
+
     def __init__(self, circuit: QuantumCircuit) -> None:
         self.circuit = circuit
         self.prepare(circuit)
+
+    # -- execution plans -------------------------------------------------------
+
+    def bind_plan(self, plan) -> None:
+        """Attach a :class:`~repro.compiler.plans.BoundPlan` for this
+        request.  Backends that consume plan artifacts override
+        :meth:`advance_span` (or this hook) to use it; the default just
+        records the plan so forks can inherit it."""
+        self._plan = plan
+
+    @property
+    def plan(self):
+        """The bound execution plan, or ``None`` when running unplanned."""
+        return self._plan
 
     # -- state lifecycle -------------------------------------------------------
 
@@ -91,6 +116,17 @@ class ExecutionEngine(ABC):
     @abstractmethod
     def advance(self, ops: Sequence[Instruction]) -> None:
         """Apply the unitary part of *ops* in order (no-ops skipped)."""
+
+    def advance_span(self, instructions: Sequence[Instruction], start: int, stop: int) -> None:
+        """Apply the window ``instructions[start:stop]``.
+
+        The span form is how the sampler drivers address windows of the
+        *full* instruction list, which lets plan-aware backends look up
+        memoized per-window artifacts by ``(start, stop)`` key.  The
+        default delegates to :meth:`advance` on the slice — identical
+        semantics for backends without window artifacts.
+        """
+        self.advance(instructions[start:stop])
 
     @abstractmethod
     def inject(

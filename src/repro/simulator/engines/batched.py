@@ -46,26 +46,39 @@ class BatchedDenseEngine(DenseEngine):
     ) -> None:
         """Advance every row of *batch* through *ops*.
 
-        Mirrors :meth:`DenseEngine.advance` — including the diagonal-run
-        fusion plan — with each application hitting the whole row stack
-        in one call.
+        Mirrors :meth:`DenseEngine.advance` — including the fusion
+        passes — with each application hitting the whole row stack in
+        one call.
         """
+        cls.advance_batch_span(batch, ops, 0, len(ops))
+
+    @classmethod
+    def advance_batch_span(
+        cls,
+        batch: BatchedStateVector,
+        instructions: Sequence[Instruction],
+        start: int,
+        stop: int,
+        plan=None,
+    ) -> None:
+        """Window form of :meth:`advance_batch`, mirroring
+        :meth:`DenseEngine.advance_span`: with a bound plan the window's
+        fused items come from the plan-cache memo instead of being
+        re-derived per request."""
         if (
-            _dense.FUSE_DIAGONAL_RUNS
-            and batch.use_fast_kernels
-            and len(ops) > 1
+            batch.use_fast_kernels
+            and stop - start > 1
+            and (_dense.FUSE_DIAGONAL_RUNS or _dense.FUSE_BLOCKS)
         ):
-            plan = _dense.plan_diagonal_fusion(ops)
             if plan is not None:
-                for item in plan:
-                    if isinstance(item, Instruction):
-                        if item.name not in UNITARY_NOOPS:
-                            batch.apply_matrix(item.matrix(), item.qubits)
-                    else:
-                        diag, qs = item
-                        batch.apply_diagonal(diag, qs)
+                items = plan.window_items(start, stop)
+            else:
+                items = _dense.plan_diagonal_fusion(instructions[start:stop])
+            if items is not None:
+                _dense.apply_items(batch, items)
                 return
-        for inst in ops:
+        for i in range(start, stop):
+            inst = instructions[i]
             if inst.name in UNITARY_NOOPS:
                 continue
             batch.apply_matrix(inst.matrix(), inst.qubits)

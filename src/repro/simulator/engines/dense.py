@@ -29,9 +29,21 @@ from repro.simulator.statevector import StateVector
 #: this to isolate the fusion win; production code leaves it ``True``.
 FUSE_DIAGONAL_RUNS = True
 
+#: Generalized block-fusion switch (pass 2 of the window partition,
+#: also fast-kernels only): maximal contiguous runs of plain 1q/2q
+#: gates whose qubit union stays within
+#: :data:`BLOCK_FUSION_MAX_QUBITS` collapse into one premultiplied
+#: matrix, so a run of single-qubit rotations costs one kernel call.
+FUSE_BLOCKS = True
+
 #: Cap on the fused operand set: a run whose qubit union exceeds this is
 #: split greedily, keeping every phase table at most ``2^cap`` entries.
 _FUSION_MAX_QUBITS = 10
+
+#: Cap on a fused *block*'s qubit union.  2 keeps every premultiplied
+#: matrix at most 4×4 — the shapes the specialized fast kernels accept —
+#: so block fusion never falls off the fast-kernel path.
+BLOCK_FUSION_MAX_QUBITS = 2
 
 
 def _fused_diagonal(instructions) -> tuple:
@@ -78,48 +90,222 @@ def _fused_diagonal(instructions) -> tuple:
     return diag, qs
 
 
-def _fused_items(instructions):
-    """Fused ``(diagonal, qubits)`` items for one run, split greedily so
-    no table spans more than :data:`_FUSION_MAX_QUBITS` qubits."""
-    out = []
-    chunk: list = []
-    chunk_qubits: set = set()
-    for inst in instructions:
-        union = chunk_qubits | set(inst.qubits)
-        if chunk and len(union) > _FUSION_MAX_QUBITS:
-            out.append(_fused_diagonal(chunk) if len(chunk) > 1 else chunk[0])
-            chunk = [inst]
-            chunk_qubits = set(inst.qubits)
-        else:
-            chunk.append(inst)
-            chunk_qubits = union
-    if chunk:
-        out.append(_fused_diagonal(chunk) if len(chunk) > 1 else chunk[0])
+def _sub_index(i: int, bits) -> int:
+    """Project the union-space index *i* onto the gate's operand bits."""
+    s = 0
+    for j, b in enumerate(bits):
+        s |= ((i >> b) & 1) << j
+    return s
+
+
+def _embed_in_union(matrix, qubits, pos, dim):
+    """Embed a gate matrix into the block's union space.
+
+    ``pos`` maps qubit → bit position in the union (little-endian over
+    the sorted union, matching ``StateVector.apply_matrix``); identity
+    on union qubits the gate does not touch.
+    """
+    bits = [pos[q] for q in qubits]
+    if (1 << len(bits)) == dim and all(b == j for j, b in enumerate(bits)):
+        return matrix
+    mask = 0
+    for b in bits:
+        mask |= 1 << b
+    rest = (dim - 1) ^ mask
+    out = np.zeros((dim, dim), dtype=complex)
+    for r in range(dim):
+        sr = _sub_index(r, bits)
+        base = r & rest
+        for c in range(dim):
+            if (c & rest) == base:
+                out[r, c] = matrix[sr, _sub_index(c, bits)]
     return out
 
 
-def plan_diagonal_fusion(ops):
-    """Fusion plan for an advance window, or ``None`` when nothing fuses.
+def _fused_block(instructions) -> tuple:
+    """One ``(matrix, qubits)`` item for a contiguous run of 1q/2q gates.
 
-    Runs come from the DAG commutation scan
-    (:func:`repro.circuits.dag.scan_diagonal_runs`); each run is
-    replaced — at its head position, which is exact because every later
-    member commutes back past the interleaved gates — by one or more
-    ``(diagonal, qubits)`` tables.  All other instructions pass through
-    unchanged in program order.
+    Gates multiply in program order (later gates on the left), each
+    embedded into the sorted qubit union, so applying the product once
+    is exactly applying the run gate by gate — up to float rounding of
+    the premultiplication.
     """
-    runs = scan_diagonal_runs(ops)
-    if not runs:
-        return None
+    qs = sorted({q for inst in instructions for q in inst.qubits})
+    pos = {q: i for i, q in enumerate(qs)}
+    dim = 1 << len(qs)
+    combined = _embed_in_union(
+        instructions[0].matrix(), instructions[0].qubits, pos, dim
+    )
+    for inst in instructions[1:]:
+        combined = _embed_in_union(inst.matrix(), inst.qubits, pos, dim) @ combined
+    return combined, qs
+
+
+def _chunk_positions(ops, run):
+    """Split one diagonal run (a tuple of positions) greedily so no
+    fused table spans more than :data:`_FUSION_MAX_QUBITS` qubits."""
+    chunks = []
+    chunk: list = []
+    chunk_qubits: set = set()
+    for p in run:
+        union = chunk_qubits | set(ops[p].qubits)
+        if chunk and len(union) > _FUSION_MAX_QUBITS:
+            chunks.append(tuple(chunk))
+            chunk = [p]
+            chunk_qubits = set(ops[p].qubits)
+        else:
+            chunk.append(p)
+            chunk_qubits = union
+    if chunk:
+        chunks.append(tuple(chunk))
+    return chunks
+
+
+def _blockable(inst: Instruction) -> bool:
+    """Plain unitary 1q/2q gates qualify for block fusion; directives,
+    noops, and anything wider than the block cap do not."""
+    return (
+        inst.name not in UNITARY_NOOPS
+        and inst.name != "reset"
+        and not inst.clbits
+        and len(inst.qubits) <= BLOCK_FUSION_MAX_QUBITS
+    )
+
+
+def _merge_blocks(ops, entries):
+    """Pass 2: merge maximal runs of adjacent ``("apply", p)`` entries
+    whose qubit union fits :data:`BLOCK_FUSION_MAX_QUBITS`.
+
+    Entries are already a valid reordering of the window (pass 1 only
+    moved commuting diagonals), so merging *adjacent* entries is always
+    sound — no further commutation analysis needed.
+    """
+    out: list = []
+    block: list = []
+    union: set = set()
+
+    def flush() -> None:
+        nonlocal block, union
+        if len(block) > 1:
+            out.append(("block", tuple(block)))
+        elif block:
+            out.append(("apply", block[0]))
+        block = []
+        union = set()
+
+    for entry in entries:
+        kind, val = entry
+        if kind == "apply" and _blockable(ops[val]):
+            u = union | set(ops[val].qubits)
+            if block and len(u) > BLOCK_FUSION_MAX_QUBITS:
+                flush()
+                u = set(ops[val].qubits)
+            block.append(val)
+            union = u
+        else:
+            flush()
+            out.append(entry)
+    flush()
+    return out
+
+
+def partition_window(ops):
+    """Value-independent fusion partition of an advance window.
+
+    Returns a tuple of entries — ``("apply", pos)`` for a pass-through
+    instruction, ``("diag", positions)`` for a fused diagonal table,
+    ``("block", positions)`` for a premultiplied gate block — or
+    ``None`` when nothing fuses.  Pass 1 is PR 4's DAG commutation scan
+    (:func:`repro.circuits.dag.scan_diagonal_runs`): each run is
+    replaced at its head position, which is exact because every later
+    member commutes back past the interleaved gates.  Pass 2
+    (:func:`_merge_blocks`) generalizes fusion to contiguous
+    non-diagonal 1q/2q blocks.
+
+    The partition depends only on gate names, wires, and memoized
+    diagonality — never on parameter values — which is what lets
+    ``repro.compiler.plans`` memoize it across requests under the
+    structural hash (whose per-instruction diagonality bit pins the
+    value-edge cases).
+    """
+    n = len(ops)
+    entries: list = []
+    runs = scan_diagonal_runs(ops) if FUSE_DIAGONAL_RUNS else []
     head = {run[0]: run for run in runs}
     member = {p for run in runs for p in run}
-    plan = []
-    for p, inst in enumerate(ops):
+    for p in range(n):
         if p in head:
-            plan.extend(_fused_items([ops[i] for i in head[p]]))
+            for chunk in _chunk_positions(ops, head[p]):
+                entries.append(
+                    ("diag", chunk) if len(chunk) > 1 else ("apply", chunk[0])
+                )
         elif p not in member:
-            plan.append(inst)
-    return plan
+            entries.append(("apply", p))
+    if FUSE_BLOCKS:
+        entries = _merge_blocks(ops, entries)
+    if len(entries) == n:  # every entry a singleton: nothing fused
+        return None
+    return tuple(entries)
+
+
+def entry_is_static(ops, entry) -> bool:
+    """True when a partition entry materializes identically for every
+    circuit sharing the structural hash: fused items whose members all
+    take zero parameters (their matrices are shared registry constants,
+    so the table is bit-identical regardless of instance identity).
+    Parameterized members — numeric or symbolic — make an item dynamic,
+    because parameter *values* are masked from the structural hash."""
+    kind, val = entry
+    if kind == "apply":
+        return False
+    return all(not ops[p].params for p in val)
+
+
+def materialize_entry(ops, entry):
+    """Build one partition entry's applicable item: the raw
+    :class:`Instruction` for ``apply``, ``(1-D table, qubits)`` for
+    ``diag``, ``(2-D matrix, qubits)`` for ``block``."""
+    kind, val = entry
+    if kind == "apply":
+        return ops[val]
+    members = [ops[p] for p in val]
+    return _fused_diagonal(members) if kind == "diag" else _fused_block(members)
+
+
+def materialize_items(ops, partition):
+    """Build the applicable item list for a whole partition."""
+    return [materialize_entry(ops, entry) for entry in partition]
+
+
+def apply_items(state, items) -> None:
+    """Apply a materialized item list to any dense-semantics state
+    (``StateVector`` or a ``BatchedStateVector`` row block)."""
+    for item in items:
+        if isinstance(item, Instruction):
+            if item.name not in UNITARY_NOOPS:
+                state.apply_matrix(item.matrix(), item.qubits)
+        else:
+            arr, qs = item
+            if arr.ndim == 1:
+                state.apply_diagonal(arr, qs)
+            else:
+                state.apply_matrix(arr, qs)
+
+
+def plan_diagonal_fusion(ops):
+    """Fusion items for an advance window, or ``None`` when nothing
+    fuses.
+
+    Thin wrapper over :func:`partition_window` +
+    :func:`materialize_items`, kept as the historical entry point; the
+    plan cache calls the two halves separately so the partition can be
+    memoized across requests while parameter-dependent items
+    rematerialize per binding.
+    """
+    partition = partition_window(ops)
+    if partition is None:
+        return None
+    return materialize_items(ops, partition)
 
 
 def inject_into_dense(
@@ -160,6 +346,7 @@ class DenseEngine(ExecutionEngine):
     """The ``2^n`` amplitude-vector backend (exact, any gate)."""
 
     name = "dense"
+    plan_artifacts = ("window_partitions", "diagonal_tables", "block_matrices")
 
     def prepare(self, circuit: QuantumCircuit) -> None:
         self._state = StateVector(circuit.num_qubits)
@@ -171,22 +358,45 @@ class DenseEngine(ExecutionEngine):
         dup = cls.__new__(cls)
         dup.circuit = self.circuit
         dup._state = self._state.copy()
+        dup._plan = self._plan
         return dup
 
     def advance(self, ops: Sequence[Instruction]) -> None:
         state = self._state
-        if FUSE_DIAGONAL_RUNS and state.use_fast_kernels and len(ops) > 1:
-            plan = plan_diagonal_fusion(ops)
-            if plan is not None:
-                for item in plan:
-                    if isinstance(item, Instruction):
-                        if item.name not in UNITARY_NOOPS:
-                            state.apply_matrix(item.matrix(), item.qubits)
-                    else:
-                        diag, qs = item
-                        state.apply_diagonal(diag, qs)
+        if (
+            state.use_fast_kernels
+            and len(ops) > 1
+            and (FUSE_DIAGONAL_RUNS or FUSE_BLOCKS)
+        ):
+            items = plan_diagonal_fusion(ops)
+            if items is not None:
+                apply_items(state, items)
                 return
         for inst in ops:
+            if inst.name in UNITARY_NOOPS:
+                continue
+            state.apply_matrix(inst.matrix(), inst.qubits)
+
+    def advance_span(self, instructions, start: int, stop: int) -> None:
+        state = self._state
+        if (
+            state.use_fast_kernels
+            and stop - start > 1
+            and (FUSE_DIAGONAL_RUNS or FUSE_BLOCKS)
+        ):
+            plan = self._plan
+            if plan is not None:
+                # Cross-request memo: the partition (and any static
+                # tables) come from the plan cache; parameter-dependent
+                # items were materialized once for this binding.
+                items = plan.window_items(start, stop)
+            else:
+                items = plan_diagonal_fusion(instructions[start:stop])
+            if items is not None:
+                apply_items(state, items)
+                return
+        for i in range(start, stop):
+            inst = instructions[i]
             if inst.name in UNITARY_NOOPS:
                 continue
             state.apply_matrix(inst.matrix(), inst.qubits)
@@ -225,5 +435,12 @@ __all__ = [
     "DenseEngine",
     "inject_into_dense",
     "plan_diagonal_fusion",
+    "partition_window",
+    "materialize_entry",
+    "materialize_items",
+    "apply_items",
+    "entry_is_static",
     "FUSE_DIAGONAL_RUNS",
+    "FUSE_BLOCKS",
+    "BLOCK_FUSION_MAX_QUBITS",
 ]

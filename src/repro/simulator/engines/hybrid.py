@@ -74,6 +74,11 @@ class HybridSegmentEngine(ExecutionEngine):
 
     name = "hybrid"
 
+    #: From the plan this backend reads the bind-time Clifford boundary:
+    #: inside it every instruction is known Clifford, so the prefix walk
+    #: skips the per-gate ``clifford_primitives()`` classification.
+    plan_artifacts = ("clifford_boundary",)
+
     def prepare(self, circuit: QuantumCircuit) -> None:
         self._tab: Optional[Tableau] = Tableau(circuit.num_qubits)
         self._sparse: Optional[SparseAmplitudes] = None
@@ -104,6 +109,7 @@ class HybridSegmentEngine(ExecutionEngine):
         dup._dense = self._dense.copy() if self._dense is not None else None
         dup._shared_support = self._shared_support
         dup._structure_shared = self._structure_shared
+        dup._plan = self._plan
         return dup
 
     # -- representation transitions --------------------------------------------
@@ -188,6 +194,22 @@ class HybridSegmentEngine(ExecutionEngine):
                     continue
                 self._cross_boundary()
             self._apply_amplitude_op(inst)
+
+    def advance_span(self, instructions, start: int, stop: int) -> None:
+        plan = self._plan
+        if plan is not None and self._tab is not None and stop <= plan.clifford_boundary:
+            # Plan artifact: the whole window is inside the Clifford
+            # prefix, so apply straight to the tableau without
+            # re-classifying each gate.  Identical updates to advance()
+            # (apply_instruction resolves the same memoized primitives).
+            tab = self._tab
+            for i in range(start, stop):
+                inst = instructions[i]
+                if inst.name in UNITARY_NOOPS:
+                    continue
+                tab.apply_instruction(inst)
+            return
+        self.advance(instructions[start:stop])
 
     def _apply_amplitude_op(self, inst: Instruction) -> None:
         if self._sparse is not None:

@@ -176,6 +176,10 @@ class MPSState:
         self.truncation_error = 0.0
         # One truncation warning per state lineage (forks inherit it).
         self._truncation_warned = False
+        #: Precomputed SWAP routes ``(lo, hi) → site path`` from a bound
+        #: execution plan (shared read-only across forks); ``None`` means
+        #: compute routes on the fly.
+        self.routes: Optional[dict] = None
 
     # -- bookkeeping -----------------------------------------------------------
 
@@ -190,6 +194,7 @@ class MPSState:
         dup.center = self.center
         dup.truncation_error = self.truncation_error
         dup._truncation_warned = self._truncation_warned
+        dup.routes = self.routes  # read-only table, shared by reference
         return dup
 
     def bond_dimensions(self) -> Tuple[int, ...]:
@@ -290,8 +295,11 @@ class MPSState:
             return self._apply_2q_adjacent(matrix, q0, q1)
         # SWAP insertion along the chain: the site path comes from the
         # same shortest-path primitive the transpiler's router walks
-        # (trivially lo..hi on a line, but stated in routing terms).
-        path = Topology.line(self.num_qubits).shortest_path(lo, hi)
+        # (trivially lo..hi on a line, but stated in routing terms).  A
+        # bound execution plan precomputes the table once per structure.
+        path = self.routes.get((lo, hi)) if self.routes is not None else None
+        if path is None:
+            path = Topology.line(self.num_qubits).shortest_path(lo, hi)
         # Move the *hi* operand down to lo+1 ...
         for a, b in zip(path[-2:0:-1], path[-1:1:-1]):
             self._apply_2q_adjacent(_swap_matrix(), a, b)
@@ -547,8 +555,17 @@ class MPSEngine(ExecutionEngine):
 
     name = "mps"
 
+    #: From the plan this backend reads the precomputed SWAP-route table
+    #: for non-adjacent 2q gates (identical paths to the on-the-fly
+    #: shortest-path computation, so arithmetic is unchanged).
+    plan_artifacts = ("swap_routes",)
+
     def prepare(self, circuit: QuantumCircuit) -> None:
         self._state = MPSState(circuit.num_qubits)
+
+    def bind_plan(self, plan) -> None:
+        super().bind_plan(plan)
+        self._state.routes = plan.swap_routes if plan is not None else None
 
     def fork(self) -> "MPSEngine":
         # type(self), not MPSEngine: subclassed backends must survive
@@ -557,6 +574,7 @@ class MPSEngine(ExecutionEngine):
         dup = cls.__new__(cls)
         dup.circuit = self.circuit
         dup._state = self._state.copy()
+        dup._plan = self._plan
         return dup
 
     @property

@@ -85,6 +85,11 @@ class TableauEngine(ExecutionEngine):
 
     name = "tableau"
 
+    #: Plans carry nothing a tableau walk can reuse — Clifford updates
+    #: are already O(n) per gate with no matrices to premultiply — so
+    #: this backend accepts plans (forks keep them) but consumes none.
+    plan_artifacts = ()
+
     def prepare(self, circuit: QuantumCircuit) -> None:
         # The implementation (uint8 vs bit-packed word-parallel) is a
         # policy decision owned by the stabilizer module: packed at and
@@ -104,6 +109,7 @@ class TableauEngine(ExecutionEngine):
         dup.circuit = self.circuit
         dup._tab = self._tab.copy()
         dup._shared_support = self._shared_support
+        dup._plan = self._plan
         return dup
 
     def advance(self, ops: Sequence[Instruction]) -> None:

@@ -152,16 +152,37 @@ def _sample_counts_single(
     re-simulating the prefix.
     """
     engine_cls = select_engine(ENGINE, circuit)
+    bound = None if ENGINE == "baseline" else _bound_plan(circuit)
     if _needs_per_shot(circuit):
-        bits = _sample_per_shot(circuit, shots, noise, r, extra, engine_cls)
+        bits = _sample_per_shot(
+            circuit, shots, noise, r, extra, engine_cls, bound=bound
+        )
     elif not USE_PREFIX_SHARING:
         bits = _sample_grouped_baseline(circuit, shots, noise, r, extra)
     else:
         bits = _sample_grouped(
-            circuit, shots, noise, r, extra, engine_cls, initial=initial
+            circuit, shots, noise, r, extra, engine_cls, initial=initial, bound=bound
         )
     bits = _apply_readout(circuit, bits, noise, r)
     return Counts.from_bit_array(bits)
+
+
+def _bound_plan(circuit: QuantumCircuit):
+    """The request's :class:`~repro.compiler.plans.BoundPlan`, or ``None``
+    when planning is disabled.
+
+    One cache lookup (or one cheap plan construction on a miss) per
+    request; all heavy per-window analysis inside the plan is lazy and
+    memoized, so the unplanned fallback path and the planned path run
+    the same code either way — plans only decide whether results are
+    *reused*.  The ``"baseline"`` mode never plans: its seed RNG/walk
+    behaviour stays byte-for-byte historical.
+    """
+    from repro.compiler import plans as _plans
+
+    if not _plans.PLANS_ENABLED:
+        return None
+    return _plans.plan_for(circuit).bind(circuit.instructions)
 
 
 def ideal_probabilities(circuit: QuantumCircuit) -> Dict[str, float]:
@@ -595,6 +616,7 @@ def _sample_grouped(
     extra: Mapping[int, QuantumError],
     engine_cls: Optional[Type[ExecutionEngine]] = None,
     initial: Optional[Tuple[np.ndarray, int]] = None,
+    bound=None,
 ) -> np.ndarray:
     """The one prefix-sharing grouped walk, shared by every engine.
 
@@ -639,6 +661,9 @@ def _sample_grouped(
     width = circuit.num_clbits
     ordered = sorted(groups.items(), key=lambda kv: kv[0][0][0] if kv[0] else end)
     prefix = engine_cls(circuit)
+    if bound is not None:
+        # Forks inherit the plan, so one bind covers every trajectory.
+        prefix.bind_plan(bound)
     prefix_pos = 0
     if initial is not None and isinstance(prefix, DenseEngine):
         # Sharded workers resume from the clean-prefix state the parent
@@ -652,7 +677,7 @@ def _sample_grouped(
     sample_qubits = None if qubits == list(range(circuit.num_qubits)) else qubits
     if _use_batched_walk(engine_cls, circuit, len(ordered)):
         return _grouped_batched_walk(
-            circuit, shots, ordered, errors, rng, prefix, prefix_pos
+            circuit, shots, ordered, errors, rng, prefix, prefix_pos, bound=bound
         )
     # One preallocated output filled in visit order — row order (and
     # therefore the readout-noise RNG pairing downstream) is identical
@@ -668,7 +693,7 @@ def _sample_grouped(
     for index, (key, group_shots) in enumerate(ordered):
         first = key[0][0] if key else end
         fork = min(first + 1, end)
-        prefix.advance(instructions[prefix_pos:fork])
+        prefix.advance_span(instructions, prefix_pos, fork)
         prefix_pos = fork
         shares_structure = True
         if key:
@@ -703,7 +728,7 @@ def _sample_grouped(
                 if d <= depth and next_key[:d] == key[:d]:
                     new_ckpts[d] = entry
             for site, term in key[depth:]:
-                state.advance(instructions[prev + 1 : site + 1])
+                state.advance_span(instructions, prev + 1, site + 1)
                 shares_structure &= state.inject(
                     instructions[site], errors[site], term
                 )
@@ -711,7 +736,7 @@ def _sample_grouped(
                 depth += 1
                 if USE_SUFFIX_CHECKPOINTS and next_key[:depth] == key[:depth]:
                     new_ckpts[depth] = (state.fork(), shares_structure)
-            state.advance(instructions[prev + 1 : end])
+            state.advance_span(instructions, prev + 1, end)
             ckpts = new_ckpts
         else:
             state = prefix
@@ -754,6 +779,7 @@ def _grouped_batched_walk(
     rng: np.random.Generator,
     prefix: ExecutionEngine,
     prefix_pos: int,
+    bound=None,
 ) -> np.ndarray:
     """The batched grouped walk: every trajectory group in one kernel
     call per lockstep window.
@@ -820,12 +846,12 @@ def _grouped_batched_walk(
         for site in sorted(set(joins) | set(later)):
             stop = site + 1
             if active:
-                BatchedDenseEngine.advance_batch(
-                    batch.narrow(active), instructions[batch_pos:stop]
+                BatchedDenseEngine.advance_batch_span(
+                    batch.narrow(active), instructions, batch_pos, stop, plan=bound
                 )
             for i, term in joins.get(site, ()):
                 if prefix_pos < stop:
-                    prefix.advance(instructions[prefix_pos:stop])
+                    prefix.advance_span(instructions, prefix_pos, stop)
                     prefix_pos = stop
                 batch.set_row(i, prefix.to_dense().data)
                 BatchedDenseEngine.inject_row(
@@ -838,7 +864,9 @@ def _grouped_batched_walk(
                 )
             batch_pos = stop
         if chunk:
-            BatchedDenseEngine.advance_batch(batch, instructions[batch_pos:end])
+            BatchedDenseEngine.advance_batch_span(
+                batch, instructions, batch_pos, end, plan=bound
+            )
         cdfs = batch.cdfs() if chunk else None
         for i, (key, group_shots) in enumerate(chunk):
             u = rng.random(int(group_shots))
@@ -851,7 +879,7 @@ def _grouped_batched_walk(
         # The clean group sorts last and *is* the prefix, exactly as in
         # the scalar walk.
         _, group_shots = ordered[-1]
-        prefix.advance(instructions[prefix_pos:end])
+        prefix.advance_span(instructions, prefix_pos, end)
         sampled = prefix.sample(
             group_shots, rng, sample_qubits, shares_structure=True
         )
@@ -868,6 +896,7 @@ def _sample_per_shot(
     rng: np.random.Generator,
     extra: Mapping[int, QuantumError],
     engine_cls: Optional[Type[ExecutionEngine]] = None,
+    bound=None,
 ) -> np.ndarray:
     """The one per-shot walk (mid-circuit measurement/reset), shared by
     every engine.
@@ -877,25 +906,63 @@ def _sample_per_shot(
     runs to stay aligned across engines — so there is exactly one copy
     of the walk, parameterized over the engine class; a fresh engine
     instance is one trajectory.
+
+    The walk is compiled once per request into an event list: maximal
+    unitary *spans* between collapse/injection boundaries, plus the
+    boundary events themselves.  Spans go through ``advance_span`` —
+    multi-gate windows, so the dense engines fuse exactly as in the
+    grouped walk (and reuse plan memos when a plan is bound) instead of
+    paying one ``advance`` call per gate per shot.  Event order (and
+    therefore RNG draw order) is identical to the historical
+    per-instruction loop.
     """
     if engine_cls is None:
         engine_cls = select_engine(ENGINE, circuit)
     noisy = dict(_noisy_ops(circuit, noise, extra))
+    instructions = list(circuit)
     width = circuit.num_clbits
     bits = np.zeros((shots, width), dtype=np.uint8)
+
+    events: List[tuple] = []
+    span_start = -1
+
+    def _flush(stop: int) -> None:
+        nonlocal span_start
+        if span_start >= 0 and stop > span_start:
+            events.append(("span", span_start, stop))
+        span_start = -1
+
+    for idx, inst in enumerate(instructions):
+        if inst.name == "measure":
+            _flush(idx)
+            events.append(("measure", inst.qubits[0], inst.clbits[0]))
+        elif inst.name == "reset":
+            _flush(idx)
+            events.append(("reset", inst.qubits[0]))
+        elif span_start < 0:
+            span_start = idx
+        err = noisy.get(idx)
+        if err is not None:
+            # The error fires after its instruction, so the span must
+            # close *including* this gate before the injection draw.
+            _flush(idx + 1)
+            events.append(("noise", inst, err))
+    _flush(len(instructions))
+
     for s in range(shots):
         engine = engine_cls(circuit)
-        for idx, inst in enumerate(circuit):
-            if inst.name == "measure":
-                bits[s, inst.clbits[0]] = engine.measure(inst.qubits[0], rng)
-            elif inst.name == "reset":
-                engine.reset(inst.qubits[0], rng)
-            elif inst.name in UNITARY_NOOPS:
-                pass
+        if bound is not None:
+            engine.bind_plan(bound)
+        for ev in events:
+            kind = ev[0]
+            if kind == "span":
+                engine.advance_span(instructions, ev[1], ev[2])
+            elif kind == "measure":
+                bits[s, ev[2]] = engine.measure(ev[1], rng)
+            elif kind == "reset":
+                engine.reset(ev[1], rng)
             else:
-                engine.advance((inst,))
-            err = noisy.get(idx)
-            if err is not None:
+                _, inst, err = ev
                 draw = int(err.sample_many(1, rng)[0])
                 if draw >= 0:
                     engine.inject(inst, err, draw)

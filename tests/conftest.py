@@ -8,6 +8,29 @@ import pytest
 from repro.qpu import QPUDevice, Topology, nominal_calibration
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "fuzz: differential cross-engine fuzz tests (short budget by "
+        "default; deep budget with --fuzz-deep)",
+    )
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fuzz-deep",
+        action="store_true",
+        default=False,
+        help="run the equivalence fuzzer at its deep budget "
+        "(hundreds of circuits instead of the tier-1 sample)",
+    )
+
+
+@pytest.fixture
+def fuzz_deep(request) -> bool:
+    return bool(request.config.getoption("--fuzz-deep"))
+
+
 def assert_close_up_to_phase(a: np.ndarray, b: np.ndarray, atol: float = 1e-8) -> None:
     """Assert two matrices/vectors are equal up to a global phase."""
     a = np.asarray(a)

@@ -18,6 +18,13 @@ each:
 import numpy as np
 import pytest
 
+from helpers.parity import (
+    assert_counts_identical,
+    counts_under_mode,
+    ghz_t as _ghz_t,
+    heavy_noise as _heavy_noise,
+    light_noise as _noise,
+)
 from repro.circuits import ghz_circuit
 from repro.circuits.circuit import QuantumCircuit
 from repro.errors import EngineModeError, SimulationError
@@ -36,31 +43,6 @@ from repro.simulator import sampler as sampler_mod
 from repro.simulator import sharding as sharding_mod
 from repro.simulator.engines import DenseEngine, select_engine
 from repro.simulator.noise import ErrorTerm, QuantumError
-
-
-def _noise():
-    nm = NoiseModel()
-    nm.add_gate_error(depolarizing_error(0.02, 2), "cx")
-    nm.add_gate_error(depolarizing_error(0.01, 1), "h")
-    return nm
-
-
-def _heavy_noise():
-    # High rates force many multi-error realizations — the regime where
-    # batched rows take later injections mid-walk.
-    nm = NoiseModel()
-    nm.add_gate_error(depolarizing_error(0.15, 2), "cx")
-    nm.add_gate_error(depolarizing_error(0.10, 1), "h")
-    nm.add_gate_error(depolarizing_error(0.08, 1), "t")
-    return nm
-
-
-def _ghz_t(n):
-    qc = ghz_circuit(n, measure=False)
-    for q in range(n):
-        qc.t(q)
-    qc.measure_all()
-    return qc
 
 
 def _random_batch(num_qubits, rows, seed):
@@ -174,15 +156,14 @@ class TestBatchedWalkParity:
     same per-group outcome draws in visit order, same readout stream."""
 
     def _counts(self, qc, mode, seed, noise, shots=512):
-        with engine_mode(mode):
-            return sample_counts(qc, shots, noise=noise, rng=seed)
+        return counts_under_mode(qc, mode, seed, noise=noise, shots=shots)
 
     @pytest.mark.parametrize("seed", [0, 7, 123])
     def test_ghz_grouped_counts_identical(self, seed):
         qc = ghz_circuit(10)
         fast = self._counts(qc, "fast", seed, _noise())
         batched = self._counts(qc, "batched", seed, _noise())
-        assert fast.to_dict() == batched.to_dict()
+        assert_counts_identical(fast, batched, context=("batched", seed))
 
     @pytest.mark.parametrize("seed", [0, 7, 123])
     def test_heavy_noise_multi_error_counts_identical(self, seed):
@@ -191,7 +172,7 @@ class TestBatchedWalkParity:
         qc = _ghz_t(8)
         fast = self._counts(qc, "fast", seed, _heavy_noise())
         batched = self._counts(qc, "batched", seed, _heavy_noise())
-        assert fast.to_dict() == batched.to_dict()
+        assert_counts_identical(fast, batched, context=("batched-heavy", seed))
 
     def test_thermal_reset_noise_counts_identical(self):
         """Reset-type error terms route through the same injection

@@ -3,17 +3,16 @@ must run inside the tier-1 time budget, emit a schema-valid
 ``BENCH_simulator.json``, and hold every speedup floor (and feasibility
 ceiling) recorded in the committed reference artifact.
 
-Schema ``repro.bench.simulator/v6`` has two entry shapes: paired lanes
+Schema ``repro.bench.simulator/v7`` has two entry shapes: paired lanes
 (``baseline_seconds`` / ``fast_seconds`` / ``speedup``, optionally a
 ``floor``) for benchmarks with a before/after comparison, and
 single-lane entries (``seconds``) for workloads no dense baseline can
-represent.  v6 adds the ``batched_ghz_grouped`` lane (batched grouped
-walk vs the scalar fast dense walk, with a speedup floor), the
-``sharded_throughput`` lane (process-pool shot sharding end to end,
-single-lane with a ``max_seconds`` feasibility ceiling), and records
-the ``workers`` count in every entry's params — all enforced by
-``--check``, the bench regression guard this suite keeps wired into
-tier-1.
+represent.  v7 adds the ``plan_cache_parameterized`` lane (N parameter
+bindings of one ansatz sampled with the cross-request plan cache cold
+vs warm, with a ≥2× speedup floor) on top of v6's
+``batched_ghz_grouped`` / ``sharded_throughput`` lanes and per-entry
+``workers`` counts — all enforced by ``--check``, the bench regression
+guard this suite keeps wired into tier-1.
 """
 
 import importlib.util
@@ -70,7 +69,7 @@ def test_bench_quick_check_emits_valid_schema_and_holds_floors(tmp_path):
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert "--check passed" in proc.stdout
     payload = json.loads(out.read_text())
-    assert payload["schema"] == "repro.bench.simulator/v6"
+    assert payload["schema"] == "repro.bench.simulator/v7"
     assert payload["quick"] is True
     assert isinstance(payload["config"], dict)
     names = set()
@@ -104,21 +103,23 @@ def test_bench_quick_check_emits_valid_schema_and_holds_floors(tmp_path):
     assert "mps_qaoa_wide" in names
     assert "batched_ghz_grouped" in names
     assert "sharded_throughput" in names
+    assert "plan_cache_parameterized" in names
 
 
-def test_committed_artifact_is_v6_with_floors_and_wide_scaling():
-    """The committed reference must carry the v6 surface --check relies
+def test_committed_artifact_is_v7_with_floors_and_wide_scaling():
+    """The committed reference must carry the v7 surface --check relies
     on: floors on the acceptance lanes (now including
-    batched_ghz_grouped), the 256/512/1024-qubit packed scaling lanes,
-    and the feasibility lanes with their ceilings."""
+    plan_cache_parameterized), the 256/512/1024-qubit packed scaling
+    lanes, and the feasibility lanes with their ceilings."""
     payload = json.loads((REPO / "BENCH_simulator.json").read_text())
-    assert payload["schema"] == "repro.bench.simulator/v6"
+    assert payload["schema"] == "repro.bench.simulator/v7"
     floors = {e["name"] for e in payload["benchmarks"] if "floor" in e}
     assert "stabilizer_packed_ghz" in floors
     assert "diagonal_fusion_dense" in floors
     assert "ghz_shot_sampling_grouped" in floors
     assert "mps_brickwork" in floors
     assert "batched_ghz_grouped" in floors
+    assert "plan_cache_parameterized" in floors
     scaling_sizes = {
         e["params"]["num_qubits"]
         for e in payload["benchmarks"]
@@ -159,7 +160,17 @@ def test_committed_artifact_is_v6_with_floors_and_wide_scaling():
     assert sharded[0]["seconds"] <= sharded[0]["max_seconds"]
     assert sharded[0]["params"]["workers"] >= 1
     assert sharded[0]["params"]["block_shots"] >= 1
-    # v6: every committed entry records its worker count
+    # the plan-cache acceptance gate: warm bindings of one ansatz must
+    # beat cold (cache cleared per binding) by the committed floor
+    plan = [
+        e
+        for e in payload["benchmarks"]
+        if e["name"] == "plan_cache_parameterized"
+    ]
+    assert plan, "committed artifact lost the plan_cache_parameterized lane"
+    assert plan[0]["speedup"] >= plan[0]["floor"] >= 2.0
+    assert plan[0]["params"]["bindings"] >= 2
+    # every committed entry records its worker count
     assert all(
         e["params"].get("workers", 0) >= 1 for e in payload["benchmarks"]
     )

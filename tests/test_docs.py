@@ -59,7 +59,7 @@ def test_architecture_doc_covers_engine_contract():
         "stabilizer",
         "baseline",
         "BENCH_simulator.json",
-        "repro.bench.simulator/v6",
+        "repro.bench.simulator/v7",
     ):
         assert needle in text, f"architecture doc lost the {needle!r} section"
 
@@ -162,6 +162,51 @@ def test_architecture_doc_covers_batched_and_sharding():
         "sharded_throughput",
     ):
         assert needle in text, f"architecture doc lost the {needle!r} section"
+
+
+def test_architecture_doc_covers_execution_plans():
+    """The execution-plans section must name both plan tiers, the
+    structural-hash contract, the cache surface (entry point, bound,
+    options key, kill switch), every engine's artifact set, and the
+    pinning suites (fuzzer + bench lane)."""
+    text = ARCHITECTURE.read_text()
+    for needle in (
+        "Execution plans & the plan cache",
+        "ExecutionPlan",
+        "BoundPlan",
+        "structural_hash",
+        "plan_for",
+        "PLAN_CACHE_MAX",
+        "PLANS_ENABLED",
+        "plan_artifacts",
+        "window_partitions",
+        "diagonal_tables",
+        "block_matrices",
+        "clifford_boundary",
+        "swap_routes",
+        "FUSE_BLOCKS",
+        "plan_cache_parameterized",
+        "--fuzz-deep",
+    ):
+        assert needle in text, f"architecture doc lost the {needle!r} section"
+
+
+def test_readme_covers_plan_cache():
+    """The README performance workflow must describe the plan cache:
+    the structural-hash keying, the bit-identity contract with its fuzz
+    enforcement, and the recorded bench lane."""
+    text = README.read_text()
+    for needle in (
+        "repro.compiler.plans",
+        "ExecutionPlan",
+        "structural hash",
+        "bit-identical to the unplanned path",
+        "-m fuzz",
+        "--fuzz-deep",
+        "plan_cache_parameterized",
+        "PLANS_ENABLED",
+    ):
+        assert needle in text, f"README lost the {needle!r} plan-cache coverage"
 
 
 def test_readme_covers_batched_and_sharding():

@@ -1,0 +1,208 @@
+"""Differential cross-engine equivalence fuzzer.
+
+Property under test: for every circuit the generator can produce,
+**planned execution is bit-identical to unplanned execution** on every
+backend — same structural decisions, same RNG stream, same seeded
+counts.  The plan layer is a pure memoization, so any divergence is a
+bug by definition; random circuits hunt for the shape that breaks it.
+
+Five shape families cover the distinct execution regimes:
+
+* ``clifford`` — tableau-eligible circuits (also swept through the
+  packed word-parallel tableau via ``tableau_impl="packed"``);
+* ``clifford_t`` — Clifford prefix + diagonal tail: hybrid boundary
+  crossing, diagonal-run fusion, MPS swap routing;
+* ``parameterized`` — random rotation angles: block fusion on
+  non-diagonal runs, rebinding against a shared structural hash;
+* ``noisy`` — depolarizing noise: the grouped walk's fork/injection
+  machinery under plans;
+* ``mid_measure`` — mid-circuit measure/reset: the per-shot event walk.
+
+Budgets: the tier-1 sample keeps the suite fast; ``--fuzz-deep`` runs
+hundreds of circuits per invocation (the acceptance budget).
+"""
+
+import numpy as np
+import pytest
+
+from helpers.parity import assert_counts_identical, counts_under_mode
+from repro.circuits import QuantumCircuit
+from repro.compiler import plans
+from repro.simulator import NoiseModel, depolarizing_error
+
+pytestmark = pytest.mark.fuzz
+
+#: Circuits per family: (tier-1 sample, deep budget).  Deep runs the
+#: acceptance sweep: 5 families × 48 = 240 generated circuits.
+BUDGET = (6, 48)
+
+_CLIFFORD_1Q = ("h", "s", "sdg", "x", "y", "z", "sx")
+_CLIFFORD_2Q = ("cx", "cz", "swap", "iswap")
+_ROTATIONS = ("rx", "ry", "rz", "p")
+
+
+def _budget(deep: bool) -> int:
+    return BUDGET[1] if deep else BUDGET[0]
+
+
+def _random_clifford(rng: np.random.Generator, n: int, depth: int) -> QuantumCircuit:
+    qc = QuantumCircuit(n, n)
+    for _ in range(depth):
+        if n >= 2 and rng.random() < 0.35:
+            a, b = rng.choice(n, size=2, replace=False)
+            getattr(qc, _CLIFFORD_2Q[rng.integers(len(_CLIFFORD_2Q))])(int(a), int(b))
+        else:
+            q = int(rng.integers(n))
+            getattr(qc, _CLIFFORD_1Q[rng.integers(len(_CLIFFORD_1Q))])(q)
+    qc.measure_all()
+    return qc
+
+
+def _random_clifford_t(rng, n, depth) -> QuantumCircuit:
+    qc = QuantumCircuit(n, n)
+    for _ in range(depth):
+        r = rng.random()
+        if n >= 2 and r < 0.3:
+            a, b = rng.choice(n, size=2, replace=False)
+            getattr(qc, _CLIFFORD_2Q[rng.integers(len(_CLIFFORD_2Q))])(int(a), int(b))
+        elif r < 0.6:
+            q = int(rng.integers(n))
+            getattr(qc, _CLIFFORD_1Q[rng.integers(len(_CLIFFORD_1Q))])(q)
+        else:
+            q = int(rng.integers(n))
+            qc.t(q) if rng.random() < 0.5 else qc.tdg(q)
+    qc.measure_all()
+    return qc
+
+
+def _random_parameterized(rng, n, depth) -> QuantumCircuit:
+    qc = QuantumCircuit(n, n)
+    for _ in range(depth):
+        if n >= 2 and rng.random() < 0.3:
+            a, b = rng.choice(n, size=2, replace=False)
+            if rng.random() < 0.5:
+                qc.cx(int(a), int(b))
+            else:
+                qc.rzz(float(rng.uniform(0, 2 * np.pi)), int(a), int(b))
+        else:
+            q = int(rng.integers(n))
+            gate = _ROTATIONS[rng.integers(len(_ROTATIONS))]
+            getattr(qc, gate)(float(rng.uniform(0, 2 * np.pi)), q)
+    qc.measure_all()
+    return qc
+
+
+def _random_mid_measure(rng, n, depth) -> QuantumCircuit:
+    qc = QuantumCircuit(n, n)
+    for _ in range(depth):
+        r = rng.random()
+        q = int(rng.integers(n))
+        if r < 0.12:
+            qc.measure(q, q)
+        elif r < 0.2:
+            qc.reset(q)
+        elif n >= 2 and r < 0.45:
+            a, b = rng.choice(n, size=2, replace=False)
+            qc.cx(int(a), int(b))
+        elif r < 0.7:
+            getattr(qc, _CLIFFORD_1Q[rng.integers(len(_CLIFFORD_1Q))])(q)
+        else:
+            qc.rz(float(rng.uniform(0, 2 * np.pi)), q)
+    qc.measure_all()
+    return qc
+
+
+def _fuzz_noise(rng) -> NoiseModel:
+    nm = NoiseModel()
+    nm.add_gate_error(depolarizing_error(float(rng.uniform(0.02, 0.12)), 2), "cx")
+    nm.add_gate_error(depolarizing_error(float(rng.uniform(0.01, 0.08)), 1), "h")
+    return nm
+
+
+def _assert_planned_equals_unplanned(
+    qc, modes, seed, noise=None, shots=128, **mode_options
+):
+    for mode in modes:
+        planned = counts_under_mode(
+            qc, mode, seed, noise=noise, shots=shots, **mode_options
+        )
+        plans.PLANS_ENABLED = False
+        try:
+            unplanned = counts_under_mode(
+                qc, mode, seed, noise=noise, shots=shots, **mode_options
+            )
+        finally:
+            plans.PLANS_ENABLED = True
+        assert_counts_identical(planned, unplanned, context=(mode, seed))
+
+
+class TestPlannedVsUnplannedFuzz:
+    def test_clifford_family(self, fuzz_deep):
+        rng = np.random.default_rng(1001)
+        for i in range(_budget(fuzz_deep)):
+            n = int(rng.integers(2, 7))
+            qc = _random_clifford(rng, n, int(rng.integers(8, 30)))
+            _assert_planned_equals_unplanned(
+                qc, ("fast", "batched", "stabilizer", "hybrid", "mps"), seed=i
+            )
+            # the packed word-parallel tableau is a sub-option, swept
+            # explicitly so narrow fuzz circuits exercise it too
+            _assert_planned_equals_unplanned(
+                qc, ("stabilizer",), seed=i, tableau_impl="packed"
+            )
+
+    def test_clifford_t_family(self, fuzz_deep):
+        rng = np.random.default_rng(2002)
+        for i in range(_budget(fuzz_deep)):
+            n = int(rng.integers(2, 7))
+            qc = _random_clifford_t(rng, n, int(rng.integers(8, 30)))
+            _assert_planned_equals_unplanned(
+                qc, ("fast", "batched", "hybrid", "mps"), seed=i
+            )
+
+    def test_parameterized_family(self, fuzz_deep):
+        rng = np.random.default_rng(3003)
+        for i in range(_budget(fuzz_deep)):
+            n = int(rng.integers(2, 6))
+            qc = _random_parameterized(rng, n, int(rng.integers(8, 24)))
+            _assert_planned_equals_unplanned(
+                qc, ("fast", "batched", "hybrid", "mps"), seed=i
+            )
+
+    def test_noisy_family(self, fuzz_deep):
+        rng = np.random.default_rng(4004)
+        for i in range(_budget(fuzz_deep)):
+            n = int(rng.integers(2, 6))
+            qc = _random_clifford_t(rng, n, int(rng.integers(8, 20)))
+            _assert_planned_equals_unplanned(
+                qc,
+                ("fast", "batched", "hybrid", "mps"),
+                seed=i,
+                noise=_fuzz_noise(rng),
+            )
+
+    def test_mid_measure_family(self, fuzz_deep):
+        rng = np.random.default_rng(5005)
+        for i in range(_budget(fuzz_deep)):
+            n = int(rng.integers(2, 5))
+            qc = _random_mid_measure(rng, n, int(rng.integers(8, 20)))
+            _assert_planned_equals_unplanned(
+                qc, ("fast", "hybrid", "mps"), seed=i, shots=64
+            )
+
+    def test_generator_covers_regimes(self):
+        """The families must actually produce what they claim — e.g.
+        mid-measure circuits that trigger the per-shot walk — or the
+        sweeps above prove less than advertised."""
+        from repro.simulator.sampler import _needs_per_shot
+
+        rng = np.random.default_rng(5005)
+        hits = 0
+        for _ in range(12):
+            qc = _random_mid_measure(rng, 4, 16)
+            hits += _needs_per_shot(qc)
+        assert hits >= 6
+
+        rng = np.random.default_rng(2002)
+        qc = _random_clifford_t(rng, 6, 30)
+        assert any(inst.name in ("t", "tdg") for inst in qc)

@@ -7,6 +7,7 @@ the exact density-matrix evolution, and (b) the slow per-shot path.
 import numpy as np
 import pytest
 
+from helpers.parity import assert_counts_identical, ghz_t, heavy_noise
 from repro.circuits import QuantumCircuit, bell_circuit, ghz_circuit
 from repro.errors import SimulationError
 from repro.simulator import (
@@ -173,16 +174,6 @@ class TestSuffixCheckpoints:
     seeded counts must be bit-identical with the optimization on or off,
     on every engine."""
 
-    @staticmethod
-    def _heavy_noise():
-        # High rates force many multi-error realizations, which is where
-        # groups share leading (site, term) injections.
-        nm = NoiseModel()
-        nm.add_gate_error(depolarizing_error(0.15, 2), "cx")
-        nm.add_gate_error(depolarizing_error(0.10, 1), "h")
-        nm.add_gate_error(depolarizing_error(0.08, 1), "t")
-        return nm
-
     def _counts(self, qc, mode, seed, checkpoints):
         from repro.simulator import engine_mode
         from repro.simulator import sampler as sampler_mod
@@ -191,37 +182,30 @@ class TestSuffixCheckpoints:
         try:
             sampler_mod.USE_SUFFIX_CHECKPOINTS = checkpoints
             with engine_mode(mode):
-                return sample_counts(qc, 512, noise=self._heavy_noise(), rng=seed)
+                return sample_counts(qc, 512, noise=heavy_noise(), rng=seed)
         finally:
             sampler_mod.USE_SUFFIX_CHECKPOINTS = prev
 
     def test_seeded_counts_identical_across_toggle(self):
-        ghz_t = ghz_circuit(8, measure=False)
-        for q in range(8):
-            ghz_t.t(q)
-        ghz_t.measure_all()
         cases = [
-            ("fast", ghz_t),
-            ("hybrid", ghz_t),
+            ("fast", ghz_t(8)),
+            ("hybrid", ghz_t(8)),
             ("stabilizer", ghz_circuit(10)),
-            ("mps", ghz_t),
+            ("mps", ghz_t(8)),
         ]
         for mode, qc in cases:
             for seed in (0, 7, 123):
                 on = self._counts(qc, mode, seed, True)
                 off = self._counts(qc, mode, seed, False)
-                assert on.to_dict() == off.to_dict(), (mode, seed)
+                assert_counts_identical(on, off, context=(mode, seed))
 
     def test_checkpoints_actually_fire(self):
         """The workload above must contain consecutive groups sharing a
         leading injection — otherwise the parity test proves nothing."""
         from repro.simulator import sampler as sampler_mod
 
-        qc = ghz_circuit(8, measure=False)
-        for q in range(8):
-            qc.t(q)
-        qc.measure_all()
-        noisy = sampler_mod._noisy_ops(qc, self._heavy_noise(), {})
+        qc = ghz_t(8)
+        noisy = sampler_mod._noisy_ops(qc, heavy_noise(), {})
         groups = sampler_mod._group_realizations(
             noisy, 512, np.random.default_rng(7)
         )
