@@ -8,10 +8,14 @@ harness), but they pin two orderings:
 * at a cache-resident width the batched grouped walk must beat the
   scalar fast walk outright (its whole reason to exist is dispatch
   amortization over many stacked trajectory states);
-* at 16–20 qubits — beyond the cache-working-set budget, where the
-  batched walk disengages by policy — ``engine_mode("batched")`` must
-  not be slower than ``"fast"``: the fallback is the identical scalar
-  path, so any gap is a routing bug.
+* at 16–20 qubits — beyond the cache-working-set budget — the batched
+  walk engages only in the **blocked-wide regime** (register wider than
+  a sweep tile *and* realized injection sites sparse enough that the
+  lockstep windows can actually block).  GHZ under per-gate noise has a
+  site at every gate, so the walk must still disengage there and
+  ``engine_mode("batched")`` must track ``"fast"`` exactly; the
+  engaged wide path is covered by ``test_perf_blocked.py`` and the
+  ``batched_wide_grouped`` bench lane.
 """
 
 import time
@@ -77,10 +81,26 @@ def test_perf_batched_beats_scalar_at_cache_resident_width():
 
 
 def test_perf_batched_ordering_holds_at_wide_registers():
-    """16–20 qubits with ≥8 trajectory groups: the batched walk
-    disengages (a >2 MiB per-row working set evicts the cache between
-    gates, where the scalar walk's single resident state wins), so
-    "batched" must track "fast" — never trail it beyond timing noise."""
+    """16–20 qubits with ≥8 trajectory groups: GHZ under per-gate noise
+    realizes an injection site at nearly every gate, so the blocked-wide
+    window-length gate keeps the batched walk disengaged (fragmented
+    windows can't block; unblocked wide rows would run DRAM-bound where
+    the scalar walk's suffix sharing wins) and "batched" must track
+    "fast" — never trail it beyond timing noise.  In the gap between
+    the cache-resident and blocked-wide regimes the walk must also
+    disengage regardless of site density: there the scalar walk is
+    cache-resident by construction and stacking rows would evict it."""
+    import numpy as np
+
+    from repro.simulator.engines import select_engine
+    from repro.simulator.engines import dense as _dense
+
+    gap_width = _dense.blocked_tile_qubits()
+    gap_circuit = ghz_circuit(gap_width)
+    with _engine("batched"):
+        assert not _sampler._use_batched_walk(
+            select_engine("batched", gap_circuit), gap_circuit, 64
+        ), f"batched walk engaged in the regime gap at {gap_width} qubits"
     for num_qubits, shots in ((16, 512), (18, 256), (20, 96)):
         circuit = ghz_circuit(num_qubits)
         noise = _noise()
@@ -91,12 +111,18 @@ def test_perf_batched_ordering_holds_at_wide_registers():
         with _engine("fast"):
             scalar = _best_of(run, repeats=2)
         with _engine("batched"):
-            # the walk must actually be disengaged at these widths
-            from repro.simulator.engines import select_engine
-
-            assert not _sampler._use_batched_walk(
-                select_engine("batched", circuit), circuit, 64
+            # the realized site density must keep the walk disengaged
+            noisy = _sampler._noisy_ops(circuit, noise, {})
+            groups = _sampler._group_realizations(
+                noisy, shots, np.random.default_rng(7)
             )
+            ordered = sorted(groups.items(), key=lambda kv: kv[0] or ((1 << 30, 0),))
+            assert not _sampler._use_batched_walk(
+                select_engine("batched", circuit),
+                circuit,
+                len(ordered),
+                ordered=ordered,
+            ), f"batched walk engaged on site-dense ghz-{num_qubits}"
             batched = _best_of(run, repeats=2)
         # the pinned workload produces well over 8 groups
         noisy = _sampler._noisy_ops(circuit, noise, {})

@@ -38,6 +38,16 @@ the engine lanes :func:`repro.simulator.engine_mode` exposes:
   noisy GHZ grouped sampling at a cache-resident width: every
   trajectory group advances in one kernel call per lockstep window,
   with bit-identical seeded counts in both lanes);
+* **blocked sweeps** — cache-blocked wide-state execution
+  (``blocked_wide_dense`` toggles ``dense.BLOCKED_SWEEPS`` off vs on
+  around a deep-brickwork dense advance past the tile width: the
+  blocked lane streams the state in L2-sized tiles and applies every
+  tile-local window item per resident tile, one DRAM pass per window
+  instead of one per item; ``batched_wide_grouped`` runs the batched
+  grouped walk against the scalar walk at a width *above* the old
+  cache-resident engagement cap, where small row chunks ride the same
+  blocked sweeps — its floor pins "no worse than scalar", since the
+  win there is DRAM traffic, not dispatch);
 * **plan cache** — compiled execution plans
   (``plan_cache_parameterized`` samples N parameter bindings of one
   ansatz with the cross-request plan cache cleared before every binding
@@ -57,7 +67,7 @@ Every entry's ``params`` records the ``workers`` count it ran with
 trajectories across machines stay attributable.
 
 Results are printed as a table and written to ``BENCH_simulator.json``
-(schema ``repro.bench.simulator/v7``) so later PRs have a perf
+(schema ``repro.bench.simulator/v8``) so later PRs have a perf
 trajectory to beat.  Acceptance-gate lanes carry a ``floor`` — the
 minimum speedup later runs must preserve — and wide single-lane entries
 may carry a ``max_seconds`` feasibility ceiling; ``--check`` runs the
@@ -105,7 +115,7 @@ from repro.simulator.sampler import _sample_per_shot  # noqa: E402
 from repro.simulator.sampler import engine_mode as engine  # noqa: E402
 from repro.simulator.statevector import StateVector  # noqa: E402
 
-SCHEMA = "repro.bench.simulator/v7"
+SCHEMA = "repro.bench.simulator/v8"
 
 #: Speedup floors for the acceptance-gate lanes, recorded into the
 #: artifact (``floor`` field) and enforced by ``--check``.  Values are
@@ -118,8 +128,17 @@ FLOORS: Dict[str, float] = {
     "hybrid_segment_ghz_t": 2.0,
     "stabilizer_packed_ghz": 2.5,
     "diagonal_fusion_dense": 1.3,
-    "mps_brickwork": 1.2,
+    # Recalibrated from 1.2 when the dense baseline gained cache-blocked
+    # sweeps (which compress every dense-relative ratio at >tile widths):
+    # the full-config margin stays ~1.4x, but the --quick 16-qubit size
+    # now sits near parity.
+    "mps_brickwork": 1.0,
     "batched_ghz_grouped": 1.5,
+    "blocked_wide_dense": 1.3,
+    # The wide batched walk's win is DRAM traffic shared across rows,
+    # not dispatch; at 16 qubits it measures ~1.0x vs the scalar walk,
+    # so the floor pins "no meaningful regression over scalar".
+    "batched_wide_grouped": 0.85,
     "plan_cache_parameterized": 2.0,
 }
 
@@ -566,6 +585,92 @@ def bench_batched_grouped(num_qubits: int, shots: int, repeats: int) -> Dict[str
     return entry
 
 
+def bench_blocked_wide(num_qubits: int, depth: int, repeats: int) -> Dict[str, object]:
+    """Cache-blocked sweeps off vs on over a deep-brickwork dense
+    advance at a width past the tile (fast kernels in both lanes; this
+    isolates the blocking win).  The unblocked lane streams the full
+    ``2^n`` state through DRAM once per window item; the blocked lane
+    remaps high operands tile-local and applies every item of a sweep
+    segment to one L2-resident tile before the next tile streams in."""
+    from repro.simulator import sampler as sampler_mod
+    from repro.simulator.engines import dense as dense_mod
+
+    circuit = brickwork_circuit(num_qubits, depth, measure=False)
+    ops = list(circuit)
+
+    def advance_once():
+        DenseEngine(circuit).advance(ops)
+
+    with engine("fast"):
+        prev = dense_mod.BLOCKED_SWEEPS
+        try:
+            dense_mod.BLOCKED_SWEEPS = False
+            unblocked = _timed(advance_once, repeats)
+            dense_mod.BLOCKED_SWEEPS = True
+            blocked = _timed(advance_once, repeats)
+        finally:
+            dense_mod.BLOCKED_SWEEPS = prev
+        tile = dense_mod.blocked_tile_qubits()
+        budget = int(sampler_mod.BATCH_MAX_BYTES)
+    entry = _entry(
+        "blocked_wide_dense",
+        {
+            "num_qubits": num_qubits,
+            "depth": depth,
+            "gates": len(ops),
+            "batch_max_bytes": budget,
+            "tile_qubits": tile,
+        },
+        unblocked,
+        blocked,
+        throughput_unit="gates_per_sec",
+        work_items=len(ops),
+    )
+    entry["lanes"] = {"baseline": "dense-fast-unblocked", "fast": "dense-fast-blocked"}
+    return entry
+
+
+def bench_batched_wide_grouped(
+    num_qubits: int, depth: int, shots: int, repeats: int
+) -> Dict[str, object]:
+    """Batched grouped walk vs the scalar fast dense walk on noisy
+    brickwork sampling at a width *above* the old cache-resident
+    engagement cap.  Rows advance in small chunks whose lockstep windows
+    ride the blocked sweeps (sparse injection sites keep the windows
+    long enough to block); seeded counts are bit-identical in both
+    lanes.  The floor pins "no meaningful regression over scalar" — the
+    wide regime's benefit is shared DRAM traffic, not dispatch
+    amortization, and at 16 qubits that nets out near parity."""
+    from repro.simulator import sampler as sampler_mod
+    from repro.simulator.engines import dense as dense_mod
+
+    circuit = brickwork_circuit(num_qubits, depth)
+    noise = _brickwork_noise()
+    with engine("fast"):
+        scalar = _timed(lambda: sample_counts(circuit, shots, noise=noise, rng=7), repeats)
+    with engine("batched"):
+        batched = _timed(lambda: sample_counts(circuit, shots, noise=noise, rng=7), repeats)
+        tile = dense_mod.blocked_tile_qubits()
+        budget = int(sampler_mod.BATCH_MAX_BYTES)
+    entry = _entry(
+        "batched_wide_grouped",
+        {
+            "num_qubits": num_qubits,
+            "depth": depth,
+            "shots": shots,
+            "noise": "depolarizing",
+            "batch_max_bytes": budget,
+            "tile_qubits": tile,
+        },
+        scalar,
+        batched,
+        throughput_unit="shots_per_sec",
+        work_items=shots,
+    )
+    entry["lanes"] = {"baseline": "statevector-fast", "fast": "batched-dense-wide"}
+    return entry
+
+
 def _plan_cache_ansatz(num_qubits: int, layers: int):
     """Parameterized hardware-efficient ansatz whose *static* structure
     is expensive to plan: every layer alternates a parameterized RY wall
@@ -764,6 +869,11 @@ def run(quick: bool) -> Dict[str, object]:
             "mps_qaoa_shots": 256,
             "batched_qubits": 10,
             "batched_shots": 2048,
+            "blocked_qubits": 18,
+            "blocked_depth": 6,
+            "batched_wide_qubits": 16,
+            "batched_wide_depth": 12,
+            "batched_wide_shots": 48,
             "plan_cache_qubits": 10,
             "plan_cache_layers": 6,
             "plan_cache_bindings": 8,
@@ -800,6 +910,11 @@ def run(quick: bool) -> Dict[str, object]:
             "mps_qaoa_shots": 512,
             "batched_qubits": 10,
             "batched_shots": 4096,
+            "blocked_qubits": 20,
+            "blocked_depth": 4,
+            "batched_wide_qubits": 16,
+            "batched_wide_depth": 12,
+            "batched_wide_shots": 96,
             "plan_cache_qubits": 10,
             "plan_cache_layers": 10,
             "plan_cache_bindings": 16,
@@ -857,6 +972,19 @@ def run(quick: bool) -> Dict[str, object]:
     benchmarks.append(
         bench_batched_grouped(
             config["batched_qubits"], config["batched_shots"], repeats
+        )
+    )
+    benchmarks.append(
+        bench_blocked_wide(
+            config["blocked_qubits"], config["blocked_depth"], repeats
+        )
+    )
+    benchmarks.append(
+        bench_batched_wide_grouped(
+            config["batched_wide_qubits"],
+            config["batched_wide_depth"],
+            config["batched_wide_shots"],
+            repeats,
         )
     )
     benchmarks.append(

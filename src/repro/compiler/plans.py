@@ -70,6 +70,7 @@ _CACHE: "OrderedDict[Tuple[str, tuple], ExecutionPlan]" = OrderedDict()
 _LOCK = threading.RLock()
 _HITS = 0
 _MISSES = 0
+_EVICTIONS = 0
 _UNSET = object()
 
 
@@ -86,6 +87,7 @@ def _options_key() -> tuple:
     retuning ``chi`` / ``truncation_threshold`` lands in a different
     cache slot instead of serving stale artifacts.
     """
+    from repro.simulator import sampler
     from repro.simulator.engines import dense, mps
 
     return (
@@ -94,6 +96,10 @@ def _options_key() -> tuple:
         int(dense._FUSION_MAX_QUBITS),
         int(mps.CHI),
         float(mps.TRUNCATION_THRESHOLD),
+        # Blocked-sweep schedule inputs: the toggle and the working-set
+        # budget the tile size derives from.
+        bool(dense.BLOCKED_SWEEPS),
+        int(sampler.BATCH_MAX_BYTES),
     )
 
 
@@ -113,6 +119,7 @@ class ExecutionPlan:
         "swap_routes",
         "_partitions",
         "_static",
+        "_schedules",
     )
 
     def __init__(self, circuit: QuantumCircuit, key: Tuple[str, tuple]) -> None:
@@ -124,6 +131,8 @@ class ExecutionPlan:
         self._partitions: Dict[Tuple[int, int], Optional[tuple]] = {}
         # (start, stop) window → {entry index → materialized static item}
         self._static: Dict[Tuple[int, int], Dict[int, tuple]] = {}
+        # (start, stop) window → blocked sweep schedule (or None)
+        self._schedules: Dict[Tuple[int, int], Optional[tuple]] = {}
 
     # -- artifacts -------------------------------------------------------------
 
@@ -157,6 +166,25 @@ class ExecutionPlan:
             part = _dense().partition_window(instructions[start:stop])
             self._partitions[key] = part
         return part
+
+    def window_block_schedule(
+        self, instructions: Sequence[Instruction], start: int, stop: int
+    ) -> Optional[tuple]:
+        """The cache-blocked sweep schedule of ``instructions[start:stop]``
+        (:func:`repro.simulator.engines.dense.plan_blocked_window`), or
+        ``None`` when blocking does not engage.  Memoized across
+        requests like the partition: the schedule depends only on
+        structure, the fusion toggles, and the working-set budget — all
+        pinned by this plan's cache key."""
+        key = (start, stop)
+        schedule = self._schedules.get(key, _UNSET)
+        if schedule is _UNSET:
+            partition = self.window_partition(instructions, start, stop)
+            schedule = _dense().plan_blocked_window(
+                instructions[start:stop], partition, self.num_qubits
+            )
+            self._schedules[key] = schedule
+        return schedule
 
     def static_item(
         self, window: Tuple[int, int], index: int, ops: Sequence[Instruction], entry
@@ -223,6 +251,11 @@ class BoundPlan:
         self._items[key] = items
         return items
 
+    def window_block_schedule(self, start: int, stop: int) -> Optional[tuple]:
+        """The window's blocked sweep schedule from the shared memo (the
+        schedule is value-independent, so binding adds nothing)."""
+        return self.plan.window_block_schedule(self.instructions, start, stop)
+
     @property
     def clifford_boundary(self) -> int:
         """Index of the first non-Clifford instruction (bind-time:
@@ -256,7 +289,7 @@ def plan_for(circuit: QuantumCircuit) -> ExecutionPlan:
     LRU semantics: hits refresh recency; inserting beyond
     :data:`PLAN_CACHE_MAX` evicts the least recently used entry.
     """
-    global _HITS, _MISSES
+    global _HITS, _MISSES, _EVICTIONS
     key = (structural_hash(circuit), _options_key())
     with _LOCK:
         plan = _CACHE.get(key)
@@ -273,26 +306,34 @@ def plan_for(circuit: QuantumCircuit) -> ExecutionPlan:
         _CACHE[key] = plan
         while len(_CACHE) > PLAN_CACHE_MAX:
             _CACHE.popitem(last=False)
+            _EVICTIONS += 1
     return plan
 
 
 def plan_cache_clear() -> None:
-    """Drop every cached plan and zero the hit/miss counters."""
-    global _HITS, _MISSES
+    """Drop every cached plan and zero the hit/miss/eviction counters."""
+    global _HITS, _MISSES, _EVICTIONS
     with _LOCK:
         _CACHE.clear()
         _HITS = 0
         _MISSES = 0
+        _EVICTIONS = 0
 
 
 def plan_cache_info() -> Dict[str, int]:
-    """Cache statistics: entries, capacity, hits, misses."""
+    """Cache statistics: entries, capacity, hits, misses, evictions.
+
+    The telemetry layer snapshots these per process
+    (:func:`repro.telemetry.store.record_plan_cache`), so cache
+    effectiveness under production traffic is observable over time.
+    """
     with _LOCK:
         return {
             "entries": len(_CACHE),
             "max_entries": PLAN_CACHE_MAX,
             "hits": _HITS,
             "misses": _MISSES,
+            "evictions": _EVICTIONS,
         }
 
 

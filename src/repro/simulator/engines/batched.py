@@ -63,17 +63,25 @@ class BatchedDenseEngine(DenseEngine):
     ) -> None:
         """Window form of :meth:`advance_batch`, mirroring
         :meth:`DenseEngine.advance_span`: with a bound plan the window's
-        fused items come from the plan-cache memo instead of being
-        re-derived per request."""
-        if (
-            batch.use_fast_kernels
-            and stop - start > 1
-            and (_dense.FUSE_DIAGONAL_RUNS or _dense.FUSE_BLOCKS)
-        ):
-            if plan is not None:
-                items = plan.window_items(start, stop)
-            else:
-                items = _dense.plan_diagonal_fusion(instructions[start:stop])
+        fused items and block schedule come from the plan-cache memos
+        instead of being re-derived per request.
+
+        Blocked sweeps flatten the ``(rows, 2^n)`` buffer into
+        ``rows · 2^{n-t}`` tiles, so per-tile cache residency is
+        independent of the row count — this is what lets the batched
+        walk engage beyond the cache-resident widths.  Any remap the
+        executor leaves pending is unwound before returning: between
+        spans the walk joins rows, injects errors, and builds CDFs, all
+        of which assume the canonical layout.
+        """
+        if batch.use_fast_kernels and stop - start > 1:
+            items, schedule = _dense.window_program(
+                instructions, start, stop, plan, batch.num_qubits
+            )
+            if schedule is not None:
+                _dense.execute_blocked(batch, items, schedule)
+                batch.unwind_remap()
+                return
             if items is not None:
                 _dense.apply_items(batch, items)
                 return

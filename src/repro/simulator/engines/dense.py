@@ -45,6 +45,34 @@ _FUSION_MAX_QUBITS = 10
 #: so block fusion never falls off the fast-kernel path.
 BLOCK_FUSION_MAX_QUBITS = 2
 
+#: Cache-blocked sweep switch (fast kernels only): advance windows at
+#: widths beyond the tile (:func:`blocked_tile_qubits`) are executed
+#: tile by tile — every item of a sweep segment applies to one
+#: cache-resident contiguous tile before the next tile streams in, so a
+#: window costs one DRAM pass instead of one per item.  High-order
+#: operands are made tile-local by the lazy qubit remap layer
+#: (:meth:`~repro.simulator.statevector.StateVector.remap_low`).  The
+#: perf harness toggles this to isolate the blocking win.
+BLOCKED_SWEEPS = True
+
+#: One tile is ``1/divisor`` of the sampler's working-set budget
+#: (:data:`~repro.simulator.sampler.BATCH_MAX_BYTES`): sweeps re-read
+#: the tile once per item, so it must stay resident alongside kernel
+#: temporaries.  8 puts the default 2 MiB budget at 2^14 amplitudes
+#: (256 KiB) — measured best-or-tied from 16 to 20 qubits on an L2 of
+#: the budget's size.
+_TILE_BUDGET_DIVISOR = 8
+
+
+def blocked_tile_qubits() -> int:
+    """Tile width (in qubits) for cache-blocked sweeps, derived from the
+    working-set budget; blocking engages only for states wider than
+    this."""
+    from repro.simulator import sampler  # lazy: sampler imports engines
+
+    amps = max(4, int(sampler.BATCH_MAX_BYTES) // (16 * _TILE_BUDGET_DIVISOR))
+    return max(2, amps.bit_length() - 1)
+
 
 def _fused_diagonal(instructions) -> tuple:
     """One ``(diagonal, qubits)`` table for a list of diagonal gates.
@@ -277,19 +305,263 @@ def materialize_items(ops, partition):
     return [materialize_entry(ops, entry) for entry in partition]
 
 
+def _apply_single(state, item) -> None:
+    """Apply one materialized item (an :class:`Instruction`, a 1-D
+    diagonal table, or a 2-D matrix) to a dense-semantics state."""
+    if isinstance(item, Instruction):
+        if item.name not in UNITARY_NOOPS:
+            state.apply_matrix(item.matrix(), item.qubits)
+    else:
+        arr, qs = item
+        if arr.ndim == 1:
+            state.apply_diagonal(arr, qs)
+        else:
+            state.apply_matrix(arr, qs)
+
+
 def apply_items(state, items) -> None:
     """Apply a materialized item list to any dense-semantics state
     (``StateVector`` or a ``BatchedStateVector`` row block)."""
     for item in items:
+        _apply_single(state, item)
+
+
+def plan_blocked_window(ops, partition, num_qubits, tile_qubits=None):
+    """The cache-blocked sweep schedule of one advance window, or
+    ``None`` when blocking is off, the state fits the tile, or the
+    window is too short to amortize the sweeps.
+
+    *partition* is the window's fusion partition
+    (:func:`partition_window`; ``None`` means every instruction is its
+    own entry).  The schedule is a tuple of segments
+    ``(placement, entry_indices, wide)`` executed strictly in order —
+    entries are **never** reordered or commuted, so arbitrary gate mixes
+    stay exact:
+
+    * a *sweep* segment (``wide=False``) is a maximal contiguous run of
+      entries whose non-diagonal operand union fits *tile_qubits*;
+      ``placement`` lists the logical qubits the remap layer must make
+      tile-local before the sweep.  Diagonal entries ride in whatever
+      segment they fall in regardless of operand locality (within one
+      tile the high operand bits are constant, so their tables slice).
+    * a *wide* segment (``wide=True``) is a single non-diagonal entry
+      whose operand set exceeds the tile; it applies full-state through
+      the remap-aware ``apply_*`` path.
+
+    Like :func:`partition_window` the schedule is value-independent
+    (names, wires, memoized diagonality only), so the plan cache can
+    memoize it per circuit structure under the options key, which pins
+    the toggles and the budget the tile derives from.
+    """
+    if not BLOCKED_SWEEPS:
+        return None
+    if tile_qubits is None:
+        tile_qubits = blocked_tile_qubits()
+    if num_qubits <= tile_qubits:
+        return None
+    if partition is None:
+        partition = tuple(("apply", p) for p in range(len(ops)))
+    segments: list = []
+    indices: list = []
+    union: set = set()
+    applied = 0
+
+    def flush() -> None:
+        nonlocal indices, union
+        if indices:
+            segments.append((tuple(sorted(union)), tuple(indices), False))
+        indices = []
+        union = set()
+
+    for i, (kind, val) in enumerate(partition):
+        if kind == "apply":
+            inst = ops[val]
+            if inst.name in UNITARY_NOOPS:
+                indices.append(i)  # rides along; the executor skips it
+                continue
+            qubits = set(inst.qubits)
+            diagonal = inst.is_diagonal()
+        elif kind == "diag":
+            indices.append(i)
+            applied += 1
+            continue
+        else:  # "block": non-diagonal by construction
+            qubits = {q for p in val for q in ops[p].qubits}
+            diagonal = False
+        if diagonal:
+            indices.append(i)
+            applied += 1
+            continue
+        if len(qubits) > tile_qubits:
+            flush()
+            segments.append(((), (i,), True))
+            applied += 1
+            continue
+        if indices and len(union | qubits) > tile_qubits:
+            flush()
+        indices.append(i)
+        union |= qubits
+        applied += 1
+    flush()
+    sweeps = sum(1 for seg in segments if not seg[2])
+    # A sweep whose placement reaches above the tile forces a remap — a
+    # full out-of-place transpose, costing roughly one extra pass over
+    # the state on top of the sweep itself.  (Approximate: whether a
+    # remap actually fires depends on the permutation left by the
+    # previous window, which the value-independent schedule cannot see.)
+    moves = sum(
+        1
+        for placement, _, wide in segments
+        if not wide and any(q >= tile_qubits for q in placement)
+    )
+    # Worth blocking only when each pass over the state — sweeps and
+    # remap transposes alike — amortizes over several items; short or
+    # remap-heavy windows keep the one-pass-per-item path (identical
+    # math).
+    if sweeps == 0 or applied < 2 * (sweeps + moves):
+        return None
+    return tuple(segments)
+
+
+def _diagonal_tile_slicer(table, phys, tile_qubits):
+    """Per-tile closure for a diagonal whose operands include high-order
+    physical bits: within one tile the high bits are constant, so the
+    ``2^k`` table collapses to a ``2^k_low`` slice selected by the tile
+    index (all-high operands collapse to a scalar multiply)."""
+    table = np.asarray(table, dtype=complex).reshape(-1)
+    low = [(j, p) for j, p in enumerate(phys) if p < tile_qubits]
+    high = [(j, p - tile_qubits) for j, p in enumerate(phys) if p >= tile_qubits]
+    idx = np.arange(1 << len(low))
+    offsets = np.zeros(1 << len(low), dtype=np.int64)
+    for new_bit, (j, _) in enumerate(low):
+        offsets |= ((idx >> new_bit) & 1) << j
+    low_qubits = [p for _, p in low]
+
+    def apply(tsv, tile_index):
+        base = 0
+        for j, shift in high:
+            base |= ((tile_index >> shift) & 1) << j
+        tsv.apply_diagonal(table[offsets | base], low_qubits)
+
+    return apply
+
+
+def _prepare_tile_items(state, items, indices, tile_qubits):
+    """Compile a sweep segment's items into per-tile closures.
+
+    Operands translate through the state's current remap once, up
+    front.  Tile-local operators apply directly via the scalar kernels
+    on the tile alias; diagonal items with high-bit operands go through
+    :func:`_diagonal_tile_slicer`.  The scheduler guarantees every
+    non-diagonal item in a sweep segment is tile-local after placement.
+    """
+    perm = state._perm
+    prepared = []
+    for i in indices:
+        item = items[i]
         if isinstance(item, Instruction):
-            if item.name not in UNITARY_NOOPS:
-                state.apply_matrix(item.matrix(), item.qubits)
+            if item.name in UNITARY_NOOPS:
+                continue
+            arr, qs = item.matrix(), item.qubits
         else:
             arr, qs = item
-            if arr.ndim == 1:
-                state.apply_diagonal(arr, qs)
+        phys = [perm[q] for q in qs] if perm is not None else list(qs)
+        local = all(p < tile_qubits for p in phys)
+        if arr.ndim == 2:
+            if local:
+                if arr.shape[0] == 4 and np.count_nonzero(arr) == 16:
+                    # Fully dense fused 4x4 block: at tile width the
+                    # one-shot moveaxis/matmul contraction beats the
+                    # structured slice kernel (which pays its sparsity
+                    # analysis per tile and saves nothing on a matrix
+                    # with no identity rows).
+                    prepared.append(
+                        lambda tsv, ti, m=arr, q=phys: tsv._apply_generic(m, q)
+                    )
+                else:
+                    prepared.append(
+                        lambda tsv, ti, m=arr, q=phys: tsv.apply_matrix(m, q)
+                    )
             else:
-                state.apply_matrix(arr, qs)
+                # Only diagonal entries may sit high in a sweep segment.
+                prepared.append(
+                    _diagonal_tile_slicer(np.diagonal(arr), phys, tile_qubits)
+                )
+        elif local:
+            prepared.append(
+                lambda tsv, ti, d=arr, q=phys: tsv.apply_diagonal(d, q)
+            )
+        else:
+            prepared.append(_diagonal_tile_slicer(arr, phys, tile_qubits))
+    return prepared
+
+
+def execute_blocked(state, items, schedule, tile_qubits=None) -> None:
+    """Run one window's materialized *items* under a blocked *schedule*.
+
+    *state* is a :class:`StateVector` or
+    :class:`~repro.simulator.batched.BatchedStateVector` (a batch's
+    ``(rows, 2^n)`` buffer flattens into ``rows · 2^{n-t}`` tiles, so
+    per-tile residency is independent of the row count).  Each sweep
+    segment remaps its placement low, then streams the state tile by
+    tile, applying every segment item to the resident tile through the
+    scalar kernels on a reusable tile-sized alias.  Remaps are left
+    pending after the window — the next segment or the state's
+    observation boundaries coalesce or unwind them.
+    """
+    if tile_qubits is None:
+        tile_qubits = blocked_tile_qubits()
+    tile_dim = 1 << tile_qubits
+    for placement, indices, wide in schedule:
+        if wide:
+            for i in indices:
+                _apply_single(state, items[i])
+            continue
+        if placement:
+            state.remap_low(placement, tile_qubits)
+        prepared = _prepare_tile_items(state, items, indices, tile_qubits)
+        if not prepared:
+            continue
+        tiles = state._data.reshape(-1, tile_dim)
+        tsv = StateVector.__new__(StateVector)
+        tsv.num_qubits = tile_qubits
+        for ti in range(tiles.shape[0]):
+            row = tiles[ti]
+            tsv._data = row
+            for fn in prepared:
+                fn(tsv, ti)
+            if tsv._data is not row:
+                row[...] = tsv._data  # a kernel rebound the alias
+
+
+def window_program(instructions, start, stop, plan, num_qubits):
+    """Resolve one advance window into ``(items, schedule)``: the fused
+    item list (or ``None`` when nothing fuses) and the blocked sweep
+    schedule (or ``None`` when blocking does not engage).
+
+    With a bound plan both come from the cross-request memos; otherwise
+    they are re-derived from the same partition code path.  Shared by
+    the scalar, span, and batched advance paths so planned and unplanned
+    execution stay one code path.
+    """
+    fusing = FUSE_DIAGONAL_RUNS or FUSE_BLOCKS
+    if plan is not None:
+        items = plan.window_items(start, stop) if fusing else None
+        schedule = (
+            plan.window_block_schedule(start, stop) if BLOCKED_SWEEPS else None
+        )
+    else:
+        ops = instructions[start:stop]
+        partition = partition_window(ops) if fusing else None
+        items = (
+            materialize_items(ops, partition) if partition is not None else None
+        )
+        schedule = plan_blocked_window(ops, partition, num_qubits)
+    if schedule is not None and items is None:
+        # Nothing fused, but the window still blocks: sweep the raw
+        # instructions themselves.
+        items = list(instructions[start:stop])
+    return items, schedule
 
 
 def plan_diagonal_fusion(ops):
@@ -346,7 +618,12 @@ class DenseEngine(ExecutionEngine):
     """The ``2^n`` amplitude-vector backend (exact, any gate)."""
 
     name = "dense"
-    plan_artifacts = ("window_partitions", "diagonal_tables", "block_matrices")
+    plan_artifacts = (
+        "window_partitions",
+        "diagonal_tables",
+        "block_matrices",
+        "block_schedules",
+    )
 
     def prepare(self, circuit: QuantumCircuit) -> None:
         self._state = StateVector(circuit.num_qubits)
@@ -362,13 +639,14 @@ class DenseEngine(ExecutionEngine):
         return dup
 
     def advance(self, ops: Sequence[Instruction]) -> None:
+        # Always unplanned: *ops* may be any ad-hoc window, so the
+        # plan's (start, stop)-keyed memos do not apply here.
         state = self._state
-        if (
-            state.use_fast_kernels
-            and len(ops) > 1
-            and (FUSE_DIAGONAL_RUNS or FUSE_BLOCKS)
-        ):
-            items = plan_diagonal_fusion(ops)
+        if state.use_fast_kernels and len(ops) > 1:
+            items, schedule = window_program(ops, 0, len(ops), None, state.num_qubits)
+            if schedule is not None:
+                execute_blocked(state, items, schedule)
+                return
             if items is not None:
                 apply_items(state, items)
                 return
@@ -379,19 +657,17 @@ class DenseEngine(ExecutionEngine):
 
     def advance_span(self, instructions, start: int, stop: int) -> None:
         state = self._state
-        if (
-            state.use_fast_kernels
-            and stop - start > 1
-            and (FUSE_DIAGONAL_RUNS or FUSE_BLOCKS)
-        ):
-            plan = self._plan
-            if plan is not None:
-                # Cross-request memo: the partition (and any static
-                # tables) come from the plan cache; parameter-dependent
-                # items were materialized once for this binding.
-                items = plan.window_items(start, stop)
-            else:
-                items = plan_diagonal_fusion(instructions[start:stop])
+        if state.use_fast_kernels and stop - start > 1:
+            # Cross-request memo: with a bound plan the partition, any
+            # static tables, and the block schedule come from the plan
+            # cache; parameter-dependent items were materialized once
+            # for this binding.
+            items, schedule = window_program(
+                instructions, start, stop, self._plan, state.num_qubits
+            )
+            if schedule is not None:
+                execute_blocked(state, items, schedule)
+                return
             if items is not None:
                 apply_items(state, items)
                 return
@@ -440,7 +716,12 @@ __all__ = [
     "materialize_items",
     "apply_items",
     "entry_is_static",
+    "plan_blocked_window",
+    "execute_blocked",
+    "window_program",
+    "blocked_tile_qubits",
     "FUSE_DIAGONAL_RUNS",
     "FUSE_BLOCKS",
+    "BLOCKED_SWEEPS",
     "BLOCK_FUSION_MAX_QUBITS",
 ]

@@ -248,6 +248,16 @@ _BATCHED_WALK_MODES = ("batched", "auto")
 #: Modes under which the ``batch_min_groups`` sub-option is meaningful.
 _BATCH_OPTION_MODES = ("batched", "auto")
 
+#: Modes under which the ``batch_max_bytes`` sub-option is meaningful:
+#: every dense-family route consumes the budget — the batched walk sizes
+#: its chunks from it and the blocked sweep executor derives its tile
+#: width from it (:func:`repro.simulator.engines.dense.blocked_tile_qubits`).
+_BATCH_BYTES_MODES = ("fast", "batched", "hybrid", "auto")
+
+#: Smallest accepted ``batch_max_bytes``: below this a tile would drop
+#: under the fast kernels' useful block sizes.
+_BATCH_BYTES_FLOOR = 1024
+
 #: Modes under which the ``workers`` sub-option is meaningful (the
 #: sharded driver wraps any accelerated route; the ``baseline`` seed
 #: path is deliberately excluded so its stream stays byte-for-byte
@@ -260,21 +270,45 @@ _WORKERS_MODES = ("fast", "batched", "stabilizer", "hybrid", "mps", "auto")
 #: ``engine_mode(batch_min_groups=...)``.
 BATCH_MIN_GROUPS = 4
 
-#: Working-set budget for one batched-walk chunk, in bytes of stacked
-#: amplitudes (16 per).  This is a **cache** budget, not a RAM budget:
+#: Cache-working-set budget, in bytes of stacked amplitudes (16 per),
+#: tunable via ``engine_mode(batch_max_bytes=...)``.  Two consumers:
+#: cache-resident batched-walk chunks are sized to fit it whole, and the
+#: blocked sweep executor derives its tile width from it
+#: (:func:`repro.simulator.engines.dense.blocked_tile_qubits` — 1/8 of
+#: the budget per tile).  This is a **cache** budget, not a RAM budget:
 #: the batched walk's total element work equals the scalar walk's, so
 #: its entire advantage is amortizing per-gate dispatch — and that only
-#: pays while the chunk stays resident between gates.  Oversized chunks
-#: evict every row on every gate and run DRAM-bound, *slower* than the
-#: scalar walk whose single state sits in L2 (measured 0.2× at 16
-#: qubits with a 512 MiB budget vs 2.3× at 10 qubits with this one).
+#: pays while the working set stays resident between gates.  Oversized
+#: chunks evict every row on every gate and run DRAM-bound, *slower*
+#: than the scalar walk whose single state sits in L2 (measured 0.2× at
+#: 16 qubits with a 512 MiB budget vs 2.3× at 10 qubits with this one).
 BATCH_MAX_BYTES = 2 * 1024 * 1024
 
-#: Minimum rows per chunk for the batched walk to engage.  Fewer stacked
-#: states than this amortize too little dispatch to beat the scalar
-#: walk's cache residency, so wider registers (14+ qubits at the default
-#: budget) keep the scalar prefix-sharing walk.
+#: Minimum rows per chunk for the *cache-resident* batched walk to
+#: engage.  Fewer stacked states than this amortize too little dispatch
+#: to beat the scalar walk's cache residency.  Wider registers engage
+#: the batched walk only when blocked sweeps can restore per-tile
+#: residency (see :func:`_use_batched_walk`).
 _BATCH_MIN_CHUNK_ROWS = 16
+
+#: Rows per chunk for the *blocked wide* batched walk regime, where
+#: cache residency comes from the tiled sweeps (one tile resident at a
+#: time regardless of row count).  Deliberately small: each chunk's
+#: lockstep windows are delimited by the **union** of its rows' injection
+#: sites, so big chunks fragment the windows below the blocked executor's
+#: engagement threshold and the sweeps never fire (measured 0.5× vs the
+#: scalar walk at 64 rows against ~1.05× at 4 rows on 16-qubit noisy
+#: brickwork).
+_WIDE_CHUNK_ROWS = 4
+
+#: Minimum expected unitary ops per lockstep window before the *blocked
+#: wide* batched walk engages.  Below this the realized injection sites
+#: are so dense that most windows are too short for the blocked executor
+#: (``plan_blocked_window`` wants several items per sweep), leaving the
+#: rows to advance unblocked and DRAM-bound — the regime where the
+#: scalar walk's suffix sharing wins (measured 0.56× on GHZ-20 under
+#: per-gate noise vs ~1.05× on deep brickwork under sparse noise).
+_WIDE_MIN_WINDOW_OPS = 24
 
 #: Process-pool worker count for shot sharding; ``None`` (the default)
 #: keeps the classic single-stream driver.  When set (via
@@ -298,6 +332,7 @@ def engine_mode(
     chi: Optional[int] = None,
     truncation_threshold: Optional[float] = None,
     batch_min_groups: Optional[int] = None,
+    batch_max_bytes: Optional[int] = None,
     workers: Optional[int] = None,
     **unknown_options: object,
 ) -> Iterator[None]:
@@ -374,6 +409,16 @@ def engine_mode(
     Like ``tableau_impl`` it is a performance policy, not a semantics
     switch: counts are bit-identical above or below the threshold.
 
+    The keyword-only *batch_max_bytes* sub-option tunes the
+    cache-working-set budget (:data:`BATCH_MAX_BYTES`) for the block:
+    batched-walk chunk sizing and the blocked sweep executor's tile
+    width both derive from it, so it applies to every dense-family mode
+    (``"fast"`` / ``"batched"`` / ``"hybrid"`` / ``"auto"``).  Also a
+    performance policy, not a semantics switch — seeded counts are
+    bit-identical at any budget (pinned by ``tests/test_blocked.py``);
+    the equivalence suite shrinks it to force blocked sweeps at test
+    widths.
+
     The keyword-only *workers* sub-option (any accelerated mode) routes
     :func:`sample_counts` through the process-pool sharding layer
     (:mod:`repro.simulator.sharding`) with that many workers.  Like
@@ -389,6 +434,7 @@ def engine_mode(
     (``tableau_impl`` outside tableau-capable modes, ``chi`` /
     ``truncation_threshold`` outside ``"mps"`` / ``"auto"``,
     ``batch_min_groups`` outside ``"batched"`` / ``"auto"``,
+    ``batch_max_bytes`` outside the dense-family modes,
     ``workers`` under ``"baseline"``) is rejected rather than silently
     ignored, as is any unrecognized keyword.
 
@@ -410,7 +456,7 @@ def engine_mode(
         raise EngineModeError(
             f"unknown engine_mode sub-option(s): {names}; recognized "
             "sub-options are tableau_impl, chi, truncation_threshold, "
-            "batch_min_groups, workers"
+            "batch_min_groups, batch_max_bytes, workers"
         )
     if fast is not None:
         if mode is not None:
@@ -471,6 +517,21 @@ def engine_mode(
             raise EngineModeError(
                 f"batch_min_groups must be an integer >= 1, got {batch_min_groups!r}"
             )
+    if batch_max_bytes is not None:
+        if mode not in _BATCH_BYTES_MODES:
+            raise EngineModeError(
+                f"batch_max_bytes is not a sub-option of engine mode {mode!r}; "
+                f"it applies to {_BATCH_BYTES_MODES}"
+            )
+        if (
+            isinstance(batch_max_bytes, bool)
+            or not isinstance(batch_max_bytes, numbers.Integral)
+            or batch_max_bytes < _BATCH_BYTES_FLOOR
+        ):
+            raise EngineModeError(
+                f"batch_max_bytes must be an integer >= {_BATCH_BYTES_FLOOR}, "
+                f"got {batch_max_bytes!r}"
+            )
     if workers is not None:
         if mode not in _WORKERS_MODES:
             raise EngineModeError(
@@ -486,7 +547,7 @@ def engine_mode(
                 f"workers must be an integer >= 1, got {workers!r}"
             )
     # Validation is complete — only now may globals be mutated.
-    global USE_PREFIX_SHARING, ENGINE, BATCH_MIN_GROUPS, WORKERS
+    global USE_PREFIX_SHARING, ENGINE, BATCH_MIN_GROUPS, BATCH_MAX_BYTES, WORKERS
     prev_engine = ENGINE
     prev_kernels = StateVector.use_fast_kernels
     prev_prefix = USE_PREFIX_SHARING
@@ -494,6 +555,7 @@ def engine_mode(
     prev_chi = _mps.CHI
     prev_threshold = _mps.TRUNCATION_THRESHOLD
     prev_batch_min = BATCH_MIN_GROUPS
+    prev_batch_bytes = BATCH_MAX_BYTES
     prev_workers = WORKERS
     accelerated = mode != "baseline"
     ENGINE = mode
@@ -507,6 +569,8 @@ def engine_mode(
         _mps.TRUNCATION_THRESHOLD = float(truncation_threshold)
     if batch_min_groups is not None:
         BATCH_MIN_GROUPS = int(batch_min_groups)
+    if batch_max_bytes is not None:
+        BATCH_MAX_BYTES = int(batch_max_bytes)
     if workers is not None:
         WORKERS = int(workers)
     try:
@@ -519,6 +583,7 @@ def engine_mode(
         _mps.CHI = prev_chi
         _mps.TRUNCATION_THRESHOLD = prev_threshold
         BATCH_MIN_GROUPS = prev_batch_min
+        BATCH_MAX_BYTES = prev_batch_bytes
         WORKERS = prev_workers
 
 
@@ -675,7 +740,7 @@ def _sample_grouped(
     # Engines treat qubits=None as "full register in index order" — the
     # same bits, minus a per-group column-selection copy in every engine.
     sample_qubits = None if qubits == list(range(circuit.num_qubits)) else qubits
-    if _use_batched_walk(engine_cls, circuit, len(ordered)):
+    if _use_batched_walk(engine_cls, circuit, len(ordered), ordered=ordered):
         return _grouped_batched_walk(
             circuit, shots, ordered, errors, rng, prefix, prefix_pos, bound=bound
         )
@@ -750,24 +815,75 @@ def _sample_grouped(
     return out
 
 
+def _wide_window_ops(circuit: QuantumCircuit, ordered) -> float:
+    """Expected unitary ops per lockstep window were the blocked-wide
+    batched walk to run *ordered*'s realization groups in
+    :data:`_WIDE_CHUNK_ROWS`-row chunks.
+
+    Each chunk's windows are delimited by the union of its rows'
+    injection sites, so the estimate is exact per chunk and averaged
+    across chunks.  No noisy groups means no windows to fragment."""
+    noisy = [key for key, _ in ordered if key]
+    if not noisy:
+        return float("inf")
+    unitary = sum(1 for inst in circuit if inst.name not in UNITARY_NOOPS)
+    boundaries = 0
+    chunks = 0
+    for start in range(0, len(noisy), _WIDE_CHUNK_ROWS):
+        chunk = noisy[start : start + _WIDE_CHUNK_ROWS]
+        boundaries += len({site for key in chunk for site, _ in key})
+        chunks += 1
+    return unitary * chunks / (boundaries + chunks)
+
+
 def _use_batched_walk(
-    engine_cls: Type[ExecutionEngine], circuit: QuantumCircuit, group_count: int
+    engine_cls: Type[ExecutionEngine],
+    circuit: QuantumCircuit,
+    group_count: int,
+    ordered=None,
 ) -> bool:
     """Whether the grouped walk should run batched for this request.
 
     Requires a batched-capable mode, a dense-family route (the tableau,
     hybrid and MPS backends keep the scalar walk), enough trajectory
-    groups to amortize the batch setup, and a register narrow enough
-    that :data:`_BATCH_MIN_CHUNK_ROWS` stacked states fit the
-    cache-working-set budget — beyond that width batching loses to the
-    scalar walk's cache residency (see :data:`BATCH_MAX_BYTES`).
+    groups to amortize the batch setup, and a width the walk can serve
+    efficiently.  Two regimes qualify:
+
+    * **cache-resident** — the register is narrow enough that
+      :data:`_BATCH_MIN_CHUNK_ROWS` stacked states fit the
+      cache-working-set budget (see :data:`BATCH_MAX_BYTES`); or
+    * **blocked wide** — the register is wider than the blocked sweep
+      executor's tile
+      (:func:`repro.simulator.engines.dense.blocked_tile_qubits`),
+      blocked sweeps are enabled, and the realized injection sites are
+      sparse enough (:func:`_wide_window_ops` against
+      :data:`_WIDE_MIN_WINDOW_OPS`, when *ordered* is supplied) that the
+      lockstep windows will actually block — then per-tile residency is
+      independent of the row count and stacking wins on per-gate
+      dispatch overhead.
+
+    The gap between the two regimes (wider than cache-resident, not yet
+    wider than a tile) keeps the scalar walk, which is cache-resident
+    there by construction.
     """
-    return (
+    if not (
         ENGINE in _BATCHED_WALK_MODES
         and issubclass(engine_cls, DenseEngine)
         and StateVector.use_fast_kernels
         and group_count >= BATCH_MIN_GROUPS
-        and (16 << circuit.num_qubits) * _BATCH_MIN_CHUNK_ROWS <= BATCH_MAX_BYTES
+    ):
+        return False
+    if (16 << circuit.num_qubits) * _BATCH_MIN_CHUNK_ROWS <= BATCH_MAX_BYTES:
+        return True
+    from repro.simulator.engines import dense as _dense_mod
+
+    if not (
+        bool(_dense_mod.BLOCKED_SWEEPS)
+        and circuit.num_qubits > _dense_mod.blocked_tile_qubits()
+    ):
+        return False
+    return (
+        ordered is None or _wide_window_ops(circuit, ordered) >= _WIDE_MIN_WINDOW_OPS
     )
 
 
@@ -827,7 +943,17 @@ def _grouped_batched_walk(
     row = 0
     noisy_groups = [kv for kv in ordered if kv[0]]
     n = circuit.num_qubits
-    rows_per_chunk = max(2, BATCH_MAX_BYTES // (16 << n))
+    row_bytes = 16 << n
+    if row_bytes * _BATCH_MIN_CHUNK_ROWS <= BATCH_MAX_BYTES:
+        # Cache-resident regime: the whole chunk stays inside the
+        # working-set budget.
+        rows_per_chunk = max(2, BATCH_MAX_BYTES // row_bytes)
+    else:
+        # Blocked-wide regime: residency comes from the tile sweep, not
+        # the chunk size; chunks stay small so the union of their rows'
+        # injection sites keeps the lockstep windows long enough for the
+        # blocked executor to engage.
+        rows_per_chunk = _WIDE_CHUNK_ROWS
     for start in range(0, len(noisy_groups), rows_per_chunk):
         chunk = noisy_groups[start : start + rows_per_chunk]
         batch = BatchedStateVector(n, len(chunk))

@@ -102,6 +102,55 @@ def sorted_diagonal(
     return diag, sorted(qubits)
 
 
+def placement_permutation(
+    perm: Optional[Sequence[int]],
+    qubits: Iterable[int],
+    tile_qubits: int,
+    num_qubits: int,
+) -> Optional[List[int]]:
+    """The minimal-move logical→physical permutation that places every
+    qubit in *qubits* below *tile_qubits*, starting from *perm*
+    (``None`` = canonical).  Returns ``None`` when the current layout
+    already satisfies the placement.
+
+    Each misplaced qubit swaps positions with whichever qubit currently
+    owns a free low slot, so unrelated qubits move at most once.  Shared
+    by :meth:`StateVector.remap_low` and its batched counterpart so the
+    two agree on remap moves (and therefore on plan schedules) by
+    construction.
+    """
+    current = list(perm) if perm is not None else list(range(num_qubits))
+    need = [q for q in qubits if current[q] >= tile_qubits]
+    if not need:
+        return None
+    wanted = set(qubits)
+    owner = [0] * num_qubits
+    for q, p in enumerate(current):
+        owner[p] = q
+    free = iter(p for p in range(tile_qubits) if owner[p] not in wanted)
+    for q in need:
+        p = next(free)
+        displaced, high = owner[p], current[q]
+        current[q], current[displaced] = p, high
+        owner[p], owner[high] = q, displaced
+    return current
+
+
+def permutation_transpose_order(
+    old: Sequence[int], new: Sequence[int], num_qubits: int
+) -> List[int]:
+    """Tensor-axis order moving amplitudes from layout *old* to *new*.
+
+    Axis ``n-1-p`` of the ``(2,)*n`` view carries physical bit *p*;
+    logical qubit *q* must move from axis ``n-1-old[q]`` to axis
+    ``n-1-new[q]``, which is exactly ``order[n-1-new[q]] = n-1-old[q]``
+    under NumPy's ``transpose`` convention."""
+    order = [0] * num_qubits
+    for q in range(num_qubits):
+        order[num_qubits - 1 - new[q]] = num_qubits - 1 - old[q]
+    return order
+
+
 class StateVector:
     """A mutable n-qubit pure state.
 
@@ -134,7 +183,10 @@ class StateVector:
 
     @property
     def data(self) -> np.ndarray:
-        """The amplitude vector (a live view; mutate with care)."""
+        """The amplitude vector in canonical qubit order (a live view;
+        mutate with care).  Unwinds any pending lazy qubit remap first,
+        so callers never observe a permuted layout."""
+        self.unwind_remap()
         return self._data
 
     @property
@@ -150,10 +202,12 @@ class StateVector:
         dup = StateVector.__new__(StateVector)
         dup.num_qubits = self.num_qubits
         dup._data = self._data.copy()
+        dup._perm = self._perm  # forks stay lazily remapped
         return dup
 
     def norm(self) -> float:
         """Euclidean norm of the amplitude vector (1 for a valid state)."""
+        self.unwind_remap()
         return float(np.linalg.norm(self._data))
 
     def normalize(self) -> "StateVector":
@@ -166,13 +220,67 @@ class StateVector:
 
     def probabilities(self) -> np.ndarray:
         """Basis-state probabilities ``|ψ_i|²``."""
+        self.unwind_remap()
         return np.abs(self._data) ** 2
 
     def fidelity(self, other: "StateVector") -> float:
         """``|⟨self|other⟩|²``."""
         if other.num_qubits != self.num_qubits:
             raise SimulationError("fidelity requires equal qubit counts")
+        self.unwind_remap()
+        other.unwind_remap()
         return float(abs(np.vdot(self._data, other._data)) ** 2)
+
+    # -- lazy qubit remap -----------------------------------------------------
+
+    #: Logical→physical qubit permutation, or ``None`` when the layout is
+    #: canonical.  ``_perm[q]`` is the physical bit position currently
+    #: holding logical qubit *q*.  The blocked sweep executor
+    #: (:mod:`repro.simulator.engines.dense`) moves high-order operands
+    #: into tile-local positions via :meth:`remap_low`; the permutation
+    #: is applied transparently to later ``apply_*`` operands and unwound
+    #: at every observation boundary (``data``, norms, probabilities,
+    #: measurement, sampling), so RNG draw order and seeded counts are
+    #: untouched.  A class-level default keeps ``__new__``-based
+    #: construction sites (copy / row aliases) canonical for free.
+    _perm: Optional[Tuple[int, ...]] = None
+
+    def remap_low(self, qubits: Iterable[int], tile_qubits: int) -> None:
+        """Permute the physical layout so every listed logical qubit
+        occupies a position below *tile_qubits* (one transpose pass,
+        ~0.1–0.2 full gate applications; a no-op when already placed)."""
+        target = placement_permutation(
+            self._perm, qubits, tile_qubits, self.num_qubits
+        )
+        if target is not None:
+            self._apply_permutation(target)
+
+    def unwind_remap(self) -> None:
+        """Restore the canonical layout (a no-op when already canonical)."""
+        if self._perm is not None:
+            self._apply_permutation(range(self.num_qubits))
+
+    def _apply_permutation(self, new_perm: Sequence[int]) -> None:
+        """Physically transpose amplitudes from the current layout into
+        *new_perm* and record it (``None`` when it is the identity)."""
+        n = self.num_qubits
+        old = self._perm if self._perm is not None else tuple(range(n))
+        new = tuple(new_perm)
+        identity = tuple(range(n))
+        if new != old:
+            order = permutation_transpose_order(old, new, n)
+            tensor = self._data.reshape((2,) * n).transpose(order)
+            self._data = np.ascontiguousarray(tensor).reshape(-1)
+        self._perm = None if new == identity else new
+
+    def _physical(self, qubits: Sequence[int]) -> Sequence[int]:
+        """Translate logical operands into the current physical layout.
+        Out-of-range operands pass through untouched so the kernels'
+        own validation raises the canonical error."""
+        perm = self._perm
+        if perm is None:
+            return qubits
+        return [perm[q] if 0 <= q < len(perm) else q for q in qubits]
 
     # -- gate application -------------------------------------------------------
 
@@ -208,12 +316,13 @@ class StateVector:
             raise SimulationError(f"operands must be distinct, got {tuple(qubits)}")
         for q in qubits:
             self._axis(q)  # range check
+        phys = self._physical(qubits)
         if self.use_fast_kernels:
             if k == 1:
-                return self._apply_1q(matrix, qubits[0])
+                return self._apply_1q(matrix, phys[0])
             if k == 2:
-                return self._apply_2q(matrix, qubits[0], qubits[1])
-        return self.apply_matrix_generic(matrix, qubits)
+                return self._apply_2q(matrix, phys[0], phys[1])
+        return self._apply_generic(matrix, phys)
 
     def apply_matrix_generic(
         self, matrix: np.ndarray, qubits: Sequence[int]
@@ -224,6 +333,12 @@ class StateVector:
         full contracted state; the equivalence suite pins the fast
         kernels against it.
         """
+        return self._apply_generic(matrix, self._physical(qubits))
+
+    def _apply_generic(
+        self, matrix: np.ndarray, qubits: Sequence[int]
+    ) -> "StateVector":
+        """:meth:`apply_matrix_generic` on already-physical operands."""
         matrix = np.asarray(matrix, dtype=complex)
         k = len(qubits)
         n = self.num_qubits
@@ -337,7 +452,9 @@ class StateVector:
         RZZ…) collapses to one precomputed table and a single broadcast
         multiply, instead of one full-state traversal per gate.
         """
-        diag, sorted_qs = sorted_diagonal(diagonal, qubits, self.num_qubits)
+        diag, sorted_qs = sorted_diagonal(
+            diagonal, self._physical(qubits), self.num_qubits
+        )
         # C-order reshape puts the table's most-significant bit (the
         # largest operand qubit) on the leading broadcast axis — which
         # is exactly that qubit's tensor axis, since axis = n-1-q.
@@ -381,6 +498,7 @@ class StateVector:
         """``P(qubit = 1)``, computed on the half-state slice alone (the
         full ``2^n`` probability tensor is never materialized)."""
         self._axis(qubit)  # range check
+        self.unwind_remap()
         ones = self._data.reshape(-1, 2, 1 << qubit)[:, 1, :]
         return float(np.real(np.vdot(ones, ones)))
 
@@ -469,6 +587,7 @@ class StateVector:
         for label in labels:
             if label not in "IXYZ":
                 raise SimulationError(f"unknown Pauli label {label!r}")
+        self.unwind_remap()
         if set(labels) <= {"I", "Z"}:
             signed = self.probabilities()
             for label, q in zip(labels, qubits):
@@ -578,4 +697,6 @@ __all__ = [
     "circuit_unitary",
     "ghz_state",
     "sorted_diagonal",
+    "placement_permutation",
+    "permutation_transpose_order",
 ]

@@ -168,6 +168,28 @@ class MetricStore:
                     raise TelemetryError(f"unknown aggregation {how!r}")
         return centers, out
 
+    # -- collectors --------------------------------------------------------------
+
+    def record_plan_cache(self, timestamp: float) -> None:
+        """Snapshot the compiler plan cache's counters into the
+        ``simulator.plan_cache.*`` sensor family.
+
+        One call appends one observation per counter (entries, hits,
+        misses, evictions) at *timestamp* — the DCDB-style collector-loop
+        shape, so cache behaviour lands on the same timeline as the
+        operational metrics and can be windowed or correlated against
+        them like any other sensor."""
+        from repro.compiler import plans
+
+        info = plans.plan_cache_info()
+        self.insert_many(
+            timestamp,
+            {
+                f"simulator.plan_cache.{key}": float(info[key])
+                for key in ("entries", "hits", "misses", "evictions")
+            },
+        )
+
     def correlate(
         self, sensor_a: str, sensor_b: str, start: float, end: float, window: float
     ) -> float:

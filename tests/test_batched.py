@@ -238,19 +238,45 @@ class TestBatchedWalkParity:
             sample_counts(ghz_circuit(10), 512, noise=_noise(), rng=7)
         assert calls, "batched walk did not engage on the pinned workload"
 
-    def test_wide_registers_keep_the_scalar_walk(self, monkeypatch):
-        """Beyond the cache-working-set width the batched walk must
-        disengage (it loses to scalar cache residency there) — and the
-        scalar fallback is the identical code path, so counts match
-        "fast" trivially."""
+    def test_wide_registers_keep_the_scalar_walk_under_dense_sites(
+        self, monkeypatch
+    ):
+        """Beyond the cache-working-set width the batched walk engages
+        only in the blocked-wide regime, and only when the realized
+        injection sites are sparse enough for the lockstep windows to
+        block.  GHZ under per-gate noise has a site at nearly every
+        gate, so the walk must disengage — and the scalar fallback is
+        the identical code path, so counts match "fast" trivially."""
         wide = ghz_circuit(16)
         engine_cls = select_engine("batched", wide)
         assert issubclass(engine_cls, DenseEngine)
         with engine_mode("batched"):
-            assert not sampler_mod._use_batched_walk(engine_cls, wide, 64)
+            # without realization data the width alone now allows the
+            # blocked-wide regime...
+            assert sampler_mod._use_batched_walk(engine_cls, wide, 64)
+            # ...but in the regime gap (wider than cache-resident, not
+            # wider than a sweep tile) the walk always stays scalar...
+            from repro.simulator.engines import dense as dense_mod
+
+            gap = ghz_circuit(dense_mod.blocked_tile_qubits())
+            assert not sampler_mod._use_batched_walk(
+                select_engine("batched", gap), gap, 64
+            )
+            # ...and per-gate noise fragments the windows below the
+            # engagement threshold, so realization data vetoes it.
+            noisy = sampler_mod._noisy_ops(wide, _noise(), {})
+            groups = sampler_mod._group_realizations(
+                noisy, 128, np.random.default_rng(7)
+            )
+            ordered = sorted(
+                groups.items(), key=lambda kv: kv[0] or ((1 << 30, 0),)
+            )
+            assert not sampler_mod._use_batched_walk(
+                engine_cls, wide, len(ordered), ordered=ordered
+            )
 
         def boom(*args, **kwargs):  # pragma: no cover
-            raise AssertionError("batched walk engaged beyond its width")
+            raise AssertionError("batched walk engaged on site-dense ghz")
 
         monkeypatch.setattr(sampler_mod, "_grouped_batched_walk", boom)
         fast = self._counts(wide, "fast", 7, _noise(), shots=128)
@@ -415,6 +441,35 @@ class TestEngineModeBatchOptions:
         assert self._globals() == before
 
     def test_unknown_option_message_lists_new_sub_options(self):
-        with pytest.raises(EngineModeError, match="batch_min_groups, workers"):
+        with pytest.raises(
+            EngineModeError, match="batch_min_groups, batch_max_bytes, workers"
+        ):
             with engine_mode("fast", wrokers=2):
                 pass  # pragma: no cover
+
+    def test_batch_max_bytes_scoped_to_dense_family_modes(self):
+        before = (sampler_mod.BATCH_MAX_BYTES,)
+        for mode in ("baseline", "stabilizer", "mps"):
+            with pytest.raises(EngineModeError, match="batch_max_bytes"):
+                with engine_mode(mode, batch_max_bytes=65536):
+                    pass  # pragma: no cover
+        assert (sampler_mod.BATCH_MAX_BYTES,) == before
+
+    @pytest.mark.parametrize("bad", [0, 1023, -1, True, 1.5, "big"])
+    def test_batch_max_bytes_invalid_values_rejected_before_mutation(self, bad):
+        before = (sampler_mod.BATCH_MAX_BYTES,)
+        with pytest.raises(EngineModeError):
+            with engine_mode("fast", batch_max_bytes=bad):
+                pass  # pragma: no cover
+        assert (sampler_mod.BATCH_MAX_BYTES,) == before
+
+    def test_batch_max_bytes_applied_and_restored(self):
+        before = sampler_mod.BATCH_MAX_BYTES
+        for mode in ("fast", "batched", "hybrid", "auto"):
+            with engine_mode(mode, batch_max_bytes=65536):
+                assert sampler_mod.BATCH_MAX_BYTES == 65536
+            assert sampler_mod.BATCH_MAX_BYTES == before
+        # numpy integers from config code are accepted
+        with engine_mode("fast", batch_max_bytes=np.int64(131072)):
+            assert sampler_mod.BATCH_MAX_BYTES == 131072
+        assert sampler_mod.BATCH_MAX_BYTES == before

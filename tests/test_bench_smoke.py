@@ -3,16 +3,18 @@ must run inside the tier-1 time budget, emit a schema-valid
 ``BENCH_simulator.json``, and hold every speedup floor (and feasibility
 ceiling) recorded in the committed reference artifact.
 
-Schema ``repro.bench.simulator/v7`` has two entry shapes: paired lanes
+Schema ``repro.bench.simulator/v8`` has two entry shapes: paired lanes
 (``baseline_seconds`` / ``fast_seconds`` / ``speedup``, optionally a
 ``floor``) for benchmarks with a before/after comparison, and
 single-lane entries (``seconds``) for workloads no dense baseline can
-represent.  v7 adds the ``plan_cache_parameterized`` lane (N parameter
-bindings of one ansatz sampled with the cross-request plan cache cold
-vs warm, with a ≥2× speedup floor) on top of v6's
-``batched_ghz_grouped`` / ``sharded_throughput`` lanes and per-entry
-``workers`` counts — all enforced by ``--check``, the bench regression
-guard this suite keeps wired into tier-1.
+represent.  v8 adds the cache-blocked wide-state lanes —
+``blocked_wide_dense`` (dense advance past the tile width with blocked
+sweeps off vs on, ≥1.3× floor) and ``batched_wide_grouped`` (batched vs
+scalar grouped walk above the old cache-resident cap, floor pinning "no
+regression over scalar") — on top of v7's ``plan_cache_parameterized``
+lane and v6's ``batched_ghz_grouped`` / ``sharded_throughput`` lanes
+and per-entry ``workers`` counts — all enforced by ``--check``, the
+bench regression guard this suite keeps wired into tier-1.
 """
 
 import importlib.util
@@ -69,7 +71,7 @@ def test_bench_quick_check_emits_valid_schema_and_holds_floors(tmp_path):
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert "--check passed" in proc.stdout
     payload = json.loads(out.read_text())
-    assert payload["schema"] == "repro.bench.simulator/v7"
+    assert payload["schema"] == "repro.bench.simulator/v8"
     assert payload["quick"] is True
     assert isinstance(payload["config"], dict)
     names = set()
@@ -102,23 +104,27 @@ def test_bench_quick_check_emits_valid_schema_and_holds_floors(tmp_path):
     assert "mps_brickwork" in names
     assert "mps_qaoa_wide" in names
     assert "batched_ghz_grouped" in names
+    assert "blocked_wide_dense" in names
+    assert "batched_wide_grouped" in names
     assert "sharded_throughput" in names
     assert "plan_cache_parameterized" in names
 
 
-def test_committed_artifact_is_v7_with_floors_and_wide_scaling():
-    """The committed reference must carry the v7 surface --check relies
-    on: floors on the acceptance lanes (now including
-    plan_cache_parameterized), the 256/512/1024-qubit packed scaling
-    lanes, and the feasibility lanes with their ceilings."""
+def test_committed_artifact_is_v8_with_floors_and_wide_scaling():
+    """The committed reference must carry the v8 surface --check relies
+    on: floors on the acceptance lanes (now including the cache-blocked
+    wide lanes), the 256/512/1024-qubit packed scaling lanes, and the
+    feasibility lanes with their ceilings."""
     payload = json.loads((REPO / "BENCH_simulator.json").read_text())
-    assert payload["schema"] == "repro.bench.simulator/v7"
+    assert payload["schema"] == "repro.bench.simulator/v8"
     floors = {e["name"] for e in payload["benchmarks"] if "floor" in e}
     assert "stabilizer_packed_ghz" in floors
     assert "diagonal_fusion_dense" in floors
     assert "ghz_shot_sampling_grouped" in floors
     assert "mps_brickwork" in floors
     assert "batched_ghz_grouped" in floors
+    assert "blocked_wide_dense" in floors
+    assert "batched_wide_grouped" in floors
     assert "plan_cache_parameterized" in floors
     scaling_sizes = {
         e["params"]["num_qubits"]
@@ -160,6 +166,23 @@ def test_committed_artifact_is_v7_with_floors_and_wide_scaling():
     assert sharded[0]["seconds"] <= sharded[0]["max_seconds"]
     assert sharded[0]["params"]["workers"] >= 1
     assert sharded[0]["params"]["block_shots"] >= 1
+    # the cache-blocked wide-state acceptance gate: the committed dense
+    # lane must clear the ≥1.3× floor at a width past the tile, and the
+    # wide batched lane (above the old 13-qubit engagement cap) must
+    # record the budget/tile it ran with and hold its no-regression floor
+    blocked = [
+        e for e in payload["benchmarks"] if e["name"] == "blocked_wide_dense"
+    ]
+    assert blocked, "committed artifact lost the blocked_wide_dense lane"
+    assert blocked[0]["speedup"] >= blocked[0]["floor"] >= 1.3
+    assert blocked[0]["params"]["num_qubits"] > blocked[0]["params"]["tile_qubits"]
+    assert blocked[0]["params"]["batch_max_bytes"] >= 1024
+    wide_batched = [
+        e for e in payload["benchmarks"] if e["name"] == "batched_wide_grouped"
+    ]
+    assert wide_batched, "committed artifact lost the batched_wide_grouped lane"
+    assert wide_batched[0]["speedup"] >= wide_batched[0]["floor"]
+    assert wide_batched[0]["params"]["num_qubits"] > 13
     # the plan-cache acceptance gate: warm bindings of one ansatz must
     # beat cold (cache cleared per binding) by the committed floor
     plan = [

@@ -59,7 +59,7 @@ def test_architecture_doc_covers_engine_contract():
         "stabilizer",
         "baseline",
         "BENCH_simulator.json",
-        "repro.bench.simulator/v7",
+        "repro.bench.simulator/v8",
     ):
         assert needle in text, f"architecture doc lost the {needle!r} section"
 
@@ -162,6 +162,42 @@ def test_architecture_doc_covers_batched_and_sharding():
         "sharded_throughput",
     ):
         assert needle in text, f"architecture doc lost the {needle!r} section"
+
+
+def test_architecture_doc_covers_blocked_execution():
+    """The cache-blocked section must name the switch, the tile
+    derivation, the schedule/executor surface, the remap layer with its
+    unwind contract, and the v8 bench lanes."""
+    text = ARCHITECTURE.read_text()
+    for needle in (
+        "Cache-blocked wide-state execution",
+        "BLOCKED_SWEEPS",
+        "blocked_tile_qubits",
+        "plan_blocked_window",
+        "execute_blocked",
+        "remap_low",
+        "unwind_remap",
+        "placement_permutation",
+        "block_schedules",
+        "batch_max_bytes",
+        "blocked_wide_dense",
+        "batched_wide_grouped",
+        "tests/test_blocked.py",
+    ):
+        assert needle in text, f"architecture doc lost the {needle!r} section"
+
+
+def test_readme_covers_blocked_execution():
+    """The README engine table must carry the blocked-sweep note and
+    point at the recorded wide lanes."""
+    text = README.read_text()
+    for needle in (
+        "cache-blocked sweeps",
+        "blocked_wide_dense",
+        "batched_wide_grouped",
+        "batch_max_bytes",
+    ):
+        assert needle in text, f"README lost the {needle!r} coverage"
 
 
 def test_architecture_doc_covers_execution_plans():

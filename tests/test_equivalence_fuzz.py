@@ -16,7 +16,12 @@ Five shape families cover the distinct execution regimes:
   non-diagonal runs, rebinding against a shared structural hash;
 * ``noisy`` — depolarizing noise: the grouped walk's fork/injection
   machinery under plans;
-* ``mid_measure`` — mid-circuit measure/reset: the per-shot event walk.
+* ``mid_measure`` — mid-circuit measure/reset: the per-shot event walk;
+* ``wide`` — deep registers past the blocked-sweep tile: cache-blocked
+  execution plus the lazy qubit remap, fuzzed on **two** axes (planned
+  vs unplanned, blocked vs unblocked).  Tier-1 shrinks the tile via
+  ``batch_max_bytes`` so 8–10 qubits already count as wide; the deep
+  budget runs the real 16–20 qubit registers.
 
 Budgets: the tier-1 sample keeps the suite fast; ``--fuzz-deep`` runs
 hundreds of circuits per invocation (the acceptance budget).
@@ -112,11 +117,63 @@ def _random_mid_measure(rng, n, depth) -> QuantumCircuit:
     return qc
 
 
+def _random_wide(rng, n, depth) -> QuantumCircuit:
+    """Deep wide-register shapes: bursts of activity anchored on a
+    3-qubit neighborhood (mostly low, sometimes high — forcing remaps),
+    with diagonal excursions to arbitrary qubits riding the sweeps.
+    The burst locality mirrors real wide circuits, where most operand
+    sets sit far below the (14-qubit) tile; uniform qubit choice at the
+    fuzz suite's shrunken tile would never let the scheduler engage."""
+    qc = QuantumCircuit(n, n)
+    diagonals = ("t", "tdg", "z", "s")
+    emitted = 0
+    while emitted < depth:
+        anchor = 0 if rng.random() < 0.55 else int(rng.integers(n - 2))
+        for _ in range(int(rng.integers(5, 10))):
+            r = rng.random()
+            if r < 0.25:
+                q = int(rng.integers(n))
+                if rng.random() < 0.5:
+                    qc.rz(float(rng.uniform(0, 2 * np.pi)), q)
+                else:
+                    getattr(qc, diagonals[rng.integers(len(diagonals))])(q)
+            elif r < 0.6:
+                q = anchor + int(rng.integers(3))
+                qc.ry(float(rng.uniform(0, 2 * np.pi)), q)
+            else:
+                a = anchor + int(rng.integers(2))
+                qc.cz(a, a + 1) if rng.random() < 0.5 else qc.cx(a, a + 1)
+            emitted += 1
+    qc.measure_all()
+    return qc
+
+
 def _fuzz_noise(rng) -> NoiseModel:
     nm = NoiseModel()
     nm.add_gate_error(depolarizing_error(float(rng.uniform(0.02, 0.12)), 2), "cx")
     nm.add_gate_error(depolarizing_error(float(rng.uniform(0.01, 0.08)), 1), "h")
     return nm
+
+
+def _assert_blocked_equals_unblocked(
+    qc, modes, seed, noise=None, shots=128, **mode_options
+):
+    """The blocked-sweep axis: turning cache blocking off must not move
+    a single seeded count (the unblocked path is the reference math)."""
+    from repro.simulator.engines import dense
+
+    for mode in modes:
+        blocked = counts_under_mode(
+            qc, mode, seed, noise=noise, shots=shots, **mode_options
+        )
+        dense.BLOCKED_SWEEPS = False
+        try:
+            unblocked = counts_under_mode(
+                qc, mode, seed, noise=noise, shots=shots, **mode_options
+            )
+        finally:
+            dense.BLOCKED_SWEEPS = True
+        assert_counts_identical(blocked, unblocked, context=("blocked", mode, seed))
 
 
 def _assert_planned_equals_unplanned(
@@ -189,6 +246,61 @@ class TestPlannedVsUnplannedFuzz:
             _assert_planned_equals_unplanned(
                 qc, ("fast", "hybrid", "mps"), seed=i, shots=64
             )
+
+    def test_wide_family(self, fuzz_deep):
+        """Blocked sweeps + remap unwind on the grouped walk.  Tier-1
+        shrinks the tile (``batch_max_bytes=1024`` → 3-qubit tiles) so
+        8–10 qubit circuits already exercise the wide machinery; deep
+        runs genuine 16–18 qubit registers at the default tile."""
+        rng = np.random.default_rng(6006)
+        if fuzz_deep:
+            cases = [(int(rng.integers(16, 19)), int(rng.integers(24, 36))) for _ in range(3)]
+            opts, shots = {}, 24
+        else:
+            cases = [(int(rng.integers(8, 11)), int(rng.integers(24, 40))) for _ in range(3)]
+            opts, shots = {"batch_max_bytes": 1024}, 64
+        for i, (n, depth) in enumerate(cases):
+            qc = _random_wide(rng, n, depth)
+            nm = NoiseModel()
+            nm.add_gate_error(
+                depolarizing_error(float(rng.uniform(0.01, 0.03)), 2), "cx"
+            )
+            _assert_planned_equals_unplanned(
+                qc, ("fast", "batched"), seed=i, noise=nm, shots=shots, **opts
+            )
+            _assert_blocked_equals_unblocked(
+                qc, ("fast", "batched"), seed=i, noise=nm, shots=shots, **opts
+            )
+
+    def test_wide_family_per_shot(self, fuzz_deep):
+        """Mid-circuit measurement drops the sampler to the per-shot
+        event walk; the blocked sweep must stay invisible there too."""
+        rng = np.random.default_rng(7007)
+        if fuzz_deep:
+            n, shots, opts = 16, 12, {}
+        else:
+            n, shots, opts = 9, 48, {"batch_max_bytes": 1024}
+        for i in range(2):
+            qc = _random_mid_measure(rng, n, int(rng.integers(20, 32)))
+            _assert_blocked_equals_unblocked(
+                qc, ("fast",), seed=i, shots=shots, **opts
+            )
+
+    def test_wide_family_hits_the_blocked_scheduler(self):
+        """The generator must actually produce windows the scheduler
+        accepts at the fuzz tile width, or the sweeps above silently
+        degrade into the plain path."""
+        from repro.simulator.engines import dense
+
+        rng = np.random.default_rng(6006)
+        hits = 0
+        for _ in range(6):
+            qc = _random_wide(rng, 9, 32)
+            ops = [inst for inst in qc if inst.name != "measure"]
+            partition = dense.partition_window(ops)
+            if dense.plan_blocked_window(ops, partition, 9, tile_qubits=3):
+                hits += 1
+        assert hits >= 3
 
     def test_generator_covers_regimes(self):
         """The families must actually produce what they claim — e.g.

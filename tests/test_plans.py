@@ -207,7 +207,18 @@ class TestPlanCache:
             "max_entries": plans.PLAN_CACHE_MAX,
             "hits": 0,
             "misses": 0,
+            "evictions": 0,
         }
+
+    def test_eviction_counter_counts_lru_drops(self, monkeypatch):
+        plans.plan_cache_clear()
+        monkeypatch.setattr(plans, "PLAN_CACHE_MAX", 2)
+        for n in (3, 4, 5, 6):
+            plans.plan_for(ghz_t(n))
+        info = plans.plan_cache_info()
+        assert info["entries"] == 2
+        assert info["misses"] == 4
+        assert info["evictions"] == 2
 
 
 class TestPlanArtifacts:
@@ -216,6 +227,7 @@ class TestPlanArtifacts:
             "window_partitions",
             "diagonal_tables",
             "block_matrices",
+            "block_schedules",
         )
         assert BatchedDenseEngine.plan_artifacts == DenseEngine.plan_artifacts
         assert TableauEngine.plan_artifacts == ()

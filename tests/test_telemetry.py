@@ -67,6 +67,31 @@ class TestMetricStore:
         s.insert_many(1.0, {"a": 1.0, "b": 2.0})
         assert len(s) == 2
 
+    def test_record_plan_cache_snapshots_counters(self):
+        from repro.circuits import ghz_circuit
+        from repro.compiler import plans
+
+        plans.plan_cache_clear()
+        s = MetricStore()
+        s.record_plan_cache(0.0)
+        plans.plan_for(ghz_circuit(4))  # miss
+        plans.plan_for(ghz_circuit(4))  # hit
+        s.record_plan_cache(1.0)
+        family = s.sensors("simulator.plan_cache")
+        assert family == [
+            "simulator.plan_cache.entries",
+            "simulator.plan_cache.evictions",
+            "simulator.plan_cache.hits",
+            "simulator.plan_cache.misses",
+        ]
+        assert s.latest("simulator.plan_cache.hits").value == 1.0
+        assert s.latest("simulator.plan_cache.misses").value == 1.0
+        assert s.latest("simulator.plan_cache.entries").value == 1.0
+        assert s.latest("simulator.plan_cache.evictions").value == 0.0
+        # two collection cycles landed on the shared timeline
+        ts, vs = s.query("simulator.plan_cache.misses")
+        assert list(ts) == [0.0, 1.0] and list(vs) == [0.0, 1.0]
+
     def test_aggregate_mean(self):
         s = MetricStore()
         for t in range(100):
