@@ -60,14 +60,22 @@ the engine lanes :func:`repro.simulator.engine_mode` exposes:
   sharing, ``Counts.merge`` — as a single-lane feasibility entry with a
   ``max_seconds`` ceiling; the reference machine is single-core, so the
   lane records ``workers: 1``, whose counts every pool size reproduces
-  bit for bit by construction).
+  bit for bit by construction);
+* **sharded with faults** — crash recovery under load
+  (``sharded_with_faults`` runs the sharded sampler at ``workers: 2``
+  with one worker deterministically killed mid-block by the
+  :mod:`repro.testing.faults` harness: the lane times fault detection,
+  the single pool rebuild, and the failed-block re-run end to end
+  under a ``max_seconds`` ceiling, and records the recovery counters —
+  ``pool_rebuilds``/``retries`` — as proof the fault actually fired;
+  bit-identical recovered counts are pinned by ``pytest -m faults``).
 
 Every entry's ``params`` records the ``workers`` count it ran with
 (``1`` everywhere except sharded lanes on multi-core machines), so perf
 trajectories across machines stay attributable.
 
 Results are printed as a table and written to ``BENCH_simulator.json``
-(schema ``repro.bench.simulator/v8``) so later PRs have a perf
+(schema ``repro.bench.simulator/v9``) so later PRs have a perf
 trajectory to beat.  Acceptance-gate lanes carry a ``floor`` — the
 minimum speedup later runs must preserve — and wide single-lane entries
 may carry a ``max_seconds`` feasibility ceiling; ``--check`` runs the
@@ -115,7 +123,7 @@ from repro.simulator.sampler import _sample_per_shot  # noqa: E402
 from repro.simulator.sampler import engine_mode as engine  # noqa: E402
 from repro.simulator.statevector import StateVector  # noqa: E402
 
-SCHEMA = "repro.bench.simulator/v8"
+SCHEMA = "repro.bench.simulator/v9"
 
 #: Speedup floors for the acceptance-gate lanes, recorded into the
 #: artifact (``floor`` field) and enforced by ``--check``.  Values are
@@ -149,6 +157,7 @@ FLOORS: Dict[str, float] = {
 CEILINGS: Dict[str, float] = {
     "mps_qaoa_wide": 60.0,
     "sharded_throughput": 30.0,
+    "sharded_with_faults": 30.0,
 }
 
 
@@ -799,6 +808,67 @@ def bench_sharded_throughput(
     return entry
 
 
+def bench_sharded_with_faults(
+    num_qubits: int, shots: int, workers: int, repeats: int
+) -> Dict[str, object]:
+    """Crash recovery under load: the sharded sampler with one worker
+    **killed mid-run** (a deterministic ``shard.block`` kill injected by
+    :mod:`repro.testing.faults`), timing detection, the single pool
+    rebuild, and the re-run of the failed blocks end to end.  Single-lane
+    feasibility entry with a ``max_seconds`` ceiling: recovery must stay
+    interactive, not just correct (correctness — bit-identical counts —
+    is pinned by ``pytest -m faults``).  The rebuild backoff is zeroed
+    for the measurement so the lane times recovery work, not sleep."""
+    from repro.simulator import resilience, sharding
+    from repro.simulator.sharding import sample_counts_sharded
+    from repro.testing import Fault, inject_faults
+
+    circuit = ghz_circuit(num_qubits)
+    noise = _ghz_noise()
+
+    def run_once():
+        resilience.reset_counters()
+        with inject_faults(
+            Fault("shard.block", action="kill", index=1, times=1, worker_only=True)
+        ):
+            sample_counts_sharded(
+                circuit, shots, noise=noise, seed=7, workers=workers
+            )
+
+    prev_backoff = sharding.REBUILD_BACKOFF_BASE
+    try:
+        sharding.REBUILD_BACKOFF_BASE = 0.0
+        with engine("fast"):
+            seconds = _timed(run_once, repeats)
+    finally:
+        sharding.REBUILD_BACKOFF_BASE = prev_backoff
+    counters = resilience.counters()
+    resilience.reset_counters()
+    entry: Dict[str, object] = {
+        "name": "sharded_with_faults",
+        "params": {
+            "num_qubits": num_qubits,
+            "shots": shots,
+            "noise": "depolarizing",
+            "workers": workers,
+            "block_shots": SHARD_BLOCK_SHOTS,
+            "injected_fault": "worker-kill@block1",
+        },
+        "seconds": seconds,
+        "throughput_unit": "shots_per_sec",
+        "throughput": shots / seconds,
+        # Recovery-path proof: the lane is meaningless if the fault did
+        # not actually fire, so the counters ride along in the artifact.
+        "pool_rebuilds": counters["pool_rebuilds"],
+        "retries": counters["retries"],
+        "inline_fallbacks": counters["inline_fallbacks"],
+    }
+    ceiling = CEILINGS.get("sharded_with_faults")
+    if ceiling is not None:
+        entry["max_seconds"] = ceiling
+    return entry
+
+
 def bench_vqe_iteration(shots: int, repeats: int) -> List[Dict[str, object]]:
     """Latency of one VQE energy evaluation (the tight-loop unit of work):
     the sampled estimator and the exact state-vector path."""
@@ -881,6 +951,9 @@ def run(quick: bool) -> Dict[str, object]:
             "sharded_qubits": 12,
             "sharded_shots": 2048,
             "sharded_workers": 1,
+            "sharded_faults_qubits": 12,
+            "sharded_faults_shots": 1024,
+            "sharded_faults_workers": 2,
         }
         repeats = 1
     else:
@@ -922,6 +995,9 @@ def run(quick: bool) -> Dict[str, object]:
             "sharded_qubits": 12,
             "sharded_shots": 8192,
             "sharded_workers": 1,
+            "sharded_faults_qubits": 12,
+            "sharded_faults_shots": 2048,
+            "sharded_faults_workers": 2,
         }
         repeats = 2
     benchmarks: List[Dict[str, object]] = []
@@ -1001,6 +1077,14 @@ def run(quick: bool) -> Dict[str, object]:
             config["sharded_qubits"],
             config["sharded_shots"],
             config["sharded_workers"],
+            repeats,
+        )
+    )
+    benchmarks.append(
+        bench_sharded_with_faults(
+            config["sharded_faults_qubits"],
+            config["sharded_faults_shots"],
+            config["sharded_faults_workers"],
             repeats,
         )
     )

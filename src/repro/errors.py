@@ -56,6 +56,41 @@ class EngineModeError(SimulationError, ValueError):
     """
 
 
+class ResourceAdmissionError(SimulationError):
+    """A request was rejected by pre-flight admission control.
+
+    Raised by :func:`repro.simulator.resilience.check_admission` **before
+    any state allocation** when an engine's estimated peak memory exceeds
+    the active budget (``engine_mode(max_state_bytes=...)``), instead of
+    letting the allocation fail (or the OOM killer strike) mid-run.
+    Structured so service layers can report and degrade: the offending
+    engine, the estimate, the budget, and the circuit width all ride on
+    the exception.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        engine: str = "",
+        requested_bytes: int = 0,
+        budget_bytes: int = 0,
+        num_qubits: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.engine = str(engine)
+        self.requested_bytes = int(requested_bytes)
+        self.budget_bytes = int(budget_bytes)
+        self.num_qubits = int(num_qubits)
+
+
+class FaultInjected(ReproError):
+    """An artificial failure raised by the deterministic fault-injection
+    harness (:mod:`repro.testing.faults`).  Never raised in production:
+    it exists so recovery tests can tell an injected fault apart from a
+    real defect."""
+
+
 # ---------------------------------------------------------------------------
 # Device / QPU layer
 # ---------------------------------------------------------------------------
@@ -169,6 +204,25 @@ class RestApiError(MiddlewareError):
         super().__init__(message)
         self.status = int(status)
         self.message = message
+
+
+class JobTimeoutError(RestApiError):
+    """A client-side wait on a job outlived its tick budget.
+
+    Carries the job id and the last status the client observed, so a
+    caller (or an operator reading a log line) can tell a stuck queue
+    from a dead job without a second round-trip.
+    """
+
+    def __init__(self, job_id: int, last_status: str, max_ticks: int) -> None:
+        super().__init__(
+            504,
+            f"job {job_id} did not finish in {max_ticks} ticks "
+            f"(last status: {last_status})",
+        )
+        self.job_id = int(job_id)
+        self.last_status = str(last_status)
+        self.max_ticks = int(max_ticks)
 
 
 class AdapterError(MiddlewareError):

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.circuits.serialize import circuit_from_dict, circuit_to_dict
-from repro.errors import RestApiError, SerializationError
+from repro.errors import JobTimeoutError, RestApiError, SerializationError
 from repro.qdmi.interface import QDMIProperty
 from repro.scheduler.jobs import Job, JobState
 from repro.scheduler.qrm import QuantumResourceManager
@@ -204,6 +204,9 @@ class RestServer:
                     QDMIProperty.CALIBRATION_TIMESTAMP
                 ),
             }
+        # Live queue depth so clients can back off before submitting
+        # (the structured-timeout counterpart on the server side).
+        body["queue_depth"] = self.qrm.queue_length
         return RestResponse(200, body)
 
     # -- server-side processing -----------------------------------------------
@@ -268,7 +271,14 @@ class RestClient:
 
     def wait(self, job_id: int, *, max_ticks: int = 10_000) -> JSON:
         """Poll-and-process until the job finishes (in the emulation, the
-        client tick also drives the server worker)."""
+        client tick also drives the server worker).
+
+        Raises a structured :class:`~repro.errors.JobTimeoutError`
+        (status 504, carrying ``job_id`` and ``last_status``) when the
+        tick budget runs out, so callers can distinguish a stuck queue
+        from a dead job and back off — ``GET /device`` exposes the
+        live ``queue_depth`` for exactly that."""
+        status = "unknown"
         for _ in range(max_ticks):
             status = self.status(job_id)
             if status == "completed":
@@ -279,7 +289,7 @@ class RestClient:
                     500, f"job {job_id} {status}: {resp.body.get('error')}"
                 )
             self._server.process(1)
-        raise RestApiError(504, f"job {job_id} did not finish in {max_ticks} ticks")
+        raise JobTimeoutError(job_id, status, max_ticks)
 
     def list_jobs(self, **query) -> JSON:
         resp = self._server.list_jobs(**query)

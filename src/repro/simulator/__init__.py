@@ -57,8 +57,21 @@ from repro.simulator.noise import (
     pauli_error,
     thermal_relaxation_error,
 )
+from repro.simulator.resilience import (
+    FALLBACK_CHAINS,
+    FallbackHop,
+    FallbackResult,
+    ResourceEstimate,
+    check_admission,
+    estimate_resources,
+    run_with_fallback,
+)
 from repro.simulator.sampler import engine_mode, ideal_probabilities, sample_counts
-from repro.simulator.sharding import SHARD_BLOCK_SHOTS, sample_counts_sharded
+from repro.simulator.sharding import (
+    SHARD_BLOCK_SHOTS,
+    SharedPrefix,
+    sample_counts_sharded,
+)
 from repro.simulator.stabilizer import (
     CosetSupport,
     Tableau,
@@ -104,6 +117,14 @@ __all__ = [
     "sample_counts",
     "sample_counts_sharded",
     "SHARD_BLOCK_SHOTS",
+    "SharedPrefix",
+    "FALLBACK_CHAINS",
+    "FallbackHop",
+    "FallbackResult",
+    "ResourceEstimate",
+    "check_admission",
+    "estimate_resources",
+    "run_with_fallback",
     "ExecutionEngine",
     "BatchedDenseEngine",
     "BatchedStateVector",

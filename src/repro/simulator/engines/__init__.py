@@ -182,7 +182,15 @@ def prepare_engine(
         from repro.simulator import sampler
 
         mode = sampler.ENGINE
-    engine = select_engine(mode, circuit)(circuit)
+    engine_cls = select_engine(mode, circuit)
+    if mode != "baseline":
+        # Same pre-flight admission gate as the sampling path: the
+        # expectation path allocates engine state too, so an over-budget
+        # request must fail structurally before the allocation.
+        from repro.simulator import resilience
+
+        resilience.check_admission(circuit, mode, engine_cls=engine_cls)
+    engine = engine_cls(circuit)
     r = as_rng(rng)
     for inst in circuit:
         if inst.name == "measure":

@@ -87,6 +87,23 @@ class ExecutionEngine(ABC):
         self.circuit = circuit
         self.prepare(circuit)
 
+    # -- admission control -----------------------------------------------------
+
+    @classmethod
+    def estimate_peak_bytes(cls, circuit: QuantumCircuit) -> Optional[int]:
+        """Estimated peak state memory, in bytes, for one sampling
+        request of *circuit* on this backend — or ``None`` when the
+        backend cannot predict its footprint.
+
+        Consumed by pre-flight admission control
+        (:func:`repro.simulator.resilience.check_admission`) **before**
+        any allocation, so the estimate must be computable from the
+        circuit and the engine's configuration alone.  ``None`` (the
+        default for backends that do not override this) admits the
+        request unconditionally.
+        """
+        return None
+
     # -- execution plans -------------------------------------------------------
 
     def bind_plan(self, plan) -> None:

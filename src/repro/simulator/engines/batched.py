@@ -41,6 +41,17 @@ class BatchedDenseEngine(DenseEngine):
     supports_batched_groups = True
 
     @classmethod
+    def estimate_peak_bytes(cls, circuit) -> int:
+        # The dense peak plus one cache-budget's worth of stacked rows:
+        # batched chunks are sized to fit ``BATCH_MAX_BYTES`` whole, so
+        # that budget is exactly the extra working set this walk adds.
+        from repro.simulator import sampler
+
+        return DenseEngine.estimate_peak_bytes(circuit) + int(
+            sampler.BATCH_MAX_BYTES
+        )
+
+    @classmethod
     def advance_batch(
         cls, batch: BatchedStateVector, ops: Sequence[Instruction]
     ) -> None:

@@ -625,6 +625,16 @@ class DenseEngine(ExecutionEngine):
         "block_schedules",
     )
 
+    #: Live ``2^n`` amplitude vectors at the grouped walk's peak: the
+    #: shared clean prefix, the active trajectory fork, and one suffix
+    #: checkpoint.  The admission estimate multiplies by this rather than
+    #: pretending a request costs exactly one state.
+    PEAK_STATES = 3
+
+    @classmethod
+    def estimate_peak_bytes(cls, circuit: QuantumCircuit) -> int:
+        return cls.PEAK_STATES * (16 << circuit.num_qubits)
+
     def prepare(self, circuit: QuantumCircuit) -> None:
         self._state = StateVector(circuit.num_qubits)
 

@@ -79,6 +79,20 @@ class HybridSegmentEngine(ExecutionEngine):
     #: skips the per-gate ``clifford_primitives()`` classification.
     plan_artifacts = ("clifford_boundary",)
 
+    @classmethod
+    def estimate_peak_bytes(cls, circuit: QuantumCircuit) -> int:
+        # At dense widths the engine may densify outright, so the dense
+        # peak is the honest bound.  Beyond the dense limit densification
+        # is impossible: the peak is the prefix tableau plus the sparse
+        # tail at its hard entry cap (index + amplitude per entry).
+        from repro.simulator.engines.dense import DenseEngine
+        from repro.simulator.engines.tableau import TableauEngine
+
+        n = circuit.num_qubits
+        if n <= DENSE_QUBIT_LIMIT:
+            return DenseEngine.estimate_peak_bytes(circuit)
+        return TableauEngine.estimate_peak_bytes(circuit) + _WIDE_SPARSE_CAP * 24
+
     def prepare(self, circuit: QuantumCircuit) -> None:
         self._tab: Optional[Tableau] = Tableau(circuit.num_qubits)
         self._sparse: Optional[SparseAmplitudes] = None

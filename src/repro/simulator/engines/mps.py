@@ -560,6 +560,15 @@ class MPSEngine(ExecutionEngine):
     #: shortest-path computation, so arithmetic is unchanged).
     plan_artifacts = ("swap_routes",)
 
+    @classmethod
+    def estimate_peak_bytes(cls, circuit: QuantumCircuit) -> int:
+        # Every site tensor is at most (chi, 2, chi) complex128; the
+        # two-site contraction scratch and the trajectory fork together
+        # roughly double that, hence the factor 2 — all under the
+        # process-global cap :data:`CHI` active at admission time.
+        n = circuit.num_qubits
+        return 2 * n * (2 * CHI * CHI * 16)
+
     def prepare(self, circuit: QuantumCircuit) -> None:
         self._state = MPSState(circuit.num_qubits)
 

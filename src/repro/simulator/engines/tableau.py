@@ -90,6 +90,15 @@ class TableauEngine(ExecutionEngine):
     #: this backend accepts plans (forks keep them) but consumes none.
     plan_artifacts = ()
 
+    @classmethod
+    def estimate_peak_bytes(cls, circuit: QuantumCircuit) -> int:
+        # Upper bound covering both implementations: the uint8 tableau
+        # holds two (2n, n) bit matrices plus phases (~4n² + 2n bytes);
+        # the packed tableau is ~16× smaller.  Doubled for the trajectory
+        # fork the grouped walk keeps live.
+        n = circuit.num_qubits
+        return 2 * (4 * n * n + 2 * n)
+
     def prepare(self, circuit: QuantumCircuit) -> None:
         # The implementation (uint8 vs bit-packed word-parallel) is a
         # policy decision owned by the stabilizer module: packed at and

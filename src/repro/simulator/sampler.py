@@ -81,6 +81,7 @@ from repro.simulator.engines import mps as _mps
 from repro.simulator.noise import NoiseModel, QuantumError
 from repro.simulator.statevector import StateVector
 from repro.simulator import stabilizer as _stabilizer
+from repro.testing import faults as _faults
 from repro.utils.rng import RandomState, as_rng
 
 
@@ -132,6 +133,14 @@ def sample_counts(
             workers=WORKERS,
             instruction_errors=extra,
         )
+    if ENGINE != "baseline":
+        # Pre-flight admission control: reject an over-budget request
+        # with a structured error *before* any state allocation.  The
+        # baseline seed path is exempt so its behaviour stays
+        # byte-for-byte historical.
+        from repro.simulator import resilience as _resilience
+
+        _resilience.check_admission(circuit, ENGINE)
     return _sample_counts_single(circuit, int(shots), noise, as_rng(rng), extra)
 
 
@@ -264,6 +273,12 @@ _BATCH_BYTES_FLOOR = 1024
 #: historical).
 _WORKERS_MODES = ("fast", "batched", "stabilizer", "hybrid", "mps", "auto")
 
+#: Modes under which the ``max_state_bytes`` sub-option is meaningful:
+#: every accelerated route runs pre-flight admission control
+#: (:mod:`repro.simulator.resilience`); the ``baseline`` seed path never
+#: does, so its failure behaviour stays byte-for-byte historical.
+_ADMISSION_MODES = ("fast", "batched", "stabilizer", "hybrid", "mps", "auto")
+
 #: Minimum trajectory-group count (clean group included) before the
 #: batched grouped walk engages under :data:`_BATCHED_WALK_MODES`; below
 #: it the scalar prefix-sharing walk wins on setup cost.  Set via
@@ -334,6 +349,7 @@ def engine_mode(
     batch_min_groups: Optional[int] = None,
     batch_max_bytes: Optional[int] = None,
     workers: Optional[int] = None,
+    max_state_bytes: Optional[int] = None,
     **unknown_options: object,
 ) -> Iterator[None]:
     """Select the simulation engine for the dynamic extent of the block.
@@ -429,14 +445,25 @@ def engine_mode(
     single-stream draw order.  Live generators are rejected under
     sharding for exactly that reason.
 
+    The keyword-only *max_state_bytes* sub-option (any accelerated mode)
+    scopes the pre-flight admission-control budget
+    (:data:`repro.simulator.resilience.MAX_STATE_BYTES`) for the block:
+    a request whose routed engine estimates a peak footprint above the
+    budget raises a structured
+    :class:`~repro.errors.ResourceAdmissionError` **before any state
+    allocation**.  The default budget admits everything the stack could
+    historically serve (the dense peak at the dense qubit limit), so
+    this sub-option only ever tightens or relaxes that envelope; counts
+    of admitted requests are unaffected.
+
     Every sub-option is validated **for the selected mode**: a
     sub-option that the mode's routing can never consume
     (``tableau_impl`` outside tableau-capable modes, ``chi`` /
     ``truncation_threshold`` outside ``"mps"`` / ``"auto"``,
     ``batch_min_groups`` outside ``"batched"`` / ``"auto"``,
     ``batch_max_bytes`` outside the dense-family modes,
-    ``workers`` under ``"baseline"``) is rejected rather than silently
-    ignored, as is any unrecognized keyword.
+    ``workers`` / ``max_state_bytes`` under ``"baseline"``) is rejected
+    rather than silently ignored, as is any unrecognized keyword.
 
     An invalid *mode* or sub-option raises
     :class:`~repro.errors.EngineModeError` (a :class:`ValueError`)
@@ -456,7 +483,7 @@ def engine_mode(
         raise EngineModeError(
             f"unknown engine_mode sub-option(s): {names}; recognized "
             "sub-options are tableau_impl, chi, truncation_threshold, "
-            "batch_min_groups, batch_max_bytes, workers"
+            "batch_min_groups, batch_max_bytes, workers, max_state_bytes"
         )
     if fast is not None:
         if mode is not None:
@@ -546,7 +573,23 @@ def engine_mode(
             raise EngineModeError(
                 f"workers must be an integer >= 1, got {workers!r}"
             )
+    if max_state_bytes is not None:
+        if mode not in _ADMISSION_MODES:
+            raise EngineModeError(
+                f"max_state_bytes is not a sub-option of engine mode {mode!r}; "
+                f"it applies to {_ADMISSION_MODES}"
+            )
+        if (
+            isinstance(max_state_bytes, bool)
+            or not isinstance(max_state_bytes, numbers.Integral)
+            or max_state_bytes < 1
+        ):
+            raise EngineModeError(
+                f"max_state_bytes must be an integer >= 1, got {max_state_bytes!r}"
+            )
     # Validation is complete — only now may globals be mutated.
+    from repro.simulator import resilience as _resilience
+
     global USE_PREFIX_SHARING, ENGINE, BATCH_MIN_GROUPS, BATCH_MAX_BYTES, WORKERS
     prev_engine = ENGINE
     prev_kernels = StateVector.use_fast_kernels
@@ -557,6 +600,7 @@ def engine_mode(
     prev_batch_min = BATCH_MIN_GROUPS
     prev_batch_bytes = BATCH_MAX_BYTES
     prev_workers = WORKERS
+    prev_budget = _resilience.MAX_STATE_BYTES
     accelerated = mode != "baseline"
     ENGINE = mode
     StateVector.use_fast_kernels = accelerated
@@ -573,6 +617,8 @@ def engine_mode(
         BATCH_MAX_BYTES = int(batch_max_bytes)
     if workers is not None:
         WORKERS = int(workers)
+    if max_state_bytes is not None:
+        _resilience.MAX_STATE_BYTES = int(max_state_bytes)
     try:
         yield
     finally:
@@ -585,6 +631,7 @@ def engine_mode(
         BATCH_MIN_GROUPS = prev_batch_min
         BATCH_MAX_BYTES = prev_batch_bytes
         WORKERS = prev_workers
+        _resilience.MAX_STATE_BYTES = prev_budget
 
 
 def _route_to_stabilizer(circuit: QuantumCircuit) -> bool:
@@ -756,6 +803,7 @@ def _sample_grouped(
     # match the current group's leading injections by construction.
     ckpts: Dict[int, Tuple[ExecutionEngine, bool]] = {}
     for index, (key, group_shots) in enumerate(ordered):
+        _faults.fault_point("engine.span", index)
         first = key[0][0] if key else end
         fork = min(first + 1, end)
         prefix.advance_span(instructions, prefix_pos, fork)

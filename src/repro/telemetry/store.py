@@ -190,6 +190,27 @@ class MetricStore:
             },
         )
 
+    def record_resilience(self, timestamp: float) -> None:
+        """Snapshot the simulator's resilience counters into the
+        ``simulator.resilience.*`` sensor family.
+
+        One call appends one observation per counter (retries,
+        pool_rebuilds, inline_fallbacks, admission_rejects,
+        engine_fallbacks) at *timestamp* — same collector-loop shape as
+        :meth:`record_plan_cache`, so recovery and degradation events
+        land on the operational timeline where an operator can window
+        and correlate them (e.g. pool rebuilds against node load)."""
+        from repro.simulator import resilience
+
+        snapshot = resilience.counters()
+        self.insert_many(
+            timestamp,
+            {
+                f"simulator.resilience.{name}": float(snapshot[name])
+                for name in resilience.COUNTER_NAMES
+            },
+        )
+
     def correlate(
         self, sensor_a: str, sensor_b: str, start: float, end: float, window: float
     ) -> float:

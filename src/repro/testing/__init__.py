@@ -1,0 +1,11 @@
+"""Test-support instrumentation shipped with the package.
+
+Lives under ``repro`` (not ``tests/``) on purpose: the deterministic
+fault-injection harness (:mod:`repro.testing.faults`) is consumed by the
+recovery test-suite *and* by ``scripts/bench.py``'s fault lane, and the
+production modules carry its (near-free) injection points.
+"""
+
+from repro.testing.faults import Fault, FaultPlan, fault_point, inject_faults
+
+__all__ = ["Fault", "FaultPlan", "fault_point", "inject_faults"]

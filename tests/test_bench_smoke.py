@@ -3,18 +3,19 @@ must run inside the tier-1 time budget, emit a schema-valid
 ``BENCH_simulator.json``, and hold every speedup floor (and feasibility
 ceiling) recorded in the committed reference artifact.
 
-Schema ``repro.bench.simulator/v8`` has two entry shapes: paired lanes
+Schema ``repro.bench.simulator/v9`` has two entry shapes: paired lanes
 (``baseline_seconds`` / ``fast_seconds`` / ``speedup``, optionally a
 ``floor``) for benchmarks with a before/after comparison, and
 single-lane entries (``seconds``) for workloads no dense baseline can
-represent.  v8 adds the cache-blocked wide-state lanes —
-``blocked_wide_dense`` (dense advance past the tile width with blocked
-sweeps off vs on, ≥1.3× floor) and ``batched_wide_grouped`` (batched vs
-scalar grouped walk above the old cache-resident cap, floor pinning "no
-regression over scalar") — on top of v7's ``plan_cache_parameterized``
-lane and v6's ``batched_ghz_grouped`` / ``sharded_throughput`` lanes
-and per-entry ``workers`` counts — all enforced by ``--check``, the
-bench regression guard this suite keeps wired into tier-1.
+represent.  v9 adds the fault-tolerance lane —
+``sharded_with_faults``, a sharded sampling run with a worker killed
+mid-block on every repeat, recovered through the pool-rebuild protocol
+and held under a wall-clock ceiling — on top of v8's cache-blocked
+wide-state lanes (``blocked_wide_dense`` / ``batched_wide_grouped``),
+v7's ``plan_cache_parameterized`` lane and v6's ``batched_ghz_grouped``
+/ ``sharded_throughput`` lanes and per-entry ``workers`` counts — all
+enforced by ``--check``, the bench regression guard this suite keeps
+wired into tier-1.
 """
 
 import importlib.util
@@ -71,7 +72,7 @@ def test_bench_quick_check_emits_valid_schema_and_holds_floors(tmp_path):
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert "--check passed" in proc.stdout
     payload = json.loads(out.read_text())
-    assert payload["schema"] == "repro.bench.simulator/v8"
+    assert payload["schema"] == "repro.bench.simulator/v9"
     assert payload["quick"] is True
     assert isinstance(payload["config"], dict)
     names = set()
@@ -107,16 +108,17 @@ def test_bench_quick_check_emits_valid_schema_and_holds_floors(tmp_path):
     assert "blocked_wide_dense" in names
     assert "batched_wide_grouped" in names
     assert "sharded_throughput" in names
+    assert "sharded_with_faults" in names
     assert "plan_cache_parameterized" in names
 
 
-def test_committed_artifact_is_v8_with_floors_and_wide_scaling():
-    """The committed reference must carry the v8 surface --check relies
-    on: floors on the acceptance lanes (now including the cache-blocked
-    wide lanes), the 256/512/1024-qubit packed scaling lanes, and the
-    feasibility lanes with their ceilings."""
+def test_committed_artifact_is_v9_with_floors_and_wide_scaling():
+    """The committed reference must carry the v9 surface --check relies
+    on: floors on the acceptance lanes, the 256/512/1024-qubit packed
+    scaling lanes, and the feasibility lanes (now including the
+    fault-recovery lane) with their ceilings."""
     payload = json.loads((REPO / "BENCH_simulator.json").read_text())
-    assert payload["schema"] == "repro.bench.simulator/v8"
+    assert payload["schema"] == "repro.bench.simulator/v9"
     floors = {e["name"] for e in payload["benchmarks"] if "floor" in e}
     assert "stabilizer_packed_ghz" in floors
     assert "diagonal_fusion_dense" in floors
@@ -166,6 +168,19 @@ def test_committed_artifact_is_v8_with_floors_and_wide_scaling():
     assert sharded[0]["seconds"] <= sharded[0]["max_seconds"]
     assert sharded[0]["params"]["workers"] >= 1
     assert sharded[0]["params"]["block_shots"] >= 1
+    # the fault-recovery feasibility gate: the committed lane injects a
+    # worker kill on every repeat, so the recorded recovery counters
+    # prove the fault actually fired, and the wall clock (including the
+    # pool rebuild) stays under the ceiling
+    faulted = [
+        e for e in payload["benchmarks"] if e["name"] == "sharded_with_faults"
+    ]
+    assert faulted, "committed artifact lost the sharded_with_faults lane"
+    assert faulted[0]["seconds"] <= faulted[0]["max_seconds"]
+    assert faulted[0]["params"]["workers"] >= 2
+    assert faulted[0]["params"]["block_shots"] >= 1
+    assert faulted[0]["params"]["injected_fault"] == "worker-kill@block1"
+    assert faulted[0]["pool_rebuilds"] >= 1
     # the cache-blocked wide-state acceptance gate: the committed dense
     # lane must clear the ≥1.3× floor at a width past the tile, and the
     # wide batched lane (above the old 13-qubit engagement cap) must

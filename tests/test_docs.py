@@ -59,7 +59,7 @@ def test_architecture_doc_covers_engine_contract():
         "stabilizer",
         "baseline",
         "BENCH_simulator.json",
-        "repro.bench.simulator/v8",
+        "repro.bench.simulator/v9",
     ):
         assert needle in text, f"architecture doc lost the {needle!r} section"
 
@@ -225,6 +225,56 @@ def test_architecture_doc_covers_execution_plans():
         "--fuzz-deep",
     ):
         assert needle in text, f"architecture doc lost the {needle!r} section"
+
+
+def test_architecture_doc_covers_fault_tolerance():
+    """The fault-tolerance section must name the resilience module, the
+    recovery protocol surface, the admission-control contract, the
+    degradation ladder, the fault harness, and the v9 bench lane."""
+    text = ARCHITECTURE.read_text()
+    for needle in (
+        "Fault tolerance & admission control",
+        "repro.simulator.resilience",
+        "simulator.resilience.",
+        "MAX_POOL_REBUILDS",
+        "block_timeout",
+        "check_admission",
+        "ResourceAdmissionError",
+        "estimate_peak_bytes",
+        "max_state_bytes",
+        "run_with_fallback",
+        "FALLBACK_CHAINS",
+        "FallbackResult",
+        "repro.testing.faults",
+        "inject_faults",
+        "fault_point",
+        "worker_only",
+        "-m faults",
+        "--faults-deep",
+        "sharded_with_faults",
+    ):
+        assert needle in text, f"architecture doc lost the {needle!r} section"
+
+
+def test_readme_covers_fault_tolerance():
+    """The README must describe the resilience layer: the recovery
+    bit-identity contract, the admission-control surface, the fallback
+    ladder, the fault harness workflow, and the recorded bench lane."""
+    text = README.read_text()
+    for needle in (
+        "repro.simulator.resilience",
+        "check_admission",
+        "ResourceAdmissionError",
+        "max_state_bytes",
+        "run_with_fallback",
+        "FALLBACK_CHAINS",
+        "repro.testing.faults",
+        "-m faults",
+        "--faults-deep",
+        "sharded_with_faults",
+        "src/repro/testing",
+    ):
+        assert needle in text, f"README lost the {needle!r} resilience coverage"
 
 
 def test_readme_covers_plan_cache():

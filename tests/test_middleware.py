@@ -326,3 +326,33 @@ class TestBatchJobs:
         assert len(ids) == 2
         for job_id in ids:
             client.wait(job_id)
+
+
+class TestStructuredTimeout:
+    """The wait/timeout contract: a stuck queue surfaces as a
+    structured, attributable error, and the device endpoint exposes the
+    live queue depth clients use to back off before submitting."""
+
+    def test_wait_timeout_raises_structured_error(self, server, monkeypatch):
+        from repro.errors import JobTimeoutError
+
+        client = RestClient(server)
+        job_id = client.submit(ghz_circuit(2), shots=8)
+        monkeypatch.setattr(server, "process", lambda max_jobs=1: 0)  # stuck queue
+        with pytest.raises(JobTimeoutError) as excinfo:
+            client.wait(job_id, max_ticks=3)
+        err = excinfo.value
+        assert err.job_id == job_id
+        assert err.last_status == "pending"
+        assert err.max_ticks == 3
+        assert err.status == 504
+        assert isinstance(err, RestApiError)  # existing handlers still catch it
+        assert "3 ticks" in str(err) and "pending" in str(err)
+
+    def test_device_endpoint_reports_queue_depth(self, server):
+        assert server.get_device().body["queue_depth"] == 0
+        server.post_job({"circuit": circuit_to_dict(ghz_circuit(2)), "shots": 8})
+        server.post_job({"circuit": circuit_to_dict(ghz_circuit(2)), "shots": 8})
+        assert server.get_device().body["queue_depth"] == 2
+        server.process(2)
+        assert server.get_device().body["queue_depth"] == 0

@@ -247,3 +247,33 @@ class TestRecalibrationAdvisor:
     def test_no_telemetry_bootstraps_full(self):
         advice = RecalibrationAdvisor().advise(MetricStore())
         assert advice.action == "full"
+
+
+class TestResilienceCollector:
+    def test_record_resilience_snapshots_counters(self):
+        from repro.simulator import resilience
+
+        resilience.reset_counters()
+        try:
+            s = MetricStore()
+            s.record_resilience(0.0)
+            resilience.count_event("retries", 2)
+            resilience.count_event("pool_rebuilds")
+            resilience.count_event("engine_fallbacks")
+            s.record_resilience(1.0)
+            family = s.sensors("simulator.resilience")
+            assert family == [
+                "simulator.resilience.admission_rejects",
+                "simulator.resilience.engine_fallbacks",
+                "simulator.resilience.inline_fallbacks",
+                "simulator.resilience.pool_rebuilds",
+                "simulator.resilience.retries",
+            ]
+            assert s.latest("simulator.resilience.retries").value == 2.0
+            assert s.latest("simulator.resilience.pool_rebuilds").value == 1.0
+            assert s.latest("simulator.resilience.admission_rejects").value == 0.0
+            # two collection cycles landed on the shared timeline
+            ts, vs = s.query("simulator.resilience.retries")
+            assert list(ts) == [0.0, 1.0] and list(vs) == [0.0, 2.0]
+        finally:
+            resilience.reset_counters()
