@@ -123,7 +123,7 @@ from repro.simulator.sampler import _sample_per_shot  # noqa: E402
 from repro.simulator.sampler import engine_mode as engine  # noqa: E402
 from repro.simulator.statevector import StateVector  # noqa: E402
 
-SCHEMA = "repro.bench.simulator/v9"
+SCHEMA = "repro.bench.simulator/v10"
 
 #: Speedup floors for the acceptance-gate lanes, recorded into the
 #: artifact (``floor`` field) and enforced by ``--check``.  Values are
@@ -148,6 +148,11 @@ FLOORS: Dict[str, float] = {
     # so the floor pins "no meaningful regression over scalar".
     "batched_wide_grouped": 0.85,
     "plan_cache_parameterized": 2.0,
+    # Paired tracing lane: speedup is tracing-off / tracing-on on the
+    # same workload, so this floor pins the *enabled* flight recorder's
+    # overhead at ≤ ~10%; the disabled (no-op) path rides the existing
+    # grouped-lane floors, which catch any off-mode regression.
+    "tracing_overhead": 0.9,
 }
 
 #: Wall-clock feasibility ceilings (seconds) for single-lane entries at
@@ -270,6 +275,39 @@ def bench_ghz_sampling(num_qubits: int, shots: int, repeats: int) -> Dict[str, o
         {"num_qubits": num_qubits, "shots": shots, "noise": "depolarizing"},
         base,
         fast,
+        throughput_unit="shots_per_sec",
+        work_items=shots,
+    )
+
+
+def bench_tracing_overhead(
+    num_qubits: int, shots: int, repeats: int
+) -> Dict[str, object]:
+    """Flight-recorder cost on the acceptance workload: GHZ grouped
+    sampling with tracing off vs on (fast engine in both lanes).
+
+    The "baseline" lane is tracing *off* and the "fast" lane tracing
+    *on*, so ``speedup`` = off/on and the committed floor bounds the
+    enabled recorder's overhead; counts are bit-identical either way
+    (pinned by ``tests/test_tracing.py``)."""
+    circuit = ghz_circuit(num_qubits)
+    noise = _ghz_noise()
+    # A paired ratio near 1.0x is much more load-sensitive than the
+    # big-speedup lanes, so always take best-of-2 even in quick mode.
+    repeats = max(repeats, 2)
+    with engine("fast"):
+        off = _timed(
+            lambda: sample_counts(circuit, shots, noise=noise, rng=7), repeats
+        )
+    with engine("fast", trace=True):
+        on = _timed(
+            lambda: sample_counts(circuit, shots, noise=noise, rng=7), repeats
+        )
+    return _entry(
+        "tracing_overhead",
+        {"num_qubits": num_qubits, "shots": shots, "noise": "depolarizing"},
+        off,
+        on,
         throughput_unit="shots_per_sec",
         work_items=shots,
     )
@@ -918,6 +956,11 @@ def run(quick: bool) -> Dict[str, object]:
             "gate_reps": 40,
             "ghz_qubits": 12,
             "ghz_shots": 256,
+            # The paired tracing lane needs a workload where per-span
+            # cost is small relative to gate work, or the quick ratio
+            # is all fixed overhead; 16q keeps --check honest and fast.
+            "tracing_qubits": 16,
+            "tracing_shots": 256,
             "per_shot_qubits": 8,
             "per_shot_shots": 64,
             "vqe_shots": 128,
@@ -962,6 +1005,8 @@ def run(quick: bool) -> Dict[str, object]:
             "gate_reps": 60,
             "ghz_qubits": 20,
             "ghz_shots": 512,
+            "tracing_qubits": 20,
+            "tracing_shots": 512,
             "per_shot_qubits": 10,
             "per_shot_shots": 200,
             "vqe_shots": 512,
@@ -1004,6 +1049,11 @@ def run(quick: bool) -> Dict[str, object]:
     benchmarks += bench_gate_apply(config["gate_qubits"], config["gate_reps"], repeats)
     benchmarks.append(
         bench_ghz_sampling(config["ghz_qubits"], config["ghz_shots"], repeats)
+    )
+    benchmarks.append(
+        bench_tracing_overhead(
+            config["tracing_qubits"], config["tracing_shots"], repeats
+        )
     )
     benchmarks.append(
         bench_grouped_vs_per_shot(

@@ -58,6 +58,7 @@ from repro.circuits.circuit import Instruction, QuantumCircuit
 from repro.circuits.dag import instruction_is_clifford
 from repro.circuits.gates import UNITARY_NOOPS
 from repro.circuits.serialize import structural_hash
+from repro.telemetry import tracing as _tracing
 
 #: Master switch: when ``False`` the sampler drivers run unplanned
 #: (every window re-analyzed per request) — the differential baseline.
@@ -290,15 +291,19 @@ def plan_for(circuit: QuantumCircuit) -> ExecutionPlan:
     :data:`PLAN_CACHE_MAX` evicts the least recently used entry.
     """
     global _HITS, _MISSES, _EVICTIONS
-    key = (structural_hash(circuit), _options_key())
-    with _LOCK:
-        plan = _CACHE.get(key)
-        if plan is not None:
-            _CACHE.move_to_end(key)
-            _HITS += 1
-            return plan
-        _MISSES += 1
-    plan = ExecutionPlan(circuit, key)
+    with _tracing.span("plan.lookup"):
+        key = (structural_hash(circuit), _options_key())
+        with _LOCK:
+            plan = _CACHE.get(key)
+            if plan is not None:
+                _CACHE.move_to_end(key)
+                _HITS += 1
+                _tracing.count("plan_cache.hits")
+                return plan
+            _MISSES += 1
+            _tracing.count("plan_cache.misses")
+    with _tracing.span("plan.compile"):
+        plan = ExecutionPlan(circuit, key)
     with _LOCK:
         existing = _CACHE.get(key)
         if existing is not None:

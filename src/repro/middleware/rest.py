@@ -49,8 +49,12 @@ class RestServer:
 
     MAX_PAGE_SIZE = 100
 
-    def __init__(self, qrm: QuantumResourceManager) -> None:
+    def __init__(self, qrm: QuantumResourceManager, metrics=None) -> None:
         self.qrm = qrm
+        #: optional :class:`~repro.telemetry.store.MetricStore` behind
+        #: ``GET /metrics``; finished jobs' execution reports are also
+        #: flattened into it (``simulator.exec.*``) as they complete.
+        self.metrics = metrics
         self._jobs: Dict[int, Job] = {}
         self.requests_served = 0
 
@@ -133,6 +137,9 @@ class RestServer:
                 "duration": result.duration,
                 "calibration_timestamp": result.calibration_timestamp,
             }
+            report = job.payload.get("execution_report")
+            if report is not None:
+                body["result"]["execution_report"] = report
         if job.state is JobState.FAILED:
             body["error"] = job.failure_reason
         return RestResponse(200, body)
@@ -209,16 +216,49 @@ class RestServer:
         body["queue_depth"] = self.qrm.queue_length
         return RestResponse(200, body)
 
+    def get_metrics(self, prefix: str = "") -> RestResponse:
+        """``GET /metrics?prefix=`` — latest value per matching sensor.
+
+        Exposes the attached :class:`MetricStore`'s live values (the
+        dashboard's "current state" read), 404 when the server runs
+        without one.  Sensors that exist but have no data yet are
+        omitted."""
+        self.requests_served += 1
+        if self.metrics is None:
+            return _error(404, "no metric store attached to this server")
+        from repro.errors import TelemetryError
+
+        sensors: JSON = {}
+        for name in self.metrics.sensors(str(prefix)):
+            try:
+                point = self.metrics.latest(name)
+            except TelemetryError:
+                continue
+            sensors[name] = {"timestamp": point.timestamp, "value": point.value}
+        return RestResponse(
+            200, {"prefix": str(prefix), "count": len(sensors), "sensors": sensors}
+        )
+
     # -- server-side processing -----------------------------------------------
 
     def process(self, max_jobs: int = 1) -> int:
-        """Execute up to *max_jobs* queued jobs (the worker loop)."""
+        """Execute up to *max_jobs* queued jobs (the worker loop).
+
+        When a metric store is attached, each finished job's execution
+        report (if tracing produced one) is flattened into the
+        ``simulator.exec.*`` sensor family at the device clock's
+        completion time — the REST loop doubles as the collector hook
+        for per-run execution telemetry."""
         done = 0
         for _ in range(max_jobs):
             job = self.qrm.run_next()
             if job is None:
                 break
             done += 1
+            if self.metrics is not None:
+                report = job.payload.get("execution_report")
+                if report is not None and job.finished_at is not None:
+                    self.metrics.record_execution(report, job.finished_at)
         return done
 
 

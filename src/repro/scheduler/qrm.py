@@ -28,6 +28,7 @@ from repro.qpu.device import (
 )
 from repro.scheduler.cluster import ClusterScheduler, Reservation
 from repro.scheduler.jobs import Job, JobState
+from repro.telemetry import tracing as _tracing
 
 #: rough per-shot wall-clock estimate used for queue planning (reset-dominated).
 _SHOT_ESTIMATE = 350e-6
@@ -129,6 +130,9 @@ class QuantumResourceManager:
         self.stats.total_wait_time += max(0.0, started - (job.submitted_at or started))
         try:
             artifact = self.jit.compile(job.payload["program"])
+            # Discard any report left over from an unrelated traced run:
+            # only a report produced by *this* job's execution may attach.
+            _tracing.consume_last_report()
             result = self.device.execute(artifact.circuit, shots=job.payload["shots"])
         except DeviceUnavailableError as exc:
             job.mark_requeued(self.device.time, str(exc))
@@ -144,6 +148,12 @@ class QuantumResourceManager:
         job.mark_completed(self.device.time, result)
         job.payload["layout"] = artifact.result.final_layout
         job.payload["calibration_timestamp"] = artifact.calibration_timestamp
+        report = _tracing.consume_last_report()
+        if report is not None:
+            # Flight-recorder report from the execution that just ran
+            # (tracing enabled via engine_mode(trace=...)): attach it to
+            # the job so GET /jobs/{id} can serve it with the result.
+            job.payload["execution_report"] = report.to_dict()
         self.history.append(job)
         self.stats.jobs_completed += 1
         self.stats.total_exec_time += result.duration

@@ -28,6 +28,7 @@ from repro.simulator.engines import dense as _dense
 from repro.simulator.engines.base import register_engine
 from repro.simulator.engines.dense import DenseEngine, inject_into_dense
 from repro.simulator.noise import QuantumError
+from repro.telemetry import tracing as _tracing
 
 
 @register_engine
@@ -85,22 +86,25 @@ class BatchedDenseEngine(DenseEngine):
         spans the walk joins rows, injects errors, and builds CDFs, all
         of which assume the canonical layout.
         """
-        if batch.use_fast_kernels and stop - start > 1:
-            items, schedule = _dense.window_program(
-                instructions, start, stop, plan, batch.num_qubits
-            )
-            if schedule is not None:
-                _dense.execute_blocked(batch, items, schedule)
-                batch.unwind_remap()
-                return
-            if items is not None:
-                _dense.apply_items(batch, items)
-                return
-        for i in range(start, stop):
-            inst = instructions[i]
-            if inst.name in UNITARY_NOOPS:
-                continue
-            batch.apply_matrix(inst.matrix(), inst.qubits)
+        with _tracing.span(
+            "engine.batched_window", rows=batch.rows, start=start, stop=stop
+        ):
+            if batch.use_fast_kernels and stop - start > 1:
+                items, schedule = _dense.window_program(
+                    instructions, start, stop, plan, batch.num_qubits
+                )
+                if schedule is not None:
+                    _dense.execute_blocked(batch, items, schedule)
+                    batch.unwind_remap()
+                    return
+                if items is not None:
+                    _dense.apply_items(batch, items)
+                    return
+            for i in range(start, stop):
+                inst = instructions[i]
+                if inst.name in UNITARY_NOOPS:
+                    continue
+                batch.apply_matrix(inst.matrix(), inst.qubits)
 
     @staticmethod
     def inject_row(

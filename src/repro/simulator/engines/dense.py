@@ -22,6 +22,7 @@ from repro.simulator.channels import PAULI_MATRICES as _PAULI
 from repro.simulator.engines.base import ExecutionEngine, register_engine
 from repro.simulator.noise import QuantumError
 from repro.simulator.statevector import StateVector
+from repro.telemetry import tracing as _tracing
 
 #: Diagonal-run kernel fusion switch (active only under the fast
 #: kernels): adjacent diagonal 1q/2q gates in an advance window collapse
@@ -512,6 +513,13 @@ def execute_blocked(state, items, schedule, tile_qubits=None) -> None:
     if tile_qubits is None:
         tile_qubits = blocked_tile_qubits()
     tile_dim = 1 << tile_qubits
+    with _tracing.span(
+        "engine.blocked_sweep", segments=len(schedule), tile_qubits=tile_qubits
+    ):
+        _run_blocked_schedule(state, items, schedule, tile_qubits, tile_dim)
+
+
+def _run_blocked_schedule(state, items, schedule, tile_qubits, tile_dim) -> None:
     for placement, indices, wide in schedule:
         if wide:
             for i in indices:
@@ -636,7 +644,10 @@ class DenseEngine(ExecutionEngine):
         return cls.PEAK_STATES * (16 << circuit.num_qubits)
 
     def prepare(self, circuit: QuantumCircuit) -> None:
-        self._state = StateVector(circuit.num_qubits)
+        with _tracing.span(
+            "engine.prepare", engine=self.name, qubits=circuit.num_qubits
+        ):
+            self._state = StateVector(circuit.num_qubits)
 
     def fork(self) -> "DenseEngine":
         # type(self), not DenseEngine: subclassed backends must survive
@@ -667,25 +678,26 @@ class DenseEngine(ExecutionEngine):
 
     def advance_span(self, instructions, start: int, stop: int) -> None:
         state = self._state
-        if state.use_fast_kernels and stop - start > 1:
-            # Cross-request memo: with a bound plan the partition, any
-            # static tables, and the block schedule come from the plan
-            # cache; parameter-dependent items were materialized once
-            # for this binding.
-            items, schedule = window_program(
-                instructions, start, stop, self._plan, state.num_qubits
-            )
-            if schedule is not None:
-                execute_blocked(state, items, schedule)
-                return
-            if items is not None:
-                apply_items(state, items)
-                return
-        for i in range(start, stop):
-            inst = instructions[i]
-            if inst.name in UNITARY_NOOPS:
-                continue
-            state.apply_matrix(inst.matrix(), inst.qubits)
+        with _tracing.span("engine.advance_window", start=start, stop=stop):
+            if state.use_fast_kernels and stop - start > 1:
+                # Cross-request memo: with a bound plan the partition, any
+                # static tables, and the block schedule come from the plan
+                # cache; parameter-dependent items were materialized once
+                # for this binding.
+                items, schedule = window_program(
+                    instructions, start, stop, self._plan, state.num_qubits
+                )
+                if schedule is not None:
+                    execute_blocked(state, items, schedule)
+                    return
+                if items is not None:
+                    apply_items(state, items)
+                    return
+            for i in range(start, stop):
+                inst = instructions[i]
+                if inst.name in UNITARY_NOOPS:
+                    continue
+                state.apply_matrix(inst.matrix(), inst.qubits)
 
     def inject(
         self, instruction: Instruction, error: QuantumError, term_index: int

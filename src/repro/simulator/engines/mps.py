@@ -81,6 +81,7 @@ from repro.simulator.engines.base import ExecutionEngine, register_engine
 from repro.simulator.engines.dense import inject_into_dense
 from repro.simulator.noise import QuantumError
 from repro.simulator.statevector import DENSE_QUBIT_LIMIT, StateVector
+from repro.telemetry import tracing as _tracing
 from repro.utils.rng import RandomState, as_rng
 
 #: Default bond-dimension cap.  64 keeps every state of ≤12 qubits exact
@@ -570,7 +571,10 @@ class MPSEngine(ExecutionEngine):
         return 2 * n * (2 * CHI * CHI * 16)
 
     def prepare(self, circuit: QuantumCircuit) -> None:
-        self._state = MPSState(circuit.num_qubits)
+        with _tracing.span(
+            "engine.prepare", engine=self.name, qubits=circuit.num_qubits
+        ):
+            self._state = MPSState(circuit.num_qubits)
 
     def bind_plan(self, plan) -> None:
         super().bind_plan(plan)
@@ -603,10 +607,17 @@ class MPSEngine(ExecutionEngine):
 
     def advance(self, ops: Sequence[Instruction]) -> None:
         state = self._state
-        for inst in ops:
-            if inst.name in UNITARY_NOOPS:
-                continue
-            state.apply_matrix(inst.matrix(), inst.qubits)
+        with _tracing.span("engine.mps_window", ops=len(ops)) as rec:
+            for inst in ops:
+                if inst.name in UNITARY_NOOPS:
+                    continue
+                state.apply_matrix(inst.matrix(), inst.qubits)
+            rec.set(
+                max_bond=state.max_bond_dimension,
+                truncation_error=state.truncation_error,
+            )
+        _tracing.note_max("max_bond_dimension", state.max_bond_dimension)
+        _tracing.note_max("truncation_error", state.truncation_error)
 
     def inject(
         self, instruction: Instruction, error: QuantumError, term_index: int

@@ -53,6 +53,7 @@ from repro.simulator.counts import Counts
 from repro.simulator.engines.base import ExecutionEngine
 from repro.simulator.noise import NoiseModel, QuantumError
 from repro.simulator.statevector import DENSE_QUBIT_LIMIT
+from repro.telemetry import tracing as _tracing
 from repro.testing import faults as _faults
 
 # ---------------------------------------------------------------------------
@@ -164,10 +165,12 @@ def check_admission(
     Runs before any state allocation by construction.
     """
     _faults.fault_point("resilience.admission")
-    estimate = estimate_resources(circuit, mode, engine_cls=engine_cls)
+    with _tracing.span("resilience.admission"):
+        estimate = estimate_resources(circuit, mode, engine_cls=engine_cls)
     budget = int(MAX_STATE_BYTES)
     if estimate.peak_bytes is not None and estimate.peak_bytes > budget:
         count_event("admission_rejects")
+        _tracing.count("resilience.admission_rejects")
         raise ResourceAdmissionError(
             f"admission control rejected circuit {circuit.name!r}: the "
             f"{estimate.engine!r} engine needs an estimated "
@@ -258,43 +261,67 @@ def run_with_fallback(
     first = mode if mode is not None else sampler.ENGINE
     chain = (first,) + tuple(FALLBACK_CHAINS.get(first, ()))
     hops = []
-    for position, step in enumerate(chain):
-        following = chain[position + 1] if position + 1 < len(chain) else None
-        try:
-            with sampler.engine_mode(step), warnings.catch_warnings(
-                record=True
-            ) as caught:
-                warnings.simplefilter("always")
-                counts = sampler.sample_counts(
-                    circuit,
-                    shots,
-                    noise=noise,
-                    rng=seed,
-                    instruction_errors=instruction_errors,
+    # One run scope spans the whole ladder: each attempt's sampler scope
+    # nests inside it, so a degraded request still yields exactly one
+    # ExecutionReport whose counters record every hop.
+    with _tracing.run_scope("resilience.fallback", mode=first):
+        for position, step in enumerate(chain):
+            following = chain[position + 1] if position + 1 < len(chain) else None
+            try:
+                with sampler.engine_mode(step), warnings.catch_warnings(
+                    record=True
+                ) as caught:
+                    warnings.simplefilter("always")
+                    counts = sampler.sample_counts(
+                        circuit,
+                        shots,
+                        noise=noise,
+                        rng=seed,
+                        instruction_errors=instruction_errors,
+                    )
+            except ResourceAdmissionError as exc:
+                if following is None:
+                    raise
+                hops.append(FallbackHop(step, following, f"admission: {exc}"))
+                count_event("engine_fallbacks")
+                _tracing.count("resilience.engine_fallbacks")
+                with _tracing.span(
+                    "resilience.fallback_hop",
+                    from_mode=step,
+                    to_mode=following,
+                    reason="admission",
+                ):
+                    pass
+                continue
+            truncated = [
+                w
+                for w in caught
+                if str(w.message).startswith(_TRUNCATION_WARNING_PREFIX)
+            ]
+            if truncated and following is not None:
+                # Lossy counts: discard them and escalate to an exact mode.
+                hops.append(
+                    FallbackHop(
+                        step, following, f"truncation: {truncated[0].message}"
+                    )
                 )
-        except ResourceAdmissionError as exc:
-            if following is None:
-                raise
-            hops.append(FallbackHop(step, following, f"admission: {exc}"))
-            count_event("engine_fallbacks")
-            continue
-        truncated = [
-            w
-            for w in caught
-            if str(w.message).startswith(_TRUNCATION_WARNING_PREFIX)
-        ]
-        if truncated and following is not None:
-            # Lossy counts: discard them and escalate to an exact mode.
-            hops.append(
-                FallbackHop(step, following, f"truncation: {truncated[0].message}")
-            )
-            count_event("engine_fallbacks")
-            continue
-        # Replay any unrelated warnings the recording context swallowed.
-        for w in caught:
-            if w not in truncated:
-                warnings.warn_explicit(w.message, w.category, w.filename, w.lineno)
-        return FallbackResult(counts=counts, mode=step, hops=tuple(hops))
+                count_event("engine_fallbacks")
+                _tracing.count("resilience.engine_fallbacks")
+                with _tracing.span(
+                    "resilience.fallback_hop",
+                    from_mode=step,
+                    to_mode=following,
+                    reason="truncation",
+                ):
+                    pass
+                continue
+            # Replay any unrelated warnings the recording context swallowed.
+            for w in caught:
+                if w not in truncated:
+                    warnings.warn_explicit(
+                        w.message, w.category, w.filename, w.lineno
+                    )
+            return FallbackResult(counts=counts, mode=step, hops=tuple(hops))
     raise AssertionError("unreachable: chain always returns or raises")
 
 

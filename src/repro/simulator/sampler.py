@@ -81,6 +81,7 @@ from repro.simulator.engines import mps as _mps
 from repro.simulator.noise import NoiseModel, QuantumError
 from repro.simulator.statevector import StateVector
 from repro.simulator import stabilizer as _stabilizer
+from repro.telemetry import tracing as _tracing
 from repro.testing import faults as _faults
 from repro.utils.rng import RandomState, as_rng
 
@@ -140,7 +141,20 @@ def sample_counts(
         # byte-for-byte historical.
         from repro.simulator import resilience as _resilience
 
-        _resilience.check_admission(circuit, ENGINE)
+        with _tracing.run_scope(
+            "sampler.run",
+            mode=ENGINE,
+            num_qubits=circuit.num_qubits,
+            shots=int(shots),
+        ):
+            _tracing.note("mode", ENGINE)
+            _tracing.note("num_qubits", circuit.num_qubits)
+            _tracing.note("shots", int(shots))
+            estimate = _resilience.check_admission(circuit, ENGINE)
+            _tracing.note("estimated_peak_bytes", estimate.peak_bytes)
+            return _sample_counts_single(
+                circuit, int(shots), noise, as_rng(rng), extra
+            )
     return _sample_counts_single(circuit, int(shots), noise, as_rng(rng), extra)
 
 
@@ -161,18 +175,31 @@ def _sample_counts_single(
     re-simulating the prefix.
     """
     engine_cls = select_engine(ENGINE, circuit)
+    _tracing.note("engine", engine_cls.name)
     bound = None if ENGINE == "baseline" else _bound_plan(circuit)
     if _needs_per_shot(circuit):
-        bits = _sample_per_shot(
-            circuit, shots, noise, r, extra, engine_cls, bound=bound
-        )
+        with _tracing.span("sampler.per_shot", shots=shots):
+            bits = _sample_per_shot(
+                circuit, shots, noise, r, extra, engine_cls, bound=bound
+            )
     elif not USE_PREFIX_SHARING:
         bits = _sample_grouped_baseline(circuit, shots, noise, r, extra)
     else:
-        bits = _sample_grouped(
-            circuit, shots, noise, r, extra, engine_cls, initial=initial, bound=bound
-        )
-    bits = _apply_readout(circuit, bits, noise, r)
+        with _tracing.span(
+            "sampler.grouped", engine=engine_cls.name, qubits=circuit.num_qubits
+        ):
+            bits = _sample_grouped(
+                circuit,
+                shots,
+                noise,
+                r,
+                extra,
+                engine_cls,
+                initial=initial,
+                bound=bound,
+            )
+    with _tracing.span("sampler.readout"):
+        bits = _apply_readout(circuit, bits, noise, r)
     return Counts.from_bit_array(bits)
 
 
@@ -279,6 +306,11 @@ _WORKERS_MODES = ("fast", "batched", "stabilizer", "hybrid", "mps", "auto")
 #: does, so its failure behaviour stays byte-for-byte historical.
 _ADMISSION_MODES = ("fast", "batched", "stabilizer", "hybrid", "mps", "auto")
 
+#: Modes under which the ``trace`` sub-option is meaningful: every
+#: accelerated route can record spans; the ``baseline`` seed path is
+#: never instrumented so its behaviour stays byte-for-byte historical.
+_TRACE_MODES = ("fast", "batched", "stabilizer", "hybrid", "mps", "auto")
+
 #: Minimum trajectory-group count (clean group included) before the
 #: batched grouped walk engages under :data:`_BATCHED_WALK_MODES`; below
 #: it the scalar prefix-sharing walk wins on setup cost.  Set via
@@ -350,6 +382,7 @@ def engine_mode(
     batch_max_bytes: Optional[int] = None,
     workers: Optional[int] = None,
     max_state_bytes: Optional[int] = None,
+    trace: Optional[bool] = None,
     **unknown_options: object,
 ) -> Iterator[None]:
     """Select the simulation engine for the dynamic extent of the block.
@@ -456,14 +489,26 @@ def engine_mode(
     this sub-option only ever tightens or relaxes that envelope; counts
     of admitted requests are unaffected.
 
+    The keyword-only *trace* sub-option (any accelerated mode) toggles
+    the execution flight recorder
+    (:mod:`repro.telemetry.tracing`) for the block: every sampling run
+    records hierarchical phase spans and counters and yields a
+    structured :class:`~repro.telemetry.tracing.ExecutionReport`
+    (``tracing.last_report()``).  Tracing never draws random numbers and
+    never changes instruction visit order, so seeded counts are
+    bit-identical with tracing on or off (pinned across the engine
+    matrix and in the differential fuzz suite); the ``"baseline"`` seed
+    path is never instrumented.
+
     Every sub-option is validated **for the selected mode**: a
     sub-option that the mode's routing can never consume
     (``tableau_impl`` outside tableau-capable modes, ``chi`` /
     ``truncation_threshold`` outside ``"mps"`` / ``"auto"``,
     ``batch_min_groups`` outside ``"batched"`` / ``"auto"``,
     ``batch_max_bytes`` outside the dense-family modes,
-    ``workers`` / ``max_state_bytes`` under ``"baseline"``) is rejected
-    rather than silently ignored, as is any unrecognized keyword.
+    ``workers`` / ``max_state_bytes`` / ``trace`` under ``"baseline"``)
+    is rejected rather than silently ignored, as is any unrecognized
+    keyword.
 
     An invalid *mode* or sub-option raises
     :class:`~repro.errors.EngineModeError` (a :class:`ValueError`)
@@ -483,7 +528,8 @@ def engine_mode(
         raise EngineModeError(
             f"unknown engine_mode sub-option(s): {names}; recognized "
             "sub-options are tableau_impl, chi, truncation_threshold, "
-            "batch_min_groups, batch_max_bytes, workers, max_state_bytes"
+            "batch_min_groups, batch_max_bytes, workers, max_state_bytes, "
+            "trace"
         )
     if fast is not None:
         if mode is not None:
@@ -587,6 +633,14 @@ def engine_mode(
             raise EngineModeError(
                 f"max_state_bytes must be an integer >= 1, got {max_state_bytes!r}"
             )
+    if trace is not None:
+        if mode not in _TRACE_MODES:
+            raise EngineModeError(
+                f"trace is not a sub-option of engine mode {mode!r}; "
+                f"it applies to {_TRACE_MODES}"
+            )
+        if not isinstance(trace, bool):
+            raise EngineModeError(f"trace must be a bool, got {trace!r}")
     # Validation is complete — only now may globals be mutated.
     from repro.simulator import resilience as _resilience
 
@@ -601,6 +655,7 @@ def engine_mode(
     prev_batch_bytes = BATCH_MAX_BYTES
     prev_workers = WORKERS
     prev_budget = _resilience.MAX_STATE_BYTES
+    prev_trace = _tracing.ENABLED
     accelerated = mode != "baseline"
     ENGINE = mode
     StateVector.use_fast_kernels = accelerated
@@ -619,6 +674,8 @@ def engine_mode(
         WORKERS = int(workers)
     if max_state_bytes is not None:
         _resilience.MAX_STATE_BYTES = int(max_state_bytes)
+    if trace is not None:
+        _tracing.ENABLED = trace
     try:
         yield
     finally:
@@ -632,6 +689,7 @@ def engine_mode(
         BATCH_MAX_BYTES = prev_batch_bytes
         WORKERS = prev_workers
         _resilience.MAX_STATE_BYTES = prev_budget
+        _tracing.ENABLED = prev_trace
 
 
 def _route_to_stabilizer(circuit: QuantumCircuit) -> bool:
@@ -765,7 +823,9 @@ def _sample_grouped(
         engine_cls = select_engine(ENGINE, circuit)
     noisy = _noisy_ops(circuit, noise, extra)
     errors = dict(noisy)
-    groups = _group_realizations(noisy, shots, rng)
+    with _tracing.span("sampler.realizations", shots=shots):
+        groups = _group_realizations(noisy, shots, rng)
+    _tracing.count("sampler.trajectory_groups", len(groups))
     instructions = list(circuit)
     end = len(instructions)
     mapping = _measurement_map(circuit)

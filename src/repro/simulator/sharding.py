@@ -90,6 +90,7 @@ from repro.simulator.counts import Counts
 from repro.simulator.engines import DenseEngine, select_engine
 from repro.simulator.noise import NoiseModel, QuantumError
 from repro.simulator.statevector import DENSE_QUBIT_LIMIT
+from repro.telemetry import tracing as _tracing
 from repro.testing import faults as _faults
 from repro.utils.rng import child_rng
 
@@ -260,16 +261,44 @@ def _init_worker(shm_name: Optional[str], num_qubits: int, position: int) -> Non
     _WORKER_PREFIX = (arr, int(position))
 
 
-def _run_block(task: Tuple) -> Counts:
-    """Sample one block in a worker (or inline) process."""
+def _run_block(task: Tuple):
+    """Sample one block in a worker (or inline) process.
+
+    Returns the block's :class:`Counts` — or, when tracing is enabled,
+    ``(Counts, span summary)``: each completed block carries its own
+    picklable trace digest home, so the parent-side report stays
+    complete even when other workers of the same pool were killed."""
     circuit, block_shots, noise, base, index, extra = task
     from repro.simulator import sampler
 
     _faults.fault_point("shard.block", index)
     rng = child_rng(base, "shard", index)
-    return sampler._sample_counts_single(
-        circuit, block_shots, noise, rng, extra, initial=_WORKER_PREFIX
-    )
+    if not _tracing.ENABLED or sampler.ENGINE == "baseline":
+        return sampler._sample_counts_single(
+            circuit, block_shots, noise, rng, extra, initial=_WORKER_PREFIX
+        )
+    with _tracing.block_trace() as tracer:
+        with tracer.span("shard.block", index=index, shots=block_shots):
+            counts = sampler._sample_counts_single(
+                circuit, block_shots, noise, rng, extra, initial=_WORKER_PREFIX
+            )
+    return counts, tracer.summary()
+
+
+def _merge_block_results(parts: List) -> Counts:
+    """Fold per-block results: absorb any trace summaries into the
+    active parent tracer (``Counts.merge``-style), then merge counts."""
+    counts_parts: List[Counts] = []
+    summaries = []
+    for value in parts:
+        if isinstance(value, tuple):
+            counts_parts.append(value[0])
+            summaries.append(value[1])
+        else:
+            counts_parts.append(value)
+    if summaries:
+        _tracing.absorb_block_summaries(summaries)
+    return Counts.merge(counts_parts)
 
 
 def _abandon_pool(pool: ProcessPoolExecutor) -> None:
@@ -293,12 +322,14 @@ def _run_blocks_recovering(
     effective: int,
     initargs: Tuple,
     block_timeout: Optional[float],
-) -> Dict[int, Counts]:
+) -> Dict[int, object]:
     """The crash-recovery driver: all blocks through pools + inline.
 
-    Returns ``{block index: Counts}`` for every task, or raises only
-    when a block fails *inline* (at that point the failure is a genuine
-    defect in the request, not an infrastructure fault)."""
+    Returns ``{block index: block result}`` (a :class:`Counts`, or
+    ``(Counts, trace summary)`` under tracing — see :func:`_run_block`)
+    for every task, or raises only when a block fails *inline* (at that
+    point the failure is a genuine defect in the request, not an
+    infrastructure fault)."""
     from repro.simulator import resilience
 
     ctx = multiprocessing.get_context("fork")
@@ -311,7 +342,7 @@ def _run_blocks_recovering(
             initargs=initargs,
         )
 
-    results: Dict[int, Counts] = {}
+    results: Dict[int, object] = {}
     pending = set(range(len(tasks)))
     pool: Optional[ProcessPoolExecutor] = make_pool()
     rebuilds = 0
@@ -320,8 +351,9 @@ def _run_blocks_recovering(
             futures = {}
             abandoned = False
             try:
-                for index in sorted(pending):
-                    futures[index] = pool.submit(_run_block, tasks[index])
+                with _tracing.span("shard.submit", blocks=len(pending)):
+                    for index in sorted(pending):
+                        futures[index] = pool.submit(_run_block, tasks[index])
             except (BrokenProcessPool, RuntimeError):
                 # The pool broke before (or while) accepting work; any
                 # futures already accepted are collected below.
@@ -342,15 +374,21 @@ def _run_blocks_recovering(
             if not pending:
                 break
             resilience.count_event("retries", len(pending))
+            _tracing.count("shard.retries", len(pending))
             _abandon_pool(pool)
             pool = None
             if rebuilds < MAX_POOL_REBUILDS and not abandoned:
                 resilience.count_event("pool_rebuilds")
-                time.sleep(
-                    min(REBUILD_BACKOFF_CAP, REBUILD_BACKOFF_BASE * (2 ** rebuilds))
-                )
-                rebuilds += 1
-                pool = make_pool()
+                _tracing.count("shard.pool_rebuilds")
+                with _tracing.span("shard.rebuild", pending=len(pending)):
+                    time.sleep(
+                        min(
+                            REBUILD_BACKOFF_CAP,
+                            REBUILD_BACKOFF_BASE * (2 ** rebuilds),
+                        )
+                    )
+                    rebuilds += 1
+                    pool = make_pool()
     finally:
         if pool is not None:
             if pending:
@@ -363,11 +401,13 @@ def _run_blocks_recovering(
         # same counts — the contract this module exists to uphold.
         global _WORKER_PREFIX
         resilience.count_event("inline_fallbacks", len(pending))
+        _tracing.count("shard.inline_fallbacks", len(pending))
         saved = _WORKER_PREFIX
         _WORKER_PREFIX = prefix
         try:
-            for index in sorted(pending):
-                results[index] = _run_block(tasks[index])
+            with _tracing.span("shard.inline", blocks=len(pending)):
+                for index in sorted(pending):
+                    results[index] = _run_block(tasks[index])
         finally:
             _WORKER_PREFIX = saved
     return results
@@ -425,39 +465,59 @@ def sample_counts_sharded(
     bs = int(block_shots) if block_shots is not None else SHARD_BLOCK_SHOTS
     if bs < 1:
         raise SimulationError(f"block_shots must be >= 1, got {block_shots!r}")
-    resilience.check_admission(circuit, sampler.ENGINE)
-    sizes = _block_sizes(shots, bs)
-    base = int(seed) if seed is not None else int(np.random.SeedSequence().entropy)
-    prefix = _clean_prefix_state(circuit, noise, extra)
-    tasks = [
-        (circuit, size, noise, base, index, extra)
-        for index, size in enumerate(sizes)
-    ]
-    effective = min(int(workers), len(sizes))
-    if effective > 1 and "fork" not in multiprocessing.get_all_start_methods():
-        effective = 1  # no fork → inline, same counts by construction
-    if effective <= 1:
-        global _WORKER_PREFIX
-        saved = _WORKER_PREFIX
-        _WORKER_PREFIX = prefix
-        try:
-            parts = [_run_block(task) for task in tasks]
-        finally:
-            _WORKER_PREFIX = saved
-        return Counts.merge(parts)
-    initargs: Tuple = (None, 0, 0)
-    if prefix is not None:
-        state, position = prefix
-        with SharedPrefix(state) as segment:
-            initargs = (segment.name, circuit.num_qubits, position)
-            results = _run_blocks_recovering(
-                tasks, prefix, effective, initargs, block_timeout
-            )
-            _faults.fault_point("shard.merge")
-            return Counts.merge([results[i] for i in range(len(tasks))])
-    results = _run_blocks_recovering(tasks, prefix, effective, initargs, block_timeout)
-    _faults.fault_point("shard.merge")
-    return Counts.merge([results[i] for i in range(len(tasks))])
+    with _tracing.run_scope(
+        "sampler.sharded",
+        mode=sampler.ENGINE,
+        num_qubits=circuit.num_qubits,
+        shots=int(shots),
+        workers=int(workers),
+    ):
+        _tracing.note("mode", sampler.ENGINE)
+        _tracing.note("num_qubits", circuit.num_qubits)
+        _tracing.note("shots", int(shots))
+        estimate = resilience.check_admission(circuit, sampler.ENGINE)
+        _tracing.note("engine", estimate.engine)
+        _tracing.note("estimated_peak_bytes", estimate.peak_bytes)
+        sizes = _block_sizes(shots, bs)
+        _tracing.count("shard.blocks", len(sizes))
+        base = (
+            int(seed) if seed is not None else int(np.random.SeedSequence().entropy)
+        )
+        with _tracing.span("shard.prefix"):
+            prefix = _clean_prefix_state(circuit, noise, extra)
+        tasks = [
+            (circuit, size, noise, base, index, extra)
+            for index, size in enumerate(sizes)
+        ]
+        effective = min(int(workers), len(sizes))
+        if effective > 1 and "fork" not in multiprocessing.get_all_start_methods():
+            effective = 1  # no fork → inline, same counts by construction
+        if effective <= 1:
+            global _WORKER_PREFIX
+            saved = _WORKER_PREFIX
+            _WORKER_PREFIX = prefix
+            try:
+                parts = [_run_block(task) for task in tasks]
+            finally:
+                _WORKER_PREFIX = saved
+            return _merge_block_results(parts)
+        initargs: Tuple = (None, 0, 0)
+        if prefix is not None:
+            state, position = prefix
+            with SharedPrefix(state) as segment:
+                initargs = (segment.name, circuit.num_qubits, position)
+                results = _run_blocks_recovering(
+                    tasks, prefix, effective, initargs, block_timeout
+                )
+                _faults.fault_point("shard.merge")
+                return _merge_block_results(
+                    [results[i] for i in range(len(tasks))]
+                )
+        results = _run_blocks_recovering(
+            tasks, prefix, effective, initargs, block_timeout
+        )
+        _faults.fault_point("shard.merge")
+        return _merge_block_results([results[i] for i in range(len(tasks))])
 
 
 __all__ = [

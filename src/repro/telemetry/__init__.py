@@ -1,4 +1,11 @@
-"""DCDB-style telemetry: store, collector plugins, analytics, QDMI bridge."""
+"""DCDB-style telemetry: store, collector plugins, analytics, tracing,
+QDMI bridge.
+
+The plugin and QDMI-bridge modules reach into :mod:`repro.qpu` (which
+itself imports the simulator), so they are exposed lazily via PEP 562 —
+this lets the execution core import :mod:`repro.telemetry.tracing` at
+module scope without a cycle.
+"""
 
 from repro.telemetry.analytics import (
     QubitHealth,
@@ -8,15 +15,17 @@ from repro.telemetry.analytics import (
     qubit_health,
     trend,
 )
-from repro.telemetry.plugins import (
-    CallbackPlugin,
-    DCDBCollector,
-    JobAccountingPlugin,
-    Plugin,
-    QPUMetricsPlugin,
-)
-from repro.telemetry.qdmi_bridge import TelemetryQDMIDevice
 from repro.telemetry.store import MetricPoint, MetricStore
+from repro.telemetry.tracing import ExecutionReport, SpanRecord, Tracer
+
+_LAZY_PLUGIN_NAMES = (
+    "CallbackPlugin",
+    "DCDBCollector",
+    "JobAccountingPlugin",
+    "Plugin",
+    "QPUMetricsPlugin",
+    "SimulatorCountersPlugin",
+)
 
 __all__ = [
     "QubitHealth",
@@ -30,7 +39,23 @@ __all__ = [
     "JobAccountingPlugin",
     "Plugin",
     "QPUMetricsPlugin",
+    "SimulatorCountersPlugin",
     "TelemetryQDMIDevice",
     "MetricPoint",
     "MetricStore",
+    "ExecutionReport",
+    "SpanRecord",
+    "Tracer",
 ]
+
+
+def __getattr__(name):
+    if name in _LAZY_PLUGIN_NAMES:
+        from repro.telemetry import plugins
+
+        return getattr(plugins, name)
+    if name == "TelemetryQDMIDevice":
+        from repro.telemetry.qdmi_bridge import TelemetryQDMIDevice
+
+        return TelemetryQDMIDevice
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -98,6 +98,30 @@ class CallbackPlugin(Plugin):
         return out
 
 
+class SimulatorCountersPlugin(Plugin):
+    """One-stop snapshot of the execution core: plan-cache counters,
+    resilience counters, and cumulative exec-tracing counters — a single
+    :meth:`DCDBCollector.run_cycle` lands what previously needed three
+    hand-placed ``record_*`` calls."""
+
+    prefix = "simulator"
+
+    def collect(self, timestamp: float) -> Dict[str, float]:
+        from repro.compiler import plans
+        from repro.simulator import resilience
+        from repro.telemetry import tracing
+
+        out: Dict[str, float] = {}
+        info = plans.plan_cache_info()
+        for key in ("entries", "hits", "misses", "evictions"):
+            out[f"plan_cache.{key}"] = float(info[key])
+        for name, value in resilience.counters().items():
+            out[f"resilience.{name}"] = float(value)
+        for name, value in tracing.exec_counters().items():
+            out[f"exec.{name}"] = float(value)
+        return out
+
+
 class DCDBCollector:
     """Fans collection cycles across plugins into a store.
 
@@ -146,5 +170,6 @@ __all__ = [
     "QPUMetricsPlugin",
     "JobAccountingPlugin",
     "CallbackPlugin",
+    "SimulatorCountersPlugin",
     "DCDBCollector",
 ]

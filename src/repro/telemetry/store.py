@@ -145,27 +145,31 @@ class MetricStore:
         NaN.  This is the dashboard's downsampling query."""
         if window <= 0:
             raise TelemetryError("window must be positive")
+        if how not in ("mean", "min", "max", "last"):
+            raise TelemetryError(f"unknown aggregation {how!r}")
         t, v = self.query(sensor, start, end)
         n_windows = max(1, int(math.ceil((end - start) / window)))
         centers = start + (np.arange(n_windows) + 0.5) * window
         out = np.full(n_windows, np.nan)
         if t.size:
             idx = np.minimum(((t - start) / window).astype(int), n_windows - 1)
-            for w in range(n_windows):
-                mask = idx == w
-                if not mask.any():
-                    continue
-                vals = v[mask]
-                if how == "mean":
-                    out[w] = vals.mean()
-                elif how == "min":
-                    out[w] = vals.min()
-                elif how == "max":
-                    out[w] = vals.max()
-                elif how == "last":
-                    out[w] = vals[-1]
-                else:
-                    raise TelemetryError(f"unknown aggregation {how!r}")
+            # Timestamps are sorted, so ``idx`` is non-decreasing and every
+            # window is one contiguous run of points: a single searchsorted
+            # plus segmented reduceat replaces the O(windows × points)
+            # per-window masking loop.
+            boundaries = np.searchsorted(idx, np.arange(n_windows), side="left")
+            ends = np.append(boundaries[1:], idx.size)
+            counts = ends - boundaries
+            nonempty = counts > 0
+            starts = boundaries[nonempty]
+            if how == "mean":
+                out[nonempty] = np.add.reduceat(v, starts) / counts[nonempty]
+            elif how == "min":
+                out[nonempty] = np.minimum.reduceat(v, starts)
+            elif how == "max":
+                out[nonempty] = np.maximum.reduceat(v, starts)
+            else:  # "last"
+                out[nonempty] = v[ends[nonempty] - 1]
         return centers, out
 
     # -- collectors --------------------------------------------------------------
@@ -210,6 +214,41 @@ class MetricStore:
                 for name in resilience.COUNTER_NAMES
             },
         )
+
+    def record_execution(self, report, timestamp: float) -> None:
+        """Flatten one :class:`~repro.telemetry.tracing.ExecutionReport`
+        into the ``simulator.exec.*`` sensor family.
+
+        Accepts the report object or its ``to_dict()`` form.  Scalar
+        features (wall time, shots, peak bytes, plan-cache hit, max
+        bond, truncation error) land as ``simulator.exec.<name>``,
+        per-phase wall times as ``simulator.exec.phase.<span>``, and
+        event counters as ``simulator.exec.events.<name>`` — all plain
+        numeric sensors, so ``aggregate``/``correlate`` work on them
+        exactly like on the facility metrics (the feature timeline the
+        ROADMAP item 5 cost-model router trains on)."""
+        data = report.to_dict() if hasattr(report, "to_dict") else dict(report)
+        values: Dict[str, float] = {
+            "simulator.exec.wall_seconds": float(data.get("wall_seconds") or 0.0),
+            "simulator.exec.shots": float(data.get("shots") or 0),
+            "simulator.exec.num_qubits": float(data.get("num_qubits") or 0),
+            "simulator.exec.plan_cache_hit": (
+                1.0 if data.get("plan_cache_hit") else 0.0
+            ),
+        }
+        for key in (
+            "estimated_peak_bytes",
+            "max_bond_dimension",
+            "truncation_error",
+        ):
+            value = data.get(key)
+            if value is not None:
+                values[f"simulator.exec.{key}"] = float(value)
+        for name, secs in (data.get("phase_seconds") or {}).items():
+            values[f"simulator.exec.phase.{name}"] = float(secs)
+        for name, n in (data.get("counters") or {}).items():
+            values[f"simulator.exec.events.{name}"] = float(n)
+        self.insert_many(timestamp, values)
 
     def correlate(
         self, sensor_a: str, sensor_b: str, start: float, end: float, window: float

@@ -3,14 +3,14 @@ must run inside the tier-1 time budget, emit a schema-valid
 ``BENCH_simulator.json``, and hold every speedup floor (and feasibility
 ceiling) recorded in the committed reference artifact.
 
-Schema ``repro.bench.simulator/v9`` has two entry shapes: paired lanes
+Schema ``repro.bench.simulator/v10`` has two entry shapes: paired lanes
 (``baseline_seconds`` / ``fast_seconds`` / ``speedup``, optionally a
 ``floor``) for benchmarks with a before/after comparison, and
 single-lane entries (``seconds``) for workloads no dense baseline can
-represent.  v9 adds the fault-tolerance lane —
-``sharded_with_faults``, a sharded sampling run with a worker killed
-mid-block on every repeat, recovered through the pool-rebuild protocol
-and held under a wall-clock ceiling — on top of v8's cache-blocked
+represent.  v10 adds the observability lane — ``tracing_overhead``, the
+same grouped sampling workload timed with the flight recorder off vs on,
+with a floor pinning the traced run within ~10% of untraced — on top of
+v9's fault-tolerance lane (``sharded_with_faults``), v8's cache-blocked
 wide-state lanes (``blocked_wide_dense`` / ``batched_wide_grouped``),
 v7's ``plan_cache_parameterized`` lane and v6's ``batched_ghz_grouped``
 / ``sharded_throughput`` lanes and per-entry ``workers`` counts — all
@@ -72,7 +72,7 @@ def test_bench_quick_check_emits_valid_schema_and_holds_floors(tmp_path):
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert "--check passed" in proc.stdout
     payload = json.loads(out.read_text())
-    assert payload["schema"] == "repro.bench.simulator/v9"
+    assert payload["schema"] == "repro.bench.simulator/v10"
     assert payload["quick"] is True
     assert isinstance(payload["config"], dict)
     names = set()
@@ -110,15 +110,16 @@ def test_bench_quick_check_emits_valid_schema_and_holds_floors(tmp_path):
     assert "sharded_throughput" in names
     assert "sharded_with_faults" in names
     assert "plan_cache_parameterized" in names
+    assert "tracing_overhead" in names
 
 
-def test_committed_artifact_is_v9_with_floors_and_wide_scaling():
-    """The committed reference must carry the v9 surface --check relies
-    on: floors on the acceptance lanes, the 256/512/1024-qubit packed
-    scaling lanes, and the feasibility lanes (now including the
-    fault-recovery lane) with their ceilings."""
+def test_committed_artifact_is_v10_with_floors_and_wide_scaling():
+    """The committed reference must carry the v10 surface --check relies
+    on: floors on the acceptance lanes (now including the tracing
+    overhead gate), the 256/512/1024-qubit packed scaling lanes, and the
+    feasibility lanes with their ceilings."""
     payload = json.loads((REPO / "BENCH_simulator.json").read_text())
-    assert payload["schema"] == "repro.bench.simulator/v9"
+    assert payload["schema"] == "repro.bench.simulator/v10"
     floors = {e["name"] for e in payload["benchmarks"] if "floor" in e}
     assert "stabilizer_packed_ghz" in floors
     assert "diagonal_fusion_dense" in floors
@@ -128,6 +129,7 @@ def test_committed_artifact_is_v9_with_floors_and_wide_scaling():
     assert "blocked_wide_dense" in floors
     assert "batched_wide_grouped" in floors
     assert "plan_cache_parameterized" in floors
+    assert "tracing_overhead" in floors
     scaling_sizes = {
         e["params"]["num_qubits"]
         for e in payload["benchmarks"]
@@ -208,6 +210,15 @@ def test_committed_artifact_is_v9_with_floors_and_wide_scaling():
     assert plan, "committed artifact lost the plan_cache_parameterized lane"
     assert plan[0]["speedup"] >= plan[0]["floor"] >= 2.0
     assert plan[0]["params"]["bindings"] >= 2
+    # the observability cost gate: the committed tracing lane is a
+    # paired off-vs-on ratio near 1.0×, and must clear its ~10%-overhead
+    # floor (off_seconds / on_seconds >= 0.9)
+    tracing = [
+        e for e in payload["benchmarks"] if e["name"] == "tracing_overhead"
+    ]
+    assert tracing, "committed artifact lost the tracing_overhead lane"
+    assert tracing[0]["speedup"] >= tracing[0]["floor"] >= 0.9
+    assert tracing[0]["params"]["shots"] >= 1
     # every committed entry records its worker count
     assert all(
         e["params"].get("workers", 0) >= 1 for e in payload["benchmarks"]

@@ -59,7 +59,7 @@ def test_architecture_doc_covers_engine_contract():
         "stabilizer",
         "baseline",
         "BENCH_simulator.json",
-        "repro.bench.simulator/v9",
+        "repro.bench.simulator/v10",
     ):
         assert needle in text, f"architecture doc lost the {needle!r} section"
 
@@ -275,6 +275,54 @@ def test_readme_covers_fault_tolerance():
         "src/repro/testing",
     ):
         assert needle in text, f"README lost the {needle!r} resilience coverage"
+
+
+def test_architecture_doc_covers_observability():
+    """The observability section must name the tracing module, the
+    run-scope/span surface, every span-name prefix, the report schema,
+    the metrics fan-out, the REST surface, and the v10 bench lane."""
+    text = ARCHITECTURE.read_text()
+    for needle in (
+        "Observability & tracing",
+        "repro.telemetry.tracing",
+        "ExecutionReport",
+        "trace=True",
+        "sampler.grouped",
+        "plan.lookup",
+        "engine.advance_window",
+        "shard.block",
+        "resilience.fallback",
+        "shard_spans",
+        "block_trace",
+        "record_execution",
+        "simulator.exec.",
+        "SimulatorCountersPlugin",
+        "GET /metrics?prefix=",
+        "execution_report",
+        "tracing_overhead",
+        "bit-identical with tracing on or off",
+    ):
+        assert needle in text, f"architecture doc lost the {needle!r} section"
+
+
+def test_readme_covers_observability():
+    """The README performance workflow must describe the flight
+    recorder: the trace sub-option, the bit-identity contract, the
+    metrics fan-out, the REST surface, and the recorded bench lane."""
+    text = README.read_text()
+    for needle in (
+        "repro.telemetry.tracing",
+        "trace=True",
+        "ExecutionReport",
+        "bit-identical with tracing on or off",
+        "record_execution",
+        "simulator.exec.",
+        "SimulatorCountersPlugin",
+        "GET /metrics?prefix=",
+        "execution_report",
+        "tracing_overhead",
+    ):
+        assert needle in text, f"README lost the {needle!r} observability coverage"
 
 
 def test_readme_covers_plan_cache():

@@ -193,6 +193,21 @@ def _assert_planned_equals_unplanned(
         assert_counts_identical(planned, unplanned, context=(mode, seed))
 
 
+def _assert_traced_equals_untraced(
+    qc, modes, seed, noise=None, shots=128, **mode_options
+):
+    """Tracing is observational only: a traced run must reproduce the
+    untraced seeded counts bit for bit on every backend."""
+    for mode in modes:
+        untraced = counts_under_mode(
+            qc, mode, seed, noise=noise, shots=shots, **mode_options
+        )
+        traced = counts_under_mode(
+            qc, mode, seed, noise=noise, shots=shots, trace=True, **mode_options
+        )
+        assert_counts_identical(untraced, traced, context=("traced", mode, seed))
+
+
 class TestPlannedVsUnplannedFuzz:
     def test_clifford_family(self, fuzz_deep):
         rng = np.random.default_rng(1001)
@@ -359,4 +374,32 @@ class TestFaultedRecoveryFuzz:
                 )
             assert_counts_identical(
                 clean, faulted, context=("recovered", i, fault.point)
+            )
+
+
+class TestTracedVsUntracedFuzz:
+    """The flight-recorder analogue of the planned/unplanned pin: the
+    tracer hangs span bookkeeping off every hot loop (grouped walk,
+    engine windows, per-shot walk), so random circuits hunt for the
+    shape where instrumentation would perturb the RNG stream."""
+
+    def test_traced_grouped_family(self, fuzz_deep):
+        rng = np.random.default_rng(8008)
+        for i in range(_budget(fuzz_deep)):
+            n = int(rng.integers(2, 7))
+            qc = _random_clifford_t(rng, n, int(rng.integers(8, 24)))
+            _assert_traced_equals_untraced(
+                qc,
+                ("fast", "batched", "hybrid", "mps"),
+                seed=i,
+                noise=_fuzz_noise(rng),
+            )
+
+    def test_traced_mid_measure_family(self, fuzz_deep):
+        rng = np.random.default_rng(9009)
+        for i in range(max(2, _budget(fuzz_deep) // 2)):
+            n = int(rng.integers(2, 5))
+            qc = _random_mid_measure(rng, n, int(rng.integers(8, 16)))
+            _assert_traced_equals_untraced(
+                qc, ("fast", "hybrid", "mps"), seed=i, shots=64
             )

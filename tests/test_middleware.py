@@ -111,6 +111,84 @@ class TestRestServer:
         assert server.list_jobs(offset=-1).status == 400
 
 
+class TestMetricsEndpoint:
+    @pytest.fixture
+    def metric_server(self, qrm):
+        from repro.telemetry import MetricStore
+
+        return RestServer(qrm, metrics=MetricStore())
+
+    def test_metrics_404_without_store(self, server):
+        resp = server.get_metrics()
+        assert resp.status == 404
+        assert "no metric store" in resp.body["error"]
+
+    def test_metrics_latest_values_with_prefix_filter(self, metric_server):
+        metric_server.metrics.insert("qpu.t1", 0.0, 40e-6)
+        metric_server.metrics.insert("qpu.t1", 1.0, 39e-6)
+        metric_server.metrics.insert("facility.temp", 0.0, 290.0)
+        resp = metric_server.get_metrics(prefix="qpu")
+        assert resp.status == 200
+        assert resp.body["count"] == 1
+        assert resp.body["sensors"]["qpu.t1"] == {
+            "timestamp": 1.0,
+            "value": 39e-6,
+        }
+        everything = metric_server.get_metrics()
+        assert everything.body["count"] == 2
+
+    def test_metrics_empty_prefix_match(self, metric_server):
+        resp = metric_server.get_metrics(prefix="nope")
+        assert resp.status == 200
+        assert resp.body == {"prefix": "nope", "count": 0, "sensors": {}}
+
+    def test_traced_job_report_served_and_recorded(self, metric_server):
+        """The observability loop end to end: a traced job's
+        ExecutionReport rides GET /jobs/{id} and lands on the attached
+        store as simulator.exec.* sensors at the completion clock."""
+        from repro.simulator import engine_mode
+
+        payload = {"circuit": circuit_to_dict(ghz_circuit(3)), "shots": 64}
+        job_id = metric_server.post_job(payload).body["job_id"]
+        with engine_mode("fast", trace=True):
+            metric_server.process()
+        body = metric_server.get_job(job_id).body
+        assert body["status"] == "completed"
+        report = body["result"]["execution_report"]
+        assert report["mode"] == "fast"
+        assert report["shots"] == 64
+        assert report["wall_seconds"] > 0.0
+        assert "sampler.grouped" in report["phase_seconds"]
+        assert (
+            metric_server.metrics.latest("simulator.exec.shots").value == 64.0
+        )
+        assert (
+            metric_server.metrics.latest("simulator.exec.wall_seconds").value
+            > 0.0
+        )
+
+    def test_untraced_job_has_no_report(self, metric_server):
+        payload = {"circuit": circuit_to_dict(ghz_circuit(2)), "shots": 32}
+        job_id = metric_server.post_job(payload).body["job_id"]
+        metric_server.process()
+        body = metric_server.get_job(job_id).body
+        assert body["status"] == "completed"
+        assert "execution_report" not in body["result"]
+        assert metric_server.metrics.sensors("simulator.exec") == []
+
+    def test_reports_from_two_jobs_share_the_timeline(self, metric_server):
+        from repro.simulator import engine_mode
+
+        for _ in range(2):
+            payload = {"circuit": circuit_to_dict(ghz_circuit(2)), "shots": 16}
+            metric_server.post_job(payload)
+        with engine_mode("fast", trace=True):
+            metric_server.process(max_jobs=2)
+        ts, vs = metric_server.metrics.query("simulator.exec.shots")
+        assert list(vs) == [16.0, 16.0]
+        assert ts[1] > ts[0]  # device clock advanced between completions
+
+
 class TestRestClient:
     def test_full_cycle(self, server):
         client = RestClient(server)

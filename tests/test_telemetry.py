@@ -134,6 +134,119 @@ class TestMetricStore:
         with pytest.raises(TelemetryError):
             s.correlate("a", "b", 0.0, 1.0, 1.0)
 
+    @pytest.mark.parametrize("how", ["mean", "min", "max", "last"])
+    def test_aggregate_matches_scalar_reference(self, how):
+        """The vectorized reduceat windowing must agree with the obvious
+        per-window loop on irregular data — including empty windows,
+        single-point windows, and the end-of-range clamp."""
+        rng = np.random.default_rng(42)
+        times = np.sort(rng.uniform(0.0, 100.0, size=137))
+        values = rng.normal(0.0, 5.0, size=times.size)
+        s = MetricStore()
+        for t, v in zip(times, values):
+            s.insert("x", float(t), float(v))
+        window = 7.0
+        centers, got = s.aggregate("x", 0.0, 100.0, window, how=how)
+        n_windows = int(np.ceil(100.0 / window))
+        assert centers.size == got.size == n_windows
+        reducer = {"mean": np.mean, "min": np.min, "max": np.max}.get(how)
+        for i in range(n_windows):
+            lo, hi = i * window, (i + 1) * window
+            mask = (times >= lo) & (times < hi)
+            if i == n_windows - 1:  # the last window absorbs t == end
+                mask = (times >= lo) & (times <= 100.0)
+            if not mask.any():
+                assert np.isnan(got[i])
+            elif reducer is None:
+                assert got[i] == values[mask][-1]
+            else:
+                assert got[i] == pytest.approx(reducer(values[mask]))
+
+    def test_aggregate_point_at_range_end_clamps_into_last_window(self):
+        s = MetricStore()
+        s.insert("x", 10.0, 7.0)
+        _, values = s.aggregate("x", 0.0, 10.0, 2.5)
+        assert values[-1] == 7.0 and np.isnan(values[:-1]).all()
+
+    def test_record_execution_lands_exec_sensor_family(self):
+        from repro.telemetry.tracing import ExecutionReport
+
+        s = MetricStore()
+        report = ExecutionReport(
+            engine="dense",
+            mode="fast",
+            num_qubits=5,
+            shots=256,
+            wall_seconds=0.125,
+            phase_seconds={"sampler.grouped": 0.1, "engine.prepare": 0.01},
+            span_counts={"sampler.grouped": 1},
+            counters={"plan_cache.hits": 1, "sampler.trajectory_groups": 9},
+            estimated_peak_bytes=1536,
+            plan_cache_hits=1,
+        )
+        s.record_execution(report, 10.0)
+        family = s.sensors("simulator.exec")
+        assert "simulator.exec.wall_seconds" in family
+        assert "simulator.exec.phase.sampler.grouped" in family
+        assert "simulator.exec.events.plan_cache.hits" in family
+        assert s.latest("simulator.exec.wall_seconds").value == 0.125
+        assert s.latest("simulator.exec.shots").value == 256.0
+        assert s.latest("simulator.exec.plan_cache_hit").value == 1.0
+        assert s.latest("simulator.exec.estimated_peak_bytes").value == 1536.0
+        assert s.latest("simulator.exec.phase.engine.prepare").value == 0.01
+        assert (
+            s.latest("simulator.exec.events.sampler.trajectory_groups").value
+            == 9.0
+        )
+        # MPS-only fields were None: no empty sensors materialized
+        assert "simulator.exec.max_bond_dimension" not in family
+        assert "simulator.exec.truncation_error" not in family
+
+    def test_record_execution_accepts_report_dicts(self):
+        """The REST layer stores reports as payload dicts; recording one
+        must behave exactly like recording the dataclass."""
+        from repro.telemetry.tracing import ExecutionReport
+
+        report = ExecutionReport(
+            engine="mps",
+            mode="mps",
+            num_qubits=6,
+            shots=64,
+            wall_seconds=0.5,
+            max_bond_dimension=4,
+            truncation_error=0.0,
+        )
+        s = MetricStore()
+        s.record_execution(report.to_dict(), 1.0)
+        assert s.latest("simulator.exec.max_bond_dimension").value == 4.0
+        assert s.latest("simulator.exec.truncation_error").value == 0.0
+
+    def test_record_execution_timeseries_queryable(self):
+        """Recorded runs land on the shared timeline: aggregate and
+        correlate work over the simulator.exec.* family like any other
+        sensor."""
+        from repro.telemetry.tracing import ExecutionReport
+
+        s = MetricStore()
+        for i in range(12):
+            s.record_execution(
+                ExecutionReport(
+                    engine="dense",
+                    mode="fast",
+                    num_qubits=5,
+                    shots=100 + 10 * i,
+                    wall_seconds=0.01 * (100 + 10 * i),
+                ),
+                float(i),
+            )
+        _, means = s.aggregate("simulator.exec.shots", 0.0, 12.0, 6.0)
+        assert means[0] == pytest.approx(125.0)
+        assert means[1] == pytest.approx(185.0)
+        corr = s.correlate(
+            "simulator.exec.shots", "simulator.exec.wall_seconds", 0.0, 12.0, 2.0
+        )
+        assert corr == pytest.approx(1.0)
+
 
 class TestCollector:
     def test_cycle_lands_points(self, device):
@@ -168,6 +281,35 @@ class TestCollector:
         assert collector.cycles_run == 2
         assert collector.last_cycle_at == 60.0
 
+    def test_simulator_counters_plugin_snapshots_all_three_families(self):
+        """One collector cycle lands plan-cache, resilience, and
+        execution counters together — the DCDB 'continuous and holistic'
+        contract applied to the simulation stack."""
+        from repro.circuits import ghz_circuit
+        from repro.compiler import plans
+        from repro.simulator import engine_mode, resilience, sample_counts
+        from repro.telemetry import SimulatorCountersPlugin, tracing
+
+        plans.plan_cache_clear()
+        resilience.reset_counters()
+        tracing.reset_exec_counters()
+        try:
+            resilience.count_event("retries", 3)
+            with engine_mode("fast", trace=True):
+                sample_counts(ghz_circuit(4), 32, rng=7)
+            store = MetricStore()
+            collector = DCDBCollector(store, [SimulatorCountersPlugin()])
+            landed = collector.run_cycle(5.0)
+            assert landed >= 12
+            assert store.latest("simulator.plan_cache.misses").value == 1.0
+            assert store.latest("simulator.resilience.retries").value == 3.0
+            assert store.latest("simulator.exec.runs").value == 1.0
+            assert store.latest("simulator.exec.shots").value == 32.0
+            assert store.latest("simulator.exec.wall_seconds").value > 0.0
+        finally:
+            resilience.reset_counters()
+            tracing.reset_exec_counters()
+
 
 class TestAnalytics:
     def test_trend_detects_slope(self):
@@ -199,6 +341,50 @@ class TestAnalytics:
         for t in range(100):
             s.insert("x", float(t), rng.normal(0, 1))
         assert detect_anomalies(s, "x", 0.0, 100.0, z_threshold=6.0) == []
+
+    def test_trend_on_constant_series_is_flat(self):
+        """Dead-flat data must fit slope ≈ 0 without numerical drama —
+        the polyfit runs on zero-variance input."""
+        s = MetricStore()
+        for t in range(20):
+            s.insert("x", float(t), 42.0)
+        slope, intercept = trend(s, "x", 0.0, 20.0)
+        assert slope == pytest.approx(0.0, abs=1e-9)
+        assert intercept == pytest.approx(42.0)
+
+    def test_anomalies_on_constant_series_empty(self):
+        """A constant baseline has zero sigma; the epsilon floor must
+        keep identical follow-on points from flagging as anomalous."""
+        s = MetricStore()
+        for t in range(50):
+            s.insert("x", float(t), 7.0)
+        assert detect_anomalies(s, "x", 0.0, 50.0) == []
+
+    def test_constant_series_with_step_still_flags(self):
+        """...but the floor must not deaden a genuine step on top of a
+        zero-variance baseline."""
+        s = MetricStore()
+        for t in range(50):
+            s.insert("x", float(t), 7.0 if t < 40 else 9.0)
+        anomalies = detect_anomalies(s, "x", 0.0, 50.0)
+        assert anomalies and min(anomalies) >= 40.0
+
+    def test_anomalies_all_nan_window_returns_empty(self):
+        """A sensor whose window is wall-to-wall NaN (a dead gauge) must
+        yield no anomalies and no RuntimeWarning-driven surprises."""
+        s = MetricStore()
+        for t in range(20):
+            s.insert("x", float(t), float("nan"))
+        assert detect_anomalies(s, "x", 0.0, 20.0) == []
+
+    def test_anomalies_nan_baseline_poisons_nothing(self):
+        """NaNs confined to the baseline half must not flag the healthy
+        tail: NaN z-scores compare False, never True."""
+        s = MetricStore()
+        for t in range(20):
+            v = float("nan") if t < 10 else 5.0
+            s.insert("x", float(t), v)
+        assert detect_anomalies(s, "x", 0.0, 20.0) == []
 
     def test_qubit_health_flags_degraded(self, device):
         store = MetricStore()
